@@ -1,0 +1,78 @@
+// E9 — §9 open problem: sub-linear (and super-linear) agent counts.
+//
+// The paper assumes |A| = Θ(n) and asks what happens with fewer agents. We
+// sweep α = |A|/n over three decades on a random regular graph and report
+// how T_visitx and T_meetx scale with agent density.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+const std::vector<double> kAlphas = {0.0625, 0.125, 0.25, 0.5,
+                                     1.0,    2.0,   4.0};
+constexpr Vertex kN = 1 << 12;
+
+void register_all() {
+  for (double alpha : kAlphas) {
+    for (Protocol p : {Protocol::visit_exchange, Protocol::meet_exchange}) {
+      const std::string series = protocol_name(p);
+      register_point(
+          "agents/" + series + "/alpha=" + std::to_string(alpha),
+          [alpha, p, series](benchmark::State& state) {
+            Rng rng(master_seed() ^ 0xA1FAu);
+            const Graph g = gen::random_regular(kN, 18, rng);
+            ProtocolSpec spec = default_spec(p);
+            spec.walk.alpha = alpha;
+            measure_point(state, series, alpha, g, spec, 0, trials_or(20));
+          });
+    }
+  }
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf(
+      "\n=== E9 — agent density sweep (random 18-regular, n=%u) ===\n", kN);
+  std::printf("%s\n",
+              series_table({"visit-exchange", "meet-exchange"}, "alpha")
+                  .c_str());
+
+  for (const std::string series : {"visit-exchange", "meet-exchange"}) {
+    const auto s = registry.series(series);
+    // Broadcast time must be monotone non-increasing in agent density
+    // (allow small statistical wiggle).
+    bool monotone = true;
+    for (std::size_t i = 1; i < s.points.size(); ++i) {
+      monotone &= s.points[i].summary.mean <=
+                  1.15 * s.points[i - 1].summary.mean;
+    }
+    print_claim(monotone, "E9 [" + series + "]: T decreases with alpha",
+                "T(alpha=1/16) = " +
+                    TextTable::num(s.points.front().summary.mean, 1) +
+                    " -> T(alpha=4) = " +
+                    TextTable::num(s.points.back().summary.mean, 1));
+    // Scaling law of T vs 1/alpha in the sub-linear regime.
+    std::vector<double> inv_alpha, t;
+    for (const auto& pt : s.points) {
+      if (pt.n <= 1.0) {  // sub-linear half of the sweep
+        inv_alpha.push_back(1.0 / pt.n);
+        t.push_back(pt.summary.mean);
+      }
+    }
+    const LinearFit fit = fit_power(inv_alpha, t);
+    std::printf("    %s: T ~ (1/alpha)^%.2f in the sub-linear regime "
+                "(R2=%.3f)\n",
+                series.c_str(), fit.slope, fit.r_squared);
+  }
+  maybe_dump_csv("ablation_agents", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

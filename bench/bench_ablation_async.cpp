@@ -1,0 +1,70 @@
+// E15 — §2 related work (Sauerwald '10; Giakkoupis–Nazari–Woelfel '16):
+// synchronous and asynchronous push-pull have broadcast times within
+// constant factors on regular graphs. We sweep random regular graphs and
+// compare synchronous rounds with asynchronous time units (ticks / n).
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/async.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+const std::vector<Vertex> kSizes = {1 << 10, 1 << 11, 1 << 12, 1 << 13,
+                                    1 << 14};
+
+void register_all() {
+  for (Vertex n : kSizes) {
+    register_point(
+        "async/n=" + std::to_string(n), [n](benchmark::State& state) {
+          Rng rng(master_seed() ^ 0xA57Cu);
+          const Graph g = gen::random_regular(n, 16, rng);
+          std::vector<double> async_units;
+          for (auto _ : state) {
+            for (std::size_t i = 0; i < trials_or(20); ++i) {
+              async_units.push_back(
+                  run_async_push_pull(g, 0, derive_seed(master_seed(), i))
+                      .time_units);
+            }
+          }
+          SeriesRegistry::instance().record("async (ticks/n)", n,
+                                            Summary::of(async_units));
+          const TrialSet sync =
+              run_trials(g, default_spec(Protocol::push_pull), 0,
+                         trials_or(20), master_seed() + 3);
+          SeriesRegistry::instance().record("sync (rounds)", n,
+                                            sync.summary());
+          state.counters["async"] = Summary::of(async_units).mean;
+          state.counters["sync"] = sync.summary().mean;
+        });
+  }
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf(
+      "\n=== E15 — sync vs async push-pull (random 16-regular) ===\n");
+  std::printf("%s\n",
+              series_table({"sync (rounds)", "async (ticks/n)"}).c_str());
+  const auto sync = registry.series("sync (rounds)");
+  const auto async = registry.series("async (ticks/n)");
+  print_claim(ratio_bounded(async, sync, 2.0),
+              "E15: async/sync ratio constant across n",
+              "ratio at extremes: " +
+                  TextTable::num(async.points.front().summary.mean /
+                                     sync.points.front().summary.mean,
+                                 2) +
+                  " -> " +
+                  TextTable::num(async.points.back().summary.mean /
+                                     sync.points.back().summary.mean,
+                                 2));
+  maybe_dump_csv("ablation_async", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

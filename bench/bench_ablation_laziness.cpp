@@ -1,0 +1,96 @@
+// E10 — §3's bipartite complication: non-lazy meet-exchange on a bipartite
+// graph may never finish (T = ∞); lazy walks restore E[T] < ∞ at a ~2x
+// slowdown on non-bipartite graphs.
+//
+// Two panels: (i) completion rate of non-lazy vs lazy meet-exchange on the
+// (bipartite) star within a generous cutoff; (ii) lazy-vs-non-lazy cost on
+// a non-bipartite graph where both terminate.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/meet_exchange.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+constexpr Vertex kLeaves = 1 << 12;
+
+void register_all() {
+  for (const bool lazy : {false, true}) {
+    const std::string series = lazy ? "star/lazy" : "star/non-lazy";
+    register_point(
+        "laziness/" + series,
+        [lazy, series](benchmark::State& state) {
+          const Graph g = gen::star(kLeaves);
+          ProtocolSpec spec = default_spec(Protocol::meet_exchange);
+          spec.walk.lazy = lazy ? LazyMode::always : LazyMode::never;
+          // Cutoff: far beyond the lazy completion scale — a non-lazy run
+          // that hits it is genuinely stuck, not merely slow.
+          spec.walk.max_rounds =
+              static_cast<Round>(400 * std::log2(double(kLeaves)));
+          TrialSet set;
+          for (auto _ : state) {
+            set = run_trials(g, spec, /*source=*/1, trials_or(20),
+                             master_seed());
+          }
+          SeriesRegistry::instance().record(series,
+                                            static_cast<double>(kLeaves),
+                                            set.summary());
+          state.counters["incomplete"] = static_cast<double>(set.incomplete);
+          SeriesRegistry::instance().record(
+              series + "/incomplete", static_cast<double>(kLeaves),
+              Summary::of(std::vector<double>{
+                  static_cast<double>(set.incomplete)}));
+        });
+  }
+  for (const bool lazy : {false, true}) {
+    const std::string series = lazy ? "odd-circulant/lazy"
+                                    : "odd-circulant/non-lazy";
+    register_point("laziness/" + series, [lazy, series](benchmark::State&
+                                                            state) {
+      // Odd circulant: non-bipartite, both modes terminate.
+      const Graph g = gen::circulant(4097, 12);
+      ProtocolSpec spec = default_spec(Protocol::meet_exchange);
+      spec.walk.lazy = lazy ? LazyMode::always : LazyMode::never;
+      measure_point(state, series, 4097.0, g, spec, 0, trials_or(20));
+    });
+  }
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf("\n=== E10 — laziness ablation for meet-exchange ===\n");
+  std::printf("%s\n", series_table({"star/non-lazy", "star/lazy",
+                                    "odd-circulant/non-lazy",
+                                    "odd-circulant/lazy"},
+                                   "n")
+                          .c_str());
+
+  const double nonlazy_stuck =
+      registry.series("star/non-lazy/incomplete").points.front().summary.mean;
+  const double lazy_stuck =
+      registry.series("star/lazy/incomplete").points.front().summary.mean;
+  print_claim(nonlazy_stuck > 0 && lazy_stuck == 0,
+              "E10: non-lazy meetx stalls on the bipartite star, lazy "
+              "completes",
+              "incomplete trials: non-lazy " +
+                  TextTable::num(nonlazy_stuck, 0) + ", lazy " +
+                  TextTable::num(lazy_stuck, 0));
+
+  const double lazy_cost =
+      registry.series("odd-circulant/lazy").points.front().summary.mean /
+      registry.series("odd-circulant/non-lazy").points.front().summary.mean;
+  print_claim(lazy_cost > 1.2 && lazy_cost < 3.5,
+              "E10: lazy walks cost ~2x where both modes terminate",
+              "T_lazy/T_nonlazy = " + TextTable::num(lazy_cost, 2));
+
+  maybe_dump_csv("ablation_laziness", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

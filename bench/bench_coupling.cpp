@@ -1,0 +1,117 @@
+// E14 — the Section 5/6 proof machinery, measured.
+//
+// For the Section 5 coupling we report, per size: T_visitx, the coupled
+// T_push, the maximum C-counter (the congestion bound on T_push), the
+// congestion-per-round constant max_u C_u(t_u) / T_visitx (Theorem 10 says
+// it is O(1)), and the Lemma 13 violation count (must be 0 — the lemma is
+// almost-sure). For Section 6 we report the empirical Lemma 22 constant
+// max_u t'_u / (τ_u + ln n).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/coupling/coupled_push_visitx.hpp"
+#include "core/coupling/odd_even_coupling.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+const std::vector<Vertex> kSizes = {1 << 8, 1 << 9, 1 << 10, 1 << 11};
+
+void register_all() {
+  for (Vertex n : kSizes) {
+    register_point(
+        "coupling/sec5/n=" + std::to_string(n),
+        [n](benchmark::State& state) {
+          Rng rng(master_seed() ^ 0xC0DEu);
+          const Graph g = gen::random_regular(n, 14, rng);
+          std::vector<double> t_visitx, t_push, max_c, c_ratio;
+          std::size_t violations = 0;
+          for (auto _ : state) {
+            for (std::size_t i = 0; i < trials_or(10); ++i) {
+              CoupledPushVisitx coupled(g, 0, derive_seed(master_seed(), i));
+              const CoupledResult r = coupled.run();
+              if (!r.lemma13_holds) ++violations;
+              t_visitx.push_back(static_cast<double>(r.visitx_rounds));
+              t_push.push_back(static_cast<double>(r.push_rounds));
+              max_c.push_back(static_cast<double>(r.max_ccounter));
+              c_ratio.push_back(static_cast<double>(r.max_ccounter) /
+                                static_cast<double>(r.visitx_rounds));
+            }
+          }
+          auto& reg = SeriesRegistry::instance();
+          reg.record("T_visitx", n, Summary::of(t_visitx));
+          reg.record("T_push(coupled)", n, Summary::of(t_push));
+          reg.record("max C_u(t_u)", n, Summary::of(max_c));
+          reg.record("congestion/round", n, Summary::of(c_ratio));
+          reg.record("lemma13 violations", n,
+                     Summary::of(std::vector<double>{
+                         static_cast<double>(violations)}));
+          state.counters["violations"] = static_cast<double>(violations);
+        });
+
+    register_point(
+        "coupling/sec6/n=" + std::to_string(n),
+        [n](benchmark::State& state) {
+          Rng rng(master_seed() ^ 0x0DDEu);
+          const Graph g = gen::random_regular(n, 14, rng);
+          std::vector<double> ratios;
+          for (auto _ : state) {
+            for (std::size_t i = 0; i < trials_or(10); ++i) {
+              const OddEvenResult r =
+                  run_odd_even_coupling(g, 0, derive_seed(master_seed(), i));
+              if (r.push_completed && r.visitx_completed) {
+                ratios.push_back(r.max_ratio);
+              }
+            }
+          }
+          SeriesRegistry::instance().record("lemma22 constant", n,
+                                            Summary::of(ratios));
+          state.counters["max_ratio"] = Summary::of(ratios).max;
+        });
+  }
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf(
+      "\n=== E14 — executable Section 5/6 couplings (random 14-regular) "
+      "===\n");
+  std::printf("%s\n",
+              series_table({"T_visitx", "T_push(coupled)", "max C_u(t_u)",
+                            "congestion/round", "lemma22 constant"})
+                  .c_str());
+
+  double total_violations = 0;
+  for (const auto& pt : registry.series("lemma13 violations").points) {
+    total_violations += pt.summary.mean;
+  }
+  print_claim(total_violations == 0,
+              "Lemma 13 holds a.s. under the coupling (tau_u <= C_u(t_u))",
+              TextTable::num(total_violations, 0) + " violations");
+
+  const auto c_ratio = registry.series("congestion/round");
+  double worst = 0;
+  for (const auto& pt : c_ratio.points) worst = std::max(worst, pt.summary.max);
+  print_claim(worst < 25.0,
+              "Theorem 10: congestion max_u C_u(t_u) = O(T_visitx), small "
+              "constant",
+              "worst congestion/round = " + TextTable::num(worst, 2));
+
+  const auto lemma22 = registry.series("lemma22 constant");
+  double worst22 = 0;
+  for (const auto& pt : lemma22.points) {
+    worst22 = std::max(worst22, pt.summary.max);
+  }
+  print_claim(worst22 < 40.0,
+              "Lemma 22: t'_u <= c (tau_u + ln n) with modest c",
+              "worst empirical c = " + TextTable::num(worst22, 2));
+
+  maybe_dump_csv("coupling", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

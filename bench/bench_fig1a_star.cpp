@@ -1,0 +1,87 @@
+// E1 — Figure 1(a) / Lemma 2: the star S_n.
+//
+// Paper claims: E[T_push] = Ω(n log n); T_ppull ≤ 2; T_visitx = O(log n)
+// w.h.p.; T_meetx = O(log n) w.h.p. (lazy walks — the star is bipartite).
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+const std::vector<Vertex> kSizes = {1 << 11, 1 << 12, 1 << 13, 1 << 14,
+                                    1 << 15};
+
+void register_all() {
+  for (Vertex leaves : kSizes) {
+    for (Protocol p : {Protocol::push, Protocol::push_pull,
+                       Protocol::visit_exchange, Protocol::meet_exchange}) {
+      const std::string series = protocol_name(p);
+      register_point(
+          "fig1a/" + series + "/leaves=" + std::to_string(leaves),
+          [leaves, p, series](benchmark::State& state) {
+            const Graph g = gen::star(leaves);
+            // Source is a leaf: the hardest case for push (the center must
+            // then coupon-collect all other leaves).
+            measure_point(state, series, static_cast<double>(leaves), g,
+                          default_spec(p), /*source=*/1, trials_or(20));
+          });
+    }
+  }
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf("\n=== Figure 1(a) / Lemma 2 — star S_n, leaf source ===\n");
+  std::printf("%s\n",
+              series_table({"push", "push-pull", "visit-exchange",
+                            "meet-exchange"},
+                           "leaves")
+                  .c_str());
+
+  const auto push = registry.series("push");
+  const auto ppull = registry.series("push-pull");
+  const auto visitx = registry.series("visit-exchange");
+  const auto meetx = registry.series("meet-exchange");
+
+  // (a) push is linearithmic.
+  const LawVerdict push_law = classify_series(push);
+  print_claim(push_law.power_exponent > 0.8,
+              "Lemma 2(a): E[T_push] = Omega(n log n)",
+              "fit: " + push_law.describe());
+
+  // (b) push-pull completes in <= 2 rounds at every size.
+  bool ppull_ok = true;
+  for (const auto& pt : ppull.points) ppull_ok &= pt.summary.max <= 2.0;
+  print_claim(ppull_ok, "Lemma 2(b): T_ppull <= 2",
+              "max over sizes/trials: " +
+                  TextTable::num(registry.series("push-pull").points.back()
+                                     .summary.max,
+                                 0));
+
+  // (c, d) agent protocols are logarithmic.
+  const LawVerdict visitx_law = classify_series(visitx);
+  print_claim(visitx_law.power_exponent < 0.35,
+              "Lemma 2(c): T_visitx = O(log n)",
+              "fit: " + visitx_law.describe());
+  const LawVerdict meetx_law = classify_series(meetx);
+  print_claim(meetx_law.power_exponent < 0.35,
+              "Lemma 2(d): T_meetx = O(log n), lazy walks",
+              "fit: " + meetx_law.describe());
+
+  // The separation itself.
+  print_claim(max_ratio(visitx, push) < 0.2,
+              "separation: push >> visit-exchange on the star",
+              "max T_visitx/T_push across sizes = " +
+                  TextTable::num(max_ratio(visitx, push), 4));
+
+  maybe_dump_csv("fig1a_star", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

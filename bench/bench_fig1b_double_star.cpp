@@ -1,0 +1,71 @@
+// E2 — Figure 1(b) / Lemma 3: the double star S2_n.
+//
+// Paper claims: E[T_ppull] = Ω(n) (the bridge between the centers is
+// sampled with probability O(1/n) per round); T_visitx and T_meetx are
+// O(log n) w.h.p. — the paper's showcase for the agent protocols' "locally
+// fair bandwidth" advantage.
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+const std::vector<Vertex> kLeafCounts = {1 << 10, 1 << 11, 1 << 12, 1 << 13,
+                                         1 << 14};
+
+void register_all() {
+  for (Vertex leaves : kLeafCounts) {
+    const double n = 2.0 * leaves + 2;  // total vertices
+    for (Protocol p : {Protocol::push_pull, Protocol::visit_exchange,
+                       Protocol::meet_exchange}) {
+      const std::string series = protocol_name(p);
+      register_point("fig1b/" + series + "/leaves=" + std::to_string(leaves),
+                     [leaves, n, p, series](benchmark::State& state) {
+                       const Graph g = gen::double_star(leaves);
+                       // Source is a leaf of star A (vertex 2).
+                       measure_point(state, series, n, g, default_spec(p),
+                                     /*source=*/2, trials_or(20));
+                     });
+    }
+  }
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf(
+      "\n=== Figure 1(b) / Lemma 3 — double star S2_n, leaf source ===\n");
+  std::printf("%s\n",
+              series_table({"push-pull", "visit-exchange", "meet-exchange"})
+                  .c_str());
+
+  const auto ppull = registry.series("push-pull");
+  const auto visitx = registry.series("visit-exchange");
+  const auto meetx = registry.series("meet-exchange");
+
+  const LawVerdict ppull_law = classify_series(ppull);
+  print_claim(ppull_law.power_exponent > 0.8,
+              "Lemma 3(a): E[T_ppull] = Omega(n)",
+              "fit: " + ppull_law.describe());
+  const LawVerdict visitx_law = classify_series(visitx);
+  print_claim(visitx_law.power_exponent < 0.35,
+              "Lemma 3(b): T_visitx = O(log n)",
+              "fit: " + visitx_law.describe());
+  const LawVerdict meetx_law = classify_series(meetx);
+  print_claim(meetx_law.power_exponent < 0.35,
+              "Lemma 3(c): T_meetx = O(log n)",
+              "fit: " + meetx_law.describe());
+  print_claim(max_ratio(visitx, ppull) < 0.2,
+              "separation: push-pull >> visit-exchange on the double star",
+              "max T_visitx/T_ppull across sizes = " +
+                  TextTable::num(max_ratio(visitx, ppull), 4));
+
+  maybe_dump_csv("fig1b_double_star", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

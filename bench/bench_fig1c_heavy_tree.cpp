@@ -1,0 +1,72 @@
+// E3 — Figure 1(c) / Lemma 4: the heavy binary tree B_n (balanced binary
+// tree plus a clique over the leaves).
+//
+// Paper claims: T_push = O(log n) w.h.p.; E[T_visitx] = Ω(n) (nearly all
+// stationary mass sits on the leaf clique, so the root waits Θ(n) rounds
+// for its first agent); from a LEAF source, T_meetx = O(log n) w.h.p.
+// — the converse separation: here rumor spreading beats the walkers.
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+const std::vector<Vertex> kSizes = {(1 << 10) - 1, (1 << 11) - 1,
+                                    (1 << 12) - 1, (1 << 13) - 1};
+
+void register_all() {
+  for (Vertex n : kSizes) {
+    for (Protocol p : {Protocol::push, Protocol::visit_exchange,
+                       Protocol::meet_exchange}) {
+      const std::string series = protocol_name(p);
+      register_point("fig1c/" + series + "/n=" + std::to_string(n),
+                     [n, p, series](benchmark::State& state) {
+                       const Graph g = gen::heavy_binary_tree(n);
+                       // Leaf source (Lemma 4(c) requires it for meetx).
+                       measure_point(state, series, static_cast<double>(n), g,
+                                     default_spec(p), /*source=*/n - 1,
+                                     trials_or(15));
+                     });
+    }
+  }
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf(
+      "\n=== Figure 1(c) / Lemma 4 — heavy binary tree B_n, leaf source "
+      "===\n");
+  std::printf("%s\n",
+              series_table({"push", "visit-exchange", "meet-exchange"})
+                  .c_str());
+
+  const auto push = registry.series("push");
+  const auto visitx = registry.series("visit-exchange");
+  const auto meetx = registry.series("meet-exchange");
+
+  const LawVerdict push_law = classify_series(push);
+  print_claim(push_law.power_exponent < 0.35,
+              "Lemma 4(a): T_push = O(log n)", "fit: " + push_law.describe());
+  const LawVerdict visitx_law = classify_series(visitx);
+  print_claim(visitx_law.power_exponent > 0.7,
+              "Lemma 4(b): E[T_visitx] = Omega(n)",
+              "fit: " + visitx_law.describe());
+  const LawVerdict meetx_law = classify_series(meetx);
+  print_claim(meetx_law.power_exponent < 0.35,
+              "Lemma 4(c): T_meetx = O(log n) from a leaf source",
+              "fit: " + meetx_law.describe());
+  print_claim(max_ratio(push, visitx) < 0.5,
+              "separation: visit-exchange >> push on the heavy tree",
+              "max T_push/T_visitx across sizes = " +
+                  TextTable::num(max_ratio(push, visitx), 4));
+
+  maybe_dump_csv("fig1c_heavy_tree", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

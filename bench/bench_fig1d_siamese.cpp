@@ -1,0 +1,75 @@
+// E4 — Figure 1(d) / Lemma 8: Siamese heavy binary trees D_n (two heavy
+// trees sharing one root).
+//
+// Paper claims: T_push = O(log n) w.h.p.; E[T_visitx] = Ω(n) AND
+// E[T_meetx] = Ω(n) — information held by agents in one tree can only reach
+// the other tree through the root, which stationary walks rarely visit.
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+// n is the per-copy size; the graph has 2n-1 vertices.
+const std::vector<Vertex> kSizes = {(1 << 9) - 1, (1 << 10) - 1,
+                                    (1 << 11) - 1, (1 << 12) - 1};
+
+void register_all() {
+  for (Vertex n : kSizes) {
+    for (Protocol p : {Protocol::push, Protocol::visit_exchange,
+                       Protocol::meet_exchange}) {
+      const std::string series = protocol_name(p);
+      register_point("fig1d/" + series + "/n=" + std::to_string(n),
+                     [n, p, series](benchmark::State& state) {
+                       const Graph g = gen::siamese_heavy_tree(n);
+                       // Source: a leaf of copy 0.
+                       measure_point(state, series,
+                                     static_cast<double>(2 * n - 1), g,
+                                     default_spec(p), /*source=*/n - 1,
+                                     trials_or(12));
+                     });
+    }
+  }
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf(
+      "\n=== Figure 1(d) / Lemma 8 — Siamese heavy trees D_n, leaf source "
+      "===\n");
+  std::printf("%s\n",
+              series_table({"push", "visit-exchange", "meet-exchange"})
+                  .c_str());
+
+  const auto push = registry.series("push");
+  const auto visitx = registry.series("visit-exchange");
+  const auto meetx = registry.series("meet-exchange");
+
+  const LawVerdict push_law = classify_series(push);
+  print_claim(push_law.power_exponent < 0.35,
+              "Lemma 8(a): T_push = O(log n)", "fit: " + push_law.describe());
+  const LawVerdict visitx_law = classify_series(visitx);
+  print_claim(visitx_law.power_exponent > 0.7,
+              "Lemma 8(b): E[T_visitx] = Omega(n)",
+              "fit: " + visitx_law.describe());
+  const LawVerdict meetx_law = classify_series(meetx);
+  print_claim(meetx_law.power_exponent > 0.7,
+              "Lemma 8(c): E[T_meetx] = Omega(n)",
+              "fit: " + meetx_law.describe());
+  print_claim(max_ratio(push, visitx) < 0.5 && max_ratio(push, meetx) < 0.5,
+              "separation: both agent protocols >> push on D_n",
+              "max T_push/T_visitx = " +
+                  TextTable::num(max_ratio(push, visitx), 4) +
+                  ", max T_push/T_meetx = " +
+                  TextTable::num(max_ratio(push, meetx), 4));
+
+  maybe_dump_csv("fig1d_siamese", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

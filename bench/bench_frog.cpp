@@ -1,0 +1,99 @@
+// E20 — related-work §2 comparison: the frog model (sleeping walkers woken
+// by visits) vs visit-exchange vs push.
+//
+// The frog model starts with one walker and recruits; visit-exchange starts
+// with Θ(n) walkers. On expanders both are logarithmic; on the heavy tree
+// the frog model inherits visit-exchange's Ω(n) root-starvation problem
+// only PARTIALLY (woken leaf frogs stay near the clique, but the awake
+// population grows), so the comparison maps out where recruitment helps.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/frog.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+struct Case {
+  std::string family;
+  GraphSpec spec;
+  Vertex source;
+  double x;
+};
+
+std::vector<Case> cases() {
+  std::vector<Case> out;
+  for (Vertex n : {1 << 10, 1 << 11, 1 << 12}) {
+    out.push_back({"random-regular",
+                   GraphSpec{Family::random_regular, n, 12}, 0, double(n)});
+  }
+  for (Vertex n : {(1 << 10) - 1, (1 << 11) - 1, (1 << 12) - 1}) {
+    out.push_back({"heavy-tree", GraphSpec{Family::heavy_tree, n},
+                   static_cast<Vertex>(n - 1), double(n)});
+  }
+  return out;
+}
+
+void register_all() {
+  for (const auto& c : cases()) {
+    register_point(
+        "frog/" + c.family + "/n=" + std::to_string(long(c.x)),
+        [c](benchmark::State& state) {
+          Rng rng(master_seed() ^ 0xF406u);
+          const Graph g = c.spec.make(rng);
+          std::vector<double> frog_t;
+          for (auto _ : state) {
+            for (std::size_t i = 0; i < trials_or(12); ++i) {
+              const RunResult r =
+                  run_frog(g, c.source, derive_seed(master_seed(), i));
+              frog_t.push_back(static_cast<double>(r.rounds));
+            }
+          }
+          SeriesRegistry::instance().record(c.family + "/frog", c.x,
+                                            Summary::of(frog_t));
+          const TrialSet push =
+              run_trials(g, default_spec(Protocol::push), c.source,
+                         trials_or(12), master_seed() + 1);
+          const TrialSet visitx =
+              run_trials(g, default_spec(Protocol::visit_exchange), c.source,
+                         trials_or(12), master_seed() + 2);
+          auto& reg = SeriesRegistry::instance();
+          reg.record(c.family + "/push", c.x, push.summary());
+          reg.record(c.family + "/visit-exchange", c.x, visitx.summary());
+        });
+  }
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf("\n=== E20 — frog model vs the paper's protocols ===\n");
+  for (const std::string family : {"random-regular", "heavy-tree"}) {
+    std::printf("%s\n", series_table({family + "/push",
+                                      family + "/visit-exchange",
+                                      family + "/frog"})
+                            .c_str());
+  }
+  const auto rr_frog = registry.series("random-regular/frog");
+  const auto rr_visitx = registry.series("random-regular/visit-exchange");
+  print_claim(classify_series(rr_frog).power_exponent < 0.35,
+              "E20: frog model is polylogarithmic on expanders",
+              "fit: " + classify_series(rr_frog).describe());
+  const auto ht_frog = registry.series("heavy-tree/frog");
+  const auto ht_visitx = registry.series("heavy-tree/visit-exchange");
+  print_claim(ht_frog.points.back().summary.mean <
+                  ht_visitx.points.back().summary.mean,
+              "E20: recruitment makes frogs faster than visit-exchange on "
+              "the heavy tree",
+              "at the largest size: frog " +
+                  TextTable::num(ht_frog.points.back().summary.mean, 1) +
+                  " vs visitx " +
+                  TextTable::num(ht_visitx.points.back().summary.mean, 1));
+  maybe_dump_csv("frog", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

@@ -1,0 +1,78 @@
+// E12 — §1: "agent-based information dissemination, separately or IN
+// COMBINATION with push-pull, can significantly improve the broadcast
+// time." The hybrid protocol (push-pull + visit-exchange on shared vertex
+// state) should track the better component on every Fig. 1 family.
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+struct Scenario {
+  std::string name;
+  GraphSpec spec;
+  Vertex source;
+};
+
+std::vector<Scenario> scenarios() {
+  return {
+      {"star", GraphSpec{Family::star, 1 << 13}, 1},
+      {"double-star", GraphSpec{Family::double_star, 1 << 12}, 2},
+      {"heavy-tree", GraphSpec{Family::heavy_tree, (1 << 12) - 1},
+       (1 << 12) - 2},
+      {"siamese", GraphSpec{Family::siamese, (1 << 11) - 1}, (1 << 11) - 2},
+      {"random-regular", GraphSpec{Family::random_regular, 1 << 12, 16}, 0},
+  };
+}
+
+void register_all() {
+  for (const auto& sc : scenarios()) {
+    for (Protocol p : {Protocol::push_pull, Protocol::visit_exchange,
+                       Protocol::hybrid}) {
+      const std::string series = sc.name + "/" + protocol_name(p);
+      register_point("hybrid/" + series, [sc, p, series](benchmark::State&
+                                                             state) {
+        Rng rng(master_seed() ^ 0x4B1Du);
+        const Graph g = sc.spec.make(rng);
+        measure_point(state, series, static_cast<double>(g.num_vertices()),
+                      g, default_spec(p), sc.source, trials_or(15));
+      });
+    }
+  }
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf("\n=== E12 — hybrid (push-pull + visit-exchange) ===\n");
+  bool all_ok = true;
+  TextTable table({"graph", "push-pull", "visit-exchange", "hybrid",
+                   "hybrid <= 1.5*min?"});
+  for (const auto& sc : scenarios()) {
+    const double ppull =
+        registry.series(sc.name + "/push-pull").points.front().summary.mean;
+    const double visitx = registry.series(sc.name + "/visit-exchange")
+                              .points.front()
+                              .summary.mean;
+    const double hybrid =
+        registry.series(sc.name + "/hybrid").points.front().summary.mean;
+    const bool ok = hybrid <= 1.5 * std::min(ppull, visitx) + 2.0;
+    all_ok &= ok;
+    table.add_row({sc.name, TextTable::num(ppull, 1),
+                   TextTable::num(visitx, 1), TextTable::num(hybrid, 1),
+                   ok ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.render_plain().c_str());
+  print_claim(all_ok,
+              "E12: hybrid tracks the better of its components on every "
+              "family",
+              "per-family table above");
+  maybe_dump_csv("hybrid", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

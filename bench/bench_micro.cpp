@@ -1,0 +1,68 @@
+// E17 — engineering microbenchmarks: substrate throughput (wall time, not
+// broadcast rounds). These are conventional google-benchmark timings.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "core/push.hpp"
+#include "core/visit_exchange.hpp"
+#include "graph/generators.hpp"
+#include "walk/agents.hpp"
+
+namespace {
+
+using namespace rumor;
+
+void BM_AgentStepThroughput(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  Rng rng(1);
+  const Graph g = gen::random_regular(n, 16, rng);
+  AgentSystem agents(g, n, Placement::stationary, rng);
+  for (auto _ : state) {
+    agents.step_all(rng, Laziness::none);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AgentStepThroughput)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_GraphGenRandomRegular(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::random_regular(n, 16, rng));
+  }
+}
+BENCHMARK(BM_GraphGenRandomRegular)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_GraphGenHeavyTree(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::heavy_binary_tree(n));
+  }
+}
+BENCHMARK(BM_GraphGenHeavyTree)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_PushBroadcastCompleteGraph(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = gen::complete(n);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_push(g, 0, ++seed));
+  }
+}
+BENCHMARK(BM_PushBroadcastCompleteGraph)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_VisitExchangeRound(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  Rng rng(3);
+  const Graph g = gen::random_regular(n, 16, rng);
+  VisitExchangeProcess process(g, 0, 7);
+  for (auto _ : state) {
+    process.step();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VisitExchangeRound)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

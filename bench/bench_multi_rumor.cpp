@@ -1,0 +1,131 @@
+// E19 — the §1 perpetual-dissemination setting: many rumors released over
+// time through ONE shared agent population (or one shared call schedule for
+// push-pull).
+//
+// Claims measured:
+//   (i)  non-interference — per-rumor latency with R parallel rumors matches
+//        the single-rumor broadcast time (the protocols exchange "all the
+//        information they have", so rumors ride the same exchanges);
+//   (ii) steady state — latency is flat in release time: the perpetual
+//        random walks stay stationary, which is exactly why the paper's
+//        stationary-start assumption is the right model.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/multi_rumor.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+constexpr Vertex kN = 1 << 12;
+
+const std::vector<std::size_t> kRumorCounts = {1, 4, 16, 64};
+
+void register_all() {
+  for (std::size_t rumor_count : kRumorCounts) {
+    for (const bool walks : {false, true}) {
+      const std::string series =
+          walks ? "visit-exchange" : "push-pull";
+      register_point(
+          "multi/" + series + "/R=" + std::to_string(rumor_count),
+          [rumor_count, walks, series](benchmark::State& state) {
+            Rng rng(master_seed() ^ 0x316B5u);
+            const Graph g = gen::random_regular(kN, 16, rng);
+            std::vector<double> latencies;
+            for (auto _ : state) {
+              for (std::size_t trial = 0; trial < trials_or(10); ++trial) {
+                // Sources spread across the graph, all released at round 0.
+                Rng source_rng(derive_seed(master_seed() + 5, trial));
+                std::vector<RumorSpec> rumors;
+                for (std::size_t r = 0; r < rumor_count; ++r) {
+                  rumors.push_back(
+                      {static_cast<Vertex>(source_rng.below(kN)), 0});
+                }
+                const std::uint64_t seed = derive_seed(master_seed(), trial);
+                const MultiRumorResult result =
+                    walks ? MultiRumorVisitExchange(g, rumors, seed).run()
+                          : MultiRumorPushPull(g, rumors, seed).run();
+                for (Round lat : result.latency) {
+                  latencies.push_back(static_cast<double>(lat));
+                }
+              }
+            }
+            SeriesRegistry::instance().record(
+                series, static_cast<double>(rumor_count),
+                Summary::of(latencies));
+            state.counters["mean_latency"] = Summary::of(latencies).mean;
+          });
+    }
+  }
+
+  // Steady-state panel: 32 rumors released every 4 rounds via walks.
+  register_point("multi/stream", [](benchmark::State& state) {
+    Rng rng(master_seed() ^ 0x57EAAu);
+    const Graph g = gen::random_regular(kN, 16, rng);
+    std::vector<double> first_half, second_half;
+    for (auto _ : state) {
+      for (std::size_t trial = 0; trial < trials_or(10); ++trial) {
+        Rng source_rng(derive_seed(master_seed() + 9, trial));
+        std::vector<RumorSpec> rumors;
+        for (std::size_t r = 0; r < 32; ++r) {
+          rumors.push_back({static_cast<Vertex>(source_rng.below(kN)),
+                            static_cast<Round>(4 * r)});
+        }
+        const MultiRumorResult result =
+            MultiRumorVisitExchange(g, rumors,
+                                    derive_seed(master_seed(), trial))
+                .run();
+        for (std::size_t r = 0; r < 16; ++r) {
+          first_half.push_back(static_cast<double>(result.latency[r]));
+        }
+        for (std::size_t r = 16; r < 32; ++r) {
+          second_half.push_back(static_cast<double>(result.latency[r]));
+        }
+      }
+    }
+    auto& reg = SeriesRegistry::instance();
+    reg.record("stream/early-releases", 16, Summary::of(first_half));
+    reg.record("stream/late-releases", 16, Summary::of(second_half));
+  });
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf(
+      "\n=== E19 — parallel and perpetual rumors (random 16-regular, "
+      "n=%u) ===\n",
+      kN);
+  std::printf("%s\n",
+              series_table({"push-pull", "visit-exchange"}, "rumors R")
+                  .c_str());
+
+  for (const std::string series : {"push-pull", "visit-exchange"}) {
+    const auto s = registry.series(series);
+    const double at1 = s.points.front().summary.mean;
+    const double at64 = s.points.back().summary.mean;
+    print_claim(at64 < 1.25 * at1 + 1.0,
+                "E19(i) [" + series + "]: 64 parallel rumors, single-rumor "
+                "latency",
+                "mean latency R=1: " + TextTable::num(at1, 1) +
+                    ", R=64: " + TextTable::num(at64, 1));
+  }
+
+  const double early =
+      registry.series("stream/early-releases").points.front().summary.mean;
+  const double late =
+      registry.series("stream/late-releases").points.front().summary.mean;
+  print_claim(std::abs(early - late) < 0.2 * early + 1.0,
+              "E19(ii): perpetual stream latency is flat in release time "
+              "(stationarity)",
+              "early " + TextTable::num(early, 1) + " vs late " +
+                  TextTable::num(late, 1));
+
+  maybe_dump_csv("multi_rumor", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

@@ -1,0 +1,109 @@
+// E18 — §9 open problem, probed empirically:
+//
+//   "The most obvious question to ask is whether our results for regular
+//    graphs hold also when the graph degree is sub-logarithmic."
+//
+// Theorem 1's proof needs d = Ω(log n); nothing is known below. We measure
+// T_push / T_visitx on constant-degree regular families (cycle d=2, torus
+// d=4, random 3- and 5-regular) across sizes and report whether the ratio
+// looks constant (evidence the theorem extends) or drifts. The verdict
+// lines here are REPORTS, not pass/fail reproductions — the paper makes no
+// claim in this regime.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+struct FamilyCase {
+  std::string name;
+  std::vector<std::pair<double, GraphSpec>> sizes;
+};
+
+std::vector<FamilyCase> cases() {
+  std::vector<FamilyCase> out;
+  FamilyCase cyc{"cycle(d=2)", {}};
+  for (Vertex n : {256, 512, 1024, 2048}) {
+    cyc.sizes.push_back({double(n), GraphSpec{Family::cycle, n}});
+  }
+  out.push_back(cyc);
+  FamilyCase tor{"torus(d=4)", {}};
+  for (Vertex side : {16, 24, 32, 48}) {
+    tor.sizes.push_back({double(side) * side,
+                         GraphSpec{Family::torus, side, side}});
+  }
+  out.push_back(tor);
+  FamilyCase r3{"random-3-regular", {}};
+  for (Vertex n : {1 << 10, 1 << 11, 1 << 12, 1 << 13}) {
+    r3.sizes.push_back({double(n), GraphSpec{Family::random_regular, n, 3}});
+  }
+  out.push_back(r3);
+  FamilyCase r5{"random-5-regular", {}};
+  for (Vertex n : {1 << 10, 1 << 11, 1 << 12, 1 << 13}) {
+    r5.sizes.push_back({double(n), GraphSpec{Family::random_regular, n, 5}});
+  }
+  out.push_back(r5);
+  return out;
+}
+
+void register_all() {
+  for (const auto& fc : cases()) {
+    for (const auto& [x, gspec] : fc.sizes) {
+      for (Protocol p : {Protocol::push, Protocol::visit_exchange}) {
+        const std::string series = fc.name + "/" + protocol_name(p);
+        register_point(
+            "sublog/" + series + "/n=" + std::to_string(long(x)),
+            [x, gspec, p, series](benchmark::State& state) {
+              Rng rng(master_seed() ^ 0x5AB106u);
+              const Graph g = gspec.make(rng);
+              measure_point(state, series, x, g, default_spec(p), 0,
+                            trials_or(15));
+            });
+      }
+    }
+  }
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf(
+      "\n=== E18 — open problem: does Theorem 1 extend below log-degree? "
+      "===\n");
+  for (const auto& fc : cases()) {
+    const auto push = registry.series(fc.name + "/push");
+    const auto visitx = registry.series(fc.name + "/visit-exchange");
+    std::printf("%s\n",
+                series_table({fc.name + "/push", fc.name + "/visit-exchange"})
+                    .c_str());
+    double lo = 1e300, hi = 0;
+    for (std::size_t i = 0; i < push.points.size(); ++i) {
+      const double r =
+          push.points[i].summary.mean / visitx.points[i].summary.mean;
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+    }
+    // Built up with += to sidestep a GCC 12 -Wrestrict false positive
+    // (PR105651) on chained const char* + std::string concatenation.
+    std::string measured = "[";
+    measured += TextTable::num(lo, 2);
+    measured += ", ";
+    measured += TextTable::num(hi, 2);
+    measured += "], spread ";
+    measured += TextTable::num(hi / lo, 2);
+    measured += hi / lo <= 2.0 ? "x — consistent with an extension"
+                               : "x — noticeable drift";
+    print_claim(true,  // informational: the paper makes no claim here
+                "E18 [" + fc.name + "]: T_push/T_visitx ratio across sweep",
+                measured);
+  }
+  maybe_dump_csv("open_sublog", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

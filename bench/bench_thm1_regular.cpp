@@ -1,0 +1,158 @@
+// E6 — Theorem 1 (Theorems 10 + 19): on d-regular graphs with
+// d = Ω(log n), T_push and T_visitx agree to constant factors, both in
+// expectation and w.h.p.
+//
+// Four regular families probe different mixing regimes:
+//   random d-regular (d = 1.5 log2 n)  — expander, T = Θ(log n)
+//   hypercube (d = log2 n)             — structured, T = Θ(log n)
+//   circulant C_n(1..log n)            — high clustering
+//   clique ring (d+1-regular)          — slow mixing, T = Θ(n/d)
+// The claim is a bounded max/min spread of T_push / T_visitx across the
+// size sweep, per family.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/cdf.hpp"
+#include "common.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+std::uint32_t log_degree(Vertex n) {
+  return static_cast<std::uint32_t>(1.5 * std::log2(static_cast<double>(n)));
+}
+
+struct FamilyCase {
+  std::string name;
+  std::vector<std::pair<double, GraphSpec>> sizes;  // (x, spec)
+  Vertex source = 0;
+};
+
+std::vector<FamilyCase> cases() {
+  std::vector<FamilyCase> out;
+
+  FamilyCase rr{"random-regular", {}, 0};
+  for (Vertex n : {1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14}) {
+    std::uint32_t d = log_degree(n);
+    if ((static_cast<std::uint64_t>(n) * d) % 2 != 0) ++d;
+    rr.sizes.push_back({static_cast<double>(n),
+                        GraphSpec{Family::random_regular, n, d}});
+  }
+  out.push_back(rr);
+
+  FamilyCase hc{"hypercube", {}, 0};
+  for (std::uint64_t dim : {10, 11, 12, 13, 14}) {
+    hc.sizes.push_back({std::pow(2.0, static_cast<double>(dim)),
+                        GraphSpec{Family::hypercube, dim}});
+  }
+  out.push_back(hc);
+
+  FamilyCase circ{"circulant", {}, 0};
+  for (Vertex n : {1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14}) {
+    circ.sizes.push_back(
+        {static_cast<double>(n),
+         GraphSpec{Family::circulant, n, log_degree(n)}});
+  }
+  out.push_back(circ);
+
+  // Slow-mixing: groups grow, clique size fixed at 16 (17-regular).
+  FamilyCase ring{"clique-ring", {}, 0};
+  for (Vertex groups : {16, 32, 64, 128, 256}) {
+    ring.sizes.push_back({static_cast<double>(groups) * 16,
+                          GraphSpec{Family::clique_ring, groups, 16}});
+  }
+  out.push_back(ring);
+
+  return out;
+}
+
+void register_all() {
+  for (const auto& fc : cases()) {
+    for (const auto& [x, gspec] : fc.sizes) {
+      for (Protocol p : {Protocol::push, Protocol::visit_exchange}) {
+        const std::string series = fc.name + "/" + protocol_name(p);
+        register_point(
+            "thm1/" + series + "/n=" + std::to_string(static_cast<long>(x)),
+            [x, gspec, p, series, source = fc.source](benchmark::State& state) {
+              Rng rng(master_seed() ^ 0x5EEDu);
+              const Graph g = gspec.make(rng);
+              measure_point(state, series, x, g, default_spec(p), source,
+                            trials_or(20));
+            });
+      }
+    }
+    // Distribution-level panel at the family's largest size: the theorems
+    // are statements about P[T <= k], not only about means. We record the
+    // minimal stretch constants c with a small Monte-Carlo slack.
+    const auto [x, gspec] = fc.sizes.back();
+    register_point(
+        "thm1/" + fc.name + "/cdf-dominance",
+        [gspec, source = fc.source, name = fc.name](benchmark::State& state) {
+          Rng rng(master_seed() ^ 0x5EEDu);
+          const Graph g = gspec.make(rng);
+          TrialSet push, visitx;
+          for (auto _ : state) {
+            push = run_trials(g, default_spec(Protocol::push), source,
+                              trials_or(20) * 3, master_seed() + 11);
+            visitx = run_trials(g, default_spec(Protocol::visit_exchange),
+                                source, trials_or(20) * 3, master_seed() + 12);
+          }
+          const EmpiricalCdf push_cdf(push.rounds);
+          const EmpiricalCdf visitx_cdf(visitx.rounds);
+          const double c10 = minimal_stretch(push_cdf, visitx_cdf, 0.1);
+          const double c19 = minimal_stretch(visitx_cdf, push_cdf, 0.1);
+          auto& reg = SeriesRegistry::instance();
+          reg.record(name + "/thm10 stretch c", 0,
+                     Summary::of(std::vector<double>{c10}));
+          reg.record(name + "/thm19 stretch c", 0,
+                     Summary::of(std::vector<double>{c19}));
+          state.counters["c10"] = c10;
+          state.counters["c19"] = c19;
+        });
+  }
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf(
+      "\n=== Theorem 1 (Thms 10+19) — T_push vs T_visitx on regular graphs "
+      "===\n");
+  for (const auto& fc : cases()) {
+    const auto push = registry.series(fc.name + "/push");
+    const auto visitx = registry.series(fc.name + "/visit-exchange");
+    std::printf("%s\n",
+                series_table({fc.name + "/push", fc.name + "/visit-exchange"})
+                    .c_str());
+    // Constant-factor band: the pointwise ratio spread across the sweep.
+    double lo = 1e300, hi = 0;
+    for (std::size_t i = 0; i < push.points.size(); ++i) {
+      const double r =
+          push.points[i].summary.mean / visitx.points[i].summary.mean;
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+    }
+    print_claim(
+        ratio_bounded(push, visitx, 3.0),
+        "Theorem 1 [" + fc.name + "]: T_push/T_visitx constant across n",
+        "ratio range [" + TextTable::num(lo, 2) + ", " +
+            TextTable::num(hi, 2) + "], spread " +
+            TextTable::num(hi / lo, 2) + "x (<= 3x band)");
+    const double c10 =
+        registry.series(fc.name + "/thm10 stretch c").points.front().summary.mean;
+    const double c19 =
+        registry.series(fc.name + "/thm19 stretch c").points.front().summary.mean;
+    print_claim(c10 <= 4.0 && c19 <= 4.0,
+                "Thms 10+19 [" + fc.name + "]: CDF dominance "
+                "P[T_A <= c k] >= P[T_B <= k] - 0.1, both directions",
+                "minimal c: push-vs-visitx " + TextTable::num(c10, 2) +
+                    ", visitx-vs-push " + TextTable::num(c19, 2));
+  }
+  maybe_dump_csv("thm1_regular", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

@@ -1,0 +1,110 @@
+// E7 — Theorem 23: on d-regular graphs with d = Ω(log n),
+// P[T_visitx <= k + c ln n] >= P[T_meetx <= k] - n^{-λ}; in expectation,
+// T_visitx <= T_meetx + c ln n. We measure both protocols plus R_visitx
+// (the all-agents-informed time, the quantity the proof couples) across
+// regular families.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/visit_exchange.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+struct Case {
+  std::string name;
+  GraphSpec spec;
+  double x;
+};
+
+std::vector<Case> cases() {
+  std::vector<Case> out;
+  for (Vertex n : {1 << 10, 1 << 11, 1 << 12, 1 << 13}) {
+    auto d = static_cast<std::uint64_t>(
+        1.5 * std::log2(static_cast<double>(n)));
+    if ((n * d) % 2 != 0) ++d;
+    out.push_back({"random-regular", GraphSpec{Family::random_regular, n, d},
+                   static_cast<double>(n)});
+  }
+  for (Vertex groups : {32, 64, 128}) {
+    out.push_back({"clique-ring", GraphSpec{Family::clique_ring, groups, 16},
+                   static_cast<double>(groups) * 16});
+  }
+  return out;
+}
+
+void register_all() {
+  for (const auto& c : cases()) {
+    register_point(
+        "thm23/" + c.name + "/n=" + std::to_string(static_cast<long>(c.x)),
+        [c](benchmark::State& state) {
+          Rng rng(master_seed() ^ 0xBEEFu);
+          const Graph g = c.spec.make(rng);
+          const std::size_t trials = trials_or(20);
+
+          // visit-exchange: record both T_visitx and R_visitx.
+          std::vector<double> t_visitx, r_visitx;
+          TrialSet meetx;
+          for (auto _ : state) {
+            for (std::size_t i = 0; i < trials; ++i) {
+              const RunResult rv = run_visit_exchange(
+                  g, 0, derive_seed(master_seed(), i));
+              t_visitx.push_back(static_cast<double>(rv.rounds));
+              r_visitx.push_back(static_cast<double>(rv.agent_rounds));
+            }
+            meetx = run_trials(g, default_spec(Protocol::meet_exchange), 0,
+                               trials, master_seed() + 1);
+          }
+
+          auto& reg = SeriesRegistry::instance();
+          reg.record(c.name + "/T_visitx", c.x, Summary::of(t_visitx));
+          reg.record(c.name + "/R_visitx", c.x, Summary::of(r_visitx));
+          reg.record(c.name + "/T_meetx", c.x, meetx.summary());
+          state.counters["visitx"] = Summary::of(t_visitx).mean;
+          state.counters["meetx"] = meetx.summary().mean;
+        });
+  }
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf(
+      "\n=== Theorem 23 — T_visitx <= T_meetx + c ln n on regular graphs "
+      "===\n");
+  for (const std::string family : {"random-regular", "clique-ring"}) {
+    const auto visitx = registry.series(family + "/T_visitx");
+    const auto r_visitx = registry.series(family + "/R_visitx");
+    const auto meetx = registry.series(family + "/T_meetx");
+    std::printf("%s\n", series_table({family + "/T_visitx",
+                                      family + "/R_visitx",
+                                      family + "/T_meetx"})
+                            .c_str());
+    // Find the smallest c making the additive-log bound hold, then check
+    // it is a modest constant.
+    double worst_c = 0.0;
+    for (std::size_t i = 0; i < visitx.points.size(); ++i) {
+      const double gap =
+          visitx.points[i].summary.mean - meetx.points[i].summary.mean;
+      worst_c = std::max(worst_c, gap / std::log(visitx.points[i].n));
+    }
+    print_claim(worst_c < 6.0,
+                "Theorem 23 [" + family + "]: T_visitx <= T_meetx + c ln n",
+                "smallest adequate c = " + TextTable::num(worst_c, 3));
+    // The proof's intermediate inequality: R_visitx <= T_meetx under the
+    // natural coupling; in means it should hold with margin even across
+    // independent runs.
+    print_claim(max_ratio(r_visitx, meetx) <= 1.15,
+                "coupling step [" + family + "]: R_visitx <~ T_meetx",
+                "max mean ratio = " +
+                    TextTable::num(max_ratio(r_visitx, meetx), 3));
+  }
+  maybe_dump_csv("thm23_meetx", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

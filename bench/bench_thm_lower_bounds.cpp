@@ -1,0 +1,79 @@
+// E8 — Theorems 24 & 25: on any d-regular graph with d = Ω(log n),
+// T_visitx and T_meetx are Ω(log n) w.h.p., with |A| = O(n) agents.
+//
+// We measure the MINIMUM broadcast time over many trials (the w.h.p. lower
+// bound binds the whole distribution) on the most favorable regular graphs
+// — complete graphs and dense circulants — and check min T / ln n stays
+// bounded away from zero while n grows 64x.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace rumor;
+using namespace rumor::bench;
+
+// Complete graphs are quadratic in memory, so they stop at 2^12; the dense
+// circulant (m = n log n) carries the sweep up to 2^16.
+const std::vector<Vertex> kCompleteSizes = {1 << 9, 1 << 10, 1 << 11,
+                                            1 << 12};
+const std::vector<Vertex> kCirculantSizes = {1 << 10, 1 << 12, 1 << 14,
+                                             1 << 16};
+
+void register_all() {
+  for (const bool complete_graph : {true, false}) {
+    const std::string family = complete_graph ? "complete" : "circulant";
+    for (Vertex n : complete_graph ? kCompleteSizes : kCirculantSizes) {
+      for (Protocol p :
+           {Protocol::visit_exchange, Protocol::meet_exchange}) {
+        const std::string series = family + "/" + protocol_name(p);
+        register_point(
+            "lb/" + series + "/n=" + std::to_string(n),
+            [n, p, series, complete_graph](benchmark::State& state) {
+              // Dense circulant: degree ~ 4 log2 n.
+              const Graph g =
+                  complete_graph
+                      ? gen::complete(n)
+                      : gen::circulant(
+                            n, static_cast<std::uint32_t>(
+                                   2 * std::log2(static_cast<double>(n))));
+              measure_point(state, series, static_cast<double>(n), g,
+                            default_spec(p), 0, trials_or(20));
+            });
+      }
+    }
+  }
+}
+
+void report() {
+  auto& registry = SeriesRegistry::instance();
+  std::printf(
+      "\n=== Theorems 24/25 — Omega(log n) lower bounds for the agent "
+      "protocols ===\n");
+  std::printf("%s\n", series_table({"complete/visit-exchange",
+                                    "complete/meet-exchange",
+                                    "circulant/visit-exchange",
+                                    "circulant/meet-exchange"})
+                          .c_str());
+  for (const std::string series :
+       {"complete/visit-exchange", "complete/meet-exchange",
+        "circulant/visit-exchange", "circulant/meet-exchange"}) {
+    const auto s = registry.series(series);
+    double min_coeff = 1e300;
+    for (const auto& pt : s.points) {
+      min_coeff = std::min(min_coeff, pt.summary.min / std::log(pt.n));
+    }
+    print_claim(min_coeff > 0.25,
+                "Thm 24/25 [" + series + "]: min T / ln n bounded below",
+                "min coefficient across sizes = " +
+                    TextTable::num(min_coeff, 3));
+  }
+  maybe_dump_csv("thm_lower_bounds", registry.all());
+}
+
+}  // namespace
+
+RUMOR_BENCH_MAIN(register_all, report)

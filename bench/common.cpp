@@ -1,0 +1,143 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace rumor::bench {
+
+std::size_t trials_or(std::size_t default_trials) {
+  if (const char* env = std::getenv("RUMOR_TRIALS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 3) return static_cast<std::size_t>(v);
+  }
+  return default_trials;
+}
+
+std::uint64_t master_seed() {
+  if (const char* env = std::getenv("RUMOR_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20190729ULL;
+}
+
+SeriesRegistry& SeriesRegistry::instance() {
+  static SeriesRegistry registry;
+  return registry;
+}
+
+void SeriesRegistry::record(const std::string& series, double x,
+                            const Summary& summary) {
+  for (auto& s : series_) {
+    if (s.label == series) {
+      s.points.push_back({x, summary});
+      return;
+    }
+  }
+  series_.push_back({series, {{x, summary}}});
+}
+
+ScalingSeries SeriesRegistry::series(const std::string& label) const {
+  for (const auto& s : series_) {
+    if (s.label == label) {
+      ScalingSeries sorted = s;
+      std::sort(sorted.points.begin(), sorted.points.end(),
+                [](const ScalePoint& a, const ScalePoint& b) {
+                  return a.n < b.n;
+                });
+      return sorted;
+    }
+  }
+  return {label, {}};
+}
+
+std::vector<ScalingSeries> SeriesRegistry::all() const {
+  std::vector<ScalingSeries> out;
+  out.reserve(series_.size());
+  for (const auto& s : series_) out.push_back(series(s.label));
+  return out;
+}
+
+void register_point(const std::string& name,
+                    std::function<void(benchmark::State&)> body) {
+  benchmark::RegisterBenchmark(name.c_str(),
+                               [body = std::move(body)](benchmark::State& st) {
+                                 body(st);
+                               })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+namespace {
+
+Summary finish_point(benchmark::State& state, const std::string& series,
+                     double x, const TrialSet& set) {
+  const Summary summary = set.summary();
+  SeriesRegistry::instance().record(series, x, summary);
+  state.counters["mean_rounds"] = summary.mean;
+  state.counters["sd"] = summary.stddev;
+  state.counters["incomplete"] = static_cast<double>(set.incomplete);
+  return summary;
+}
+
+}  // namespace
+
+Summary measure_point(benchmark::State& state, const std::string& series,
+                      double x, const Graph& g, const ProtocolSpec& spec,
+                      Vertex source, std::size_t trials) {
+  TrialSet set;
+  for (auto _ : state) {
+    set = run_trials(g, spec, source, trials, master_seed());
+  }
+  return finish_point(state, series, x, set);
+}
+
+Summary measure_point_fresh(benchmark::State& state,
+                            const std::string& series, double x,
+                            const GraphSpec& graph_spec,
+                            const ProtocolSpec& spec, Vertex source,
+                            std::size_t trials) {
+  TrialSet set;
+  for (auto _ : state) {
+    set = run_trials_fresh_graph(graph_spec, spec, source, trials,
+                                 master_seed());
+  }
+  return finish_point(state, series, x, set);
+}
+
+std::string series_table(const std::vector<std::string>& series_labels,
+                         const std::string& x_header) {
+  auto& registry = SeriesRegistry::instance();
+  std::vector<ScalingSeries> series;
+  series.reserve(series_labels.size());
+  for (const auto& label : series_labels) {
+    series.push_back(registry.series(label));
+  }
+
+  std::vector<std::string> header{x_header};
+  for (const auto& s : series) header.push_back(s.label);
+  TextTable table(header);
+
+  // Row per distinct x across all series (series may cover different sizes).
+  std::vector<double> xs;
+  for (const auto& s : series) {
+    for (const auto& p : s.points) xs.push_back(p.n);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  for (double x : xs) {
+    const bool integral = x == std::floor(x);
+    std::vector<std::string> row{TextTable::num(x, integral ? 0 : 4)};
+    for (const auto& s : series) {
+      const auto it =
+          std::find_if(s.points.begin(), s.points.end(),
+                       [x](const ScalePoint& p) { return p.n == x; });
+      row.push_back(it != s.points.end() ? fmt_mean_pm(it->summary) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render_plain();
+}
+
+}  // namespace rumor::bench

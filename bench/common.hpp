@@ -1,0 +1,83 @@
+// Shared harness for the reproduction bench binaries.
+//
+// Each binary registers one google-benchmark entry per (series, size) point;
+// the body runs R seeded trials and deposits the Summary in a global
+// registry. After RunSpecifiedBenchmarks, the binary's report function reads
+// the registry, prints the paper-claim table (the "rows the paper reports"),
+// and emits [ OK ]/[WARN] verdict lines. Environment knobs:
+//   RUMOR_TRIALS      override per-point trial counts (min 3)
+//   RUMOR_SEED        master seed (default 20190729, the PODC'19 date)
+//   RUMOR_RESULTS_DIR if set, benches drop CSV artifacts there
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/scaling.hpp"
+#include "experiments/report.hpp"
+#include "experiments/specs.hpp"
+#include "experiments/trials.hpp"
+#include "support/table.hpp"
+
+namespace rumor::bench {
+
+// Trial-count override (RUMOR_TRIALS) with a per-bench default.
+[[nodiscard]] std::size_t trials_or(std::size_t default_trials);
+
+// Master seed (RUMOR_SEED override).
+[[nodiscard]] std::uint64_t master_seed();
+
+class SeriesRegistry {
+ public:
+  static SeriesRegistry& instance();
+
+  void record(const std::string& series, double x, const Summary& summary);
+
+  // Series with points sorted by x; empty if unknown.
+  [[nodiscard]] ScalingSeries series(const std::string& label) const;
+  [[nodiscard]] std::vector<ScalingSeries> all() const;
+
+ private:
+  std::vector<ScalingSeries> series_;
+};
+
+// Registers a single benchmark point (Iterations(1), ms units).
+void register_point(const std::string& name,
+                    std::function<void(benchmark::State&)> body);
+
+// Standard body: run R trials of `spec` on graph `g`, record the summary
+// under `series` at size coordinate x, and surface counters in the
+// benchmark output.
+Summary measure_point(benchmark::State& state, const std::string& series,
+                      double x, const Graph& g, const ProtocolSpec& spec,
+                      Vertex source, std::size_t trials);
+
+// As above with a fresh random graph per trial.
+Summary measure_point_fresh(benchmark::State& state, const std::string& series,
+                            double x, const GraphSpec& graph_spec,
+                            const ProtocolSpec& spec, Vertex source,
+                            std::size_t trials);
+
+// Renders a sizes-by-series table of mean±stderr for the report section.
+[[nodiscard]] std::string series_table(
+    const std::vector<std::string>& series_labels,
+    const std::string& x_header = "n");
+
+}  // namespace rumor::bench
+
+// Entry point boilerplate: register → run benchmarks → print report.
+// report_fn: void(); should print tables and claim lines.
+#define RUMOR_BENCH_MAIN(register_fn, report_fn)                          \
+  int main(int argc, char** argv) {                                      \
+    register_fn();                                                       \
+    benchmark::Initialize(&argc, argv);                                  \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;    \
+    benchmark::RunSpecifiedBenchmarks();                                 \
+    benchmark::Shutdown();                                               \
+    report_fn();                                                         \
+    return 0;                                                            \
+  }

@@ -1,0 +1,77 @@
+// Bandwidth fairness, visualized.
+//
+// The paper attributes the agent protocols' wins to "locally fair use of
+// bandwidth: all edges are used with the same frequency". This example
+// traces per-edge utilization of push-pull and visit-exchange on the double
+// star over a fixed window and prints utilization histograms plus the
+// bridge-edge rate — the starving critical edge is plainly visible.
+#include <cstdio>
+#include <vector>
+
+#include "core/push_pull.hpp"
+#include "core/visit_exchange.hpp"
+#include "graph/generators.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace rumor;
+
+constexpr Vertex kLeaves = 1024;
+constexpr Round kWindow = 300;
+
+EdgeId bridge_edge(const Graph& g) {
+  for (std::uint32_t i = 0; i < g.degree(0); ++i) {
+    if (g.neighbor(0, i) == 1) return g.edge_id(0, i);
+  }
+  return 0;
+}
+
+void show(const char* title, const Graph& g,
+          const std::vector<std::uint64_t>& traffic) {
+  std::printf("--- %s (per-edge crossings over %llu rounds) ---\n", title,
+              static_cast<unsigned long long>(kWindow));
+  Histogram h(0.0, 2.0 * kWindow, 8);
+  for (std::uint64_t c : traffic) h.add(static_cast<double>(c));
+  std::printf("%s", h.render(36).c_str());
+  std::printf("bridge edge: %llu crossings (%.4f per round)\n\n",
+              static_cast<unsigned long long>(traffic[bridge_edge(g)]),
+              static_cast<double>(traffic[bridge_edge(g)]) / kWindow);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rumor;
+
+  const Graph g = gen::double_star(kLeaves);
+  std::printf(
+      "double star: 2 centers + 2x%u leaves; the center-center bridge is\n"
+      "the only route between the halves.\n\n",
+      kLeaves);
+
+  {
+    PushPullOptions options;
+    options.trace.edge_traffic = true;
+    options.max_rounds = kWindow;
+    PushPullProcess process(g, 2, /*seed=*/1, options);
+    for (Round t = 0; t < kWindow; ++t) process.step();
+    const RunResult r = process.run();
+    show("push-pull", g, r.edge_traffic);
+  }
+  {
+    WalkOptions options;
+    options.trace.edge_traffic = true;
+    VisitExchangeProcess process(g, 2, /*seed=*/1, options);
+    for (Round t = 0; t < kWindow; ++t) process.step();
+    const RunResult r = process.run();
+    show("visit-exchange", g, r.edge_traffic);
+  }
+
+  std::printf(
+      "push-pull calls concentrate on leaf edges (every leaf calls its only\n"
+      "edge each round) while the bridge starves at ~2/n crossings/round;\n"
+      "the stationary random walks cross EVERY edge, including the bridge,\n"
+      "at the same Theta(1) rate. That is Lemma 3 in one picture.\n");
+  return 0;
+}

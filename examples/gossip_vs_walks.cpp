@@ -1,0 +1,96 @@
+// The Figure-1 tour: "call your neighbors or take a walk?"
+//
+// Runs all four protocols on each of the paper's five separating families
+// and prints a comparison table — the empirical answer to the paper's title
+// question: it depends on the topology.
+#include <cstdio>
+#include <vector>
+
+#include "core/meet_exchange.hpp"
+#include "core/push.hpp"
+#include "core/push_pull.hpp"
+#include "core/visit_exchange.hpp"
+#include "graph/generators.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace rumor;
+
+struct Scenario {
+  std::string name;
+  Graph graph;
+  Vertex source;
+  std::string winner;  // who the paper says wins
+};
+
+double mean_rounds(const Graph& g, Vertex source, int trials,
+                   RunResult (*runner)(const Graph&, Vertex, std::uint64_t)) {
+  std::vector<double> samples;
+  for (int seed = 0; seed < trials; ++seed) {
+    samples.push_back(static_cast<double>(runner(g, source, seed).rounds));
+  }
+  return Summary::of(samples).mean;
+}
+
+RunResult push_runner(const Graph& g, Vertex s, std::uint64_t seed) {
+  return run_push(g, s, seed);
+}
+RunResult ppull_runner(const Graph& g, Vertex s, std::uint64_t seed) {
+  return run_push_pull(g, s, seed);
+}
+RunResult visitx_runner(const Graph& g, Vertex s, std::uint64_t seed) {
+  return run_visit_exchange(g, s, seed);
+}
+RunResult meetx_runner(const Graph& g, Vertex s, std::uint64_t seed) {
+  return run_meet_exchange(g, s, seed);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rumor;
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(
+      {"star (1a)", gen::star(4096), 1, "push-pull / agents"});
+  scenarios.push_back(
+      {"double star (1b)", gen::double_star(2048), 2, "agents"});
+  scenarios.push_back({"heavy tree (1c)", gen::heavy_binary_tree(4095), 4094,
+                       "push / meet-exchange"});
+  scenarios.push_back(
+      {"siamese trees (1d)", gen::siamese_heavy_tree(2047), 2046, "push"});
+  scenarios.push_back({"cycle-stars-cliques (1e)",
+                       gen::cycle_stars_cliques(12), 12 + 144,
+                       "visit-exchange (vs meetx)"});
+
+  constexpr int kTrials = 8;
+  TextTable table({"graph", "n", "push", "push-pull", "visit-x", "meet-x",
+                   "paper's winner"});
+  for (const auto& sc : scenarios) {
+    std::printf("running %s ...\n", sc.name.c_str());
+    table.add_row({
+        sc.name,
+        std::to_string(sc.graph.num_vertices()),
+        TextTable::num(mean_rounds(sc.graph, sc.source, kTrials, push_runner),
+                       0),
+        TextTable::num(
+            mean_rounds(sc.graph, sc.source, kTrials, ppull_runner), 0),
+        TextTable::num(
+            mean_rounds(sc.graph, sc.source, kTrials, visitx_runner), 0),
+        TextTable::num(
+            mean_rounds(sc.graph, sc.source, kTrials, meetx_runner), 0),
+        sc.winner,
+    });
+  }
+
+  std::printf("\nmean broadcast time in rounds (%d trials each):\n\n%s\n",
+              kTrials, table.render_plain().c_str());
+  std::printf(
+      "Reading: no protocol dominates. Walk-based protocols win where "
+      "high-degree\nhubs starve randomized calls (1a/1b); calling wins where "
+      "the stationary\ndistribution starves sparse cuts (1c/1d). On regular "
+      "graphs push and\nvisit-exchange tie (Theorem 1).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Perpetual gossip: the setting the paper's §1 motivates.
+//
+// A fixed fleet of tokens performs never-ending random walks over a
+// datacenter-style overlay; services publish updates ("rumors") at random
+// vertices over time, and every update rides the same walks. This example
+// releases a stream of updates, reports per-update delivery latency, and
+// shows the latency histogram — demonstrating that the shared substrate
+// serves a stream of rumors with stable, interference-free latency.
+#include <cstdio>
+#include <vector>
+
+#include "core/multi_rumor.hpp"
+#include "graph/generators.hpp"
+#include "support/stats.hpp"
+
+int main() {
+  using namespace rumor;
+
+  constexpr Vertex kNodes = 4096;
+  constexpr std::size_t kUpdates = 48;
+  constexpr Round kEvery = 3;  // a new update every 3 rounds
+
+  Rng rng(1);
+  const Graph overlay = gen::random_regular(kNodes, 16, rng);
+  std::printf(
+      "overlay: %u nodes, 16-regular; %zu updates released every %llu "
+      "rounds,\ncarried by %u perpetual walkers\n\n",
+      kNodes, kUpdates, static_cast<unsigned long long>(kEvery), kNodes);
+
+  Rng source_rng(7);
+  std::vector<RumorSpec> updates;
+  for (std::size_t i = 0; i < kUpdates; ++i) {
+    updates.push_back({static_cast<Vertex>(source_rng.below(kNodes)),
+                       static_cast<Round>(kEvery * i)});
+  }
+
+  MultiRumorVisitExchange process(overlay, updates, /*seed=*/42);
+  const MultiRumorResult result = process.run();
+  if (!result.completed) {
+    std::printf("dissemination did not complete before the cutoff\n");
+    return 1;
+  }
+
+  std::vector<double> latencies;
+  for (Round lat : result.latency) {
+    latencies.push_back(static_cast<double>(lat));
+  }
+  const Summary s = Summary::of(latencies);
+  std::printf("delivery latency (rounds from release to full coverage):\n");
+  std::printf("  mean %.1f  sd %.1f  min %.0f  median %.1f  max %.0f\n\n",
+              s.mean, s.stddev, s.min, s.median, s.max);
+
+  Histogram h(s.min - 0.5, s.max + 0.5, 8);
+  for (double lat : latencies) h.add(lat);
+  std::printf("%s\n", h.render(40).c_str());
+
+  // Show that late updates are served as fast as early ones.
+  std::vector<double> early(latencies.begin(),
+                            latencies.begin() + kUpdates / 2);
+  std::vector<double> late(latencies.begin() + kUpdates / 2,
+                           latencies.end());
+  std::printf("early updates: mean %.1f rounds; late updates: mean %.1f "
+              "rounds\n",
+              Summary::of(early).mean, Summary::of(late).mean);
+  std::printf(
+      "\nThe walker fleet never resets, yet latency is flat across the\n"
+      "stream: perpetual walks remain stationary, which is precisely the\n"
+      "paper's justification for the stationary-start assumption.\n");
+  return 0;
+}

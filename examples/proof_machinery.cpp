@@ -1,0 +1,68 @@
+// The paper's Section 5 proof, executed.
+//
+// This example runs the coupled push/visit-exchange processes on a random
+// regular graph and narrates the proof objects: the shared neighbor choices
+// w_u(i), the C-counters, the reconstructed information path of one vertex,
+// and the Lemma 13 inequality τ_u ≤ C_u(t_u) for every vertex.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/coupling/coupled_push_visitx.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace rumor;
+
+  Rng rng(7);
+  const Graph g = gen::random_regular(256, 12, rng);
+  std::printf(
+      "coupled run on a random 12-regular graph, n=256, |A|=n agents\n\n");
+
+  CoupledOptions options;
+  options.record_occupancy_history = true;
+  CoupledPushVisitx coupled(g, /*source=*/0, /*seed=*/42, options);
+  const CoupledResult r = coupled.run();
+
+  std::printf("T_visitx = %llu rounds, coupled T_push = %llu rounds\n",
+              static_cast<unsigned long long>(r.visitx_rounds),
+              static_cast<unsigned long long>(r.push_rounds));
+  std::printf("max_u C_u(t_u) = %llu  (Theorem 10 bounds T_push by this)\n\n",
+              static_cast<unsigned long long>(r.max_ccounter));
+
+  // Lemma 13 check over every vertex.
+  std::size_t violations = 0;
+  double worst_slack = 0;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (r.push_inform_round[u] > r.ccounter_at_inform[u]) ++violations;
+    worst_slack = std::max(
+        worst_slack, static_cast<double>(r.push_inform_round[u]) /
+                         std::max<double>(1.0, double(r.ccounter_at_inform[u])));
+  }
+  std::printf("Lemma 13 (tau_u <= C_u(t_u)): %zu violations / %u vertices; "
+              "tightest ratio %.2f\n\n",
+              violations, g.num_vertices(), worst_slack);
+
+  // Narrate the information path of the last-informed vertex.
+  Vertex last = 0;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (r.visitx_inform_round[u] > r.visitx_inform_round[last]) last = u;
+  }
+  std::printf("information path to the last-informed vertex %u "
+              "(t_u = %u, C_u(t_u) = %llu, tau_u = %u):\n",
+              last, r.visitx_inform_round[last],
+              static_cast<unsigned long long>(r.ccounter_at_inform[last]),
+              r.push_inform_round[last]);
+  std::vector<Vertex> path;
+  for (Vertex v = last; v != kNoVertex; v = r.parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  for (Vertex v : path) {
+    std::printf("  vertex %3u informed at round %3u  (C = %llu)\n", v,
+                r.visitx_inform_round[v],
+                static_cast<unsigned long long>(r.ccounter_at_inform[v]));
+  }
+  std::printf(
+      "\nEach hop is a member of S_u — an informed neighbor whose agent\n"
+      "delivered the rumor — with the minimal C-counter, exactly the path\n"
+      "used in the proofs of Lemmas 13 and 14.\n");
+  return 0;
+}

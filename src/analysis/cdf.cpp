@@ -1,0 +1,58 @@
+#include "analysis/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace rumor {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  RUMOR_REQUIRE(!sorted_.empty());
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  RUMOR_REQUIRE(p > 0.0 && p <= 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_.size())));
+  return sorted_[std::min(rank, sorted_.size()) - 1];
+}
+
+bool dominates_with_stretch(const EmpiricalCdf& a, const EmpiricalCdf& b,
+                            double stretch, double shift, double slack) {
+  RUMOR_REQUIRE(stretch > 0.0);
+  RUMOR_REQUIRE(slack >= 0.0);
+  // It suffices to check at B's support points: P[B <= k] only increases
+  // there, and P[A <= stretch*k + shift] is monotone in k.
+  for (double k : b.sorted_samples()) {
+    if (a.at(stretch * k + shift) < b.at(k) - slack) return false;
+  }
+  return true;
+}
+
+double minimal_stretch(const EmpiricalCdf& a, const EmpiricalCdf& b,
+                       double slack) {
+  double lo = 1.0 / 64.0;
+  double hi = 64.0;
+  if (dominates_with_stretch(a, b, lo, 0.0, slack)) return lo;
+  if (!dominates_with_stretch(a, b, hi, 0.0, slack)) return hi;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (dominates_with_stretch(a, b, mid, 0.0, slack)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace rumor

@@ -1,0 +1,49 @@
+// Empirical CDFs and the stretched stochastic dominance used by
+// Theorems 10/19/23.
+//
+// The paper's regular-graph theorems are distribution-level statements of
+// the form  P[T_A <= c*k + d] >= P[T_B <= k] - eps  for all k. Given trial
+// samples of T_A and T_B, dominates_with_stretch checks the sample version
+// of exactly that inequality.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rumor {
+
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  // P[X <= x] under the empirical measure.
+  [[nodiscard]] double at(double x) const;
+
+  // Smallest sample value q with P[X <= q] >= p; p in (0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] std::size_t sample_count() const { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted_samples() const {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Checks  P[A <= stretch*k + shift] >= P[B <= k] - slack  at every support
+// point k of B. With stretch=1, shift=0, slack=0 this is classical
+// first-order stochastic dominance of A over B.
+[[nodiscard]] bool dominates_with_stretch(const EmpiricalCdf& a,
+                                          const EmpiricalCdf& b,
+                                          double stretch, double shift = 0.0,
+                                          double slack = 0.0);
+
+// Smallest stretch c (no shift) making the dominance hold with the given
+// slack, found by bisection over [1/64, 64]; useful for reporting "the
+// empirical Theorem-10 constant".
+[[nodiscard]] double minimal_stretch(const EmpiricalCdf& a,
+                                     const EmpiricalCdf& b,
+                                     double slack = 0.0);
+
+}  // namespace rumor

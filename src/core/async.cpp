@@ -1,0 +1,44 @@
+#include "core/async.hpp"
+
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rumor {
+
+AsyncResult run_async_push_pull(const Graph& g, Vertex source,
+                                std::uint64_t seed, AsyncOptions options) {
+  RUMOR_REQUIRE(source < g.num_vertices());
+  const Vertex n = g.num_vertices();
+  const std::uint64_t cutoff =
+      options.max_ticks != 0
+          ? options.max_ticks
+          : static_cast<std::uint64_t>(n) * default_round_cutoff(n);
+
+  Rng rng(seed);
+  std::vector<std::uint8_t> informed(n, 0);
+  informed[source] = 1;
+  std::uint32_t informed_count = 1;
+
+  AsyncResult result;
+  while (informed_count < n && result.ticks < cutoff) {
+    ++result.ticks;
+    const auto u = static_cast<Vertex>(rng.below(n));
+    const Vertex v = g.random_neighbor(u, rng);
+    // In the asynchronous model there are no rounds, so the exchange acts
+    // on the current state.
+    if (informed[u] && !informed[v]) {
+      informed[v] = 1;
+      ++informed_count;
+    } else if (!informed[u] && informed[v] && options.pull_enabled) {
+      informed[u] = 1;
+      ++informed_count;
+    }
+  }
+  result.completed = (informed_count == n);
+  result.time_units =
+      static_cast<double>(result.ticks) / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace rumor

@@ -1,0 +1,34 @@
+// Asynchronous (sequential-activation) rumor spreading.
+//
+// In the asynchronous model each vertex holds an independent unit-rate
+// Poisson clock (paper §2's related work: Sauerwald 2010; Giakkoupis,
+// Nazari, Woelfel PODC 2016). By standard uniformization this is equivalent
+// to a sequential process: at each tick a uniformly random vertex activates
+// and performs its call, and n ticks make one time unit. Experiment E15
+// compares sync vs async push-pull on regular graphs.
+#pragma once
+
+#include <cstdint>
+
+#include "core/protocol.hpp"
+#include "support/rng.hpp"
+
+namespace rumor {
+
+struct AsyncOptions {
+  std::uint64_t max_ticks = 0;  // 0 = n * default_round_cutoff(n)
+  bool pull_enabled = true;     // false = async push only
+};
+
+struct AsyncResult {
+  std::uint64_t ticks = 0;   // activations until completion (or cutoff)
+  double time_units = 0.0;   // ticks / n, comparable to synchronous rounds
+  bool completed = false;
+};
+
+// Runs asynchronous push(-pull) from `source` to completion or cutoff.
+[[nodiscard]] AsyncResult run_async_push_pull(const Graph& g, Vertex source,
+                                              std::uint64_t seed,
+                                              AsyncOptions options = {});
+
+}  // namespace rumor

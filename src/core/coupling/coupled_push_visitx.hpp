@@ -1,0 +1,94 @@
+// The Section 5 coupling of push and visit-exchange, executable.
+//
+// One SharedChoices collection {w_u(i)} drives both processes:
+//  * visit-exchange: the agent making the i-th visit to u at a round
+//    >= t_u (u's inform round) moves next to w_u(i). Visits are ordered by
+//    (round, agent id) exactly as in the paper. Moves out of uninformed
+//    vertices use independent randomness.
+//  * push: vertex u's i-th sample after its inform round τ_u is w_u(i).
+//
+// Alongside the coupled visit-exchange we maintain the C-counters of
+// eq. (4): C_u is initialized when u is informed to min_{v∈S_u} C_v(t_u)
+// (S_u = informed neighbors that delivered an agent to u at t_u) and then
+// grows by |Z_u(t-1)| each round. The paper proves two a.s. invariants
+// under this coupling, both of which the tests check on every run:
+//   Lemma 13:  τ_u ≤ C_u(t_u)            (push is at most the C-counter)
+//   Lemma 14:  C_u(t) equals the congestion Q(θ) of the canonical walk
+//              reconstructed through the parent pointers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coupling/shared_choices.hpp"
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+#include "walk/agents.hpp"
+
+namespace rumor {
+
+struct CoupledOptions {
+  double alpha = 1.0;
+  std::size_t agent_count = 0;  // 0 = round(alpha * n)
+  Placement placement = Placement::stationary;
+  Round max_rounds = 0;  // 0 = default_round_cutoff(n)
+  // Stores per-round occupancy vectors so tests can evaluate canonical-walk
+  // congestion directly (memory Θ(n · rounds): small graphs only).
+  bool record_occupancy_history = false;
+};
+
+struct CoupledResult {
+  Round visitx_rounds = 0;  // T_visitx
+  Round push_rounds = 0;    // T_push under the shared randomness
+  bool visitx_completed = false;
+  bool push_completed = false;
+  bool lemma13_holds = false;  // ∀u: τ_u ≤ C_u(t_u)
+  std::uint64_t max_ccounter = 0;  // max_u C_u(t_u)
+
+  std::vector<std::uint32_t> visitx_inform_round;  // t_u
+  std::vector<std::uint32_t> push_inform_round;    // τ_u
+  std::vector<std::uint64_t> ccounter_at_inform;   // C_u(t_u)
+  std::vector<Vertex> parent;  // argmin neighbor at inform time (s: none)
+};
+
+class CoupledPushVisitx {
+ public:
+  CoupledPushVisitx(const Graph& g, Vertex source, std::uint64_t seed,
+                    CoupledOptions options = {});
+
+  // Runs the coupled visit-exchange to completion, then replays the coupled
+  // push from the same shared choices.
+  [[nodiscard]] CoupledResult run();
+
+  // Z_v(t) for the finished run; valid when record_occupancy_history.
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>&
+  occupancy_history() const {
+    return occupancy_history_;
+  }
+
+  // C_u(t) evaluated from the stored per-round counter trajectory; valid
+  // when record_occupancy_history. t must be >= t_u and <= final round.
+  [[nodiscard]] std::uint64_t ccounter_at(Vertex u, Round t) const;
+
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+  [[nodiscard]] Vertex source() const { return source_; }
+
+ private:
+  void run_visitx();
+  void run_push();
+
+  const Graph* graph_;
+  Vertex source_;
+  Rng rng_;
+  CoupledOptions options_;
+  Round cutoff_;
+  SharedChoices choices_;
+  CoupledResult result_;
+  std::vector<std::vector<std::uint32_t>> occupancy_history_;
+  // ccounter_history_[t][u] = C_u(t+1)'s base, i.e. counter value after the
+  // end-of-round-t increment; see ccounter_at().
+  std::vector<std::vector<std::uint64_t>> ccounter_history_;
+};
+
+}  // namespace rumor

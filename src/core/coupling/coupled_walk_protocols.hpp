@@ -1,0 +1,95 @@
+// The Theorem 23 "natural coupling": visit-exchange and meet-exchange
+// driven by the SAME walk trajectories.
+//
+// One agent population moves once per round; both protocol state machines
+// observe the identical movement. Under this coupling the paper notes it is
+// immediate that meet-exchange-informed agents are always a subset of
+// visit-exchange-informed agents, hence R_visitx (all agents informed in
+// visit-exchange) ≤ T_meetx. The subset relation is exposed per round so
+// the property tests can check it after every step.
+#pragma once
+
+#include <cstdint>
+
+#include "core/walk_options.hpp"
+#include "graph/graph.hpp"
+#include "support/bitset.hpp"
+#include "support/rng.hpp"
+#include "support/stamp_set.hpp"
+#include "walk/agents.hpp"
+
+namespace rumor {
+
+struct CoupledWalkResult {
+  Round meetx_rounds = 0;         // T_meetx
+  Round visitx_agent_rounds = 0;  // R_visitx: all agents informed in visitx
+  Round visitx_vertex_rounds = 0;  // T_visitx
+  bool meetx_completed = false;
+  bool visitx_completed = false;
+  bool subset_invariant_held = false;  // meetx-informed ⊆ visitx-informed
+                                       // after every round
+};
+
+class CoupledWalkProtocols {
+ public:
+  CoupledWalkProtocols(const Graph& g, Vertex source, std::uint64_t seed,
+                       WalkOptions options = {});
+
+  void step();
+
+  [[nodiscard]] Round round() const { return round_; }
+  [[nodiscard]] bool meetx_done() const {
+    return meetx_informed_count_ == agents_.count();
+  }
+  [[nodiscard]] bool visitx_vertices_done() const {
+    return visitx_informed_vertices_ == graph_->num_vertices();
+  }
+  [[nodiscard]] bool visitx_agents_done() const {
+    return visitx_informed_agents_ == agents_.count();
+  }
+  // The coupling invariant, checkable after any round.
+  [[nodiscard]] bool meetx_subset_of_visitx() const {
+    return meetx_informed_.is_subset_of(visitx_informed_);
+  }
+  [[nodiscard]] const DynamicBitset& meetx_informed() const {
+    return meetx_informed_;
+  }
+  [[nodiscard]] const DynamicBitset& visitx_informed() const {
+    return visitx_informed_;
+  }
+
+  // Runs until both protocols complete (or cutoff); verifies the subset
+  // invariant after every round.
+  [[nodiscard]] CoupledWalkResult run();
+
+ private:
+  const Graph* graph_;
+  Rng rng_;
+  WalkOptions options_;
+  Laziness laziness_;
+  Round round_ = 0;
+  Round cutoff_;
+  AgentSystem agents_;
+  Vertex source_;
+  bool source_active_ = false;
+  // visit-exchange state
+  std::vector<std::uint32_t> vertex_inform_round_;
+  DynamicBitset visitx_informed_;  // agents
+  std::uint32_t visitx_informed_vertices_ = 0;
+  std::size_t visitx_informed_agents_ = 0;
+  Round visitx_vertex_round_ = kNoRoundYet;
+  Round visitx_agent_round_ = kNoRoundYet;
+  // meet-exchange state
+  DynamicBitset meetx_informed_;  // agents
+  DynamicBitset meetx_informed_before_;
+  std::size_t meetx_informed_count_ = 0;
+  Round meetx_round_ = kNoRoundYet;
+  StampSet meetx_here_;
+  DynamicBitset visitx_informed_before_;
+};
+
+[[nodiscard]] CoupledWalkResult run_coupled_walk_protocols(
+    const Graph& g, Vertex source, std::uint64_t seed,
+    WalkOptions options = {});
+
+}  // namespace rumor

@@ -1,0 +1,46 @@
+// The Section 6 coupling (push bounded below by visit-exchange).
+//
+// Here the shared choices are consumed on a parity schedule: push's i-th
+// sample of u is w_u(i), while in visit-exchange only the agents making the
+// i-th EVEN-round visit to an informed u follow w_u(i) at the next (odd)
+// round; even-round moves are independent. The paper proves that under this
+// coupling t'_u ≤ c·(τ_u + log n) w.h.p. for a constant c (Lemma 22), which
+// experiment E14 and the property tests measure directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/coupling/shared_choices.hpp"
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+#include "walk/agents.hpp"
+
+namespace rumor {
+
+struct OddEvenOptions {
+  double alpha = 1.0;
+  std::size_t agent_count = 0;
+  Placement placement = Placement::stationary;
+  Round max_rounds = 0;
+};
+
+struct OddEvenResult {
+  Round push_rounds = 0;
+  Round visitx_rounds = 0;
+  bool push_completed = false;
+  bool visitx_completed = false;
+  std::vector<std::uint32_t> push_inform_round;    // τ_u
+  std::vector<std::uint32_t> visitx_inform_round;  // t'_u
+  // max_u t'_u / (τ_u + ln n): the empirical constant of Lemma 22.
+  double max_ratio = 0.0;
+};
+
+// Runs the coupled pair and reports both inform-time vectors.
+[[nodiscard]] OddEvenResult run_odd_even_coupling(const Graph& g,
+                                                  Vertex source,
+                                                  std::uint64_t seed,
+                                                  OddEvenOptions options = {});
+
+}  // namespace rumor

@@ -1,0 +1,18 @@
+#include "core/coupling/shared_choices.hpp"
+
+namespace rumor {
+
+SharedChoices::SharedChoices(const Graph& g, std::uint64_t seed)
+    : graph_(&g), rng_(seed), lists_(g.num_vertices()) {}
+
+Vertex SharedChoices::get(Vertex u, std::size_t i) {
+  RUMOR_REQUIRE(u < graph_->num_vertices());
+  RUMOR_REQUIRE(i >= 1);
+  auto& list = lists_[u];
+  while (list.size() < i) {
+    list.push_back(graph_->random_neighbor(u, rng_));
+  }
+  return list[i - 1];
+}
+
+}  // namespace rumor

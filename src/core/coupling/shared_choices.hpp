@@ -1,0 +1,39 @@
+// SharedChoices: the coupling randomness of Sections 5 and 6.
+//
+// The paper couples push with visit-exchange through one collection
+// {w_u(i)} of independent uniform neighbor choices per vertex: push uses
+// w_u(i) as the i-th neighbor u samples after being informed, and
+// visit-exchange uses it as the destination of the agent making the i-th
+// (even-round, for Section 6) visit to u after u is informed. Both coupled
+// simulators read from one SharedChoices instance; lists are materialized
+// lazily, so the object is exactly "the same randomness, consumed twice".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace rumor {
+
+class SharedChoices {
+ public:
+  SharedChoices(const Graph& g, std::uint64_t seed);
+
+  // w_u(i), 1-indexed as in the paper. Draws and caches every choice of u
+  // up to i on first access.
+  [[nodiscard]] Vertex get(Vertex u, std::size_t i);
+
+  // Number of choices materialized for u so far (test introspection).
+  [[nodiscard]] std::size_t materialized(Vertex u) const {
+    return lists_[u].size();
+  }
+
+ private:
+  const Graph* graph_;
+  Rng rng_;
+  std::vector<std::vector<Vertex>> lists_;
+};
+
+}  // namespace rumor

@@ -1,0 +1,144 @@
+#include "core/dynamic_agents.hpp"
+
+#include <vector>
+
+namespace rumor {
+
+namespace {
+
+[[nodiscard]] std::vector<double> degree_weights(const Graph& g) {
+  std::vector<double> weights(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    weights[v] = static_cast<double>(g.degree(v));
+  }
+  return weights;
+}
+
+}  // namespace
+
+DynamicVisitExchangeProcess::DynamicVisitExchangeProcess(
+    const Graph& g, Vertex source, std::uint64_t seed,
+    DynamicAgentOptions options)
+    : graph_(&g),
+      rng_(seed),
+      options_(options),
+      cutoff_(options.walk.max_rounds != 0
+                  ? options.walk.max_rounds
+                  : default_round_cutoff(g.num_vertices())),
+      agents_(g,
+              options.walk.agent_count != 0
+                  ? options.walk.agent_count
+                  : agent_count_for(g.num_vertices(), options.walk.alpha),
+              options.walk.placement, rng_, resolve_anchor(options.walk, source)),
+      stationary_(degree_weights(g)),
+      vertex_inform_round_(g.num_vertices(), kNeverInformed),
+      agent_inform_round_(agents_.count(), kNeverInformed),
+      agent_alive_(agents_.count(), 1) {
+  RUMOR_REQUIRE(source < g.num_vertices());
+  RUMOR_REQUIRE(options.churn >= 0.0 && options.churn < 1.0);
+  RUMOR_REQUIRE(options.loss_fraction >= 0.0 && options.loss_fraction <= 1.0);
+  alive_count_ = agents_.count();
+
+  vertex_inform_round_[source] = 0;
+  informed_vertex_count_ = 1;
+  for (Agent a = 0; a < agents_.count(); ++a) {
+    if (agents_.position(a) == source) {
+      agent_inform_round_[a] = 0;
+      ++informed_agent_count_;
+    }
+  }
+  if (options_.walk.trace.informed_curve) {
+    curve_.push_back(informed_vertex_count_);
+  }
+}
+
+void DynamicVisitExchangeProcess::respawn(Agent a) {
+  if (agent_inform_round_[a] != kNeverInformed) --informed_agent_count_;
+  agent_inform_round_[a] = kNeverInformed;
+  agents_.set_position(a, static_cast<Vertex>(stationary_.sample(rng_)));
+}
+
+void DynamicVisitExchangeProcess::kill(Agent a) {
+  if (!agent_alive_[a]) return;
+  if (agent_inform_round_[a] != kNeverInformed) --informed_agent_count_;
+  agent_inform_round_[a] = kNeverInformed;
+  agent_alive_[a] = 0;
+  --alive_count_;
+}
+
+void DynamicVisitExchangeProcess::step() {
+  ++round_;
+  const std::size_t count = agents_.count();
+
+  // Correlated one-shot loss (experiment E16).
+  if (round_ == options_.loss_round && options_.loss_fraction > 0.0) {
+    for (Agent a = 0; a < count; ++a) {
+      if (agent_alive_[a] && rng_.chance(options_.loss_fraction)) kill(a);
+    }
+  }
+
+  // Churn: dead-and-reborn agents appear uninformed at a stationary vertex
+  // and do not move this round (they were just born there).
+  std::vector<std::uint8_t> born_now;
+  if (options_.churn > 0.0) born_now.assign(count, 0);
+  for (Agent a = 0; a < count; ++a) {
+    if (!agent_alive_[a]) continue;
+    if (options_.churn > 0.0 && rng_.chance(options_.churn)) {
+      respawn(a);
+      born_now[a] = 1;
+    }
+  }
+
+  // Movement.
+  for (Agent a = 0; a < count; ++a) {
+    if (!agent_alive_[a]) continue;
+    if (!born_now.empty() && born_now[a]) continue;
+    agents_.set_position(
+        a, step_from(*graph_, agents_.position(a), rng_, Laziness::none));
+  }
+
+  // Phase A: agents informed before this round inform their vertex.
+  for (Agent a = 0; a < count; ++a) {
+    if (!agent_alive_[a] || agent_inform_round_[a] >= round_) continue;
+    const Vertex v = agents_.position(a);
+    if (vertex_inform_round_[v] == kNeverInformed) {
+      vertex_inform_round_[v] = static_cast<std::uint32_t>(round_);
+      ++informed_vertex_count_;
+    }
+  }
+
+  // Phase B: uninformed agents learn from informed vertices.
+  for (Agent a = 0; a < count; ++a) {
+    if (!agent_alive_[a] || agent_inform_round_[a] != kNeverInformed) continue;
+    if (vertex_inform_round_[agents_.position(a)] != kNeverInformed) {
+      agent_inform_round_[a] = static_cast<std::uint32_t>(round_);
+      ++informed_agent_count_;
+    }
+  }
+
+  if (options_.walk.trace.informed_curve) {
+    curve_.push_back(informed_vertex_count_);
+  }
+}
+
+RunResult DynamicVisitExchangeProcess::run() {
+  while (!done() && round_ < cutoff_) step();
+  RunResult result;
+  result.rounds = round_;
+  result.completed = done();
+  result.agent_rounds = round_;
+  if (options_.walk.trace.informed_curve) result.informed_curve = curve_;
+  if (options_.walk.trace.inform_rounds) {
+    result.vertex_inform_round = vertex_inform_round_;
+    result.agent_inform_round = agent_inform_round_;
+  }
+  return result;
+}
+
+RunResult run_dynamic_visit_exchange(const Graph& g, Vertex source,
+                                     std::uint64_t seed,
+                                     DynamicAgentOptions options) {
+  return DynamicVisitExchangeProcess(g, source, seed, options).run();
+}
+
+}  // namespace rumor

@@ -1,0 +1,86 @@
+// Dynamic-agent visit-exchange: the paper's §9 fault-tolerance sketch.
+//
+// "...the protocols could tolerate some number of lost agents, if a dynamic
+//  set of agents were used, where agents age with time and die, while new
+//  agents are born at a proportional rate."
+//
+// Model: each round, every agent independently dies with probability
+// `churn`; a replacement is immediately born, uninformed, at a vertex drawn
+// from the stationary distribution (population stays |A|, which matches the
+// birth-rate-proportional-to-death-rate regime). A one-shot bulk loss
+// (fraction `loss_fraction` killed without replacement at round
+// `loss_round`) models a correlated failure; lost slots stay dead.
+// Broadcast semantics are visit-exchange's (vertices store the rumor, so
+// agent churn delays but does not destroy progress).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/walk_options.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+#include "walk/agents.hpp"
+#include "walk/alias.hpp"
+
+namespace rumor {
+
+struct DynamicAgentOptions {
+  WalkOptions walk;
+  double churn = 0.0;  // per-agent per-round death+rebirth probability
+  // Optional one-shot correlated failure.
+  Round loss_round = kNoRoundYet;
+  double loss_fraction = 0.0;
+};
+
+class DynamicVisitExchangeProcess {
+ public:
+  DynamicVisitExchangeProcess(const Graph& g, Vertex source,
+                              std::uint64_t seed,
+                              DynamicAgentOptions options = {});
+
+  void step();
+
+  [[nodiscard]] bool done() const {
+    return informed_vertex_count_ == graph_->num_vertices();
+  }
+  [[nodiscard]] Round round() const { return round_; }
+  [[nodiscard]] std::uint32_t informed_vertex_count() const {
+    return informed_vertex_count_;
+  }
+  [[nodiscard]] std::size_t alive_agent_count() const { return alive_count_; }
+  [[nodiscard]] std::size_t informed_agent_count() const {
+    return informed_agent_count_;
+  }
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+
+  [[nodiscard]] RunResult run();
+
+ private:
+  void respawn(Agent a);
+  void kill(Agent a);
+
+  const Graph* graph_;
+  Rng rng_;
+  DynamicAgentOptions options_;
+  Round round_ = 0;
+  Round cutoff_;
+  AgentSystem agents_;
+  AliasSampler stationary_;
+  std::uint32_t informed_vertex_count_ = 0;
+  std::size_t informed_agent_count_ = 0;  // informed AND alive
+  std::size_t alive_count_ = 0;
+  std::vector<std::uint32_t> vertex_inform_round_;
+  // Per-agent inform round (kNeverInformed when uninformed); "informed
+  // before round t" is the natural comparison inform_round < t, which is
+  // what the churn logic resets.
+  std::vector<std::uint32_t> agent_inform_round_;
+  std::vector<std::uint8_t> agent_alive_;
+  std::vector<std::uint32_t> curve_;
+};
+
+[[nodiscard]] RunResult run_dynamic_visit_exchange(
+    const Graph& g, Vertex source, std::uint64_t seed,
+    DynamicAgentOptions options = {});
+
+}  // namespace rumor

@@ -1,0 +1,84 @@
+#include "core/frog.hpp"
+
+namespace rumor {
+
+FrogProcess::FrogProcess(const Graph& g, Vertex source, std::uint64_t seed,
+                         FrogOptions options)
+    : graph_(&g),
+      rng_(seed),
+      options_(options),
+      cutoff_(options.max_rounds != 0 ? options.max_rounds
+                                      : default_round_cutoff(g.num_vertices())),
+      positions_(static_cast<std::size_t>(g.num_vertices()) *
+                 options.frogs_per_vertex),
+      visit_round_(g.num_vertices(), kNeverInformed),
+      frog_order_(positions_.size()),
+      order_index_of_(positions_.size()) {
+  RUMOR_REQUIRE(source < g.num_vertices());
+  RUMOR_REQUIRE(options.frogs_per_vertex >= 1);
+  for (std::size_t f = 0; f < positions_.size(); ++f) {
+    positions_[f] = static_cast<Vertex>(f / options_.frogs_per_vertex);
+    frog_order_[f] = static_cast<std::uint32_t>(f);
+    order_index_of_[f] = static_cast<std::uint32_t>(f);
+  }
+  // Round 0: the source is "visited"; its frogs wake.
+  wake_at(source);
+  if (options_.trace.informed_curve) {
+    curve_.push_back(static_cast<std::uint32_t>(awake_count_));
+  }
+}
+
+void FrogProcess::wake_at(Vertex v) {
+  if (visit_round_[v] != kNeverInformed) return;
+  visit_round_[v] = static_cast<std::uint32_t>(round_);
+  // Wake the frogs native to v (they are asleep iff v was unvisited).
+  const std::size_t base =
+      static_cast<std::size_t>(v) * options_.frogs_per_vertex;
+  for (std::uint32_t i = 0; i < options_.frogs_per_vertex; ++i) {
+    const auto f = static_cast<std::uint32_t>(base + i);
+    const std::uint32_t idx = order_index_of_[f];
+    RUMOR_CHECK(idx >= awake_count_);
+    const auto dest = static_cast<std::uint32_t>(awake_count_);
+    const std::uint32_t other = frog_order_[dest];
+    frog_order_[dest] = f;
+    frog_order_[idx] = other;
+    order_index_of_[f] = dest;
+    order_index_of_[other] = idx;
+    ++awake_count_;
+  }
+}
+
+void FrogProcess::step() {
+  ++round_;
+  // Frogs awake at the start of the round walk one step; every vertex they
+  // land on wakes its sleepers (who start walking next round).
+  const std::size_t awake_at_start = awake_count_;
+  for (std::size_t idx = 0; idx < awake_at_start; ++idx) {
+    const std::uint32_t f = frog_order_[idx];
+    const Vertex v =
+        step_from(*graph_, positions_[f], rng_, options_.laziness);
+    positions_[f] = v;
+    wake_at(v);
+  }
+  if (options_.trace.informed_curve) {
+    curve_.push_back(static_cast<std::uint32_t>(awake_count_));
+  }
+}
+
+RunResult FrogProcess::run() {
+  while (!done() && round_ < cutoff_) step();
+  RunResult result;
+  result.rounds = round_;
+  result.completed = done();
+  result.agent_rounds = round_;
+  if (options_.trace.informed_curve) result.informed_curve = curve_;
+  if (options_.trace.inform_rounds) result.vertex_inform_round = visit_round_;
+  return result;
+}
+
+RunResult run_frog(const Graph& g, Vertex source, std::uint64_t seed,
+                   FrogOptions options) {
+  return FrogProcess(g, source, seed, options).run();
+}
+
+}  // namespace rumor

@@ -1,0 +1,70 @@
+// The frog model (related work, §2: Alves et al. '02, Popov '03,
+// Hermon '18): one sleeping agent per vertex ("frog"); the source's frog is
+// awake and informed. Awake frogs perform independent random walks; when an
+// awake frog visits a vertex, all frogs sleeping there wake up (and are
+// informed) and start walking in the next round.
+//
+// This is the natural "activation spreading" counterpart of the paper's
+// protocols: unlike visit-exchange the walker population grows with the
+// informed set, so early rounds are cheap and the process self-accelerates.
+// Included for the related-work comparison bench; the broadcast time is the
+// round when the last frog wakes (equivalently, when every vertex has been
+// visited by an awake frog).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+#include "walk/agents.hpp"
+
+namespace rumor {
+
+struct FrogOptions {
+  std::uint32_t frogs_per_vertex = 1;
+  Laziness laziness = Laziness::none;
+  Round max_rounds = 0;  // 0 = default_round_cutoff(n)
+  TraceOptions trace;
+};
+
+class FrogProcess {
+ public:
+  FrogProcess(const Graph& g, Vertex source, std::uint64_t seed,
+              FrogOptions options = {});
+
+  void step();
+
+  [[nodiscard]] bool done() const { return awake_count_ == positions_.size(); }
+  [[nodiscard]] Round round() const { return round_; }
+  [[nodiscard]] std::size_t awake_count() const { return awake_count_; }
+  [[nodiscard]] std::size_t frog_count() const { return positions_.size(); }
+  [[nodiscard]] bool vertex_visited(Vertex v) const {
+    return visit_round_[v] != kNeverInformed;
+  }
+
+  [[nodiscard]] RunResult run();
+
+ private:
+  void wake_at(Vertex v);
+
+  const Graph* graph_;
+  Rng rng_;
+  FrogOptions options_;
+  Round round_ = 0;
+  Round cutoff_;
+  // Frog f sleeps at vertex f / frogs_per_vertex until woken.
+  std::vector<Vertex> positions_;
+  std::vector<std::uint32_t> visit_round_;  // first awake visit per vertex
+  // Awake-prefix partition over frog ids.
+  std::vector<std::uint32_t> frog_order_;
+  std::vector<std::uint32_t> order_index_of_;
+  std::size_t awake_count_ = 0;
+  std::vector<std::uint32_t> curve_;
+};
+
+[[nodiscard]] RunResult run_frog(const Graph& g, Vertex source,
+                                 std::uint64_t seed, FrogOptions options = {});
+
+}  // namespace rumor

@@ -1,0 +1,144 @@
+#include "core/hybrid.hpp"
+
+#include "graph/properties.hpp"
+
+namespace rumor {
+
+HybridProcess::HybridProcess(const Graph& g, Vertex source,
+                             std::uint64_t seed, WalkOptions options)
+    : graph_(&g),
+      rng_(seed),
+      options_(options),
+      laziness_(options.lazy == LazyMode::always ? Laziness::half
+                                                 : Laziness::none),
+      cutoff_(options.max_rounds != 0 ? options.max_rounds
+                                      : default_round_cutoff(g.num_vertices())),
+      agents_(g,
+              options.agent_count != 0
+                  ? options.agent_count
+                  : agent_count_for(g.num_vertices(), options.alpha),
+              options.placement, rng_, resolve_anchor(options, source)),
+      vertex_inform_round_(g.num_vertices(), kNeverInformed),
+      agent_inform_round_(agents_.count(), kNeverInformed),
+      agent_order_(agents_.count()),
+      order_index_of_(agents_.count()),
+      informed_nbr_count_(g.num_vertices(), 0),
+      in_frontier_(g.num_vertices(), 0) {
+  RUMOR_REQUIRE(source < g.num_vertices());
+  // Vertex-informed walks never need laziness for termination; only the
+  // explicit `always` mode is honored (auto_bipartite is a meet-exchange
+  // concern).
+  for (Agent a = 0; a < agents_.count(); ++a) {
+    agent_order_[a] = a;
+    order_index_of_[a] = a;
+  }
+  inform_vertex(source);
+  for (Agent a = 0; a < agents_.count(); ++a) {
+    if (agents_.position(a) == source) inform_agent_at(order_index_of_[a]);
+  }
+  if (options_.trace.informed_curve) curve_.push_back(informed_vertex_count_);
+}
+
+void HybridProcess::inform_vertex(Vertex v) {
+  RUMOR_CHECK(vertex_inform_round_[v] == kNeverInformed);
+  vertex_inform_round_[v] = static_cast<std::uint32_t>(round_);
+  ++informed_vertex_count_;
+  active_.push_back(v);
+  for (Vertex w : graph_->neighbors(v)) {
+    ++informed_nbr_count_[w];
+    if (vertex_inform_round_[w] == kNeverInformed && !in_frontier_[w]) {
+      in_frontier_[w] = 1;
+      frontier_.push_back(w);
+    }
+  }
+}
+
+void HybridProcess::inform_agent_at(std::size_t order_index) {
+  RUMOR_CHECK(order_index >= informed_agent_count_);
+  const Agent a = agent_order_[order_index];
+  agent_inform_round_[a] = static_cast<std::uint32_t>(round_);
+  const auto dest = static_cast<std::uint32_t>(informed_agent_count_);
+  const Agent other = agent_order_[dest];
+  agent_order_[dest] = a;
+  agent_order_[order_index] = other;
+  order_index_of_[a] = dest;
+  order_index_of_[other] = static_cast<std::uint32_t>(order_index);
+  ++informed_agent_count_;
+}
+
+void HybridProcess::step() {
+  ++round_;
+  const std::size_t count = agents_.count();
+
+  // (1) agents move.
+  for (Agent a = 0; a < count; ++a) {
+    agents_.set_position(
+        a, step_from(*graph_, agents_.position(a), rng_, laziness_));
+  }
+
+  // (2) previously informed agents inform their vertices.
+  const std::size_t informed_agents_at_start = informed_agent_count_;
+  for (std::size_t idx = 0; idx < informed_agents_at_start; ++idx) {
+    const Vertex v = agents_.position(agent_order_[idx]);
+    if (vertex_inform_round_[v] == kNeverInformed) inform_vertex(v);
+  }
+
+  // (3) push-pull calls on informed-before-round state (fast path: only
+  // state-changing calls, exactly as in PushPullProcess).
+  std::size_t kept = 0;
+  for (Vertex v : active_) {
+    if (informed_nbr_count_[v] < graph_->degree(v)) active_[kept++] = v;
+  }
+  active_.resize(kept);
+  kept = 0;
+  for (Vertex w : frontier_) {
+    if (vertex_inform_round_[w] == kNeverInformed) frontier_[kept++] = w;
+  }
+  frontier_.resize(kept);
+
+  const std::size_t pushers = active_.size();
+  for (std::size_t i = 0; i < pushers; ++i) {
+    const Vertex u = active_[i];
+    if (!informed_before_this_round(u)) continue;  // informed in step (2)
+    const Vertex v = graph_->random_neighbor(u, rng_);
+    if (vertex_inform_round_[v] == kNeverInformed) inform_vertex(v);
+  }
+  const std::size_t pullers = frontier_.size();
+  for (std::size_t i = 0; i < pullers; ++i) {
+    const Vertex w = frontier_[i];
+    if (vertex_inform_round_[w] != kNeverInformed) continue;
+    const Vertex v = graph_->random_neighbor(w, rng_);
+    if (informed_before_this_round(v)) inform_vertex(w);
+  }
+
+  // (4) agents standing on informed vertices become informed.
+  for (std::size_t idx = informed_agents_at_start; idx < count; ++idx) {
+    const Agent a = agent_order_[idx];
+    if (vertex_inform_round_[agents_.position(a)] != kNeverInformed) {
+      inform_agent_at(idx);
+    }
+  }
+
+  if (options_.trace.informed_curve) curve_.push_back(informed_vertex_count_);
+}
+
+RunResult HybridProcess::run() {
+  while (!done() && round_ < cutoff_) step();
+  RunResult result;
+  result.rounds = round_;
+  result.completed = done();
+  result.agent_rounds = round_;
+  if (options_.trace.informed_curve) result.informed_curve = curve_;
+  if (options_.trace.inform_rounds) {
+    result.vertex_inform_round = vertex_inform_round_;
+    result.agent_inform_round = agent_inform_round_;
+  }
+  return result;
+}
+
+RunResult run_hybrid(const Graph& g, Vertex source, std::uint64_t seed,
+                     WalkOptions options) {
+  return HybridProcess(g, source, seed, options).run();
+}
+
+}  // namespace rumor

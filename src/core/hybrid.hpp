@@ -1,0 +1,76 @@
+// HYBRID: push-pull and visit-exchange running on one shared
+// informed-vertex state (paper §1 suggests agent-based dissemination "in
+// combination with push-pull" as a best-of-both protocol; experiment E12).
+//
+// Round structure: (1) all agents step; (2) agents informed in a previous
+// round inform their vertices; (3) every vertex performs its push-pull call,
+// exchanges judged on informed-before-round state; (4) agents standing on an
+// informed vertex (any round <= current) become informed. Hence each round
+// costs one call per useful vertex plus one step per agent — the same
+// per-round budget as running the two protocols side by side.
+#pragma once
+
+#include <cstdint>
+
+#include "core/walk_options.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+#include "walk/agents.hpp"
+
+namespace rumor {
+
+class HybridProcess {
+ public:
+  HybridProcess(const Graph& g, Vertex source, std::uint64_t seed,
+                WalkOptions options = {});
+
+  void step();
+
+  [[nodiscard]] bool done() const {
+    return informed_vertex_count_ == graph_->num_vertices();
+  }
+  [[nodiscard]] Round round() const { return round_; }
+  [[nodiscard]] std::uint32_t informed_vertex_count() const {
+    return informed_vertex_count_;
+  }
+  [[nodiscard]] bool vertex_informed(Vertex v) const {
+    return vertex_inform_round_[v] != kNeverInformed;
+  }
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+
+  [[nodiscard]] RunResult run();
+
+ private:
+  void inform_vertex(Vertex v);
+  void inform_agent_at(std::size_t order_index);
+  [[nodiscard]] bool informed_before_this_round(Vertex v) const {
+    return vertex_inform_round_[v] != kNeverInformed &&
+           vertex_inform_round_[v] < round_;
+  }
+
+  const Graph* graph_;
+  Rng rng_;
+  WalkOptions options_;
+  Laziness laziness_;
+  Round round_ = 0;
+  Round cutoff_;
+  AgentSystem agents_;
+  std::uint32_t informed_vertex_count_ = 0;
+  std::size_t informed_agent_count_ = 0;
+  std::vector<std::uint32_t> vertex_inform_round_;
+  std::vector<std::uint32_t> agent_inform_round_;
+  std::vector<Agent> agent_order_;
+  std::vector<std::uint32_t> order_index_of_;
+  // push-pull working sets (see PushPullProcess)
+  std::vector<std::uint32_t> informed_nbr_count_;
+  std::vector<Vertex> active_;
+  std::vector<Vertex> frontier_;
+  std::vector<std::uint8_t> in_frontier_;
+  std::vector<std::uint32_t> curve_;
+};
+
+[[nodiscard]] RunResult run_hybrid(const Graph& g, Vertex source,
+                                   std::uint64_t seed,
+                                   WalkOptions options = {});
+
+}  // namespace rumor

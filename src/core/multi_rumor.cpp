@@ -1,0 +1,199 @@
+#include "core/multi_rumor.hpp"
+
+#include <bit>
+
+namespace rumor {
+
+namespace {
+
+// Applies newly acquired rumor bits to the per-rumor holder counts and
+// completion bookkeeping.
+template <typename OnComplete>
+void account_new_bits(RumorMask fresh, std::vector<std::uint32_t>& have_count,
+                      std::uint32_t full_count, std::vector<Round>& completion,
+                      Round round, std::size_t& remaining,
+                      OnComplete on_complete) {
+  while (fresh != 0) {
+    const int r = std::countr_zero(fresh);
+    fresh &= fresh - 1;
+    if (++have_count[static_cast<std::size_t>(r)] == full_count) {
+      completion[static_cast<std::size_t>(r)] = round;
+      --remaining;
+      on_complete(static_cast<std::size_t>(r));
+    }
+  }
+}
+
+MultiRumorResult make_result(const std::vector<RumorSpec>& rumors,
+                             const std::vector<Round>& completion,
+                             std::size_t remaining, Round round) {
+  MultiRumorResult result;
+  result.completed = (remaining == 0);
+  result.rounds = round;
+  result.completion_round = completion;
+  result.latency.resize(rumors.size());
+  for (std::size_t r = 0; r < rumors.size(); ++r) {
+    result.latency[r] = completion[r] == kNoRoundYet
+                            ? kNoRoundYet
+                            : completion[r] - rumors[r].release_round;
+  }
+  return result;
+}
+
+void validate(const Graph& g, const std::vector<RumorSpec>& rumors) {
+  RUMOR_REQUIRE(!rumors.empty());
+  RUMOR_REQUIRE(rumors.size() <= kMaxRumors);
+  for (const auto& r : rumors) RUMOR_REQUIRE(r.source < g.num_vertices());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// push-pull
+// ---------------------------------------------------------------------------
+
+MultiRumorPushPull::MultiRumorPushPull(const Graph& g,
+                                       std::vector<RumorSpec> rumors,
+                                       std::uint64_t seed, Round max_rounds)
+    : graph_(&g),
+      rumors_(std::move(rumors)),
+      rng_(seed),
+      cutoff_(max_rounds != 0 ? max_rounds
+                              : default_round_cutoff(g.num_vertices())),
+      held_(g.num_vertices(), 0),
+      held_before_(g.num_vertices(), 0),
+      have_count_(rumors_.size(), 0),
+      completion_(rumors_.size(), kNoRoundYet),
+      remaining_(rumors_.size()) {
+  validate(g, rumors_);
+  release_due();
+}
+
+void MultiRumorPushPull::release_due() {
+  for (std::size_t r = 0; r < rumors_.size(); ++r) {
+    if (rumors_[r].release_round != round_) continue;
+    const RumorMask bit = RumorMask{1} << r;
+    if ((held_[rumors_[r].source] & bit) == 0) {
+      held_[rumors_[r].source] |= bit;
+      account_new_bits(bit, have_count_, graph_->num_vertices(), completion_,
+                       round_, remaining_, [](std::size_t) {});
+    }
+  }
+}
+
+void MultiRumorPushPull::step() {
+  ++round_;
+  held_before_ = held_;
+  const Vertex n = graph_->num_vertices();
+  for (Vertex u = 0; u < n; ++u) {
+    const Vertex v = graph_->random_neighbor(u, rng_);
+    // Symmetric exchange of everything held before the round.
+    const RumorMask to_v = held_before_[u] & ~held_[v];
+    if (to_v != 0) {
+      held_[v] |= to_v;
+      account_new_bits(to_v, have_count_, n, completion_, round_, remaining_,
+                       [](std::size_t) {});
+    }
+    const RumorMask to_u = held_before_[v] & ~held_[u];
+    if (to_u != 0) {
+      held_[u] |= to_u;
+      account_new_bits(to_u, have_count_, n, completion_, round_, remaining_,
+                       [](std::size_t) {});
+    }
+  }
+  release_due();
+}
+
+MultiRumorResult MultiRumorPushPull::run() {
+  // Run at least until every rumor has been released.
+  Round last_release = 0;
+  for (const auto& r : rumors_) last_release = std::max(last_release, r.release_round);
+  while ((!done() || round_ < last_release) && round_ < cutoff_) step();
+  return make_result(rumors_, completion_, remaining_, round_);
+}
+
+// ---------------------------------------------------------------------------
+// visit-exchange
+// ---------------------------------------------------------------------------
+
+MultiRumorVisitExchange::MultiRumorVisitExchange(const Graph& g,
+                                                 std::vector<RumorSpec> rumors,
+                                                 std::uint64_t seed,
+                                                 WalkOptions options)
+    : graph_(&g),
+      rumors_(std::move(rumors)),
+      rng_(seed),
+      options_(options),
+      cutoff_(options.max_rounds != 0 ? options.max_rounds
+                                      : default_round_cutoff(g.num_vertices())),
+      agents_(g,
+              options.agent_count != 0
+                  ? options.agent_count
+                  : agent_count_for(g.num_vertices(), options.alpha),
+              options.placement, rng_,
+              resolve_anchor(options, rumors_.empty() ? 0 : rumors_[0].source)),
+      held_(g.num_vertices(), 0),
+      agent_held_(agents_.count(), 0),
+      agent_held_before_(agents_.count(), 0),
+      have_count_(rumors_.size(), 0),
+      completion_(rumors_.size(), kNoRoundYet),
+      remaining_(rumors_.size()) {
+  validate(g, rumors_);
+  release_due();
+}
+
+void MultiRumorVisitExchange::release_due() {
+  for (std::size_t r = 0; r < rumors_.size(); ++r) {
+    if (rumors_[r].release_round != round_) continue;
+    const RumorMask bit = RumorMask{1} << r;
+    const Vertex source = rumors_[r].source;
+    if ((held_[source] & bit) == 0) {
+      held_[source] |= bit;
+      account_new_bits(bit, have_count_, graph_->num_vertices(), completion_,
+                       round_, remaining_, [](std::size_t) {});
+    }
+    // As in §3 round zero: agents standing on the source learn it at once.
+    for (Agent a = 0; a < agents_.count(); ++a) {
+      if (agents_.position(a) == source) agent_held_[a] |= bit;
+    }
+  }
+}
+
+void MultiRumorVisitExchange::step() {
+  ++round_;
+  const std::size_t count = agents_.count();
+  const Laziness lazy =
+      options_.lazy == LazyMode::always ? Laziness::half : Laziness::none;
+  for (Agent a = 0; a < count; ++a) {
+    agents_.set_position(
+        a, step_from(*graph_, agents_.position(a), rng_, lazy));
+  }
+  agent_held_before_ = agent_held_;
+
+  // Phase A: rumors the agent held before the round land on its vertex.
+  const Vertex n = graph_->num_vertices();
+  for (Agent a = 0; a < count; ++a) {
+    const Vertex v = agents_.position(a);
+    const RumorMask fresh = agent_held_before_[a] & ~held_[v];
+    if (fresh != 0) {
+      held_[v] |= fresh;
+      account_new_bits(fresh, have_count_, n, completion_, round_, remaining_,
+                       [](std::size_t) {});
+    }
+  }
+  // Phase B: agents absorb everything their vertex holds (including rumors
+  // delivered this round by other agents — §3's same-round pickup).
+  for (Agent a = 0; a < count; ++a) {
+    agent_held_[a] |= held_[agents_.position(a)];
+  }
+  release_due();
+}
+
+MultiRumorResult MultiRumorVisitExchange::run() {
+  Round last_release = 0;
+  for (const auto& r : rumors_) last_release = std::max(last_release, r.release_round);
+  while ((!done() || round_ < last_release) && round_ < cutoff_) step();
+  return make_result(rumors_, completion_, remaining_, round_);
+}
+
+}  // namespace rumor

@@ -1,0 +1,115 @@
+// Multi-rumor dissemination — the setting that motivates the paper's
+// stationary-start assumption (§1):
+//
+//   "The assumption that agents start from the stationary distribution
+//    makes sense in a setting where several pieces of information (or
+//    rumors) are generated frequently and distributed in parallel over time
+//    by the same set of agents, which execute perpetual independent random
+//    walks."
+//
+// Up to 64 rumors, each with a source vertex and a release round, spread
+// over one shared substrate. Exchanges transfer ALL rumors a party holds
+// (push-pull "the two nodes exchange all the information they have";
+// visit-exchange likewise). Key structural fact, property-tested in
+// tests/test_core_multi_rumor.cpp: the marginal process of each rumor is
+// exactly the single-rumor protocol started at its release round — rumors
+// share bandwidth without interfering — so per-rumor broadcast times match
+// the single-rumor distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/walk_options.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+#include "walk/agents.hpp"
+
+namespace rumor {
+
+using RumorMask = std::uint64_t;
+constexpr std::size_t kMaxRumors = 64;
+
+struct RumorSpec {
+  Vertex source = 0;
+  Round release_round = 0;  // the round at which the source learns it
+};
+
+struct MultiRumorResult {
+  // Per rumor: the absolute round when every vertex (visit-exchange /
+  // push-pull) held it, and the latency relative to its release round.
+  std::vector<Round> completion_round;
+  std::vector<Round> latency;
+  bool completed = false;  // all rumors everywhere
+  Round rounds = 0;        // final absolute round
+};
+
+// Multi-rumor PUSH-PULL: every vertex calls one random neighbor per round;
+// the pair unions their rumor sets, each side receiving only rumors the
+// other held before the round.
+class MultiRumorPushPull {
+ public:
+  MultiRumorPushPull(const Graph& g, std::vector<RumorSpec> rumors,
+                     std::uint64_t seed, Round max_rounds = 0);
+
+  void step();
+  [[nodiscard]] bool done() const { return remaining_ == 0; }
+  [[nodiscard]] Round round() const { return round_; }
+  [[nodiscard]] RumorMask vertex_rumors(Vertex v) const {
+    return held_[v];
+  }
+  [[nodiscard]] MultiRumorResult run();
+
+ private:
+  void release_due();
+
+  const Graph* graph_;
+  std::vector<RumorSpec> rumors_;
+  Rng rng_;
+  Round round_ = 0;
+  Round cutoff_;
+  std::vector<RumorMask> held_;         // current rumor set per vertex
+  std::vector<RumorMask> held_before_;  // snapshot at round start
+  std::vector<std::uint32_t> have_count_;  // vertices holding rumor r
+  std::vector<Round> completion_;
+  std::size_t remaining_;
+};
+
+// Multi-rumor VISIT-EXCHANGE: agents walk perpetually; a visit unions the
+// vertex's and agent's rumor sets under the paper's one-round-delay rules
+// (an agent transfers only rumors it held before the round; the vertex
+// hands over everything it holds after its own update — matching §3).
+class MultiRumorVisitExchange {
+ public:
+  MultiRumorVisitExchange(const Graph& g, std::vector<RumorSpec> rumors,
+                          std::uint64_t seed, WalkOptions options = {});
+
+  void step();
+  [[nodiscard]] bool done() const { return remaining_ == 0; }
+  [[nodiscard]] Round round() const { return round_; }
+  [[nodiscard]] RumorMask vertex_rumors(Vertex v) const { return held_[v]; }
+  [[nodiscard]] RumorMask agent_rumors(Agent a) const {
+    return agent_held_[a];
+  }
+  [[nodiscard]] const AgentSystem& agents() const { return agents_; }
+  [[nodiscard]] MultiRumorResult run();
+
+ private:
+  void release_due();
+
+  const Graph* graph_;
+  std::vector<RumorSpec> rumors_;
+  Rng rng_;
+  WalkOptions options_;
+  Round round_ = 0;
+  Round cutoff_;
+  AgentSystem agents_;
+  std::vector<RumorMask> held_;        // per vertex
+  std::vector<RumorMask> agent_held_;  // per agent
+  std::vector<RumorMask> agent_held_before_;
+  std::vector<std::uint32_t> have_count_;
+  std::vector<Round> completion_;
+  std::size_t remaining_;
+};
+
+}  // namespace rumor

@@ -1,0 +1,82 @@
+#include "core/push.hpp"
+
+namespace rumor {
+
+PushProcess::PushProcess(const Graph& g, Vertex source, std::uint64_t seed,
+                         PushOptions options)
+    : graph_(&g),
+      rng_(seed),
+      options_(options),
+      cutoff_(options.max_rounds != 0 ? options.max_rounds
+                                      : default_round_cutoff(g.num_vertices())),
+      inform_round_(g.num_vertices(), kNeverInformed),
+      informed_nbr_count_(g.num_vertices(), 0) {
+  RUMOR_REQUIRE(source < g.num_vertices());
+  RUMOR_REQUIRE(options.loss_probability >= 0.0 &&
+                options.loss_probability < 1.0);
+  if (options_.trace.edge_traffic) {
+    edge_traffic_.assign(g.num_edges(), 0);
+  }
+  inform(source);
+  if (options_.trace.informed_curve) curve_.push_back(informed_count_);
+}
+
+void PushProcess::inform(Vertex v) {
+  RUMOR_CHECK(inform_round_[v] == kNeverInformed);
+  inform_round_[v] = static_cast<std::uint32_t>(round_);
+  ++informed_count_;
+  active_.push_back(v);
+  for (Vertex w : graph_->neighbors(v)) ++informed_nbr_count_[w];
+}
+
+void PushProcess::step() {
+  ++round_;
+
+  // Retire saturated vertices before taking the round snapshot: everyone in
+  // active_ right now was informed in a previous round, so what survives the
+  // sweep is exactly the set of useful callers.
+  std::size_t kept = 0;
+  for (Vertex v : active_) {
+    if (informed_nbr_count_[v] < graph_->degree(v)) active_[kept++] = v;
+  }
+  active_.resize(kept);
+
+  const std::size_t callers = active_.size();  // newly informed start next round
+  for (std::size_t i = 0; i < callers; ++i) {
+    const Vertex u = active_[i];
+    Vertex v;
+    if (options_.trace.edge_traffic) {
+      const auto [nbr, slot] = graph_->random_neighbor_slot(u, rng_);
+      v = nbr;
+      ++edge_traffic_[graph_->edge_id(u, slot)];
+    } else {
+      v = graph_->random_neighbor(u, rng_);
+    }
+    if (options_.loss_probability > 0.0 &&
+        rng_.chance(options_.loss_probability)) {
+      continue;  // the call happened (and was counted) but the message dropped
+    }
+    if (inform_round_[v] == kNeverInformed) inform(v);
+  }
+
+  if (options_.trace.informed_curve) curve_.push_back(informed_count_);
+}
+
+RunResult PushProcess::run() {
+  while (!done() && round_ < cutoff_) step();
+  RunResult result;
+  result.rounds = round_;
+  result.completed = done();
+  result.agent_rounds = round_;  // no agents in push
+  if (options_.trace.informed_curve) result.informed_curve = curve_;
+  if (options_.trace.inform_rounds) result.vertex_inform_round = inform_round_;
+  if (options_.trace.edge_traffic) result.edge_traffic = edge_traffic_;
+  return result;
+}
+
+RunResult run_push(const Graph& g, Vertex source, std::uint64_t seed,
+                   PushOptions options) {
+  return PushProcess(g, source, seed, options).run();
+}
+
+}  // namespace rumor

@@ -1,0 +1,117 @@
+#include "core/push_pull.hpp"
+
+namespace rumor {
+
+PushPullProcess::PushPullProcess(const Graph& g, Vertex source,
+                                 std::uint64_t seed, PushPullOptions options)
+    : graph_(&g),
+      rng_(seed),
+      options_(options),
+      cutoff_(options.max_rounds != 0 ? options.max_rounds
+                                      : default_round_cutoff(g.num_vertices())),
+      inform_round_(g.num_vertices(), kNeverInformed),
+      informed_nbr_count_(g.num_vertices(), 0),
+      in_frontier_(g.num_vertices(), 0) {
+  RUMOR_REQUIRE(source < g.num_vertices());
+  RUMOR_REQUIRE(options.loss_probability >= 0.0 &&
+                options.loss_probability < 1.0);
+  if (options_.trace.edge_traffic) {
+    edge_traffic_.assign(g.num_edges(), 0);
+  }
+  inform(source);
+  if (options_.trace.informed_curve) curve_.push_back(informed_count_);
+}
+
+void PushPullProcess::inform(Vertex v) {
+  RUMOR_CHECK(inform_round_[v] == kNeverInformed);
+  inform_round_[v] = static_cast<std::uint32_t>(round_);
+  ++informed_count_;
+  active_.push_back(v);
+  for (Vertex w : graph_->neighbors(v)) {
+    ++informed_nbr_count_[w];
+    if (inform_round_[w] == kNeverInformed && !in_frontier_[w]) {
+      in_frontier_[w] = 1;
+      frontier_.push_back(w);
+    }
+  }
+}
+
+void PushPullProcess::step() {
+  ++round_;
+
+  if (options_.trace.edge_traffic) {
+    // Exact-bandwidth path: every vertex makes its call (the definition) so
+    // per-edge utilization counts every call, not only state-changing ones.
+    // Used by the fairness experiments; O(n) per round.
+    const Vertex n = graph_->num_vertices();
+    for (Vertex u = 0; u < n; ++u) {
+      const auto [v, slot] = graph_->random_neighbor_slot(u, rng_);
+      ++edge_traffic_[graph_->edge_id(u, slot)];
+      if (options_.loss_probability > 0.0 &&
+          rng_.chance(options_.loss_probability)) {
+        continue;
+      }
+      const bool u_was = informed_before_this_round(u);
+      const bool v_was = informed_before_this_round(v);
+      if (u_was == v_was) continue;
+      const Vertex target = u_was ? v : u;
+      if (inform_round_[target] == kNeverInformed) inform(target);
+    }
+  } else {
+    // Fast path: iterate exactly the calls that can change state.
+    std::size_t kept = 0;
+    for (Vertex v : active_) {
+      if (informed_nbr_count_[v] < graph_->degree(v)) active_[kept++] = v;
+    }
+    active_.resize(kept);
+    kept = 0;
+    for (Vertex w : frontier_) {
+      if (inform_round_[w] == kNeverInformed) frontier_[kept++] = w;
+    }
+    frontier_.resize(kept);
+
+    const std::size_t pushers = active_.size();
+    const std::size_t pullers = frontier_.size();
+
+    for (std::size_t i = 0; i < pushers; ++i) {
+      const Vertex u = active_[i];
+      const Vertex v = graph_->random_neighbor(u, rng_);
+      if (options_.loss_probability > 0.0 &&
+          rng_.chance(options_.loss_probability)) {
+        continue;
+      }
+      if (inform_round_[v] == kNeverInformed) inform(v);
+    }
+    for (std::size_t i = 0; i < pullers; ++i) {
+      const Vertex w = frontier_[i];
+      if (inform_round_[w] != kNeverInformed) continue;  // pushed this round
+      const Vertex v = graph_->random_neighbor(w, rng_);
+      if (options_.loss_probability > 0.0 &&
+          rng_.chance(options_.loss_probability)) {
+        continue;
+      }
+      if (informed_before_this_round(v)) inform(w);
+    }
+  }
+
+  if (options_.trace.informed_curve) curve_.push_back(informed_count_);
+}
+
+RunResult PushPullProcess::run() {
+  while (!done() && round_ < cutoff_) step();
+  RunResult result;
+  result.rounds = round_;
+  result.completed = done();
+  result.agent_rounds = round_;
+  if (options_.trace.informed_curve) result.informed_curve = curve_;
+  if (options_.trace.inform_rounds) result.vertex_inform_round = inform_round_;
+  if (options_.trace.edge_traffic) result.edge_traffic = edge_traffic_;
+  return result;
+}
+
+RunResult run_push_pull(const Graph& g, Vertex source, std::uint64_t seed,
+                        PushPullOptions options) {
+  return PushPullProcess(g, source, seed, options).run();
+}
+
+}  // namespace rumor

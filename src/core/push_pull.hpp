@@ -1,0 +1,77 @@
+// PUSH-PULL rumor spreading (paper §3, Karp et al. 2000).
+//
+// Round 0: the source is informed. In each round t >= 1, every vertex
+// (informed or not) samples a uniform random neighbor; if exactly one of the
+// pair was informed before round t, the other becomes informed.
+//
+// Implementation note: only two kinds of calls can change the state —
+// pushes by informed vertices with an uninformed neighbor, and pulls by
+// uninformed vertices adjacent to an informed one. All other calls are
+// no-ops by definition, so the simulator iterates exactly those two sets
+// (see DESIGN.md "law-preserving optimizations"; differentially tested
+// against reference_push_pull).
+#pragma once
+
+#include <cstdint>
+
+#include "core/protocol.hpp"
+#include "support/rng.hpp"
+
+namespace rumor {
+
+struct PushPullOptions {
+  double loss_probability = 0.0;  // per-call drop probability
+  Round max_rounds = 0;           // 0 = default_round_cutoff(n)
+  TraceOptions trace;
+};
+
+class PushPullProcess {
+ public:
+  PushPullProcess(const Graph& g, Vertex source, std::uint64_t seed,
+                  PushPullOptions options = {});
+
+  void step();
+
+  [[nodiscard]] bool done() const {
+    return informed_count_ == graph_->num_vertices();
+  }
+  [[nodiscard]] Round round() const { return round_; }
+  [[nodiscard]] std::uint32_t informed_count() const {
+    return informed_count_;
+  }
+  [[nodiscard]] bool vertex_informed(Vertex v) const {
+    return inform_round_[v] != kNeverInformed;
+  }
+  [[nodiscard]] std::uint32_t vertex_inform_round(Vertex v) const {
+    return inform_round_[v];
+  }
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+
+  [[nodiscard]] RunResult run();
+
+ private:
+  void inform(Vertex v);
+  [[nodiscard]] bool informed_before_this_round(Vertex v) const {
+    return inform_round_[v] != kNeverInformed && inform_round_[v] < round_;
+  }
+
+  const Graph* graph_;
+  Rng rng_;
+  PushPullOptions options_;
+  Round round_ = 0;
+  Round cutoff_;
+  std::uint32_t informed_count_ = 0;
+  std::vector<std::uint32_t> inform_round_;
+  std::vector<std::uint32_t> informed_nbr_count_;
+  std::vector<Vertex> active_;       // informed pushers, not saturated
+  std::vector<Vertex> frontier_;     // uninformed with informed neighbor
+  std::vector<std::uint8_t> in_frontier_;
+  std::vector<std::uint32_t> curve_;
+  std::vector<std::uint64_t> edge_traffic_;
+};
+
+[[nodiscard]] RunResult run_push_pull(const Graph& g, Vertex source,
+                                      std::uint64_t seed,
+                                      PushPullOptions options = {});
+
+}  // namespace rumor

@@ -1,0 +1,171 @@
+#include "core/reference.hpp"
+
+#include <vector>
+
+namespace rumor {
+
+namespace {
+
+// Inverse-CDF stationary placement: intentionally a different algorithm
+// from the alias sampler used in production (cross-validation).
+std::vector<Vertex> place_stationary(const Graph& g, std::size_t count,
+                                     Rng& rng) {
+  std::vector<std::uint64_t> cumulative(g.num_vertices());
+  std::uint64_t sum = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    sum += g.degree(v);
+    cumulative[v] = sum;
+  }
+  std::vector<Vertex> positions(count);
+  for (auto& pos : positions) {
+    const std::uint64_t target = rng.below(sum);  // in [0, 2m)
+    Vertex lo = 0;
+    Vertex hi = g.num_vertices() - 1;
+    while (lo < hi) {
+      const Vertex mid = lo + (hi - lo) / 2;
+      if (cumulative[mid] > target) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    pos = lo;
+  }
+  return positions;
+}
+
+}  // namespace
+
+Round reference_push(const Graph& g, Vertex source, Rng& rng, Round cutoff) {
+  RUMOR_REQUIRE(source < g.num_vertices());
+  std::vector<std::uint8_t> informed(g.num_vertices(), 0);
+  informed[source] = 1;
+
+  for (Round t = 1; t <= cutoff; ++t) {
+    const std::vector<std::uint8_t> before = informed;  // snapshot of round t-1
+    for (Vertex u = 0; u < g.num_vertices(); ++u) {
+      if (!before[u]) continue;
+      const Vertex v = g.random_neighbor(u, rng);
+      informed[v] = 1;
+    }
+    bool all = true;
+    for (std::uint8_t b : informed) all = all && (b != 0);
+    if (all) return t;
+  }
+  return cutoff;
+}
+
+Round reference_push_pull(const Graph& g, Vertex source, Rng& rng,
+                          Round cutoff) {
+  RUMOR_REQUIRE(source < g.num_vertices());
+  std::vector<std::uint8_t> informed(g.num_vertices(), 0);
+  informed[source] = 1;
+
+  for (Round t = 1; t <= cutoff; ++t) {
+    const std::vector<std::uint8_t> before = informed;
+    for (Vertex u = 0; u < g.num_vertices(); ++u) {
+      const Vertex v = g.random_neighbor(u, rng);
+      if (before[u] != before[v]) {  // exactly one informed before round t
+        informed[u] = 1;
+        informed[v] = 1;
+      }
+    }
+    bool all = true;
+    for (std::uint8_t b : informed) all = all && (b != 0);
+    if (all) return t;
+  }
+  return cutoff;
+}
+
+Round reference_visit_exchange(const Graph& g, Vertex source,
+                               std::size_t agent_count, Laziness lazy,
+                               Rng& rng, Round cutoff) {
+  RUMOR_REQUIRE(source < g.num_vertices());
+  RUMOR_REQUIRE(agent_count > 0);
+  std::vector<Vertex> pos = place_stationary(g, agent_count, rng);
+  std::vector<std::uint8_t> vertex_informed(g.num_vertices(), 0);
+  std::vector<std::uint8_t> agent_informed(agent_count, 0);
+
+  vertex_informed[source] = 1;
+  for (std::size_t a = 0; a < agent_count; ++a) {
+    if (pos[a] == source) agent_informed[a] = 1;
+  }
+
+  auto all_vertices = [&] {
+    for (std::uint8_t b : vertex_informed) {
+      if (!b) return false;
+    }
+    return true;
+  };
+  if (all_vertices()) return 0;  // single-vertex graph
+
+  for (Round t = 1; t <= cutoff; ++t) {
+    for (auto& p : pos) p = step_from(g, p, rng, lazy);
+    const std::vector<std::uint8_t> agent_before = agent_informed;
+    // Agents informed in a previous round inform the vertex they visit.
+    for (std::size_t a = 0; a < agent_count; ++a) {
+      if (agent_before[a]) vertex_informed[pos[a]] = 1;
+    }
+    // Agents on a vertex informed in this or an earlier round get informed.
+    for (std::size_t a = 0; a < agent_count; ++a) {
+      if (vertex_informed[pos[a]]) agent_informed[a] = 1;
+    }
+    if (all_vertices()) return t;
+  }
+  return cutoff;
+}
+
+Round reference_meet_exchange(const Graph& g, Vertex source,
+                              std::size_t agent_count, Laziness lazy,
+                              Rng& rng, Round cutoff) {
+  RUMOR_REQUIRE(source < g.num_vertices());
+  RUMOR_REQUIRE(agent_count > 0);
+  std::vector<Vertex> pos = place_stationary(g, agent_count, rng);
+  std::vector<std::uint8_t> informed(agent_count, 0);
+
+  bool source_active = true;
+  for (std::size_t a = 0; a < agent_count; ++a) {
+    if (pos[a] == source) {
+      informed[a] = 1;
+      source_active = false;
+    }
+  }
+
+  auto all_informed = [&] {
+    for (std::uint8_t b : informed) {
+      if (!b) return false;
+    }
+    return true;
+  };
+  if (all_informed()) return 0;
+
+  for (Round t = 1; t <= cutoff; ++t) {
+    for (auto& p : pos) p = step_from(g, p, rng, lazy);
+    const std::vector<std::uint8_t> before = informed;
+    // Meetings with agents informed in a previous round.
+    for (std::size_t a = 0; a < agent_count; ++a) {
+      if (before[a]) continue;
+      for (std::size_t b = 0; b < agent_count; ++b) {
+        if (before[b] && pos[b] == pos[a]) {
+          informed[a] = 1;
+          break;
+        }
+      }
+    }
+    // First visitors to a still-active source all get informed.
+    if (source_active) {
+      bool met = false;
+      for (std::size_t a = 0; a < agent_count; ++a) {
+        if (!before[a] && !informed[a] && pos[a] == source) {
+          informed[a] = 1;
+          met = true;
+        }
+      }
+      if (met) source_active = false;
+    }
+    if (all_informed()) return t;
+  }
+  return cutoff;
+}
+
+}  // namespace rumor

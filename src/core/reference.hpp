@@ -1,0 +1,39 @@
+// Deliberately naive reference implementations of all four protocols.
+//
+// These transcribe Section 3 of the paper literally — every vertex/agent
+// acts every round, state snapshots are full copies, placement uses CDF
+// inversion instead of the alias method — with no optimizations at all.
+// They exist purely as differential-test oracles for the production
+// simulators (tests/test_core_differential.cpp): on small graphs, the
+// optimized and reference processes must agree in distribution.
+#pragma once
+
+#include <cstdint>
+
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+#include "walk/agents.hpp"
+
+namespace rumor {
+
+[[nodiscard]] Round reference_push(const Graph& g, Vertex source, Rng& rng,
+                                   Round cutoff);
+
+[[nodiscard]] Round reference_push_pull(const Graph& g, Vertex source,
+                                        Rng& rng, Round cutoff);
+
+// Rounds until all vertices informed; agents placed from the stationary
+// distribution by inverse-CDF sampling.
+[[nodiscard]] Round reference_visit_exchange(const Graph& g, Vertex source,
+                                             std::size_t agent_count,
+                                             Laziness lazy, Rng& rng,
+                                             Round cutoff);
+
+// Rounds until all agents informed.
+[[nodiscard]] Round reference_meet_exchange(const Graph& g, Vertex source,
+                                            std::size_t agent_count,
+                                            Laziness lazy, Rng& rng,
+                                            Round cutoff);
+
+}  // namespace rumor

@@ -1,0 +1,89 @@
+// VISIT-EXCHANGE (paper §3).
+//
+// A set A of agents performs independent random walks from the stationary
+// distribution. Round 0: the source vertex s is informed, as is every agent
+// standing on s. Each round: all agents step; an agent informed in a
+// previous round informs the vertex it lands on; an agent standing on a
+// vertex informed in this or any earlier round becomes informed.
+// T_visitx = rounds until all vertices are informed (all agents follow
+// within the same round — both counts are recorded).
+//
+// Cost is Θ(|A|) per round. Agents iterate in ascending id order, which is
+// the canonical total order the paper's Section 5 coupling assumes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/walk_options.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+#include "walk/agents.hpp"
+
+namespace rumor {
+
+class VisitExchangeProcess {
+ public:
+  VisitExchangeProcess(const Graph& g, Vertex source, std::uint64_t seed,
+                       WalkOptions options = {});
+
+  void step();
+
+  [[nodiscard]] bool done() const {
+    return informed_vertex_count_ == graph_->num_vertices();
+  }
+  [[nodiscard]] bool all_agents_informed() const {
+    return informed_agent_count_ == agents_.count();
+  }
+  [[nodiscard]] Round round() const { return round_; }
+  [[nodiscard]] std::uint32_t informed_vertex_count() const {
+    return informed_vertex_count_;
+  }
+  [[nodiscard]] std::size_t informed_agent_count() const {
+    return informed_agent_count_;
+  }
+  [[nodiscard]] bool vertex_informed(Vertex v) const {
+    return vertex_inform_round_[v] != kNeverInformed;
+  }
+  [[nodiscard]] std::uint32_t vertex_inform_round(Vertex v) const {
+    return vertex_inform_round_[v];
+  }
+  [[nodiscard]] bool agent_informed(Agent a) const {
+    return agent_inform_round_[a] != kNeverInformed;
+  }
+  [[nodiscard]] const AgentSystem& agents() const { return agents_; }
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+  [[nodiscard]] Laziness laziness() const { return laziness_; }
+
+  // Runs until all vertices informed (or cutoff). result.agent_rounds is
+  // the round when the last agent was informed.
+  [[nodiscard]] RunResult run();
+
+ private:
+  void inform_vertex(Vertex v);
+  void inform_agent_at(std::size_t order_index);
+
+  const Graph* graph_;
+  Rng rng_;
+  WalkOptions options_;
+  Laziness laziness_;
+  Round round_ = 0;
+  Round cutoff_;
+  AgentSystem agents_;
+  std::uint32_t informed_vertex_count_ = 0;
+  std::size_t informed_agent_count_ = 0;
+  Round agent_complete_round_ = kNoRoundYet;
+  std::vector<std::uint32_t> vertex_inform_round_;
+  std::vector<std::uint32_t> agent_inform_round_;
+  // Agent ids partitioned so [0, informed_agent_count_) are informed;
+  // order_index_of_ inverts the permutation for O(1) swaps.
+  std::vector<Agent> agent_order_;
+  std::vector<std::uint32_t> order_index_of_;
+  std::vector<std::uint32_t> curve_;
+  std::vector<std::uint64_t> edge_traffic_;
+};
+
+[[nodiscard]] RunResult run_visit_exchange(const Graph& g, Vertex source,
+                                           std::uint64_t seed,
+                                           WalkOptions options = {});
+
+}  // namespace rumor

@@ -1,0 +1,40 @@
+// Options shared by the agent-based protocols (visit-exchange,
+// meet-exchange, hybrid, dynamic variants).
+#pragma once
+
+#include <cstddef>
+
+#include "core/protocol.hpp"
+#include "walk/agents.hpp"
+
+namespace rumor {
+
+// Walk laziness policy. The paper uses non-lazy walks for visit-exchange
+// and lazy walks for meet-exchange "when the graph is bipartite"; the
+// auto mode reproduces exactly that rule.
+enum class LazyMode {
+  never,
+  always,
+  auto_bipartite,  // lazy iff the graph is bipartite
+};
+
+struct WalkOptions {
+  // |A| = round(alpha * n) unless agent_count overrides it (nonzero).
+  double alpha = 1.0;
+  std::size_t agent_count = 0;
+  Placement placement = Placement::stationary;
+  // Start vertex for Placement::at_vertex; kNoVertex means "the source".
+  Vertex placement_anchor = kNoVertex;
+  LazyMode lazy = LazyMode::never;
+  Round max_rounds = 0;  // 0 = default_round_cutoff(n)
+  TraceOptions trace;
+};
+
+// Resolves the at_vertex anchor against the broadcast source.
+[[nodiscard]] inline Vertex resolve_anchor(const WalkOptions& options,
+                                           Vertex source) {
+  return options.placement_anchor == kNoVertex ? source
+                                               : options.placement_anchor;
+}
+
+}  // namespace rumor

@@ -1,0 +1,26 @@
+// Output helpers shared by the bench binaries: claim verdict lines,
+// mean±stderr cells, and optional CSV artifact dumps.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/scaling.hpp"
+#include "support/stats.hpp"
+
+namespace rumor {
+
+// "123.4 ±5.6"
+[[nodiscard]] std::string fmt_mean_pm(const Summary& s, int precision = 1);
+
+// Prints "[ OK ] claim — measured" or "[WARN] ..." to stdout; returns ok so
+// callers can aggregate an exit summary.
+bool print_claim(bool ok, std::string_view claim, std::string_view measured);
+
+// Writes a ScalingSeries set as CSV into $RUMOR_RESULTS_DIR/<name>.csv if
+// that environment variable is set; otherwise does nothing. Never throws:
+// reports failures to stderr (bench output must not die on I/O).
+void maybe_dump_csv(const std::string& name,
+                    const std::vector<ScalingSeries>& series);
+
+}  // namespace rumor

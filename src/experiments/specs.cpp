@@ -1,0 +1,151 @@
+#include "experiments/specs.hpp"
+
+#include "core/hybrid.hpp"
+#include "core/meet_exchange.hpp"
+#include "core/visit_exchange.hpp"
+#include "graph/generators.hpp"
+
+namespace rumor {
+
+Graph GraphSpec::make(Rng& rng) const {
+  switch (family) {
+    case Family::star:
+      return gen::star(static_cast<Vertex>(a));
+    case Family::double_star:
+      return gen::double_star(static_cast<Vertex>(a));
+    case Family::heavy_tree:
+      return gen::heavy_binary_tree(static_cast<Vertex>(a));
+    case Family::siamese:
+      return gen::siamese_heavy_tree(static_cast<Vertex>(a));
+    case Family::cycle_stars_cliques:
+      return gen::cycle_stars_cliques(static_cast<Vertex>(a));
+    case Family::complete:
+      return gen::complete(static_cast<Vertex>(a));
+    case Family::cycle:
+      return gen::cycle(static_cast<Vertex>(a));
+    case Family::path:
+      return gen::path(static_cast<Vertex>(a));
+    case Family::grid:
+      return gen::grid2d(static_cast<Vertex>(a), static_cast<Vertex>(b));
+    case Family::torus:
+      return gen::torus2d(static_cast<Vertex>(a), static_cast<Vertex>(b));
+    case Family::hypercube:
+      return gen::hypercube(static_cast<std::uint32_t>(a));
+    case Family::circulant:
+      return gen::circulant(static_cast<Vertex>(a),
+                            static_cast<std::uint32_t>(b));
+    case Family::clique_ring:
+      return gen::clique_ring(static_cast<Vertex>(a), static_cast<Vertex>(b));
+    case Family::clique_path:
+      return gen::clique_path(static_cast<Vertex>(a), static_cast<Vertex>(b));
+    case Family::random_regular:
+      return gen::random_regular(static_cast<Vertex>(a),
+                                 static_cast<std::uint32_t>(b), rng);
+    case Family::erdos_renyi:
+      return gen::erdos_renyi_connected(static_cast<Vertex>(a), p, rng);
+    case Family::barbell:
+      return gen::barbell(static_cast<Vertex>(a));
+    case Family::star_of_cliques:
+      return gen::star_of_cliques(static_cast<Vertex>(a),
+                                  static_cast<Vertex>(b));
+    case Family::binary_tree:
+      return gen::balanced_binary_tree(static_cast<Vertex>(a));
+  }
+  RUMOR_CHECK(false);  // unreachable
+  return gen::complete(2);
+}
+
+std::string GraphSpec::name() const {
+  const auto num = [](std::uint64_t v) { return std::to_string(v); };
+  switch (family) {
+    case Family::star:
+      return "star(leaves=" + num(a) + ")";
+    case Family::double_star:
+      return "double_star(leaves=" + num(a) + ")";
+    case Family::heavy_tree:
+      return "heavy_tree(n=" + num(a) + ")";
+    case Family::siamese:
+      return "siamese(n=" + num(a) + ")";
+    case Family::cycle_stars_cliques:
+      return "cycle_stars_cliques(k=" + num(a) + ")";
+    case Family::complete:
+      return "complete(n=" + num(a) + ")";
+    case Family::cycle:
+      return "cycle(n=" + num(a) + ")";
+    case Family::path:
+      return "path(n=" + num(a) + ")";
+    case Family::grid:
+      return "grid(" + num(a) + "x" + num(b) + ")";
+    case Family::torus:
+      return "torus(" + num(a) + "x" + num(b) + ")";
+    case Family::hypercube:
+      return "hypercube(dim=" + num(a) + ")";
+    case Family::circulant:
+      return "circulant(n=" + num(a) + ",k=" + num(b) + ")";
+    case Family::clique_ring:
+      return "clique_ring(groups=" + num(a) + ",k=" + num(b) + ")";
+    case Family::clique_path:
+      return "clique_path(groups=" + num(a) + ",k=" + num(b) + ")";
+    case Family::random_regular:
+      return "random_regular(n=" + num(a) + ",d=" + num(b) + ")";
+    case Family::erdos_renyi:
+      return "erdos_renyi(n=" + num(a) + ",p=" + std::to_string(p) + ")";
+    case Family::barbell:
+      return "barbell(k=" + num(a) + ")";
+    case Family::star_of_cliques:
+      return "star_of_cliques(c=" + num(a) + ",k=" + num(b) + ")";
+    case Family::binary_tree:
+      return "binary_tree(n=" + num(a) + ")";
+  }
+  return "unknown";
+}
+
+std::string protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::push:
+      return "push";
+    case Protocol::push_pull:
+      return "push-pull";
+    case Protocol::visit_exchange:
+      return "visit-exchange";
+    case Protocol::meet_exchange:
+      return "meet-exchange";
+    case Protocol::hybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+ProtocolSpec default_spec(Protocol p) {
+  ProtocolSpec spec;
+  spec.protocol = p;
+  if (p == Protocol::meet_exchange) {
+    spec.walk.lazy = LazyMode::auto_bipartite;
+  }
+  return spec;
+}
+
+TrialOutcome run_protocol(const Graph& g, const ProtocolSpec& spec,
+                          Vertex source, std::uint64_t seed) {
+  RunResult r;
+  switch (spec.protocol) {
+    case Protocol::push:
+      r = run_push(g, source, seed, spec.push);
+      break;
+    case Protocol::push_pull:
+      r = run_push_pull(g, source, seed, spec.push_pull);
+      break;
+    case Protocol::visit_exchange:
+      r = run_visit_exchange(g, source, seed, spec.walk);
+      break;
+    case Protocol::meet_exchange:
+      r = run_meet_exchange(g, source, seed, spec.walk);
+      break;
+    case Protocol::hybrid:
+      r = run_hybrid(g, source, seed, spec.walk);
+      break;
+  }
+  return {static_cast<double>(r.rounds), r.completed};
+}
+
+}  // namespace rumor

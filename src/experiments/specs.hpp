@@ -1,0 +1,89 @@
+// Experiment specifications: declarative graph + protocol descriptions that
+// the trial runner and the bench binaries share.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/push.hpp"
+#include "core/push_pull.hpp"
+#include "core/walk_options.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace rumor {
+
+enum class Family {
+  star,              // param a = number of leaves
+  double_star,       // a = leaves per star
+  heavy_tree,        // a = tree vertices
+  siamese,           // a = vertices per copy
+  cycle_stars_cliques,  // a = k (n = k + k^2 + k^3)
+  complete,          // a = n
+  cycle,             // a = n
+  path,              // a = n
+  grid,              // a = rows, b = cols
+  torus,             // a = rows, b = cols
+  hypercube,         // a = dimension
+  circulant,         // a = n, b = half-degree k
+  clique_ring,       // a = groups, b = clique size
+  clique_path,       // a = groups, b = clique size
+  random_regular,    // a = n, b = degree d
+  erdos_renyi,       // a = n, p = edge probability
+  barbell,           // a = clique size
+  star_of_cliques,   // a = cliques, b = clique size
+  binary_tree,       // a = n
+};
+
+struct GraphSpec {
+  Family family = Family::complete;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  double p = 0.0;
+
+  // Builds the graph; rng is consumed only by random families.
+  [[nodiscard]] Graph make(Rng& rng) const;
+
+  // Human-readable, e.g. "star(leaves=1024)".
+  [[nodiscard]] std::string name() const;
+
+  // True if make() consumes randomness (trials may want fresh graphs).
+  [[nodiscard]] bool is_random() const {
+    return family == Family::random_regular || family == Family::erdos_renyi;
+  }
+};
+
+enum class Protocol {
+  push,
+  push_pull,
+  visit_exchange,
+  meet_exchange,
+  hybrid,
+};
+
+[[nodiscard]] std::string protocol_name(Protocol p);
+
+struct ProtocolSpec {
+  Protocol protocol = Protocol::push;
+  PushOptions push;          // push / push_pull options
+  PushPullOptions push_pull;
+  WalkOptions walk;          // agent-based protocol options
+
+  [[nodiscard]] std::string name() const { return protocol_name(protocol); }
+};
+
+// Canonical defaults per protocol; notably meet-exchange gets
+// LazyMode::auto_bipartite, matching the paper's convention.
+[[nodiscard]] ProtocolSpec default_spec(Protocol p);
+
+struct TrialOutcome {
+  double rounds = 0.0;
+  bool completed = false;
+};
+
+// Runs one trial of the protocol on the given graph.
+[[nodiscard]] TrialOutcome run_protocol(const Graph& g,
+                                        const ProtocolSpec& spec,
+                                        Vertex source, std::uint64_t seed);
+
+}  // namespace rumor

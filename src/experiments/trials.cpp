@@ -1,0 +1,45 @@
+#include "experiments/trials.hpp"
+
+#include <atomic>
+
+#include "support/thread_pool.hpp"
+
+namespace rumor {
+
+TrialSet run_trials(const Graph& g, const ProtocolSpec& spec, Vertex source,
+                    std::size_t trials, std::uint64_t master_seed) {
+  RUMOR_REQUIRE(trials > 0);
+  TrialSet set;
+  set.rounds.assign(trials, 0.0);
+  std::atomic<std::size_t> incomplete{0};
+  global_pool().parallel_for(trials, [&](std::size_t i) {
+    const TrialOutcome outcome =
+        run_protocol(g, spec, source, derive_seed(master_seed, i));
+    set.rounds[i] = outcome.rounds;
+    if (!outcome.completed) incomplete.fetch_add(1);
+  });
+  set.incomplete = incomplete.load();
+  return set;
+}
+
+TrialSet run_trials_fresh_graph(const GraphSpec& graph_spec,
+                                const ProtocolSpec& spec, Vertex source,
+                                std::size_t trials,
+                                std::uint64_t master_seed) {
+  RUMOR_REQUIRE(trials > 0);
+  TrialSet set;
+  set.rounds.assign(trials, 0.0);
+  std::atomic<std::size_t> incomplete{0};
+  global_pool().parallel_for(trials, [&](std::size_t i) {
+    Rng graph_rng(derive_seed(master_seed ^ 0xABCDEF12345678ULL, i));
+    const Graph g = graph_spec.make(graph_rng);
+    const TrialOutcome outcome =
+        run_protocol(g, spec, source, derive_seed(master_seed, i));
+    set.rounds[i] = outcome.rounds;
+    if (!outcome.completed) incomplete.fetch_add(1);
+  });
+  set.incomplete = incomplete.load();
+  return set;
+}
+
+}  // namespace rumor

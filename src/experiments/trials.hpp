@@ -1,0 +1,38 @@
+// Parallel trial runner.
+//
+// Trials are independent repetitions with seeds derived statelessly from
+// (master seed, trial index): the produced sample vector is identical
+// regardless of worker count or scheduling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "experiments/specs.hpp"
+#include "support/stats.hpp"
+
+namespace rumor {
+
+struct TrialSet {
+  std::vector<double> rounds;   // one entry per trial (cutoff if incomplete)
+  std::size_t incomplete = 0;   // trials that hit the round cutoff
+
+  [[nodiscard]] Summary summary() const { return Summary::of(rounds); }
+};
+
+// R trials of `spec` on a fixed graph.
+[[nodiscard]] TrialSet run_trials(const Graph& g, const ProtocolSpec& spec,
+                                  Vertex source, std::size_t trials,
+                                  std::uint64_t master_seed);
+
+// R trials where each trial draws a fresh graph from the GraphSpec (for
+// random families where graph randomness should be averaged over) and runs
+// from `source` (must be valid in every draw; graph sizes are fixed by the
+// spec).
+[[nodiscard]] TrialSet run_trials_fresh_graph(const GraphSpec& graph_spec,
+                                              const ProtocolSpec& spec,
+                                              Vertex source,
+                                              std::size_t trials,
+                                              std::uint64_t master_seed);
+
+}  // namespace rumor

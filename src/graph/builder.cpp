@@ -1,0 +1,40 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+namespace rumor {
+
+GraphBuilder::GraphBuilder(Vertex num_vertices) : n_(num_vertices) {
+  RUMOR_REQUIRE(num_vertices > 0);
+}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v) {
+  RUMOR_REQUIRE(u < n_ && v < n_);
+  RUMOR_REQUIRE(u != v);
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+  if (seen_active_) seen_.insert(edge_key(u, v));
+}
+
+void GraphBuilder::add_edge_once(Vertex u, Vertex v) {
+  RUMOR_REQUIRE(u < n_ && v < n_);
+  RUMOR_REQUIRE(u != v);
+  if (!seen_active_) {
+    seen_.reserve(edges_.size() * 2);
+    for (const auto& [a, b] : edges_) seen_.insert(edge_key(a, b));
+    seen_active_ = true;
+  }
+  if (!seen_.insert(edge_key(u, v)).second) return;
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+}
+
+void GraphBuilder::add_clique(std::span<const Vertex> vertices) {
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      add_edge(vertices[i], vertices[j]);
+    }
+  }
+}
+
+Graph GraphBuilder::build() const { return Graph(n_, edges_); }
+
+}  // namespace rumor

@@ -1,0 +1,56 @@
+// Mutable edge accumulator producing an immutable CSR Graph.
+//
+// Generators add edges freely; build() validates (no self loops, no
+// duplicates, all endpoints in range) and hands off to Graph. add_edge_once
+// tolerates duplicate insertion attempts, which simplifies generators that
+// enumerate edges from overlapping structures (e.g. clique + tree overlays).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rumor {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Vertex num_vertices);
+
+  [[nodiscard]] Vertex num_vertices() const { return n_; }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  // Adds undirected edge {u, v}. Requires u != v, both < num_vertices, and
+  // that the edge was not added before (checked at build()).
+  void add_edge(Vertex u, Vertex v);
+
+  // Adds {u, v} unless it is already present. O(log m) via a sorted check
+  // at build time is not possible here, so this keeps a hash-free sorted
+  // snapshot lazily; intended for generators with few overlap candidates.
+  void add_edge_once(Vertex u, Vertex v);
+
+  // Adds all edges of a clique over the given vertex ids.
+  void add_clique(std::span<const Vertex> vertices);
+
+  // Validates and builds the CSR graph. The builder remains usable.
+  [[nodiscard]] Graph build() const;
+
+ private:
+  [[nodiscard]] static std::uint64_t edge_key(Vertex u, Vertex v) {
+    const auto lo = static_cast<std::uint64_t>(std::min(u, v));
+    const auto hi = static_cast<std::uint64_t>(std::max(u, v));
+    return (hi << 32) | lo;
+  }
+
+  Vertex n_;
+  std::vector<std::pair<Vertex, Vertex>> edges_;
+  // Duplicate tracking is materialized lazily on the first add_edge_once
+  // call, so generators that never use it pay nothing.
+  std::unordered_set<std::uint64_t> seen_;
+  bool seen_active_ = false;
+};
+
+}  // namespace rumor

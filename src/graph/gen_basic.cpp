@@ -1,0 +1,70 @@
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace rumor::gen {
+
+Graph complete(Vertex n) {
+  RUMOR_REQUIRE(n >= 2);
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph path(Vertex n) {
+  RUMOR_REQUIRE(n >= 2);
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph cycle(Vertex n) {
+  RUMOR_REQUIRE(n >= 3);
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(n - 1, 0);
+  return b.build();
+}
+
+Graph grid2d(Vertex rows, Vertex cols) {
+  RUMOR_REQUIRE(rows >= 1 && cols >= 1);
+  RUMOR_REQUIRE(static_cast<std::uint64_t>(rows) * cols >= 2);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph torus2d(Vertex rows, Vertex cols) {
+  RUMOR_REQUIRE(rows >= 3 && cols >= 3);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      b.add_edge(id(r, c), id(r, (c + 1) % cols));
+      b.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return b.build();
+}
+
+Graph barbell(Vertex k) {
+  RUMOR_REQUIRE(k >= 2);
+  GraphBuilder b(2 * k);
+  for (Vertex u = 0; u < k; ++u) {
+    for (Vertex v = u + 1; v < k; ++v) {
+      b.add_edge(u, v);          // clique A
+      b.add_edge(k + u, k + v);  // clique B
+    }
+  }
+  b.add_edge(k - 1, k);  // bridge
+  return b.build();
+}
+
+}  // namespace rumor::gen

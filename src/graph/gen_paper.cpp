@@ -1,0 +1,89 @@
+// Generators for the composite families of the paper's Figure 1.
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace rumor::gen {
+
+namespace {
+
+// Heap positions [n/2, n) have no children in a heap of size n.
+[[nodiscard]] constexpr Vertex first_leaf_heap_pos(Vertex n) { return n / 2; }
+
+}  // namespace
+
+Graph heavy_binary_tree(Vertex n) {
+  RUMOR_REQUIRE(n >= 4);
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) b.add_edge(v, (v - 1) / 2);
+  std::vector<Vertex> leaves;
+  for (Vertex v = first_leaf_heap_pos(n); v < n; ++v) leaves.push_back(v);
+  b.add_clique(leaves);
+  return b.build();
+}
+
+Graph siamese_heavy_tree(Vertex n) {
+  RUMOR_REQUIRE(n >= 4);
+  // Copy c in {0, 1} places its heap position p in [1, n) at id
+  // p + c*(n-1); heap position 0 is the shared root, id 0.
+  GraphBuilder b(2 * n - 1);
+  for (Vertex c = 0; c < 2; ++c) {
+    const Vertex offset = c * (n - 1);
+    auto id = [offset](Vertex heap_pos) -> Vertex {
+      return heap_pos == 0 ? 0 : heap_pos + offset;
+    };
+    for (Vertex p = 1; p < n; ++p) b.add_edge(id(p), id((p - 1) / 2));
+    std::vector<Vertex> leaves;
+    for (Vertex p = first_leaf_heap_pos(n); p < n; ++p) {
+      leaves.push_back(id(p));
+    }
+    b.add_clique(leaves);
+  }
+  return b.build();
+}
+
+Graph cycle_stars_cliques(Vertex k) {
+  RUMOR_REQUIRE(k >= 3);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(k) + static_cast<std::uint64_t>(k) * k +
+      static_cast<std::uint64_t>(k) * k * k;
+  RUMOR_REQUIRE(total <= 0xFFFFFFFEull);
+  const auto n = static_cast<Vertex>(total);
+  GraphBuilder b(n);
+
+  auto hub = [](Vertex i) { return i; };
+  auto leaf = [k](Vertex i, Vertex j) { return k + i * k + j; };
+  auto clique_vertex = [k](Vertex i, Vertex j, Vertex r) {
+    return k + k * k + (i * k + j) * k + r;
+  };
+
+  for (Vertex i = 0; i < k; ++i) {
+    b.add_edge(hub(i), hub((i + 1) % k));  // ring of hubs
+    for (Vertex j = 0; j < k; ++j) {
+      b.add_edge(hub(i), leaf(i, j));  // star spokes
+      // Q_{i,j}: the (k+1)-clique on {l_{i,j}} ∪ {q_{i,j,*}}.
+      std::vector<Vertex> q;
+      q.push_back(leaf(i, j));
+      for (Vertex r = 0; r < k; ++r) q.push_back(clique_vertex(i, j, r));
+      b.add_clique(q);
+    }
+  }
+  return b.build();
+}
+
+Graph star_of_cliques(Vertex cliques, Vertex k) {
+  RUMOR_REQUIRE(cliques >= 2 && k >= 2);
+  const Vertex n = 1 + cliques * k;
+  GraphBuilder b(n);
+  std::vector<Vertex> members(k);
+  for (Vertex c = 0; c < cliques; ++c) {
+    const Vertex base = 1 + c * k;
+    for (Vertex i = 0; i < k; ++i) members[i] = base + i;
+    b.add_clique(members);
+    b.add_edge(0, base);  // hub attaches to one representative per clique
+  }
+  return b.build();
+}
+
+}  // namespace rumor::gen

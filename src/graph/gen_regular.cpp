@@ -1,0 +1,67 @@
+// Deterministic regular families used by the Theorem 1/23/24/25 experiments.
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace rumor::gen {
+
+Graph hypercube(std::uint32_t dim) {
+  RUMOR_REQUIRE(dim >= 1 && dim < 31);
+  const Vertex n = Vertex{1} << dim;
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint32_t bit = 0; bit < dim; ++bit) {
+      const Vertex mask = Vertex{1} << bit;
+      if ((v & mask) == 0) b.add_edge(v, v | mask);
+    }
+  }
+  return b.build();
+}
+
+Graph circulant(Vertex n, std::uint32_t k) {
+  RUMOR_REQUIRE(k >= 1);
+  RUMOR_REQUIRE(n >= 2 * k + 2);
+  GraphBuilder b(n);
+  for (Vertex i = 0; i < n; ++i) {
+    for (std::uint32_t j = 1; j <= k; ++j) {
+      // Each undirected edge {i, i+j} has a unique forward representation
+      // because j < n/2.
+      b.add_edge(i, (i + j) % n);
+    }
+  }
+  return b.build();
+}
+
+namespace {
+
+Graph clique_chain(Vertex groups, Vertex k, bool closed) {
+  RUMOR_REQUIRE(groups >= 3 && k >= 2);
+  const Vertex n = groups * k;
+  GraphBuilder b(n);
+  std::vector<Vertex> members(k);
+  for (Vertex g = 0; g < groups; ++g) {
+    for (Vertex i = 0; i < k; ++i) members[i] = g * k + i;
+    b.add_clique(members);
+  }
+  const Vertex last = closed ? groups : groups - 1;
+  for (Vertex g = 0; g < last; ++g) {
+    const Vertex next = (g + 1) % groups;
+    for (Vertex i = 0; i < k; ++i) {
+      b.add_edge(g * k + i, next * k + i);  // perfect matching to next group
+    }
+  }
+  return b.build();
+}
+
+}  // namespace
+
+Graph clique_ring(Vertex groups, Vertex k) {
+  return clique_chain(groups, k, /*closed=*/true);
+}
+
+Graph clique_path(Vertex groups, Vertex k) {
+  return clique_chain(groups, k, /*closed=*/false);
+}
+
+}  // namespace rumor::gen

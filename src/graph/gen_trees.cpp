@@ -1,0 +1,32 @@
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace rumor::gen {
+
+Graph star(Vertex leaves) {
+  RUMOR_REQUIRE(leaves >= 2);
+  GraphBuilder b(leaves + 1);
+  for (Vertex leaf = 1; leaf <= leaves; ++leaf) b.add_edge(0, leaf);
+  return b.build();
+}
+
+Graph double_star(Vertex leaves) {
+  RUMOR_REQUIRE(leaves >= 2);
+  const Vertex n = 2 + 2 * leaves;
+  GraphBuilder b(n);
+  b.add_edge(0, 1);  // the bridge between the two centers
+  for (Vertex j = 0; j < leaves; ++j) {
+    b.add_edge(0, 2 + j);
+    b.add_edge(1, 2 + leaves + j);
+  }
+  return b.build();
+}
+
+Graph balanced_binary_tree(Vertex n) {
+  RUMOR_REQUIRE(n >= 2);
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) b.add_edge(v, (v - 1) / 2);
+  return b.build();
+}
+
+}  // namespace rumor::gen

@@ -1,0 +1,85 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rumor {
+
+Graph::Graph(Vertex num_vertices,
+             std::span<const std::pair<Vertex, Vertex>> edges)
+    : n_(num_vertices), m_(edges.size()) {
+  RUMOR_REQUIRE(num_vertices > 0);
+  RUMOR_REQUIRE(edges.size() < std::numeric_limits<EdgeId>::max() / 2);
+
+  edge_list_.reserve(m_);
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+
+  for (const auto& [u, v] : edges) {
+    RUMOR_REQUIRE(u < n_ && v < n_);
+    RUMOR_REQUIRE(u != v);  // no self loops
+    edge_list_.emplace_back(std::min(u, v), std::max(u, v));
+    ++offsets_[u + 1];
+    ++offsets_[v + 1];
+  }
+
+  // Canonical edge order: sort endpoint pairs; also detects duplicates.
+  std::sort(edge_list_.begin(), edge_list_.end());
+  for (std::size_t e = 1; e < edge_list_.size(); ++e) {
+    RUMOR_REQUIRE(edge_list_[e] != edge_list_[e - 1]);  // no multi-edges
+  }
+
+  for (std::size_t v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
+
+  neighbors_.resize(2 * m_);
+  edge_ids_.resize(2 * m_);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t e = 0; e < edge_list_.size(); ++e) {
+    const auto [u, v] = edge_list_[e];
+    neighbors_[cursor[u]] = v;
+    edge_ids_[cursor[u]] = static_cast<EdgeId>(e);
+    ++cursor[u];
+    neighbors_[cursor[v]] = u;
+    edge_ids_[cursor[v]] = static_cast<EdgeId>(e);
+    ++cursor[v];
+  }
+
+  // With edge_list_ sorted by (u, v) and u < v, each vertex w receives its
+  // back-neighbors (all < w) before its forward-neighbors (all > w), each
+  // group ascending — so lists are already sorted and this insertion sort
+  // runs in linear time. It is kept as a guard so the sortedness invariant
+  // holds even if the fill order above changes.
+  for (Vertex v = 0; v < n_; ++v) {
+    const std::uint32_t lo = offsets_[v];
+    const std::uint32_t hi = offsets_[v + 1];
+    // insertion sort on the (neighbor, edge id) pairs; lists are nearly
+    // sorted already, and this avoids a temporary pair buffer.
+    for (std::uint32_t i = lo + 1; i < hi; ++i) {
+      Vertex nv = neighbors_[i];
+      EdgeId ne = edge_ids_[i];
+      std::uint32_t j = i;
+      while (j > lo && neighbors_[j - 1] > nv) {
+        neighbors_[j] = neighbors_[j - 1];
+        edge_ids_[j] = edge_ids_[j - 1];
+        --j;
+      }
+      neighbors_[j] = nv;
+      edge_ids_[j] = ne;
+    }
+  }
+
+  min_degree_ = std::numeric_limits<std::uint32_t>::max();
+  max_degree_ = 0;
+  for (Vertex v = 0; v < n_; ++v) {
+    const std::uint32_t d = degree(v);
+    min_degree_ = std::min(min_degree_, d);
+    max_degree_ = std::max(max_degree_, d);
+  }
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  RUMOR_REQUIRE(u < n_ && v < n_);
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace rumor

@@ -1,0 +1,108 @@
+// Immutable undirected graph in compressed-sparse-row form.
+//
+// This is the substrate every protocol runs on. Design points:
+//  * Vertices are dense uint32 ids [0, n).
+//  * Adjacency is CSR: offsets_[v] .. offsets_[v+1] index into neighbors_.
+//    Neighbor lists are sorted, which makes structural tests exact and
+//    deterministic.
+//  * Every directed adjacency slot carries the id of its undirected edge
+//    (edge_ids_), so simulators can count per-edge traffic in O(1) —
+//    needed for the paper's "locally fair bandwidth" experiments (E11).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace rumor {
+
+using Vertex = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+constexpr Vertex kNoVertex = 0xFFFFFFFFu;
+
+class Graph {
+ public:
+  // Constructs from an undirected edge list. Requires: no self loops, no
+  // duplicate edges (in either orientation), endpoints < num_vertices.
+  // Prefer GraphBuilder, which validates and reports good errors.
+  Graph(Vertex num_vertices, std::span<const std::pair<Vertex, Vertex>> edges);
+
+  [[nodiscard]] Vertex num_vertices() const { return n_; }
+  [[nodiscard]] std::size_t num_edges() const { return m_; }
+
+  [[nodiscard]] std::uint32_t degree(Vertex v) const {
+    RUMOR_CHECK(v < n_);
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  // Sorted neighbor list of v.
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
+    RUMOR_CHECK(v < n_);
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  // i-th neighbor of v (i < degree(v)).
+  [[nodiscard]] Vertex neighbor(Vertex v, std::uint32_t i) const {
+    RUMOR_CHECK(i < degree(v));
+    return neighbors_[offsets_[v] + i];
+  }
+
+  // Undirected edge id of the i-th adjacency slot of v; ids are dense in
+  // [0, num_edges()).
+  [[nodiscard]] EdgeId edge_id(Vertex v, std::uint32_t i) const {
+    RUMOR_CHECK(i < degree(v));
+    return edge_ids_[offsets_[v] + i];
+  }
+
+  // Endpoints (u, v) with u < v of an undirected edge id.
+  [[nodiscard]] std::pair<Vertex, Vertex> edge_endpoints(EdgeId e) const {
+    RUMOR_CHECK(e < m_);
+    return edge_list_[e];
+  }
+
+  // Uniform random neighbor of v; requires degree(v) > 0. This is the single
+  // primitive all four protocols are built from.
+  [[nodiscard]] Vertex random_neighbor(Vertex v, Rng& rng) const {
+    const std::uint32_t deg = degree(v);
+    RUMOR_CHECK(deg > 0);
+    return neighbors_[offsets_[v] + rng.below(deg)];
+  }
+
+  // As above but also reports the adjacency slot chosen (for edge tracing).
+  [[nodiscard]] std::pair<Vertex, std::uint32_t> random_neighbor_slot(
+      Vertex v, Rng& rng) const {
+    const std::uint32_t deg = degree(v);
+    RUMOR_CHECK(deg > 0);
+    const auto slot = static_cast<std::uint32_t>(rng.below(deg));
+    return {neighbors_[offsets_[v] + slot], slot};
+  }
+
+  // True iff {u, v} is an edge. O(log degree) by binary search.
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
+
+  // Sum of degrees == 2m. Kept as a method because the stationary
+  // distribution of the simple random walk is deg(v) / (2m).
+  [[nodiscard]] std::uint64_t total_degree() const { return 2 * m_; }
+
+  [[nodiscard]] std::uint32_t min_degree() const { return min_degree_; }
+  [[nodiscard]] std::uint32_t max_degree() const { return max_degree_; }
+  [[nodiscard]] bool is_regular() const { return min_degree_ == max_degree_; }
+
+ private:
+  Vertex n_ = 0;
+  std::size_t m_ = 0;
+  std::vector<std::uint32_t> offsets_;              // n+1 entries
+  std::vector<Vertex> neighbors_;                   // 2m entries, sorted per vertex
+  std::vector<EdgeId> edge_ids_;                    // 2m entries
+  std::vector<std::pair<Vertex, Vertex>> edge_list_;  // m entries, u < v
+  std::uint32_t min_degree_ = 0;
+  std::uint32_t max_degree_ = 0;
+};
+
+}  // namespace rumor

@@ -1,0 +1,115 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "support/rng.hpp"
+
+namespace rumor {
+
+namespace {
+
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source) {
+  RUMOR_REQUIRE(source < g.num_vertices());
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreached);
+  std::queue<Vertex> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop();
+    for (Vertex v : g.neighbors(u)) {
+      if (dist[v] == kUnreached) {
+        dist[v] = dist[u] + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreached; });
+}
+
+bool is_bipartite(const Graph& g) {
+  std::vector<std::uint8_t> color(g.num_vertices(), 2);  // 2 = uncolored
+  std::queue<Vertex> queue;
+  for (Vertex start = 0; start < g.num_vertices(); ++start) {
+    if (color[start] != 2) continue;
+    color[start] = 0;
+    queue.push(start);
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop();
+      for (Vertex v : g.neighbors(u)) {
+        if (color[v] == 2) {
+          color[v] = color[u] ^ 1;
+          queue.push(v);
+        } else if (color[v] == color[u]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::uint32_t eccentricity(const Graph& g, Vertex source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    RUMOR_REQUIRE(d != kUnreached);  // must be connected
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter_exact(const Graph& g) {
+  std::uint32_t diam = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    diam = std::max(diam, eccentricity(g, v));
+  }
+  return diam;
+}
+
+std::uint32_t diameter_lower_bound(const Graph& g, std::uint32_t samples,
+                                   std::uint64_t seed) {
+  RUMOR_REQUIRE(samples >= 1);
+  Rng rng(seed);
+  std::uint32_t best = 0;
+  Vertex start = static_cast<Vertex>(rng.below(g.num_vertices()));
+  for (std::uint32_t s = 0; s < samples; ++s) {
+    const auto dist = bfs_distances(g, start);
+    Vertex farthest = start;
+    std::uint32_t far_dist = 0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      RUMOR_REQUIRE(dist[v] != kUnreached);
+      if (dist[v] > far_dist) {
+        far_dist = dist[v];
+        farthest = v;
+      }
+    }
+    best = std::max(best, far_dist);
+    start = farthest;  // double-sweep: next BFS from the farthest vertex
+  }
+  return best;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  s.min = g.min_degree();
+  s.max = g.max_degree();
+  s.mean = static_cast<double>(g.total_degree()) /
+           static_cast<double>(g.num_vertices());
+  return s;
+}
+
+}  // namespace rumor

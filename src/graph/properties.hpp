@@ -1,0 +1,44 @@
+// Structural graph properties used for validation and experiment setup.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace rumor {
+
+// BFS reachability from vertex 0.
+[[nodiscard]] bool is_connected(const Graph& g);
+
+// Two-coloring check. Connected bipartite graphs make non-lazy
+// meet-exchange potentially non-terminating (paper §3), so the protocol
+// consults this to auto-enable laziness.
+[[nodiscard]] bool is_bipartite(const Graph& g);
+
+// BFS distances from source; unreachable vertices get UINT32_MAX.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       Vertex source);
+
+// Largest BFS distance from `source` (the eccentricity); requires connected.
+[[nodiscard]] std::uint32_t eccentricity(const Graph& g, Vertex source);
+
+// Exact diameter via all-sources BFS. O(n*m): intended for test-sized
+// graphs only.
+[[nodiscard]] std::uint32_t diameter_exact(const Graph& g);
+
+// Diameter lower bound from `samples` BFS sweeps (double sweep heuristic
+// seeded deterministically); cheap on large graphs.
+[[nodiscard]] std::uint32_t diameter_lower_bound(const Graph& g,
+                                                 std::uint32_t samples,
+                                                 std::uint64_t seed);
+
+struct DegreeStats {
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double mean = 0.0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+}  // namespace rumor

@@ -1,0 +1,29 @@
+// Contract-checking macros. Always on: the simulators in this library are
+// used as experimental evidence, so silently wrong states are worse than an
+// abort. Checks on hot paths are cheap comparisons only.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rumor::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s (%s:%d)\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace rumor::detail
+
+// Precondition on public API arguments.
+#define RUMOR_REQUIRE(expr)                                                 \
+  ((expr) ? static_cast<void>(0)                                            \
+          : ::rumor::detail::contract_failure("precondition", #expr,        \
+                                              __FILE__, __LINE__))
+
+// Internal invariant.
+#define RUMOR_CHECK(expr)                                                   \
+  ((expr) ? static_cast<void>(0)                                            \
+          : ::rumor::detail::contract_failure("invariant", #expr, __FILE__, \
+                                              __LINE__))

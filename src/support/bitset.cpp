@@ -1,0 +1,33 @@
+#include "support/bitset.hpp"
+
+#include <bit>
+
+namespace rumor {
+
+std::size_t DynamicBitset::count() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::size_t DynamicBitset::find_first_unset() const {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    const std::uint64_t inverted = ~words_[wi];
+    if (inverted != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(inverted));
+      const std::size_t idx = wi * 64 + bit;
+      return idx < size_ ? idx : size_;
+    }
+  }
+  return size_;
+}
+
+bool DynamicBitset::is_subset_of(const DynamicBitset& other) const {
+  RUMOR_REQUIRE(size_ == other.size_);
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    if ((words_[wi] & ~other.words_[wi]) != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace rumor

@@ -1,0 +1,77 @@
+// DynamicBitset: a fixed-capacity bitset sized at runtime.
+//
+// Used for informed-vertex / informed-agent sets in the protocol simulators
+// where std::vector<bool> is too slow to scan and std::bitset needs a
+// compile-time size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rumor {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  explicit DynamicBitset(std::size_t size, bool value = false)
+      : size_(size), words_((size + 63) / 64, value ? ~0ULL : 0ULL) {
+    trim();
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    RUMOR_CHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i) {
+    RUMOR_CHECK(i < size_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  void reset(std::size_t i) {
+    RUMOR_CHECK(i < size_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  void fill() {
+    for (auto& w : words_) w = ~0ULL;
+    trim();
+  }
+
+  // Number of set bits.
+  [[nodiscard]] std::size_t count() const;
+
+  // Index of the first clear bit, or size() if all bits are set.
+  [[nodiscard]] std::size_t find_first_unset() const;
+
+  [[nodiscard]] bool all() const { return count() == size_; }
+  [[nodiscard]] bool none() const { return count() == 0; }
+
+  // True iff every set bit of this is also set in other (subset relation).
+  // Sizes must match.
+  [[nodiscard]] bool is_subset_of(const DynamicBitset& other) const;
+
+  [[nodiscard]] bool operator==(const DynamicBitset& other) const = default;
+
+ private:
+  void trim() {
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (1ULL << (size_ % 64)) - 1;
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rumor

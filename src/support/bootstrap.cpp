@@ -1,0 +1,37 @@
+#include "support/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace rumor {
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> samples,
+                              double confidence, std::size_t resamples,
+                              std::uint64_t seed) {
+  RUMOR_REQUIRE(!samples.empty());
+  RUMOR_REQUIRE(confidence > 0.0 && confidence < 1.0);
+  RUMOR_REQUIRE(resamples >= 2);
+
+  BootstrapCi ci;
+  ci.point = mean_of(samples);
+
+  Rng rng(seed);
+  std::vector<double> means(resamples);
+  const std::size_t n = samples.size();
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += samples[rng.below(n)];
+    means[r] = sum / static_cast<double>(n);
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = 1.0 - confidence;
+  ci.lo = quantile_sorted(means, alpha / 2.0);
+  ci.hi = quantile_sorted(means, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+}  // namespace rumor

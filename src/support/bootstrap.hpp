@@ -1,0 +1,26 @@
+// Percentile bootstrap confidence intervals for the mean.
+//
+// Broadcast-time distributions are skewed (coupon-collector tails), so we
+// report bootstrap CIs instead of normal-theory intervals in the experiment
+// tables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rumor {
+
+struct BootstrapCi {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;  // sample mean
+};
+
+// Percentile bootstrap CI for the mean at the given confidence level.
+// `resamples` resampled means are drawn with the given seed; deterministic.
+[[nodiscard]] BootstrapCi bootstrap_mean_ci(std::span<const double> samples,
+                                            double confidence = 0.95,
+                                            std::size_t resamples = 1000,
+                                            std::uint64_t seed = 0x9E3779B9ULL);
+
+}  // namespace rumor

@@ -1,0 +1,39 @@
+#include "support/csv.hpp"
+
+#include "support/assert.hpp"
+
+namespace rumor {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  RUMOR_REQUIRE(columns_ > 0);
+  row(header);
+  rows_ = 0;  // header does not count as a data row
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  RUMOR_REQUIRE(cells.size() == columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace rumor

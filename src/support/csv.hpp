@@ -1,0 +1,34 @@
+// Minimal CSV emission for experiment artifacts.
+//
+// Quoting follows RFC 4180: fields containing comma, quote, or newline are
+// quoted, embedded quotes doubled.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rumor {
+
+class CsvWriter {
+ public:
+  // Writes to an externally owned stream; the header row is emitted
+  // immediately. Every subsequent row must have exactly header.size() cells.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  void row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t columns() const { return columns_; }
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+  // Escapes a single field per RFC 4180.
+  [[nodiscard]] static std::string escape(std::string_view field);
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace rumor

@@ -1,0 +1,12 @@
+#include "support/rng.hpp"
+
+// Header-only by design (hot-path inlining); this translation unit exists so
+// the library has a home for the module and to force the header to compile
+// standalone.
+
+namespace rumor {
+
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == 0xFFFFFFFFFFFFFFFFULL);
+
+}  // namespace rumor

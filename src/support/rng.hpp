@@ -1,0 +1,106 @@
+// Random number generation substrate.
+//
+// All randomness in the library flows through rumor::Rng (xoshiro256++),
+// seeded via SplitMix64 so that any 64-bit seed gives a well-mixed state.
+// Trial seeds are derived with derive_seed(master, index) which is stable
+// across platforms and independent of thread scheduling, making every
+// experiment reproducible from a single master seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rumor {
+
+// SplitMix64: used for seeding and for stateless seed derivation.
+// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+// generators" (OOPSLA 2014).
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless derivation of an independent stream seed from (master, index).
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t master,
+                                                  std::uint64_t index) {
+  std::uint64_t s = master ^ (0x6A09E667F3BCC909ULL + index * 0x9E3779B97F4A7C15ULL);
+  std::uint64_t a = splitmix64(s);
+  std::uint64_t b = splitmix64(s);
+  return a ^ (b << 1 | b >> 63);
+}
+
+// xoshiro256++ by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xD1B54A32D192ED03ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Unbiased uniform integer in [0, bound). Lemire's multiply-shift
+  // rejection method; bound must be nonzero.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) {
+    __extension__ using u128 = unsigned __int128;
+    std::uint64_t x = (*this)();
+    u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<u128>(x) * static_cast<u128>(bound);
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  [[nodiscard]] std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with success probability p.
+  [[nodiscard]] bool chance(double p) { return uniform01() < p; }
+
+  // Fair coin; one RNG draw per call (used on hot lazy-walk paths).
+  [[nodiscard]] bool coin() { return ((*this)() >> 63) != 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace rumor

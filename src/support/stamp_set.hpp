@@ -1,0 +1,49 @@
+// StampSet: membership set over [0, n) with O(1) clear.
+//
+// Each element stores the "epoch" at which it was last inserted; advancing
+// the epoch empties the set without touching memory. Protocol simulators use
+// one epoch per round (e.g. "which vertices hold a previously-informed agent
+// this round" in meet-exchange).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rumor {
+
+class StampSet {
+ public:
+  StampSet() = default;
+  explicit StampSet(std::size_t size) : stamps_(size, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return stamps_.size(); }
+
+  // Empties the set. O(1) except when the 64-bit epoch wraps (never in
+  // practice: 2^64 rounds).
+  void advance() {
+    ++epoch_;
+    if (epoch_ == 0) {  // wrapped: do the (amortized-free) hard reset
+      std::fill(stamps_.begin(), stamps_.end(), std::uint64_t{0});
+      epoch_ = 1;
+    }
+  }
+
+  void insert(std::size_t i) {
+    RUMOR_CHECK(i < stamps_.size());
+    stamps_[i] = epoch_;
+  }
+
+  [[nodiscard]] bool contains(std::size_t i) const {
+    RUMOR_CHECK(i < stamps_.size());
+    return stamps_[i] == epoch_;
+  }
+
+ private:
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace rumor

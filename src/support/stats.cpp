@@ -1,0 +1,100 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace rumor {
+
+double mean_of(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  return sum / static_cast<double>(samples.size());
+}
+
+double stddev_of(std::span<const double> samples) {
+  if (samples.size() < 2) return 0.0;
+  const double m = mean_of(samples);
+  double ss = 0.0;
+  for (double v : samples) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(samples.size() - 1));
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  RUMOR_REQUIRE(!sorted.empty());
+  RUMOR_REQUIRE(q >= 0.0 && q <= 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summary::of(std::span<const double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.mean = mean_of(sorted);
+  s.stddev = stddev_of(sorted);
+  s.stderr_mean = s.stddev / std::sqrt(static_cast<double>(s.count));
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q25 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.50);
+  s.q75 = quantile_sorted(sorted, 0.75);
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  RUMOR_REQUIRE(hi > lo);
+  RUMOR_REQUIRE(bins > 0);
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((value - lo_) / width);
+  bin = std::min(bin, counts_.size() - 1);  // guard FP edge at hi_
+  ++counts_[bin];
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  return bin_low(bin + 1);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t max_count = 1;
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(max_count) *
+        static_cast<double>(width));
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "[%10.3g, %10.3g) %8zu |", bin_low(b),
+                  bin_high(b), counts_[b]);
+    out << buf << std::string(bar, '#') << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rumor

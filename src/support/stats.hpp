@@ -1,0 +1,62 @@
+// Descriptive statistics over trial samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rumor {
+
+// Five-number-plus summary of a sample. Produced once per (experiment point,
+// protocol) from R trial broadcast times.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   // sample standard deviation (n-1 denominator)
+  double stderr_mean = 0.0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+
+  // Computes the summary; an empty sample yields an all-zero Summary.
+  [[nodiscard]] static Summary of(std::span<const double> samples);
+};
+
+// Linear-interpolated quantile (type-7, numpy default); q in [0, 1].
+// `sorted` must be ascending and non-empty.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+[[nodiscard]] double mean_of(std::span<const double> samples);
+[[nodiscard]] double stddev_of(std::span<const double> samples);
+
+// Fixed-width histogram used by examples for traffic-fairness reporting.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_high(std::size_t bin) const;
+
+  // Multi-line ASCII rendering (one row per bin, bar scaled to max count).
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace rumor

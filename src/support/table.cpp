@@ -1,0 +1,82 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace rumor {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  RUMOR_REQUIRE(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  RUMOR_REQUIRE(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::num(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+std::vector<std::size_t> TextTable::widths() const {
+  std::vector<std::size_t> w(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      w[c] = std::max(w[c], row[c].size());
+    }
+  }
+  return w;
+}
+
+std::string TextTable::render_plain() const {
+  const auto w = widths();
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << cells[c] << std::string(w[c] - cells[c].size(), ' ');
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < w.size(); ++c) total += w[c] + (c == 0 ? 0 : 2);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::render_markdown() const {
+  const auto w = widths();
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c] << std::string(w[c] - cells[c].size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+  emit(header_);
+  out << '|';
+  for (std::size_t c = 0; c < w.size(); ++c) {
+    out << std::string(w[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace rumor

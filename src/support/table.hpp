@@ -1,0 +1,34 @@
+// Aligned text tables for bench/example output.
+//
+// Collects rows of string cells and renders either a column-aligned plain
+// table or GitHub-flavored markdown (used verbatim in EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rumor {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+  [[nodiscard]] static std::string num(std::uint64_t value);
+
+  [[nodiscard]] std::string render_plain() const;
+  [[nodiscard]] std::string render_markdown() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> widths() const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rumor

@@ -1,0 +1,87 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+
+#include "support/assert.hpp"
+
+namespace rumor {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || threads_.size() == 1) {  // avoid queueing overhead
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Work is claimed via a shared atomic index; one queued shard per worker.
+  // parallel_for blocks until every shard finishes, so capturing locals by
+  // reference in the shard closure is safe. The completion count is
+  // decremented under done_mutex so the waiter cannot observe zero (and
+  // destroy the condition variable) while a worker still holds it.
+  std::atomic<std::size_t> next{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  const std::size_t shards = std::min(threads_.size(), count);
+  std::size_t remaining = shards;
+
+  auto shard_fn = [&next, &remaining, count, &fn, &done_mutex, &done_cv] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) break;
+      fn(i);
+    }
+    std::lock_guard lock(done_mutex);
+    if (--remaining == 0) done_cv.notify_all();
+  };
+
+  {
+    std::lock_guard lock(mutex_);
+    RUMOR_CHECK(!stopping_);
+    for (std::size_t s = 0; s < shards; ++s) tasks_.push(shard_fn);
+  }
+  cv_.notify_all();
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace rumor

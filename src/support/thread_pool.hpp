@@ -1,0 +1,47 @@
+// Fixed-size thread pool with a deterministic parallel_for.
+//
+// Experiment trials are embarrassingly parallel; each index derives its own
+// RNG seed from (master, index), so results are identical regardless of the
+// number of workers or scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace rumor {
+
+class ThreadPool {
+ public:
+  // workers == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+  // Runs fn(i) for every i in [0, count). Blocks until all complete.
+  // fn must not throw (simulation code reports failures via contract
+  // aborts); indices are claimed atomically so work is balanced.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+};
+
+// Process-wide pool for experiment runners (constructed on first use).
+ThreadPool& global_pool();
+
+}  // namespace rumor

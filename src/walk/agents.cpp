@@ -1,0 +1,62 @@
+#include "walk/agents.hpp"
+
+#include <cmath>
+
+#include "walk/alias.hpp"
+
+namespace rumor {
+
+std::size_t agent_count_for(Vertex n, double alpha) {
+  RUMOR_REQUIRE(alpha > 0.0);
+  const auto count =
+      static_cast<std::size_t>(std::llround(alpha * static_cast<double>(n)));
+  return count > 0 ? count : 1;
+}
+
+AgentSystem::AgentSystem(const Graph& g, std::size_t count,
+                         Placement placement, Rng& rng, Vertex anchor)
+    : graph_(&g) {
+  RUMOR_REQUIRE(count > 0);
+  positions_.resize(count);
+  switch (placement) {
+    case Placement::stationary: {
+      std::vector<double> weights(g.num_vertices());
+      for (Vertex v = 0; v < g.num_vertices(); ++v) {
+        weights[v] = static_cast<double>(g.degree(v));
+      }
+      const AliasSampler sampler(weights);
+      for (auto& pos : positions_) {
+        pos = static_cast<Vertex>(sampler.sample(rng));
+      }
+      break;
+    }
+    case Placement::one_per_vertex: {
+      RUMOR_REQUIRE(count == g.num_vertices());
+      for (Agent a = 0; a < count; ++a) positions_[a] = a;
+      break;
+    }
+    case Placement::uniform: {
+      for (auto& pos : positions_) {
+        pos = static_cast<Vertex>(rng.below(g.num_vertices()));
+      }
+      break;
+    }
+    case Placement::at_vertex: {
+      RUMOR_REQUIRE(anchor < g.num_vertices());
+      for (auto& pos : positions_) pos = anchor;
+      break;
+    }
+  }
+}
+
+void AgentSystem::step_all(Rng& rng, Laziness lazy) {
+  for (auto& pos : positions_) pos = step_from(*graph_, pos, rng, lazy);
+}
+
+std::vector<std::uint32_t> AgentSystem::occupancy() const {
+  std::vector<std::uint32_t> occ(graph_->num_vertices(), 0);
+  for (Vertex pos : positions_) ++occ[pos];
+  return occ;
+}
+
+}  // namespace rumor

@@ -1,0 +1,83 @@
+// AgentSystem: the population of independent random walkers shared by
+// visit-exchange, meet-exchange, and their variants.
+//
+// The system stores only positions; protocol state (who is informed) lives
+// in the protocol simulators, because the two agent-based protocols track
+// it differently. Movement is exposed both in bulk (step_all) and per agent
+// (set_position + step_from), the latter for the coupled simulators of
+// Sections 5/6 that dictate some steps from shared randomness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace rumor {
+
+using Agent = std::uint32_t;
+
+// Initial placement of agents (paper §3 uses `stationary`; the remark after
+// Lemma 11 covers `one_per_vertex`).
+enum class Placement {
+  stationary,      // independent draws from π(v) = deg(v)/2|E|
+  one_per_vertex,  // agent i starts at vertex i (count must equal n)
+  uniform,         // independent uniform vertex draws
+  at_vertex,       // all agents start at a designated vertex
+};
+
+// Walk laziness. `half` stays put with probability 1/2 each round — the
+// paper's fix for bipartite periodicity in meet-exchange.
+enum class Laziness { none, half };
+
+// |A| = round(alpha * n), at least 1.
+[[nodiscard]] std::size_t agent_count_for(Vertex n, double alpha);
+
+// One walk step from v: uniform neighbor, or stay put on the lazy coin.
+[[nodiscard]] inline Vertex step_from(const Graph& g, Vertex v, Rng& rng,
+                                      Laziness lazy) {
+  if (lazy == Laziness::half && rng.coin()) return v;
+  return g.random_neighbor(v, rng);
+}
+
+class AgentSystem {
+ public:
+  // `anchor` is the start vertex for Placement::at_vertex (ignored
+  // otherwise). Placement::one_per_vertex requires count == g.num_vertices().
+  AgentSystem(const Graph& g, std::size_t count, Placement placement,
+              Rng& rng, Vertex anchor = 0);
+
+  [[nodiscard]] std::size_t count() const { return positions_.size(); }
+
+  [[nodiscard]] Vertex position(Agent a) const {
+    RUMOR_CHECK(a < positions_.size());
+    return positions_[a];
+  }
+
+  void set_position(Agent a, Vertex v) {
+    RUMOR_CHECK(a < positions_.size());
+    RUMOR_CHECK(v < graph_->num_vertices());
+    positions_[a] = v;
+  }
+
+  [[nodiscard]] std::span<const Vertex> positions() const {
+    return positions_;
+  }
+
+  // Moves every agent one independent step (agent order is the canonical
+  // total order used by the paper's couplings: ascending agent id).
+  void step_all(Rng& rng, Laziness lazy);
+
+  // Number of agents currently on each vertex (O(n + |A|)).
+  [[nodiscard]] std::vector<std::uint32_t> occupancy() const;
+
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+
+ private:
+  const Graph* graph_;
+  std::vector<Vertex> positions_;
+};
+
+}  // namespace rumor

@@ -1,0 +1,55 @@
+#include "walk/alias.hpp"
+
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rumor {
+
+AliasSampler::AliasSampler(std::span<const double> weights) {
+  RUMOR_REQUIRE(!weights.empty());
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    RUMOR_REQUIRE(w >= 0.0);
+    total += w;
+  }
+  RUMOR_REQUIRE(total > 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scale weights so the mean column holds probability 1.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Residual columns are (numerically) exactly 1.
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const {
+  const std::size_t column = rng.below(prob_.size());
+  return rng.uniform01() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace rumor

@@ -1,0 +1,34 @@
+// Random-walk statistics: cover, hitting, and meeting times.
+//
+// These are the classical quantities the related work (§2) relates to
+// meet-exchange broadcast times ([16]: T_meetx = O(meeting time · log n)),
+// and they double as statistical tests of the walk substrate against known
+// closed forms (e.g. cycle cover time n(n-1)/2).
+#pragma once
+
+#include <cstdint>
+
+#include "walk/agents.hpp"
+
+namespace rumor {
+
+// Rounds for a single walk from `start` to visit every vertex; one sample.
+// Returns cutoff if not covered by then (cutoff > 0).
+[[nodiscard]] std::uint64_t cover_time_once(const Graph& g, Vertex start,
+                                            Rng& rng, Laziness lazy,
+                                            std::uint64_t cutoff);
+
+// Rounds for a single walk from `start` to first reach `target`.
+[[nodiscard]] std::uint64_t hitting_time_once(const Graph& g, Vertex start,
+                                              Vertex target, Rng& rng,
+                                              Laziness lazy,
+                                              std::uint64_t cutoff);
+
+// Rounds until two independent walks from a, b occupy the same vertex
+// (checked after each synchronous step; 0 if a == b).
+[[nodiscard]] std::uint64_t meeting_time_once(const Graph& g, Vertex a,
+                                              Vertex b, Rng& rng,
+                                              Laziness lazy,
+                                              std::uint64_t cutoff);
+
+}  // namespace rumor

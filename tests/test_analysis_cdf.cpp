@@ -1,0 +1,89 @@
+// Empirical CDF and stretched-dominance tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/cdf.hpp"
+#include "core/push.hpp"
+#include "core/visit_exchange.hpp"
+#include "graph/generators.hpp"
+
+namespace rumor {
+namespace {
+
+TEST(EmpiricalCdf, PointwiseValues) {
+  const std::vector<double> v{1, 2, 2, 3};
+  EmpiricalCdf cdf(v);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, Quantiles) {
+  const std::vector<double> v{10, 20, 30, 40};
+  EmpiricalCdf cdf(v);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 40.0);
+  // Smallest q with P[X <= q] >= 0.26 is 20 (P[X <= 20] = 0.5).
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.26), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.51), 30.0);
+}
+
+TEST(Dominance, IdenticalSamplesDominateAtStretchOne) {
+  const std::vector<double> v{3, 1, 4, 1, 5};
+  EmpiricalCdf a(v), b(v);
+  EXPECT_TRUE(dominates_with_stretch(a, b, 1.0));
+}
+
+TEST(Dominance, ShiftedDistributionNeedsStretch) {
+  // A = 2*B pointwise: stretch 2 works, stretch 1.9 fails somewhere.
+  std::vector<double> base, doubled;
+  for (int i = 1; i <= 50; ++i) {
+    base.push_back(i);
+    doubled.push_back(2.0 * i);
+  }
+  EmpiricalCdf a(doubled), b(base);
+  EXPECT_TRUE(dominates_with_stretch(a, b, 2.0));
+  EXPECT_FALSE(dominates_with_stretch(a, b, 1.9));
+  EXPECT_NEAR(minimal_stretch(a, b), 2.0, 0.01);
+}
+
+TEST(Dominance, SlackForgivesSmallViolations) {
+  const std::vector<double> a_samples{10, 10, 10, 10};
+  const std::vector<double> b_samples{9, 10, 10, 10};  // B slightly faster
+  EmpiricalCdf a(a_samples), b(b_samples);
+  EXPECT_FALSE(dominates_with_stretch(a, b, 1.0, 0.0, 0.0));
+  EXPECT_TRUE(dominates_with_stretch(a, b, 1.0, 0.0, 0.3));
+}
+
+TEST(Dominance, ShiftParameterActsAdditively) {
+  const std::vector<double> a_samples{12, 13, 14};
+  const std::vector<double> b_samples{10, 11, 12};
+  EmpiricalCdf a(a_samples), b(b_samples);
+  EXPECT_FALSE(dominates_with_stretch(a, b, 1.0, 0.0));
+  EXPECT_TRUE(dominates_with_stretch(a, b, 1.0, 2.0));
+}
+
+TEST(Theorem10Distributional, PushDominatedByStretchedVisitxOnRegular) {
+  // The theorem's actual statement: P[T_push <= c k] >= P[T_visitx <= k]
+  // - n^-lambda. Sampled over 60 seeds with a small slack for Monte-Carlo
+  // noise, a modest c must suffice (and symmetric for Theorem 19).
+  Rng grng(3);
+  const Graph g = gen::random_regular(512, 12, grng);
+  std::vector<double> push_t, visitx_t;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    push_t.push_back(static_cast<double>(run_push(g, 0, seed).rounds));
+    visitx_t.push_back(
+        static_cast<double>(run_visit_exchange(g, 0, seed + 500).rounds));
+  }
+  EmpiricalCdf push_cdf(push_t), visitx_cdf(visitx_t);
+  EXPECT_LE(minimal_stretch(push_cdf, visitx_cdf, 0.1), 4.0);   // Thm 10
+  EXPECT_LE(minimal_stretch(visitx_cdf, push_cdf, 0.1), 4.0);   // Thm 19
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,117 @@
+// Frog model tests (related work §2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/frog.hpp"
+#include "graph/generators.hpp"
+#include "support/stats.hpp"
+
+namespace rumor {
+namespace {
+
+TEST(Frog, SourceFrogsWakeAtRoundZero) {
+  const Graph g = gen::cycle(10);
+  FrogProcess p(g, 3, 1);
+  EXPECT_EQ(p.awake_count(), 1u);
+  EXPECT_TRUE(p.vertex_visited(3));
+  EXPECT_FALSE(p.vertex_visited(4));
+  EXPECT_EQ(p.frog_count(), 10u);
+}
+
+TEST(Frog, MultipleFrogsPerVertex) {
+  const Graph g = gen::cycle(8);
+  FrogOptions options;
+  options.frogs_per_vertex = 3;
+  FrogProcess p(g, 0, 2, options);
+  EXPECT_EQ(p.frog_count(), 24u);
+  EXPECT_EQ(p.awake_count(), 3u);
+}
+
+TEST(Frog, AwakeCountMonotoneAndCompletes) {
+  const Graph g = gen::complete(64);
+  FrogProcess p(g, 0, 5);
+  std::size_t prev = p.awake_count();
+  while (!p.done()) {
+    p.step();
+    EXPECT_GE(p.awake_count(), prev);
+    prev = p.awake_count();
+  }
+  EXPECT_EQ(p.awake_count(), 64u);
+}
+
+TEST(Frog, WakeRequiresVisit) {
+  // On a path with the source at one end, vertex k cannot wake before
+  // round k (frogs move one hop per round).
+  const Graph g = gen::path(10);
+  FrogProcess p(g, 0, 7);
+  for (int t = 1; t < 9; ++t) {
+    p.step();
+    for (Vertex v = static_cast<Vertex>(t) + 1; v < 10; ++v) {
+      EXPECT_FALSE(p.vertex_visited(v)) << "round " << t << " vertex " << v;
+    }
+  }
+}
+
+TEST(Frog, SelfAcceleratesPastSingleWalkCoverTime) {
+  // The growing walker population must beat a single walk's cover time by a
+  // wide margin on the cycle (Θ(n²) vs the frog model's o(n²)).
+  const Vertex n = 64;
+  const Graph g = gen::cycle(n);
+  std::vector<double> frog_times;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const RunResult r = run_frog(g, 0, seed);
+    ASSERT_TRUE(r.completed);
+    frog_times.push_back(static_cast<double>(r.rounds));
+  }
+  const double single_walk_cover = n * (n - 1) / 2.0;  // exact for the cycle
+  EXPECT_LT(Summary::of(frog_times).mean, single_walk_cover / 4);
+}
+
+TEST(Frog, CompleteGraphLogarithmicScale) {
+  // On K_n the awake set roughly doubles per round: O(log n) completion.
+  const Vertex n = 1024;
+  const Graph g = gen::complete(n);
+  std::vector<double> samples;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    samples.push_back(static_cast<double>(run_frog(g, 0, seed).rounds));
+  }
+  EXPECT_LT(Summary::of(samples).mean, 6 * std::log2(double(n)));
+}
+
+TEST(Frog, TraceConsistency) {
+  const Graph g = gen::grid2d(6, 6);
+  FrogOptions options;
+  options.trace.informed_curve = true;
+  options.trace.inform_rounds = true;
+  const RunResult r = run_frog(g, 0, 3, options);
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.informed_curve.size(), r.rounds + 1);
+  EXPECT_EQ(r.informed_curve.back(), 36u);
+  std::uint32_t max_round = 0;
+  for (std::uint32_t t : r.vertex_inform_round) {
+    ASSERT_NE(t, kNeverInformed);
+    max_round = std::max(max_round, t);
+  }
+  EXPECT_EQ(max_round, r.rounds);
+}
+
+TEST(Frog, LazyWalksStillComplete) {
+  const Graph g = gen::star(32);  // bipartite is fine: frogs wake on visit
+  FrogOptions options;
+  options.laziness = Laziness::half;
+  const RunResult r = run_frog(g, 1, 9, options);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Frog, CutoffReported) {
+  const Graph g = gen::cycle(256);
+  FrogOptions options;
+  options.max_rounds = 3;
+  const RunResult r = run_frog(g, 0, 1, options);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.rounds, 3u);
+}
+
+}  // namespace
+}  // namespace rumor

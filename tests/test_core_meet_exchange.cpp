@@ -1,0 +1,154 @@
+// MEET-EXCHANGE protocol tests, including the bipartite/lazy-walk regime
+// the paper calls out in §3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/meet_exchange.hpp"
+#include "graph/generators.hpp"
+#include "support/stats.hpp"
+
+namespace rumor {
+namespace {
+
+TEST(MeetExchange, AgentsOnSourceInformedAtRoundZero) {
+  const Graph g = gen::complete(6);
+  WalkOptions options = MeetExchangeProcess::default_options();
+  options.agent_count = 40;
+  MeetExchangeProcess p(g, 2, 3, options);
+  std::size_t on_source = 0;
+  for (Agent a = 0; a < 40; ++a) {
+    if (p.agents().position(a) == 2) ++on_source;
+    EXPECT_EQ(p.agent_informed(a), p.agents().position(a) == 2);
+  }
+  EXPECT_EQ(p.informed_agent_count(), on_source);
+  EXPECT_EQ(p.source_active(), on_source == 0);
+}
+
+TEST(MeetExchange, SourceInformsOnlyFirstCohort) {
+  // With all agents started away from the source, the source stays active
+  // until its first visitor, then deactivates permanently.
+  const Graph g = gen::path(8);
+  WalkOptions options = MeetExchangeProcess::default_options();
+  options.placement = Placement::at_vertex;
+  options.placement_anchor = 0;  // all agents at vertex 0, away from source
+  options.agent_count = 4;
+  MeetExchangeProcess p(g, 7, 5, options);  // source at the far end
+  EXPECT_TRUE(p.source_active());
+  EXPECT_EQ(p.informed_agent_count(), 0u);
+  bool was_active = true;
+  while (!p.done() && p.round() < 100000) {
+    p.step();
+    if (!p.source_active() && was_active) {
+      // Deactivation must coincide with the first informs.
+      EXPECT_GT(p.informed_agent_count(), 0u);
+      was_active = false;
+    }
+  }
+  EXPECT_FALSE(p.source_active());
+}
+
+TEST(MeetExchange, CompletesOnNonBipartiteGraphs) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const RunResult r = run_meet_exchange(gen::complete(32), 0, seed);
+    EXPECT_TRUE(r.completed);
+  }
+}
+
+TEST(MeetExchange, AutoLazinessOnBipartiteGraphs) {
+  const Graph star = gen::star(16);
+  MeetExchangeProcess lazy(star, 0, 1);
+  EXPECT_EQ(lazy.laziness(), Laziness::half);
+  const Graph odd_cycle = gen::cycle(9);
+  MeetExchangeProcess nonlazy(odd_cycle, 0, 1);
+  EXPECT_EQ(nonlazy.laziness(), Laziness::none);
+}
+
+TEST(MeetExchange, NonLazyBipartiteCanStall) {
+  // On the 2-path (single edge) with one agent per vertex and a non-lazy
+  // walk, the two agents swap endpoints forever and never meet; only the
+  // source visit informs one of them. The run must hit the cutoff.
+  const Graph g = gen::path(2);
+  WalkOptions options;  // LazyMode::never
+  options.placement = Placement::one_per_vertex;
+  options.agent_count = 2;
+  options.max_rounds = 5000;
+  const RunResult r = run_meet_exchange(g, 0, 3, options);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.rounds, 5000u);
+}
+
+TEST(MeetExchange, LazyWalksResolveTheSameInstance) {
+  const Graph g = gen::path(2);
+  WalkOptions options;
+  options.lazy = LazyMode::always;
+  options.placement = Placement::one_per_vertex;
+  options.agent_count = 2;
+  options.max_rounds = 100000;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const RunResult r = run_meet_exchange(g, 0, seed, options);
+    EXPECT_TRUE(r.completed);
+  }
+}
+
+TEST(MeetExchange, MonotoneInformedCount) {
+  const Graph g = gen::complete(48);
+  WalkOptions options = MeetExchangeProcess::default_options();
+  MeetExchangeProcess p(g, 0, 9, options);
+  std::size_t prev = p.informed_agent_count();
+  while (!p.done() && p.round() < 100000) {
+    p.step();
+    EXPECT_GE(p.informed_agent_count(), prev);
+    prev = p.informed_agent_count();
+  }
+  EXPECT_TRUE(p.done());
+}
+
+TEST(MeetExchange, StarLogarithmicWithLazyWalks) {
+  // Lemma 2(d): T_meetx = O(log n) w.h.p. on the star (lazy walks meet at
+  // the center at constant rate).
+  const Vertex leaves = 512;
+  const Graph g = gen::star(leaves);
+  std::vector<double> samples;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    samples.push_back(
+        static_cast<double>(run_meet_exchange(g, 1, seed).rounds));
+  }
+  EXPECT_LT(Summary::of(samples).max, 18 * std::log2(leaves));
+}
+
+TEST(MeetExchange, InformRoundsTraceConsistent) {
+  WalkOptions options = MeetExchangeProcess::default_options();
+  options.trace.inform_rounds = true;
+  const RunResult r = run_meet_exchange(gen::complete(32), 0, 4, options);
+  ASSERT_TRUE(r.completed);
+  std::uint32_t max_round = 0;
+  for (std::uint32_t t : r.agent_inform_round) {
+    ASSERT_NE(t, kNeverInformed);
+    max_round = std::max(max_round, t);
+  }
+  EXPECT_EQ(max_round, r.rounds);
+}
+
+TEST(MeetExchange, DeterministicGivenSeed) {
+  const Graph g = gen::complete(64);
+  const RunResult a = run_meet_exchange(g, 0, 31337);
+  const RunResult b = run_meet_exchange(g, 0, 31337);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(MeetExchange, InformedCurveTracksAgents) {
+  WalkOptions options = MeetExchangeProcess::default_options();
+  options.trace.informed_curve = true;
+  options.agent_count = 64;
+  const RunResult r = run_meet_exchange(gen::complete(64), 0, 8, options);
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.informed_curve.size(), r.rounds + 1);
+  EXPECT_EQ(r.informed_curve.back(), 64u);
+  for (std::size_t i = 1; i < r.informed_curve.size(); ++i) {
+    EXPECT_GE(r.informed_curve[i], r.informed_curve[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,167 @@
+// Hybrid, asynchronous, and dynamic-agent protocol variants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/async.hpp"
+#include "core/dynamic_agents.hpp"
+#include "core/hybrid.hpp"
+#include "core/push_pull.hpp"
+#include "core/visit_exchange.hpp"
+#include "graph/generators.hpp"
+#include "support/stats.hpp"
+
+namespace rumor {
+namespace {
+
+TEST(Hybrid, CompletesEverywhere) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    EXPECT_TRUE(run_hybrid(gen::star(64), 1, seed).completed);
+    EXPECT_TRUE(run_hybrid(gen::double_star(64), 2, seed).completed);
+    EXPECT_TRUE(run_hybrid(gen::heavy_binary_tree(63), 62, seed).completed);
+    EXPECT_TRUE(run_hybrid(gen::complete(64), 0, seed).completed);
+  }
+}
+
+TEST(Hybrid, NoSlowerThanEitherComponentOnSeparatingGraphs) {
+  // The paper's motivation for combining: hybrid should track the better
+  // of push-pull (heavy tree) and visit-exchange (double star).
+  const Graph dstar = gen::double_star(256);
+  const Graph htree = gen::heavy_binary_tree(255);
+  std::vector<double> hybrid_ds, ppull_ds, hybrid_ht, visitx_ht;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    hybrid_ds.push_back(static_cast<double>(run_hybrid(dstar, 2, seed).rounds));
+    ppull_ds.push_back(
+        static_cast<double>(run_push_pull(dstar, 2, seed).rounds));
+    hybrid_ht.push_back(
+        static_cast<double>(run_hybrid(htree, 254, seed).rounds));
+    visitx_ht.push_back(
+        static_cast<double>(run_visit_exchange(htree, 254, seed).rounds));
+  }
+  // On the double star, hybrid (via its agents) beats pure push-pull's
+  // Ω(n) bridge wait by a wide margin.
+  EXPECT_LT(Summary::of(hybrid_ds).mean, 0.5 * Summary::of(ppull_ds).mean);
+  // On the heavy tree, hybrid (via push-pull) beats pure visit-exchange's
+  // Ω(n) root wait.
+  EXPECT_LT(Summary::of(hybrid_ht).mean, 0.5 * Summary::of(visitx_ht).mean);
+}
+
+TEST(Hybrid, MonotoneAndConsistentTrace) {
+  WalkOptions options;
+  options.trace.informed_curve = true;
+  const RunResult r = run_hybrid(gen::grid2d(8, 8), 0, 3, options);
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.informed_curve.size(), r.rounds + 1);
+  for (std::size_t i = 1; i < r.informed_curve.size(); ++i) {
+    EXPECT_GE(r.informed_curve[i], r.informed_curve[i - 1]);
+  }
+  EXPECT_EQ(r.informed_curve.back(), 64u);
+}
+
+TEST(Async, CompletesAndReportsTimeUnits) {
+  const Graph g = gen::complete(128);
+  const AsyncResult r = run_async_push_pull(g, 0, 5);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.ticks, 0u);
+  EXPECT_NEAR(r.time_units, static_cast<double>(r.ticks) / 128.0, 1e-9);
+}
+
+TEST(Async, PushOnlyModeSlowerOnStar) {
+  // Without pull, the star reverts to coupon-collector behavior.
+  const Graph g = gen::star(128);
+  AsyncOptions push_only;
+  push_only.pull_enabled = false;
+  std::vector<double> with_pull, without_pull;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    with_pull.push_back(run_async_push_pull(g, 0, seed).time_units);
+    without_pull.push_back(
+        run_async_push_pull(g, 0, seed, push_only).time_units);
+  }
+  EXPECT_GT(Summary::of(without_pull).mean,
+            3 * Summary::of(with_pull).mean);
+}
+
+TEST(Async, ComparableToSyncOnRegularGraph) {
+  // Related work (§2): async and sync push-pull broadcast times agree to
+  // constant factors on regular graphs.
+  Rng grng(3);
+  const Graph g = gen::random_regular(512, 12, grng);
+  std::vector<double> sync_t, async_t;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    sync_t.push_back(static_cast<double>(run_push_pull(g, 0, seed).rounds));
+    async_t.push_back(run_async_push_pull(g, 0, seed).time_units);
+  }
+  const double ratio = Summary::of(async_t).mean / Summary::of(sync_t).mean;
+  EXPECT_GT(ratio, 0.2);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(Async, CutoffReported) {
+  const Graph g = gen::double_star(512);
+  AsyncOptions options;
+  options.max_ticks = 100;
+  const AsyncResult r = run_async_push_pull(g, 2, 1, options);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.ticks, 100u);
+}
+
+TEST(DynamicAgents, ZeroChurnMatchesPlainVisitExchangeInDistribution) {
+  const Graph g = gen::hypercube(7);
+  std::vector<double> plain, dynamic;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    plain.push_back(
+        static_cast<double>(run_visit_exchange(g, 0, seed).rounds));
+    dynamic.push_back(static_cast<double>(
+        run_dynamic_visit_exchange(g, 0, seed + 500).rounds));
+  }
+  const Summary sp = Summary::of(plain);
+  const Summary sd = Summary::of(dynamic);
+  EXPECT_NEAR(sp.mean, sd.mean, 5 * (sp.stderr_mean + sd.stderr_mean) + 0.5);
+}
+
+TEST(DynamicAgents, ChurnSlowsButCompletes) {
+  Rng grng(9);
+  const Graph g = gen::random_regular(256, 8, grng);
+  DynamicAgentOptions churny;
+  churny.churn = 0.2;
+  std::vector<double> clean_t, churn_t;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    clean_t.push_back(
+        static_cast<double>(run_dynamic_visit_exchange(g, 0, seed).rounds));
+    const RunResult r = run_dynamic_visit_exchange(g, 0, seed, churny);
+    EXPECT_TRUE(r.completed);
+    churn_t.push_back(static_cast<double>(r.rounds));
+  }
+  // Churn discards informed agents, so it cannot speed things up.
+  EXPECT_GE(Summary::of(churn_t).mean, 0.9 * Summary::of(clean_t).mean);
+}
+
+TEST(DynamicAgents, BulkLossSurvivable) {
+  Rng grng(11);
+  const Graph g = gen::random_regular(256, 8, grng);
+  DynamicAgentOptions options;
+  options.loss_round = 2;
+  options.loss_fraction = 0.5;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    DynamicVisitExchangeProcess p(g, 0, seed, options);
+    const RunResult r = p.run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_LT(p.alive_agent_count(), 256u);  // agents actually died
+    EXPECT_GT(p.alive_agent_count(), 64u);   // ...about half, not all
+  }
+}
+
+TEST(DynamicAgents, TotalLossStallsAfterLocalFlood) {
+  // Killing every agent freezes dissemination: vertices informed so far
+  // stay informed, no new ones are added, and the cutoff is hit.
+  const Graph g = gen::cycle(64);
+  DynamicAgentOptions options;
+  options.loss_round = 1;
+  options.loss_fraction = 1.0;
+  options.walk.max_rounds = 2000;
+  const RunResult r = run_dynamic_visit_exchange(g, 0, 7, options);
+  EXPECT_FALSE(r.completed);
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,154 @@
+// Graph (CSR) and GraphBuilder invariant tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+
+namespace rumor {
+namespace {
+
+Graph triangle() {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  return b.build();
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.total_degree(), 6u);
+  for (Vertex v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  GraphBuilder b(6);
+  b.add_edge(3, 5);
+  b.add_edge(3, 1);
+  b.add_edge(3, 4);
+  b.add_edge(3, 0);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(Graph, HasEdgeBothDirections) {
+  const Graph g = triangle();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g2 = b.build();
+  EXPECT_FALSE(g2.has_edge(0, 2));
+  EXPECT_FALSE(g2.has_edge(1, 3));
+}
+
+TEST(Graph, EdgeIdsAreConsistentAcrossOrientations) {
+  const Graph g = triangle();
+  // For every adjacency slot, the edge id must round-trip to endpoints
+  // containing both vertices.
+  std::set<EdgeId> seen;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (std::uint32_t i = 0; i < g.degree(v); ++i) {
+      const EdgeId e = g.edge_id(v, i);
+      seen.insert(e);
+      const auto [a, b] = g.edge_endpoints(e);
+      const Vertex w = g.neighbor(v, i);
+      EXPECT_TRUE((a == v && b == w) || (a == w && b == v));
+      EXPECT_LT(a, b);
+    }
+  }
+  EXPECT_EQ(seen.size(), g.num_edges());  // ids are dense and all used
+}
+
+TEST(Graph, RandomNeighborIsAlwaysAdjacent) {
+  GraphBuilder b(8);
+  for (Vertex v = 1; v < 8; ++v) b.add_edge(0, v);
+  const Graph g = b.build();
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Vertex v = g.random_neighbor(0, rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LT(v, 8u);
+  }
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(g.random_neighbor(3, rng), 0u);
+}
+
+TEST(Graph, RandomNeighborUniformity) {
+  GraphBuilder b(5);
+  for (Vertex v = 1; v < 5; ++v) b.add_edge(0, v);
+  const Graph g = b.build();
+  Rng rng(17);
+  std::vector<int> counts(5, 0);
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[g.random_neighbor(0, rng)];
+  for (Vertex v = 1; v < 5; ++v) {
+    EXPECT_NEAR(counts[v], kDraws / 4.0, 5 * std::sqrt(kDraws / 4.0));
+  }
+}
+
+TEST(Graph, RandomNeighborSlotMatchesNeighbor) {
+  const Graph g = triangle();
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const auto [v, slot] = g.random_neighbor_slot(1, rng);
+    EXPECT_EQ(g.neighbor(1, slot), v);
+  }
+}
+
+TEST(Builder, AddEdgeOnceDeduplicates) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge_once(1, 0);  // duplicate in reverse orientation
+  b.add_edge_once(1, 2);
+  b.add_edge_once(2, 1);  // duplicate
+  EXPECT_EQ(b.num_edges(), 2u);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Builder, AddClique) {
+  GraphBuilder b(5);
+  const std::vector<Vertex> members{1, 2, 4};
+  b.add_clique(members);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(1, 4));
+  EXPECT_TRUE(g.has_edge(2, 4));
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+using GraphDeathTest = ::testing::Test;
+
+TEST(GraphDeathTest, RejectsSelfLoop) {
+  GraphBuilder b(3);
+  EXPECT_DEATH(b.add_edge(1, 1), "precondition");
+}
+
+TEST(GraphDeathTest, RejectsOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_DEATH(b.add_edge(0, 3), "precondition");
+}
+
+TEST(GraphDeathTest, RejectsDuplicateAtBuild) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  EXPECT_DEATH((void)b.build(), "precondition");
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,262 @@
+// Structural validation of every graph generator: exact vertex/edge counts,
+// degree sequences, connectivity, bipartiteness, regularity — the layout
+// facts the experiments rely on (e.g. "the star center is vertex 0").
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace rumor {
+namespace {
+
+TEST(GenComplete, Structure) {
+  const Graph g = gen::complete(6);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 5u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(is_bipartite(g));
+  EXPECT_EQ(diameter_exact(g), 1u);
+}
+
+TEST(GenPath, Structure) {
+  const Graph g = gen::path(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(4), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(diameter_exact(g), 4u);
+}
+
+TEST(GenCycle, EvenIsBipartiteOddIsNot) {
+  const Graph even = gen::cycle(8);
+  EXPECT_EQ(even.num_edges(), 8u);
+  EXPECT_TRUE(even.is_regular());
+  EXPECT_TRUE(is_bipartite(even));
+  EXPECT_EQ(diameter_exact(even), 4u);
+  const Graph odd = gen::cycle(7);
+  EXPECT_FALSE(is_bipartite(odd));
+  EXPECT_EQ(diameter_exact(odd), 3u);
+}
+
+TEST(GenGrid, Structure) {
+  const Graph g = gen::grid2d(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 4u * 2);  // 17
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(g.degree(0), 2u);       // corner
+  EXPECT_EQ(diameter_exact(g), 5u);  // (3-1)+(4-1)
+}
+
+TEST(GenTorus, FourRegular) {
+  const Graph g = gen::torus2d(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 40u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(GenBarbell, BridgeStructure) {
+  const Graph g = gen::barbell(4);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 2u * 6 + 1);
+  EXPECT_TRUE(g.has_edge(3, 4));  // the bridge
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(3), 4u);  // clique + bridge
+  EXPECT_EQ(g.degree(0), 3u);
+}
+
+TEST(GenStar, PaperFig1a) {
+  const Graph g = gen::star(10);
+  EXPECT_EQ(g.num_vertices(), 11u);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(g.degree(0), 10u);  // center is vertex 0
+  for (Vertex leaf = 1; leaf <= 10; ++leaf) EXPECT_EQ(g.degree(leaf), 1u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_bipartite(g));  // meet-exchange needs lazy walks here
+  EXPECT_EQ(diameter_exact(g), 2u);
+}
+
+TEST(GenDoubleStar, PaperFig1b) {
+  const Graph g = gen::double_star(6);
+  EXPECT_EQ(g.num_vertices(), 14u);
+  EXPECT_EQ(g.num_edges(), 13u);
+  EXPECT_TRUE(g.has_edge(0, 1));  // the center-center bridge
+  EXPECT_EQ(g.degree(0), 7u);     // 6 leaves + bridge
+  EXPECT_EQ(g.degree(1), 7u);
+  for (Vertex leaf = 2; leaf < 14; ++leaf) EXPECT_EQ(g.degree(leaf), 1u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(diameter_exact(g), 3u);
+}
+
+TEST(GenBinaryTree, HeapLayout) {
+  const Graph g = gen::balanced_binary_tree(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(2, 6));
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(GenHeavyTree, PaperFig1c) {
+  // n = 15: leaves are heap positions [7, 15) => 8 leaves, clique K8.
+  const Graph g = gen::heavy_binary_tree(15);
+  EXPECT_EQ(g.num_vertices(), 15u);
+  EXPECT_EQ(g.num_edges(), 14u + 8u * 7 / 2);
+  EXPECT_EQ(g.degree(0), 2u);  // root keeps tree degree
+  // A leaf: 7 clique neighbors + 1 parent.
+  EXPECT_EQ(g.degree(7), 8u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(is_bipartite(g));
+  // Most volume on the leaves: leaf-clique degrees dominate.
+  EXPECT_GT(degree_stats(g).max, 2u);
+}
+
+TEST(GenSiamese, PaperFig1d) {
+  // Two copies of B_15 sharing the root: 2*15-1 vertices.
+  const Graph g = gen::siamese_heavy_tree(15);
+  EXPECT_EQ(g.num_vertices(), 29u);
+  EXPECT_EQ(g.num_edges(), 2u * (14 + 28));
+  EXPECT_EQ(g.degree(0), 4u);  // merged root has both copies' children
+  EXPECT_TRUE(is_connected(g));
+  // Copy layout: heap position p of copy c sits at p + c*(n-1).
+  EXPECT_TRUE(g.has_edge(0, 1));        // copy 0 child
+  EXPECT_TRUE(g.has_edge(0, 1 + 14));   // copy 1 child
+  EXPECT_FALSE(g.has_edge(1, 1 + 14));  // copies only meet at the root
+}
+
+TEST(GenCycleStarsCliques, PaperFig1e) {
+  const Vertex k = 4;
+  const Graph g = gen::cycle_stars_cliques(k);
+  EXPECT_EQ(g.num_vertices(), k + k * k + k * k * k);
+  // Edges: ring k, spokes k^2, cliques k^2 * C(k+1,2).
+  EXPECT_EQ(g.num_edges(), k + k * k + k * k * (k + 1) * k / 2);
+  EXPECT_TRUE(is_connected(g));
+  // Hub degree k+2; leaf degree k+1; clique vertex degree k: almost regular.
+  EXPECT_EQ(g.degree(0), k + 2);
+  EXPECT_EQ(g.degree(k), k + 1);  // first leaf
+  EXPECT_EQ(g.degree(k + k * k), k);  // first clique vertex
+  const auto stats = degree_stats(g);
+  EXPECT_LE(stats.max - stats.min, 2u);
+}
+
+TEST(GenStarOfCliques, Structure) {
+  const Graph g = gen::star_of_cliques(3, 4);
+  EXPECT_EQ(g.num_vertices(), 13u);
+  EXPECT_EQ(g.num_edges(), 3u * 6 + 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(GenHypercube, Structure) {
+  const Graph g = gen::hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);  // n * dim / 2
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 4u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(diameter_exact(g), 4u);
+}
+
+TEST(GenCirculant, Structure) {
+  const Graph g = gen::circulant(12, 3);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 36u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 6u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(11, 2));  // wraps around
+  EXPECT_FALSE(g.has_edge(0, 4));
+}
+
+TEST(GenCliqueRing, ExactlyRegular) {
+  const Graph g = gen::clique_ring(5, 4);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 5u);  // k-1 clique + 2 matching
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(is_bipartite(g));
+}
+
+TEST(GenCliquePath, EndGroupsLighter) {
+  const Graph g = gen::clique_path(4, 3);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_FALSE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 3u);   // end groups: k-1+1
+  EXPECT_EQ(g.max_degree(), 4u);   // interior: k-1+2
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(GenRandomRegular, SimpleRegularConnected) {
+  Rng rng(99);
+  for (std::uint32_t d : {3u, 8u, 16u}) {
+    const Graph g = gen::random_regular(200, d, rng);
+    EXPECT_EQ(g.num_vertices(), 200u);
+    EXPECT_TRUE(g.is_regular()) << "d=" << d;
+    EXPECT_EQ(g.min_degree(), d);
+    EXPECT_EQ(g.num_edges(), 200u * d / 2);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(GenRandomRegular, OddDegreeEvenN) {
+  Rng rng(7);
+  const Graph g = gen::random_regular(100, 5, rng);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.min_degree(), 5u);
+}
+
+TEST(GenRandomRegular, DifferentSeedsDifferentGraphs) {
+  Rng rng1(1), rng2(2);
+  const Graph a = gen::random_regular(64, 4, rng1);
+  const Graph b = gen::random_regular(64, 4, rng2);
+  bool identical = true;
+  for (Vertex v = 0; v < 64 && identical; ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    identical = std::equal(na.begin(), na.end(), nb.begin(), nb.end());
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(GenErdosRenyi, ConnectedWithPlausibleEdgeCount) {
+  Rng rng(123);
+  const Vertex n = 300;
+  const double p = 0.05;
+  const Graph g = gen::erdos_renyi_connected(n, p, rng);
+  EXPECT_EQ(g.num_vertices(), n);
+  EXPECT_TRUE(is_connected(g));
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              6 * std::sqrt(expected));
+}
+
+TEST(GenErdosRenyi, EdgeProbabilityCalibrated) {
+  // Mean edge count over several draws should track p closely (tests the
+  // geometric-skip sampling).
+  Rng rng(55);
+  const Vertex n = 200;
+  const double p = 0.1;
+  double total = 0;
+  const int draws = 30;
+  for (int i = 0; i < draws; ++i) {
+    total += static_cast<double>(gen::erdos_renyi_connected(n, p, rng).num_edges());
+  }
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(total / draws, expected, 0.03 * expected);
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,92 @@
+// Edge-list and DOT serialization tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace rumor {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesStructure) {
+  Rng rng(4);
+  const Graph original = gen::random_regular(50, 6, rng);
+  std::stringstream buffer;
+  save_edge_list(original, buffer);
+  const Graph loaded = load_edge_list(buffer);
+
+  ASSERT_EQ(loaded.num_vertices(), original.num_vertices());
+  ASSERT_EQ(loaded.num_edges(), original.num_edges());
+  for (Vertex v = 0; v < original.num_vertices(); ++v) {
+    const auto a = original.neighbors(v);
+    const auto b = loaded.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored) {
+  std::istringstream in(
+      "# a comment\n"
+      "\n"
+      "3 2\n"
+      "# another\n"
+      "0 1\n"
+      "1 2\n");
+  const Graph g = load_edge_list(in);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(GraphIo, RejectsMalformedHeader) {
+  std::istringstream in("abc def\n");
+  EXPECT_THROW((void)load_edge_list(in), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsMissingHeader) {
+  std::istringstream in("# only comments\n");
+  EXPECT_THROW((void)load_edge_list(in), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsOutOfRangeEndpoint) {
+  std::istringstream in("3 1\n0 5\n");
+  EXPECT_THROW((void)load_edge_list(in), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsSelfLoop) {
+  std::istringstream in("3 1\n1 1\n");
+  EXPECT_THROW((void)load_edge_list(in), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsEdgeCountMismatch) {
+  std::istringstream in("3 2\n0 1\n");
+  EXPECT_THROW((void)load_edge_list(in), std::runtime_error);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const Graph g = gen::cycle(12);
+  const std::string path = ::testing::TempDir() + "/rumor_io_test.edges";
+  save_edge_list_file(g, path);
+  const Graph loaded = load_edge_list_file(path);
+  EXPECT_EQ(loaded.num_edges(), 12u);
+  EXPECT_TRUE(loaded.has_edge(11, 0));
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_edge_list_file("/nonexistent/path/x.edges"),
+               std::runtime_error);
+}
+
+TEST(GraphIo, DotExportShape) {
+  std::ostringstream out;
+  export_dot(gen::path(3), out, "P3");
+  const std::string dot = out.str();
+  EXPECT_EQ(dot.find("graph P3 {"), 0u);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,70 @@
+// Graph property algorithms: BFS, connectivity, bipartiteness, diameter.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace rumor {
+namespace {
+
+TEST(BfsDistances, PathDistances) {
+  const Graph g = gen::path(6);
+  const auto dist = bfs_distances(g, 0);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+  const auto dist2 = bfs_distances(g, 3);
+  EXPECT_EQ(dist2[0], 3u);
+  EXPECT_EQ(dist2[5], 2u);
+}
+
+TEST(BfsDistances, UnreachableIsSentinel) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 0xFFFFFFFFu);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(IsBipartite, DisconnectedComponentsChecked) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);  // component 1: edge (bipartite)
+  b.add_edge(2, 3);  // component 2: triangle (odd cycle)
+  b.add_edge(3, 4);
+  b.add_edge(4, 2);
+  const Graph g = b.build();
+  EXPECT_FALSE(is_bipartite(g));
+}
+
+TEST(Eccentricity, CycleCenterless) {
+  const Graph g = gen::cycle(10);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(eccentricity(g, v), 5u);
+}
+
+TEST(DiameterExact, KnownValues) {
+  EXPECT_EQ(diameter_exact(gen::path(10)), 9u);
+  EXPECT_EQ(diameter_exact(gen::complete(10)), 1u);
+  EXPECT_EQ(diameter_exact(gen::star(10)), 2u);
+  EXPECT_EQ(diameter_exact(gen::hypercube(5)), 5u);
+}
+
+TEST(DiameterLowerBound, NeverExceedsExactAndUsuallyMatchesOnTrees) {
+  const Graph g = gen::balanced_binary_tree(63);
+  const std::uint32_t exact = diameter_exact(g);
+  const std::uint32_t lb = diameter_lower_bound(g, 4, 1);
+  EXPECT_LE(lb, exact);
+  // Double sweep is exact on trees.
+  EXPECT_EQ(lb, exact);
+}
+
+TEST(DegreeStats, Star) {
+  const auto s = degree_stats(gen::star(9));
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 9u);
+  EXPECT_NEAR(s.mean, 18.0 / 10.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rumor

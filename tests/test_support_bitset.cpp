@@ -1,0 +1,117 @@
+// DynamicBitset and StampSet unit tests.
+#include <gtest/gtest.h>
+
+#include "support/bitset.hpp"
+#include "support/stamp_set.hpp"
+
+namespace rumor {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.all());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitset, SetResetTest) {
+  DynamicBitset b(130);  // spans three words
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitset, FillRespectsSize) {
+  DynamicBitset b(70, true);
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_TRUE(b.all());
+}
+
+TEST(DynamicBitset, FillThenClear) {
+  DynamicBitset b(65);
+  b.fill();
+  EXPECT_TRUE(b.all());
+  b.clear();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynamicBitset, FindFirstUnset) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.find_first_unset(), 0u);
+  b.set(0);
+  EXPECT_EQ(b.find_first_unset(), 1u);
+  for (std::size_t i = 0; i < 100; ++i) b.set(i);
+  EXPECT_EQ(b.find_first_unset(), 100u);  // == size when full
+}
+
+TEST(DynamicBitset, FindFirstUnsetAcrossWordBoundary) {
+  DynamicBitset b(128);
+  for (std::size_t i = 0; i < 64; ++i) b.set(i);
+  EXPECT_EQ(b.find_first_unset(), 64u);
+}
+
+TEST(DynamicBitset, SubsetRelation) {
+  DynamicBitset small(80), big(80);
+  small.set(3);
+  small.set(77);
+  big.set(3);
+  big.set(77);
+  big.set(40);
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  EXPECT_TRUE(small.is_subset_of(small));
+  DynamicBitset empty(80);
+  EXPECT_TRUE(empty.is_subset_of(small));
+}
+
+TEST(DynamicBitset, EqualityComparesContent) {
+  DynamicBitset a(64), b(64);
+  EXPECT_EQ(a, b);
+  a.set(10);
+  EXPECT_NE(a, b);
+  b.set(10);
+  EXPECT_EQ(a, b);
+}
+
+TEST(StampSet, InsertAndContains) {
+  StampSet s(10);
+  EXPECT_FALSE(s.contains(3));
+  s.insert(3);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+}
+
+TEST(StampSet, AdvanceClearsInConstantTime) {
+  StampSet s(5);
+  s.insert(0);
+  s.insert(4);
+  s.advance();
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_FALSE(s.contains(i));
+  s.insert(2);
+  EXPECT_TRUE(s.contains(2));
+}
+
+TEST(StampSet, ManyEpochsStayCorrect) {
+  StampSet s(3);
+  for (int epoch = 0; epoch < 1000; ++epoch) {
+    s.insert(epoch % 3);
+    EXPECT_TRUE(s.contains(epoch % 3));
+    EXPECT_FALSE(s.contains((epoch + 1) % 3));
+    s.advance();
+  }
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,126 @@
+// AgentSystem: placement distributions, stepping validity, stationarity
+// preservation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "walk/agents.hpp"
+
+namespace rumor {
+namespace {
+
+TEST(AgentCount, RoundsAlpha) {
+  EXPECT_EQ(agent_count_for(100, 1.0), 100u);
+  EXPECT_EQ(agent_count_for(100, 0.5), 50u);
+  EXPECT_EQ(agent_count_for(100, 2.0), 200u);
+  EXPECT_EQ(agent_count_for(3, 0.1), 1u);  // never zero
+}
+
+TEST(Agents, OnePerVertexPlacement) {
+  const Graph g = gen::cycle(10);
+  Rng rng(1);
+  AgentSystem agents(g, 10, Placement::one_per_vertex, rng);
+  for (Agent a = 0; a < 10; ++a) EXPECT_EQ(agents.position(a), a);
+}
+
+TEST(Agents, AtVertexPlacement) {
+  const Graph g = gen::cycle(10);
+  Rng rng(1);
+  AgentSystem agents(g, 5, Placement::at_vertex, rng, 7);
+  for (Agent a = 0; a < 5; ++a) EXPECT_EQ(agents.position(a), 7u);
+}
+
+TEST(Agents, StationaryPlacementMatchesDegreeWeights) {
+  // On the star, the center holds half the stationary mass.
+  const Graph g = gen::star(20);
+  Rng rng(2);
+  AgentSystem agents(g, 40000, Placement::stationary, rng);
+  std::size_t at_center = 0;
+  for (Vertex pos : agents.positions()) at_center += (pos == 0) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(at_center), 20000.0,
+              5 * std::sqrt(20000.0));
+}
+
+TEST(Agents, UniformPlacementCoversVertices) {
+  const Graph g = gen::cycle(16);
+  Rng rng(3);
+  AgentSystem agents(g, 16000, Placement::uniform, rng);
+  auto occ = agents.occupancy();
+  for (Vertex v = 0; v < 16; ++v) {
+    EXPECT_NEAR(occ[v], 1000.0, 5 * std::sqrt(1000.0));
+  }
+}
+
+TEST(Agents, StepMovesToNeighbors) {
+  const Graph g = gen::cycle(12);
+  Rng rng(4);
+  AgentSystem agents(g, 30, Placement::uniform, rng);
+  const std::vector<Vertex> before(agents.positions().begin(),
+                                   agents.positions().end());
+  agents.step_all(rng, Laziness::none);
+  for (Agent a = 0; a < 30; ++a) {
+    EXPECT_TRUE(g.has_edge(before[a], agents.position(a)));
+  }
+}
+
+TEST(Agents, LazyStepStaysOrMoves) {
+  const Graph g = gen::cycle(12);
+  Rng rng(5);
+  AgentSystem agents(g, 4000, Placement::uniform, rng);
+  const std::vector<Vertex> before(agents.positions().begin(),
+                                   agents.positions().end());
+  agents.step_all(rng, Laziness::half);
+  std::size_t stayed = 0;
+  for (Agent a = 0; a < 4000; ++a) {
+    const Vertex now = agents.position(a);
+    const bool ok = (now == before[a]) || g.has_edge(before[a], now);
+    EXPECT_TRUE(ok);
+    stayed += (now == before[a]) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(stayed), 2000.0, 5 * std::sqrt(2000.0));
+}
+
+TEST(Agents, OccupancySumsToCount) {
+  const Graph g = gen::grid2d(5, 5);
+  Rng rng(6);
+  AgentSystem agents(g, 123, Placement::stationary, rng);
+  for (int round = 0; round < 10; ++round) {
+    const auto occ = agents.occupancy();
+    EXPECT_EQ(std::accumulate(occ.begin(), occ.end(), 0u), 123u);
+    agents.step_all(rng, Laziness::none);
+  }
+}
+
+TEST(Agents, StationarityPreservedUnderStepping) {
+  // Start from the stationary distribution, walk 50 rounds, and check the
+  // empirical distribution still matches degree weights. On the star the
+  // walk is periodic, so use a non-bipartite graph.
+  const Graph g = gen::heavy_binary_tree(31);
+  Rng rng(7);
+  const std::size_t agent_count = 60000;
+  AgentSystem agents(g, agent_count, Placement::stationary, rng);
+  for (int round = 0; round < 50; ++round) {
+    agents.step_all(rng, Laziness::none);
+  }
+  const auto occ = agents.occupancy();
+  const double total_degree = static_cast<double>(g.total_degree());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const double expected =
+        agent_count * static_cast<double>(g.degree(v)) / total_degree;
+    EXPECT_NEAR(occ[v], expected, 6 * std::sqrt(expected) + 3) << "v=" << v;
+  }
+}
+
+TEST(Agents, SetPosition) {
+  const Graph g = gen::path(5);
+  Rng rng(8);
+  AgentSystem agents(g, 2, Placement::at_vertex, rng, 0);
+  agents.set_position(1, 4);
+  EXPECT_EQ(agents.position(0), 0u);
+  EXPECT_EQ(agents.position(1), 4u);
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,76 @@
+// Alias sampler correctness: exactness on degenerate cases and chi-squared
+// style frequency bands on general weights.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "walk/alias.hpp"
+
+namespace rumor {
+namespace {
+
+TEST(Alias, SingleOutcome) {
+  const std::vector<double> w{5.0};
+  AliasSampler s(w);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.sample(rng), 0u);
+}
+
+TEST(Alias, ZeroWeightNeverSampled) {
+  const std::vector<double> w{1.0, 0.0, 1.0};
+  AliasSampler s(w);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) EXPECT_NE(s.sample(rng), 1u);
+}
+
+TEST(Alias, UniformWeights) {
+  const std::vector<double> w(8, 3.0);
+  AliasSampler s(w);
+  Rng rng(3);
+  std::vector<int> counts(8, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[s.sample(rng)];
+  const double expected = kDraws / 8.0;
+  for (int c : counts) EXPECT_NEAR(c, expected, 5 * std::sqrt(expected));
+}
+
+TEST(Alias, SkewedWeightsMatchProbabilities) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};  // sum 10
+  AliasSampler s(w);
+  Rng rng(4);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[s.sample(rng)];
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double expected = kDraws * w[i] / 10.0;
+    EXPECT_NEAR(counts[i], expected, 5 * std::sqrt(expected)) << "i=" << i;
+  }
+}
+
+TEST(Alias, ExtremeSkew) {
+  // 999:1 ratio — the rare outcome must still appear at its rate.
+  const std::vector<double> w{999.0, 1.0};
+  AliasSampler s(w);
+  Rng rng(5);
+  int rare = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) rare += (s.sample(rng) == 1) ? 1 : 0;
+  EXPECT_NEAR(rare, kDraws / 1000.0, 5 * std::sqrt(kDraws / 1000.0));
+}
+
+TEST(Alias, DegreeDistributionOfStar) {
+  // The stationary distribution on a star: center has deg n, leaves 1.
+  const int leaves = 9;
+  std::vector<double> w(leaves + 1, 1.0);
+  w[0] = leaves;
+  AliasSampler s(w);
+  Rng rng(6);
+  int at_center = 0;
+  constexpr int kDraws = 90000;
+  for (int i = 0; i < kDraws; ++i) at_center += (s.sample(rng) == 0) ? 1 : 0;
+  EXPECT_NEAR(at_center, kDraws / 2.0, 5 * std::sqrt(kDraws / 2.0));
+}
+
+}  // namespace
+}  // namespace rumor

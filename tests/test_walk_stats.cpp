@@ -1,0 +1,122 @@
+// Cover/hitting/meeting time estimators vs. known closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "support/stats.hpp"
+#include "walk/walk_stats.hpp"
+
+namespace rumor {
+namespace {
+
+TEST(CoverTime, CompleteGraphMatchesCouponCollector) {
+  // Cover time of K_n is (n-1) * H_{n-1} (coupon collector on n-1 others).
+  const Vertex n = 32;
+  const Graph g = gen::complete(n);
+  Rng rng(1);
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) {
+    samples.push_back(static_cast<double>(
+        cover_time_once(g, 0, rng, Laziness::none, 1 << 20)));
+  }
+  double harmonic = 0;
+  for (Vertex k = 1; k < n; ++k) harmonic += 1.0 / k;
+  const double expected = (n - 1) * harmonic;
+  const Summary s = Summary::of(samples);
+  EXPECT_NEAR(s.mean, expected, 0.12 * expected);
+}
+
+TEST(CoverTime, CycleMatchesQuadraticForm) {
+  // Cover time of the n-cycle is exactly n(n-1)/2.
+  const Vertex n = 24;
+  const Graph g = gen::cycle(n);
+  Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) {
+    samples.push_back(static_cast<double>(
+        cover_time_once(g, 0, rng, Laziness::none, 1 << 22)));
+  }
+  const double expected = n * (n - 1) / 2.0;
+  EXPECT_NEAR(Summary::of(samples).mean, expected, 0.12 * expected);
+}
+
+TEST(CoverTime, CutoffReported) {
+  const Graph g = gen::cycle(64);
+  Rng rng(3);
+  EXPECT_EQ(cover_time_once(g, 0, rng, Laziness::none, 10), 10u);
+}
+
+TEST(HittingTime, CompleteGraphGeometric) {
+  // Hitting time u->v on K_n is geometric with mean n-1.
+  const Vertex n = 20;
+  const Graph g = gen::complete(n);
+  Rng rng(4);
+  std::vector<double> samples;
+  for (int i = 0; i < 3000; ++i) {
+    samples.push_back(static_cast<double>(
+        hitting_time_once(g, 0, 5, rng, Laziness::none, 1 << 20)));
+  }
+  EXPECT_NEAR(Summary::of(samples).mean, n - 1.0, 0.08 * (n - 1));
+}
+
+TEST(HittingTime, SameVertexIsZero) {
+  const Graph g = gen::cycle(8);
+  Rng rng(5);
+  EXPECT_EQ(hitting_time_once(g, 3, 3, rng, Laziness::none, 100), 0u);
+}
+
+TEST(HittingTime, LazyDoublesMean) {
+  const Vertex n = 16;
+  const Graph g = gen::complete(n);
+  Rng rng(6);
+  std::vector<double> lazy_samples;
+  for (int i = 0; i < 3000; ++i) {
+    lazy_samples.push_back(static_cast<double>(
+        hitting_time_once(g, 0, 5, rng, Laziness::half, 1 << 20)));
+  }
+  // Lazy walk makes real progress half the time: mean 2(n-1).
+  EXPECT_NEAR(Summary::of(lazy_samples).mean, 2.0 * (n - 1),
+              0.1 * 2 * (n - 1));
+}
+
+TEST(MeetingTime, SameStartIsZero) {
+  const Graph g = gen::cycle(8);
+  Rng rng(7);
+  EXPECT_EQ(meeting_time_once(g, 2, 2, rng, Laziness::none, 100), 0u);
+}
+
+TEST(MeetingTime, CompleteGraphMean) {
+  // Two walks on K_n land on the same vertex with probability ~1/(n-1) per
+  // round, so the meeting time is approximately geometric with mean ~n-1.
+  const Vertex n = 20;
+  const Graph g = gen::complete(n);
+  Rng rng(8);
+  std::vector<double> samples;
+  for (int i = 0; i < 3000; ++i) {
+    samples.push_back(static_cast<double>(
+        meeting_time_once(g, 0, 5, rng, Laziness::none, 1 << 20)));
+  }
+  EXPECT_NEAR(Summary::of(samples).mean, n - 1.0, 0.15 * (n - 1));
+}
+
+TEST(MeetingTime, BipartiteParityNeverMeets) {
+  // On an even cycle, two non-lazy walks at odd distance keep opposite
+  // parity forever: they can never meet.
+  const Graph g = gen::cycle(8);
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(meeting_time_once(g, 0, 1, rng, Laziness::none, 2000), 2000u);
+  }
+  // Lazy walks break parity and do meet.
+  std::size_t met = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (meeting_time_once(g, 0, 1, rng, Laziness::half, 20000) < 20000) {
+      ++met;
+    }
+  }
+  EXPECT_EQ(met, 20u);
+}
+
+}  // namespace
+}  // namespace rumor
