@@ -1,16 +1,82 @@
 // E17 — engineering microbenchmarks: substrate throughput (wall time, not
 // broadcast rounds). These are conventional google-benchmark timings.
+//
+// The walk-kernel series is the perf contract of the batched stepping
+// engine: BM_WalkKernel{Scalar,Batched} measure steps/sec for the checked
+// scalar baseline vs. the batched unchecked kernel at n ∈ {2^14, 2^18,
+// 2^22} (degree-16 circulant: the pow2 fast path) plus a non-pow2 pair
+// (degree-12) isolating the generic Lemire path. Trajectories are
+// bit-identical across engines, so the comparison is pure overhead.
+//
+// The binary always writes a machine-readable BENCH_micro.json (into
+// RUMOR_RESULTS_DIR if set, else the working directory) unless the caller
+// passes an explicit --benchmark_out.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "core/push.hpp"
 #include "core/visit_exchange.hpp"
 #include "graph/generators.hpp"
 #include "walk/agents.hpp"
+#include "walk/step_kernel.hpp"
 
 namespace {
 
 using namespace rumor;
+
+// ---- Walk-kernel series ----------------------------------------------
+
+void walk_kernel_bench(benchmark::State& state, std::uint32_t half_degree,
+                       Laziness lazy, StepEngine engine) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = gen::circulant(n, half_degree);
+  Rng rng(1);
+  std::vector<Vertex> positions(n);
+  for (Vertex v = 0; v < n; ++v) positions[v] = v;
+  for (auto _ : state) {
+    step_walks(g, positions, rng, lazy, nullptr, engine);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["steps_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+
+void BM_WalkKernelScalar(benchmark::State& state) {
+  walk_kernel_bench(state, 8, Laziness::none, StepEngine::scalar_checked);
+}
+BENCHMARK(BM_WalkKernelScalar)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+
+void BM_WalkKernelBatched(benchmark::State& state) {
+  walk_kernel_bench(state, 8, Laziness::none, StepEngine::batched);
+}
+BENCHMARK(BM_WalkKernelBatched)->Arg(1 << 14)->Arg(1 << 18)->Arg(1 << 22);
+
+void BM_WalkKernelScalarNonPow2(benchmark::State& state) {
+  walk_kernel_bench(state, 6, Laziness::none, StepEngine::scalar_checked);
+}
+BENCHMARK(BM_WalkKernelScalarNonPow2)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_WalkKernelBatchedNonPow2(benchmark::State& state) {
+  walk_kernel_bench(state, 6, Laziness::none, StepEngine::batched);
+}
+BENCHMARK(BM_WalkKernelBatchedNonPow2)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_WalkKernelScalarLazy(benchmark::State& state) {
+  walk_kernel_bench(state, 8, Laziness::half, StepEngine::scalar_checked);
+}
+BENCHMARK(BM_WalkKernelScalarLazy)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_WalkKernelBatchedLazy(benchmark::State& state) {
+  walk_kernel_bench(state, 8, Laziness::half, StepEngine::batched);
+}
+BENCHMARK(BM_WalkKernelBatchedLazy)->Arg(1 << 14)->Arg(1 << 18);
+
+// ---- Substrate series (pre-engine micro set) --------------------------
 
 void BM_AgentStepThroughput(benchmark::State& state) {
   const auto n = static_cast<Vertex>(state.range(0));
@@ -51,6 +117,18 @@ void BM_PushBroadcastCompleteGraph(benchmark::State& state) {
 }
 BENCHMARK(BM_PushBroadcastCompleteGraph)->Arg(1 << 10)->Arg(1 << 12);
 
+void BM_PushTrialArenaSteadyState(benchmark::State& state) {
+  // Per-trial cost with a reused arena — the run_trials steady state.
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = gen::circulant(n, 8);
+  TrialArena arena;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PushProcess(g, 0, ++seed, {}, &arena).run());
+  }
+}
+BENCHMARK(BM_PushTrialArenaSteadyState)->Arg(1 << 10)->Arg(1 << 14);
+
 void BM_VisitExchangeRound(benchmark::State& state) {
   const auto n = static_cast<Vertex>(state.range(0));
   Rng rng(3);
@@ -65,4 +143,33 @@ BENCHMARK(BM_VisitExchangeRound)->Arg(1 << 12)->Arg(1 << 16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    // Exact flag (or --benchmark_out=path); must not match
+    // --benchmark_out_format, which alone should still get the default
+    // JSON artifact.
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+        std::strcmp(argv[i], "--benchmark_out") == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag;
+  std::string format_flag;
+  if (!has_out) {
+    std::string path = "BENCH_micro.json";
+    if (const char* dir = std::getenv("RUMOR_RESULTS_DIR")) {
+      path = std::string(dir) + "/" + path;
+    }
+    out_flag = "--benchmark_out=" + path;
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "core/coupling/coupled_push_visitx.hpp"
 
+#include "core/walk_options.hpp"
+
 #include <algorithm>
 
 namespace rumor {
@@ -38,8 +40,7 @@ void CoupledPushVisitx::run_visitx() {
   const Graph& g = *graph_;
   const Vertex n = g.num_vertices();
   const std::size_t agent_count =
-      options_.agent_count != 0 ? options_.agent_count
-                                : agent_count_for(n, options_.alpha);
+      resolve_agent_count(n, options_.agent_count, options_.alpha);
   AgentSystem agents(g, agent_count, options_.placement, rng_, source_);
 
   std::vector<std::uint32_t> inform_round(n, kNeverInformed);

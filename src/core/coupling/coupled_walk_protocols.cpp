@@ -10,17 +10,11 @@ CoupledWalkProtocols::CoupledWalkProtocols(const Graph& g, Vertex source,
     : graph_(&g),
       rng_(seed),
       options_(options),
-      laziness_(options.lazy == LazyMode::auto_bipartite
-                    ? (is_bipartite(g) ? Laziness::half : Laziness::none)
-                    : (options.lazy == LazyMode::always ? Laziness::half
-                                                        : Laziness::none)),
+      laziness_(resolve_laziness(g, options.lazy)),
       cutoff_(options.max_rounds != 0 ? options.max_rounds
                                       : default_round_cutoff(g.num_vertices())),
-      agents_(g,
-              options.agent_count != 0
-                  ? options.agent_count
-                  : agent_count_for(g.num_vertices(), options.alpha),
-              options.placement, rng_, resolve_anchor(options, source)),
+      agents_(g, resolve_agent_count(g, options), options.placement, rng_,
+              resolve_anchor(options, source)),
       source_(source),
       vertex_inform_round_(g.num_vertices(), kNeverInformed),
       visitx_informed_(agents_.count()),
@@ -51,11 +45,10 @@ void CoupledWalkProtocols::step() {
   ++round_;
   const std::size_t count = agents_.count();
 
-  // Shared movement: THE coupling — both protocols see these trajectories.
-  for (Agent a = 0; a < count; ++a) {
-    agents_.set_position(
-        a, step_from(*graph_, agents_.position(a), rng_, laziness_));
-  }
+  // Shared movement: THE coupling — both protocols see these trajectories
+  // (one batched kernel pass, so both views consume the same draws).
+  step_walks(*graph_, agents_.positions_mut(), rng_, laziness_, nullptr,
+             options_.engine);
 
   // Snapshots of "informed before this round".
   visitx_informed_before_ = visitx_informed_;

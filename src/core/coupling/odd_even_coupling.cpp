@@ -1,5 +1,7 @@
 #include "core/coupling/odd_even_coupling.hpp"
 
+#include "core/walk_options.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -54,8 +56,7 @@ OddEvenResult run_odd_even_coupling(const Graph& g, Vertex source,
   // round follow w_u(i) at the next odd round ----------------------------
   {
     const std::size_t agent_count =
-        options.agent_count != 0 ? options.agent_count
-                                 : agent_count_for(n, options.alpha);
+        resolve_agent_count(n, options.agent_count, options.alpha);
     AgentSystem agents(g, agent_count, options.placement, rng, source);
     std::vector<std::uint32_t> inform_round(n, kNeverInformed);
     std::vector<std::uint32_t> even_rank(n, 0);

@@ -25,10 +25,7 @@ DynamicVisitExchangeProcess::DynamicVisitExchangeProcess(
       cutoff_(options.walk.max_rounds != 0
                   ? options.walk.max_rounds
                   : default_round_cutoff(g.num_vertices())),
-      agents_(g,
-              options.walk.agent_count != 0
-                  ? options.walk.agent_count
-                  : agent_count_for(g.num_vertices(), options.walk.alpha),
+      agents_(g, resolve_agent_count(g, options.walk),
               options.walk.placement, rng_, resolve_anchor(options.walk, source)),
       stationary_(degree_weights(g)),
       vertex_inform_round_(g.num_vertices(), kNeverInformed),

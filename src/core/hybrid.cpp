@@ -13,11 +13,8 @@ HybridProcess::HybridProcess(const Graph& g, Vertex source,
                                                  : Laziness::none),
       cutoff_(options.max_rounds != 0 ? options.max_rounds
                                       : default_round_cutoff(g.num_vertices())),
-      agents_(g,
-              options.agent_count != 0
-                  ? options.agent_count
-                  : agent_count_for(g.num_vertices(), options.alpha),
-              options.placement, rng_, resolve_anchor(options, source)),
+      agents_(g, resolve_agent_count(g, options), options.placement, rng_,
+              resolve_anchor(options, source)),
       vertex_inform_round_(g.num_vertices(), kNeverInformed),
       agent_inform_round_(agents_.count(), kNeverInformed),
       agent_order_(agents_.count()),
@@ -70,11 +67,9 @@ void HybridProcess::step() {
   ++round_;
   const std::size_t count = agents_.count();
 
-  // (1) agents move.
-  for (Agent a = 0; a < count; ++a) {
-    agents_.set_position(
-        a, step_from(*graph_, agents_.position(a), rng_, laziness_));
-  }
+  // (1) agents move (batched walk kernel).
+  step_walks(*graph_, agents_.positions_mut(), rng_, laziness_, nullptr,
+             options_.engine);
 
   // (2) previously informed agents inform their vertices.
   const std::size_t informed_agents_at_start = informed_agent_count_;

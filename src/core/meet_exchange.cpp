@@ -1,114 +1,82 @@
 #include "core/meet_exchange.hpp"
 
-#include "graph/properties.hpp"
+#include "walk/step_kernel.hpp"
 
 namespace rumor {
 
-namespace {
-
-[[nodiscard]] Laziness resolve_laziness(const Graph& g, LazyMode mode) {
-  switch (mode) {
-    case LazyMode::never:
-      return Laziness::none;
-    case LazyMode::always:
-      return Laziness::half;
-    case LazyMode::auto_bipartite:
-      return is_bipartite(g) ? Laziness::half : Laziness::none;
-  }
-  return Laziness::none;
-}
-
-}  // namespace
-
 MeetExchangeProcess::MeetExchangeProcess(const Graph& g, Vertex source,
                                          std::uint64_t seed,
-                                         WalkOptions options)
+                                         WalkOptions options,
+                                         TrialArena* arena)
     : graph_(&g),
       rng_(seed),
       options_(options),
       laziness_(resolve_laziness(g, options.lazy)),
       cutoff_(options.max_rounds != 0 ? options.max_rounds
                                       : default_round_cutoff(g.num_vertices())),
-      agents_(g,
-              options.agent_count != 0
-                  ? options.agent_count
-                  : agent_count_for(g.num_vertices(), options.alpha),
-              options.placement, rng_, resolve_anchor(options, source)),
-      source_(source),
-      agent_inform_round_(agents_.count(), kNeverInformed),
-      agent_order_(agents_.count()),
-      order_index_of_(agents_.count()),
-      informed_here_(g.num_vertices()) {
+      owned_arena_(arena != nullptr ? nullptr : std::make_unique<TrialArena>()),
+      arena_(arena != nullptr ? arena : owned_arena_.get()),
+      agents_(g, resolve_agent_count(g, options), options.placement, rng_,
+              resolve_anchor(options, source), arena_),
+      source_(source) {
   RUMOR_REQUIRE(source < g.num_vertices());
-  for (Agent a = 0; a < agents_.count(); ++a) {
-    agent_order_[a] = a;
-    order_index_of_[a] = a;
-  }
+  const std::size_t count = agents_.count();
+  arena_->agent_inform_round.reset(count, kNeverInformed);
+  order_.reset(*arena_, count);
+  arena_->vertex_marks.reset(g.num_vertices());
+  if (options_.trace.informed_curve) arena_->curve.clear();
   if (options_.trace.edge_traffic) {
-    edge_traffic_.assign(g.num_edges(), 0);
+    arena_->edge_traffic.assign(g.num_edges(), 0);
   }
 
   // Round 0: agents standing on s are informed; otherwise s stays "active"
   // until its first visitor.
-  for (Agent a = 0; a < agents_.count(); ++a) {
+  for (Agent a = 0; a < count; ++a) {
     if (agents_.position(a) == source) {
-      inform_agent_at(order_index_of_[a]);
+      inform_agent_at(order_.index_of(a));
     }
   }
   source_active_ = (informed_agent_count_ == 0);
   if (options_.trace.informed_curve) {
-    curve_.push_back(static_cast<std::uint32_t>(informed_agent_count_));
+    arena_->curve.push_back(static_cast<std::uint32_t>(informed_agent_count_));
   }
 }
 
 void MeetExchangeProcess::inform_agent_at(std::size_t order_index) {
   RUMOR_CHECK(order_index >= informed_agent_count_);
-  const Agent a = agent_order_[order_index];
-  RUMOR_CHECK(agent_inform_round_[a] == kNeverInformed);
-  agent_inform_round_[a] = static_cast<std::uint32_t>(round_);
-  const auto dest = static_cast<std::uint32_t>(informed_agent_count_);
-  const Agent other = agent_order_[dest];
-  agent_order_[dest] = a;
-  agent_order_[order_index] = other;
-  order_index_of_[a] = dest;
-  order_index_of_[other] = static_cast<std::uint32_t>(order_index);
+  const Agent a = order_.at(order_index);
+  RUMOR_CHECK(!arena_->agent_inform_round.touched(a));
+  arena_->agent_inform_round.set(a, static_cast<std::uint32_t>(round_));
+  order_.swap(order_index, informed_agent_count_);
   ++informed_agent_count_;
 }
 
 void MeetExchangeProcess::step() {
   ++round_;
 
-  const std::size_t count = agents_.count();
-  if (options_.trace.edge_traffic) {
-    for (Agent a = 0; a < count; ++a) {
-      const Vertex v = agents_.position(a);
-      if (laziness_ == Laziness::half && rng_.coin()) continue;
-      const auto [w, slot] = graph_->random_neighbor_slot(v, rng_);
-      ++edge_traffic_[graph_->edge_id(v, slot)];
-      agents_.set_position(a, w);
-    }
-  } else {
-    for (Agent a = 0; a < count; ++a) {
-      agents_.set_position(
-          a, step_from(*graph_, agents_.position(a), rng_, laziness_));
-    }
-  }
+  // Traced and untraced stepping run the same kernel and consume the RNG
+  // identically, so tracing never changes the trajectory.
+  std::uint64_t* traffic =
+      options_.trace.edge_traffic ? arena_->edge_traffic.data() : nullptr;
+  step_walks(*graph_, agents_.positions_mut(), rng_, laziness_, traffic,
+             options_.engine);
 
   // Mark the vertices occupied by agents that were informed before this
   // round; exchanges only flow from those agents (paper: "exactly one of
   // them was informed in a previous round").
+  const std::size_t count = agents_.count();
   const std::size_t informed_at_start = informed_agent_count_;
-  informed_here_.advance();
+  arena_->vertex_marks.advance();
   for (std::size_t idx = 0; idx < informed_at_start; ++idx) {
-    informed_here_.insert(agents_.position(agent_order_[idx]));
+    arena_->vertex_marks.insert(agents_.position(order_.at(idx)));
   }
 
   // Uninformed agents learn from meetings, or from the still-active source.
   bool source_met = false;
   for (std::size_t idx = informed_at_start; idx < count; ++idx) {
-    const Agent a = agent_order_[idx];
+    const Agent a = order_.at(idx);
     const Vertex v = agents_.position(a);
-    if (informed_here_.contains(v)) {
+    if (arena_->vertex_marks.contains(v)) {
       inform_agent_at(idx);
     } else if (source_active_ && v == source_) {
       // All simultaneous first visitors are informed (paper §3).
@@ -119,7 +87,7 @@ void MeetExchangeProcess::step() {
   if (source_met) source_active_ = false;
 
   if (options_.trace.informed_curve) {
-    curve_.push_back(static_cast<std::uint32_t>(informed_agent_count_));
+    arena_->curve.push_back(static_cast<std::uint32_t>(informed_agent_count_));
   }
 }
 
@@ -129,11 +97,11 @@ RunResult MeetExchangeProcess::run() {
   result.rounds = round_;
   result.completed = done();
   result.agent_rounds = round_;
-  if (options_.trace.informed_curve) result.informed_curve = curve_;
+  if (options_.trace.informed_curve) result.informed_curve = arena_->curve;
   if (options_.trace.inform_rounds) {
-    result.agent_inform_round = agent_inform_round_;
+    result.agent_inform_round = arena_->agent_inform_round.to_vector();
   }
-  if (options_.trace.edge_traffic) result.edge_traffic = edge_traffic_;
+  if (options_.trace.edge_traffic) result.edge_traffic = arena_->edge_traffic;
   return result;
 }
 

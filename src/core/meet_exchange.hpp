@@ -11,14 +11,18 @@
 // the default LazyMode::auto_bipartite reproduces the paper's lazy-walk
 // fix, and the non-lazy mode reports completed=false at the cutoff rather
 // than hanging.
+//
+// Stepping runs the batched walk kernel; all O(n + |A|) scratch state lives
+// in a TrialArena (lent by the trial runner, or privately owned).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "core/walk_options.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
-#include "support/stamp_set.hpp"
+#include "support/trial_arena.hpp"
 #include "walk/agents.hpp"
 
 namespace rumor {
@@ -29,7 +33,8 @@ class MeetExchangeProcess {
   // auto_bipartite; pass LazyMode::never explicitly to study the
   // non-terminating regime (experiment E10).
   MeetExchangeProcess(const Graph& g, Vertex source, std::uint64_t seed,
-                      WalkOptions options = default_options());
+                      WalkOptions options = default_options(),
+                      TrialArena* arena = nullptr);
 
   [[nodiscard]] static WalkOptions default_options() {
     WalkOptions options;
@@ -47,10 +52,10 @@ class MeetExchangeProcess {
     return informed_agent_count_;
   }
   [[nodiscard]] bool agent_informed(Agent a) const {
-    return agent_inform_round_[a] != kNeverInformed;
+    return arena_->agent_inform_round.touched(a);
   }
   [[nodiscard]] std::uint32_t agent_inform_round(Agent a) const {
-    return agent_inform_round_[a];
+    return arena_->agent_inform_round.get(a);
   }
   // True while the source vertex is still waiting for its first visitor.
   [[nodiscard]] bool source_active() const { return source_active_; }
@@ -69,16 +74,15 @@ class MeetExchangeProcess {
   Laziness laziness_;
   Round round_ = 0;
   Round cutoff_;
+  std::unique_ptr<TrialArena> owned_arena_;
+  TrialArena* arena_;
   AgentSystem agents_;
+  // Identity-default informed-prefix partition over the arena's order
+  // arrays: [0, informed_agent_count_) are the informed agents.
+  AgentOrderView order_;
   Vertex source_;
   bool source_active_ = false;
   std::size_t informed_agent_count_ = 0;
-  std::vector<std::uint32_t> agent_inform_round_;
-  std::vector<Agent> agent_order_;  // informed prefix partition
-  std::vector<std::uint32_t> order_index_of_;
-  StampSet informed_here_;  // vertices holding a previously-informed agent
-  std::vector<std::uint32_t> curve_;
-  std::vector<std::uint64_t> edge_traffic_;
 };
 
 [[nodiscard]] RunResult run_meet_exchange(

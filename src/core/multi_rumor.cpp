@@ -126,11 +126,7 @@ MultiRumorVisitExchange::MultiRumorVisitExchange(const Graph& g,
       options_(options),
       cutoff_(options.max_rounds != 0 ? options.max_rounds
                                       : default_round_cutoff(g.num_vertices())),
-      agents_(g,
-              options.agent_count != 0
-                  ? options.agent_count
-                  : agent_count_for(g.num_vertices(), options.alpha),
-              options.placement, rng_,
+      agents_(g, resolve_agent_count(g, options), options.placement, rng_,
               resolve_anchor(options, rumors_.empty() ? 0 : rumors_[0].source)),
       held_(g.num_vertices(), 0),
       agent_held_(agents_.count(), 0),
@@ -164,10 +160,8 @@ void MultiRumorVisitExchange::step() {
   const std::size_t count = agents_.count();
   const Laziness lazy =
       options_.lazy == LazyMode::always ? Laziness::half : Laziness::none;
-  for (Agent a = 0; a < count; ++a) {
-    agents_.set_position(
-        a, step_from(*graph_, agents_.position(a), rng_, lazy));
-  }
+  step_walks(*graph_, agents_.positions_mut(), rng_, lazy, nullptr,
+             options_.engine);
   agent_held_before_ = agent_held_;
 
   // Phase A: rumors the agent held before the round land on its vertex.

@@ -3,30 +3,37 @@
 namespace rumor {
 
 PushProcess::PushProcess(const Graph& g, Vertex source, std::uint64_t seed,
-                         PushOptions options)
+                         PushOptions options, TrialArena* arena)
     : graph_(&g),
       rng_(seed),
       options_(options),
       cutoff_(options.max_rounds != 0 ? options.max_rounds
                                       : default_round_cutoff(g.num_vertices())),
-      inform_round_(g.num_vertices(), kNeverInformed),
-      informed_nbr_count_(g.num_vertices(), 0) {
+      owned_arena_(arena != nullptr ? nullptr : std::make_unique<TrialArena>()),
+      arena_(arena != nullptr ? arena : owned_arena_.get()) {
   RUMOR_REQUIRE(source < g.num_vertices());
   RUMOR_REQUIRE(options.loss_probability >= 0.0 &&
                 options.loss_probability < 1.0);
+  arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
+  arena_->informed_nbr_count.reset(g.num_vertices(), 0);
+  arena_->active.clear();
+  arena_->active.reserve(g.num_vertices());  // high-water once, then free
+  if (options_.trace.informed_curve) arena_->curve.clear();
   if (options_.trace.edge_traffic) {
-    edge_traffic_.assign(g.num_edges(), 0);
+    arena_->edge_traffic.assign(g.num_edges(), 0);
   }
   inform(source);
-  if (options_.trace.informed_curve) curve_.push_back(informed_count_);
+  if (options_.trace.informed_curve) arena_->curve.push_back(informed_count_);
 }
 
 void PushProcess::inform(Vertex v) {
-  RUMOR_CHECK(inform_round_[v] == kNeverInformed);
-  inform_round_[v] = static_cast<std::uint32_t>(round_);
+  RUMOR_CHECK(!arena_->vertex_inform_round.touched(v));
+  arena_->vertex_inform_round.set(v, static_cast<std::uint32_t>(round_));
   ++informed_count_;
-  active_.push_back(v);
-  for (Vertex w : graph_->neighbors(v)) ++informed_nbr_count_[w];
+  arena_->active.push_back(v);
+  for (Vertex w : graph_->neighbors_unchecked(v)) {
+    arena_->informed_nbr_count.add(w, 1);
+  }
 }
 
 void PushProcess::step() {
@@ -35,31 +42,34 @@ void PushProcess::step() {
   // Retire saturated vertices before taking the round snapshot: everyone in
   // active_ right now was informed in a previous round, so what survives the
   // sweep is exactly the set of useful callers.
+  auto& active = arena_->active;
   std::size_t kept = 0;
-  for (Vertex v : active_) {
-    if (informed_nbr_count_[v] < graph_->degree(v)) active_[kept++] = v;
+  for (Vertex v : active) {
+    if (arena_->informed_nbr_count.get(v) < graph_->degree_unchecked(v)) {
+      active[kept++] = v;
+    }
   }
-  active_.resize(kept);
+  active.resize(kept);
 
-  const std::size_t callers = active_.size();  // newly informed start next round
+  const std::size_t callers = active.size();  // newly informed start next round
   for (std::size_t i = 0; i < callers; ++i) {
-    const Vertex u = active_[i];
+    const Vertex u = active[i];
     Vertex v;
     if (options_.trace.edge_traffic) {
-      const auto [nbr, slot] = graph_->random_neighbor_slot(u, rng_);
+      const auto [nbr, slot] = graph_->random_neighbor_slot_unchecked(u, rng_);
       v = nbr;
-      ++edge_traffic_[graph_->edge_id(u, slot)];
+      ++arena_->edge_traffic[graph_->edge_id_unchecked(u, slot)];
     } else {
-      v = graph_->random_neighbor(u, rng_);
+      v = graph_->random_neighbor_unchecked(u, rng_);
     }
     if (options_.loss_probability > 0.0 &&
         rng_.chance(options_.loss_probability)) {
       continue;  // the call happened (and was counted) but the message dropped
     }
-    if (inform_round_[v] == kNeverInformed) inform(v);
+    if (!arena_->vertex_inform_round.touched(v)) inform(v);
   }
 
-  if (options_.trace.informed_curve) curve_.push_back(informed_count_);
+  if (options_.trace.informed_curve) arena_->curve.push_back(informed_count_);
 }
 
 RunResult PushProcess::run() {
@@ -68,9 +78,11 @@ RunResult PushProcess::run() {
   result.rounds = round_;
   result.completed = done();
   result.agent_rounds = round_;  // no agents in push
-  if (options_.trace.informed_curve) result.informed_curve = curve_;
-  if (options_.trace.inform_rounds) result.vertex_inform_round = inform_round_;
-  if (options_.trace.edge_traffic) result.edge_traffic = edge_traffic_;
+  if (options_.trace.informed_curve) result.informed_curve = arena_->curve;
+  if (options_.trace.inform_rounds) {
+    result.vertex_inform_round = arena_->vertex_inform_round.to_vector();
+  }
+  if (options_.trace.edge_traffic) result.edge_traffic = arena_->edge_traffic;
   return result;
 }
 

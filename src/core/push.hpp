@@ -11,12 +11,19 @@
 // exactly that of the definition (differentially tested against
 // reference_push). This turns e.g. the star from Θ(n²log n) simulation work
 // into Θ(n log n).
+//
+// Scratch state (inform rounds, neighbor counters, the active list) lives
+// in a TrialArena: epoch-stamped members make per-trial reset O(1) instead
+// of O(n + m), and a runner-lent arena makes repeated trials allocation
+// free.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "core/protocol.hpp"
 #include "support/rng.hpp"
+#include "support/trial_arena.hpp"
 
 namespace rumor {
 
@@ -31,7 +38,7 @@ struct PushOptions {
 class PushProcess {
  public:
   PushProcess(const Graph& g, Vertex source, std::uint64_t seed,
-              PushOptions options = {});
+              PushOptions options = {}, TrialArena* arena = nullptr);
 
   // Executes one round.
   void step();
@@ -44,10 +51,10 @@ class PushProcess {
     return informed_count_;
   }
   [[nodiscard]] bool vertex_informed(Vertex v) const {
-    return inform_round_[v] != kNeverInformed;
+    return arena_->vertex_inform_round.touched(v);
   }
   [[nodiscard]] std::uint32_t vertex_inform_round(Vertex v) const {
-    return inform_round_[v];
+    return arena_->vertex_inform_round.get(v);
   }
   [[nodiscard]] const Graph& graph() const { return *graph_; }
 
@@ -63,11 +70,8 @@ class PushProcess {
   Round round_ = 0;
   Round cutoff_;
   std::uint32_t informed_count_ = 0;
-  std::vector<std::uint32_t> inform_round_;        // per vertex
-  std::vector<std::uint32_t> informed_nbr_count_;  // per vertex
-  std::vector<Vertex> active_;  // informed, not yet saturated
-  std::vector<std::uint32_t> curve_;
-  std::vector<std::uint64_t> edge_traffic_;
+  std::unique_ptr<TrialArena> owned_arena_;
+  TrialArena* arena_;
 };
 
 // One-call convenience.

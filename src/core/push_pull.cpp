@@ -3,35 +3,48 @@
 namespace rumor {
 
 PushPullProcess::PushPullProcess(const Graph& g, Vertex source,
-                                 std::uint64_t seed, PushPullOptions options)
+                                 std::uint64_t seed, PushPullOptions options,
+                                 TrialArena* arena)
     : graph_(&g),
       rng_(seed),
       options_(options),
       cutoff_(options.max_rounds != 0 ? options.max_rounds
                                       : default_round_cutoff(g.num_vertices())),
-      inform_round_(g.num_vertices(), kNeverInformed),
-      informed_nbr_count_(g.num_vertices(), 0),
-      in_frontier_(g.num_vertices(), 0) {
+      owned_arena_(arena != nullptr ? nullptr : std::make_unique<TrialArena>()),
+      arena_(arena != nullptr ? arena : owned_arena_.get()) {
   RUMOR_REQUIRE(source < g.num_vertices());
   RUMOR_REQUIRE(options.loss_probability >= 0.0 &&
                 options.loss_probability < 1.0);
+  arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
+  arena_->informed_nbr_count.reset(g.num_vertices(), 0);
+  arena_->vertex_marks.reset(g.num_vertices());  // ever-in-frontier marks
+  arena_->active.clear();
+  arena_->active.reserve(g.num_vertices());  // high-water once, then free
+  arena_->frontier.clear();
+  arena_->frontier.reserve(g.num_vertices());
+  if (options_.trace.informed_curve) arena_->curve.clear();
   if (options_.trace.edge_traffic) {
-    edge_traffic_.assign(g.num_edges(), 0);
+    // The exact-bandwidth path makes every vertex call a neighbor each
+    // round; validated once here so the unchecked per-round loop needs no
+    // per-vertex degree branch.
+    RUMOR_REQUIRE(g.min_degree() > 0);
+    arena_->edge_traffic.assign(g.num_edges(), 0);
   }
   inform(source);
-  if (options_.trace.informed_curve) curve_.push_back(informed_count_);
+  if (options_.trace.informed_curve) arena_->curve.push_back(informed_count_);
 }
 
 void PushPullProcess::inform(Vertex v) {
-  RUMOR_CHECK(inform_round_[v] == kNeverInformed);
-  inform_round_[v] = static_cast<std::uint32_t>(round_);
+  RUMOR_CHECK(!arena_->vertex_inform_round.touched(v));
+  arena_->vertex_inform_round.set(v, static_cast<std::uint32_t>(round_));
   ++informed_count_;
-  active_.push_back(v);
-  for (Vertex w : graph_->neighbors(v)) {
-    ++informed_nbr_count_[w];
-    if (inform_round_[w] == kNeverInformed && !in_frontier_[w]) {
-      in_frontier_[w] = 1;
-      frontier_.push_back(w);
+  arena_->active.push_back(v);
+  for (Vertex w : graph_->neighbors_unchecked(v)) {
+    arena_->informed_nbr_count.add(w, 1);
+    if (!arena_->vertex_inform_round.touched(w) &&
+        !arena_->vertex_marks.contains(w)) {
+      arena_->vertex_marks.insert(w);
+      arena_->frontier.push_back(w);
     }
   }
 }
@@ -45,8 +58,8 @@ void PushPullProcess::step() {
     // Used by the fairness experiments; O(n) per round.
     const Vertex n = graph_->num_vertices();
     for (Vertex u = 0; u < n; ++u) {
-      const auto [v, slot] = graph_->random_neighbor_slot(u, rng_);
-      ++edge_traffic_[graph_->edge_id(u, slot)];
+      const auto [v, slot] = graph_->random_neighbor_slot_unchecked(u, rng_);
+      ++arena_->edge_traffic[graph_->edge_id_unchecked(u, slot)];
       if (options_.loss_probability > 0.0 &&
           rng_.chance(options_.loss_probability)) {
         continue;
@@ -55,37 +68,41 @@ void PushPullProcess::step() {
       const bool v_was = informed_before_this_round(v);
       if (u_was == v_was) continue;
       const Vertex target = u_was ? v : u;
-      if (inform_round_[target] == kNeverInformed) inform(target);
+      if (!arena_->vertex_inform_round.touched(target)) inform(target);
     }
   } else {
     // Fast path: iterate exactly the calls that can change state.
+    auto& active = arena_->active;
+    auto& frontier = arena_->frontier;
     std::size_t kept = 0;
-    for (Vertex v : active_) {
-      if (informed_nbr_count_[v] < graph_->degree(v)) active_[kept++] = v;
+    for (Vertex v : active) {
+      if (arena_->informed_nbr_count.get(v) < graph_->degree_unchecked(v)) {
+        active[kept++] = v;
+      }
     }
-    active_.resize(kept);
+    active.resize(kept);
     kept = 0;
-    for (Vertex w : frontier_) {
-      if (inform_round_[w] == kNeverInformed) frontier_[kept++] = w;
+    for (Vertex w : frontier) {
+      if (!arena_->vertex_inform_round.touched(w)) frontier[kept++] = w;
     }
-    frontier_.resize(kept);
+    frontier.resize(kept);
 
-    const std::size_t pushers = active_.size();
-    const std::size_t pullers = frontier_.size();
+    const std::size_t pushers = active.size();
+    const std::size_t pullers = frontier.size();
 
     for (std::size_t i = 0; i < pushers; ++i) {
-      const Vertex u = active_[i];
-      const Vertex v = graph_->random_neighbor(u, rng_);
+      const Vertex u = active[i];
+      const Vertex v = graph_->random_neighbor_unchecked(u, rng_);
       if (options_.loss_probability > 0.0 &&
           rng_.chance(options_.loss_probability)) {
         continue;
       }
-      if (inform_round_[v] == kNeverInformed) inform(v);
+      if (!arena_->vertex_inform_round.touched(v)) inform(v);
     }
     for (std::size_t i = 0; i < pullers; ++i) {
-      const Vertex w = frontier_[i];
-      if (inform_round_[w] != kNeverInformed) continue;  // pushed this round
-      const Vertex v = graph_->random_neighbor(w, rng_);
+      const Vertex w = frontier[i];
+      if (arena_->vertex_inform_round.touched(w)) continue;  // pushed now
+      const Vertex v = graph_->random_neighbor_unchecked(w, rng_);
       if (options_.loss_probability > 0.0 &&
           rng_.chance(options_.loss_probability)) {
         continue;
@@ -94,7 +111,7 @@ void PushPullProcess::step() {
     }
   }
 
-  if (options_.trace.informed_curve) curve_.push_back(informed_count_);
+  if (options_.trace.informed_curve) arena_->curve.push_back(informed_count_);
 }
 
 RunResult PushPullProcess::run() {
@@ -103,9 +120,11 @@ RunResult PushPullProcess::run() {
   result.rounds = round_;
   result.completed = done();
   result.agent_rounds = round_;
-  if (options_.trace.informed_curve) result.informed_curve = curve_;
-  if (options_.trace.inform_rounds) result.vertex_inform_round = inform_round_;
-  if (options_.trace.edge_traffic) result.edge_traffic = edge_traffic_;
+  if (options_.trace.informed_curve) result.informed_curve = arena_->curve;
+  if (options_.trace.inform_rounds) {
+    result.vertex_inform_round = arena_->vertex_inform_round.to_vector();
+  }
+  if (options_.trace.edge_traffic) result.edge_traffic = arena_->edge_traffic;
   return result;
 }
 

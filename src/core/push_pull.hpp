@@ -10,12 +10,18 @@
 // no-ops by definition, so the simulator iterates exactly those two sets
 // (see DESIGN.md "law-preserving optimizations"; differentially tested
 // against reference_push_pull).
+//
+// Scratch state (inform rounds, neighbor counters, caller/frontier lists)
+// lives in a TrialArena for O(1) per-trial reset and allocation-free
+// repeated trials.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "core/protocol.hpp"
 #include "support/rng.hpp"
+#include "support/trial_arena.hpp"
 
 namespace rumor {
 
@@ -28,7 +34,7 @@ struct PushPullOptions {
 class PushPullProcess {
  public:
   PushPullProcess(const Graph& g, Vertex source, std::uint64_t seed,
-                  PushPullOptions options = {});
+                  PushPullOptions options = {}, TrialArena* arena = nullptr);
 
   void step();
 
@@ -40,10 +46,10 @@ class PushPullProcess {
     return informed_count_;
   }
   [[nodiscard]] bool vertex_informed(Vertex v) const {
-    return inform_round_[v] != kNeverInformed;
+    return arena_->vertex_inform_round.touched(v);
   }
   [[nodiscard]] std::uint32_t vertex_inform_round(Vertex v) const {
-    return inform_round_[v];
+    return arena_->vertex_inform_round.get(v);
   }
   [[nodiscard]] const Graph& graph() const { return *graph_; }
 
@@ -52,7 +58,8 @@ class PushPullProcess {
  private:
   void inform(Vertex v);
   [[nodiscard]] bool informed_before_this_round(Vertex v) const {
-    return inform_round_[v] != kNeverInformed && inform_round_[v] < round_;
+    const std::uint32_t r = arena_->vertex_inform_round.get(v);
+    return r != kNeverInformed && r < round_;
   }
 
   const Graph* graph_;
@@ -61,13 +68,8 @@ class PushPullProcess {
   Round round_ = 0;
   Round cutoff_;
   std::uint32_t informed_count_ = 0;
-  std::vector<std::uint32_t> inform_round_;
-  std::vector<std::uint32_t> informed_nbr_count_;
-  std::vector<Vertex> active_;       // informed pushers, not saturated
-  std::vector<Vertex> frontier_;     // uninformed with informed neighbor
-  std::vector<std::uint8_t> in_frontier_;
-  std::vector<std::uint32_t> curve_;
-  std::vector<std::uint64_t> edge_traffic_;
+  std::unique_ptr<TrialArena> owned_arena_;
+  TrialArena* arena_;
 };
 
 [[nodiscard]] RunResult run_push_pull(const Graph& g, Vertex source,

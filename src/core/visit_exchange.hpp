@@ -8,15 +8,20 @@
 // T_visitx = rounds until all vertices are informed (all agents follow
 // within the same round — both counts are recorded).
 //
-// Cost is Θ(|A|) per round. Agents iterate in ascending id order, which is
-// the canonical total order the paper's Section 5 coupling assumes.
+// Cost is Θ(|A|) per round via the batched walk kernel. Agents iterate in
+// ascending id order, which is the canonical total order the paper's
+// Section 5 coupling assumes. All O(n + |A|) scratch state lives in a
+// TrialArena — lent by the trial runner for allocation-free repeated
+// trials, or privately owned when constructed without one.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "core/walk_options.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
+#include "support/trial_arena.hpp"
 #include "walk/agents.hpp"
 
 namespace rumor {
@@ -24,7 +29,7 @@ namespace rumor {
 class VisitExchangeProcess {
  public:
   VisitExchangeProcess(const Graph& g, Vertex source, std::uint64_t seed,
-                       WalkOptions options = {});
+                       WalkOptions options = {}, TrialArena* arena = nullptr);
 
   void step();
 
@@ -42,13 +47,13 @@ class VisitExchangeProcess {
     return informed_agent_count_;
   }
   [[nodiscard]] bool vertex_informed(Vertex v) const {
-    return vertex_inform_round_[v] != kNeverInformed;
+    return arena_->vertex_inform_round.touched(v);
   }
   [[nodiscard]] std::uint32_t vertex_inform_round(Vertex v) const {
-    return vertex_inform_round_[v];
+    return arena_->vertex_inform_round.get(v);
   }
   [[nodiscard]] bool agent_informed(Agent a) const {
-    return agent_inform_round_[a] != kNeverInformed;
+    return arena_->agent_inform_round.touched(a);
   }
   [[nodiscard]] const AgentSystem& agents() const { return agents_; }
   [[nodiscard]] const Graph& graph() const { return *graph_; }
@@ -68,18 +73,17 @@ class VisitExchangeProcess {
   Laziness laziness_;
   Round round_ = 0;
   Round cutoff_;
+  // Scratch state: the identity-default agent-order permutation and the
+  // epoch-stamped inform rounds live here (see TrialArena).
+  std::unique_ptr<TrialArena> owned_arena_;
+  TrialArena* arena_;
   AgentSystem agents_;
+  // Identity-default informed-prefix partition over the arena's order
+  // arrays: [0, informed_agent_count_) are the informed agents.
+  AgentOrderView order_;
   std::uint32_t informed_vertex_count_ = 0;
   std::size_t informed_agent_count_ = 0;
   Round agent_complete_round_ = kNoRoundYet;
-  std::vector<std::uint32_t> vertex_inform_round_;
-  std::vector<std::uint32_t> agent_inform_round_;
-  // Agent ids partitioned so [0, informed_agent_count_) are informed;
-  // order_index_of_ inverts the permutation for O(1) swaps.
-  std::vector<Agent> agent_order_;
-  std::vector<std::uint32_t> order_index_of_;
-  std::vector<std::uint32_t> curve_;
-  std::vector<std::uint64_t> edge_traffic_;
 };
 
 [[nodiscard]] RunResult run_visit_exchange(const Graph& g, Vertex source,

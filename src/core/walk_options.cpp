@@ -1,0 +1,24 @@
+#include "core/walk_options.hpp"
+
+#include "graph/properties.hpp"
+
+namespace rumor {
+
+Laziness resolve_laziness(const Graph& g, LazyMode mode) {
+  switch (mode) {
+    case LazyMode::never:
+      return Laziness::none;
+    case LazyMode::always:
+      return Laziness::half;
+    case LazyMode::auto_bipartite:
+      return is_bipartite(g) ? Laziness::half : Laziness::none;
+  }
+  return Laziness::none;
+}
+
+std::size_t resolve_agent_count(Vertex n, std::size_t agent_count,
+                                double alpha) {
+  return agent_count != 0 ? agent_count : agent_count_for(n, alpha);
+}
+
+}  // namespace rumor

@@ -6,6 +6,7 @@
 
 #include "core/protocol.hpp"
 #include "walk/agents.hpp"
+#include "walk/step_kernel.hpp"
 
 namespace rumor {
 
@@ -27,6 +28,9 @@ struct WalkOptions {
   Vertex placement_anchor = kNoVertex;
   LazyMode lazy = LazyMode::never;
   Round max_rounds = 0;  // 0 = default_round_cutoff(n)
+  // Stepping-loop implementation; scalar_checked is the differential
+  // baseline (identical trajectories by construction).
+  StepEngine engine = StepEngine::batched;
   TraceOptions trace;
 };
 
@@ -35,6 +39,20 @@ struct WalkOptions {
                                            Vertex source) {
   return options.placement_anchor == kNoVertex ? source
                                                : options.placement_anchor;
+}
+
+// Maps the laziness policy onto the graph at hand (auto_bipartite runs the
+// O(n + m) bipartiteness check).
+[[nodiscard]] Laziness resolve_laziness(const Graph& g, LazyMode mode);
+
+// The explicit agent-count override, or |A| = round(alpha * n).
+[[nodiscard]] std::size_t resolve_agent_count(Vertex n,
+                                              std::size_t agent_count,
+                                              double alpha);
+[[nodiscard]] inline std::size_t resolve_agent_count(
+    const Graph& g, const WalkOptions& options) {
+  return resolve_agent_count(g.num_vertices(), options.agent_count,
+                             options.alpha);
 }
 
 }  // namespace rumor

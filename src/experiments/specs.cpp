@@ -126,20 +126,21 @@ ProtocolSpec default_spec(Protocol p) {
 }
 
 TrialOutcome run_protocol(const Graph& g, const ProtocolSpec& spec,
-                          Vertex source, std::uint64_t seed) {
+                          Vertex source, std::uint64_t seed,
+                          TrialArena* arena) {
   RunResult r;
   switch (spec.protocol) {
     case Protocol::push:
-      r = run_push(g, source, seed, spec.push);
+      r = PushProcess(g, source, seed, spec.push, arena).run();
       break;
     case Protocol::push_pull:
-      r = run_push_pull(g, source, seed, spec.push_pull);
+      r = PushPullProcess(g, source, seed, spec.push_pull, arena).run();
       break;
     case Protocol::visit_exchange:
-      r = run_visit_exchange(g, source, seed, spec.walk);
+      r = VisitExchangeProcess(g, source, seed, spec.walk, arena).run();
       break;
     case Protocol::meet_exchange:
-      r = run_meet_exchange(g, source, seed, spec.walk);
+      r = MeetExchangeProcess(g, source, seed, spec.walk, arena).run();
       break;
     case Protocol::hybrid:
       r = run_hybrid(g, source, seed, spec.walk);

@@ -81,9 +81,12 @@ struct TrialOutcome {
   bool completed = false;
 };
 
-// Runs one trial of the protocol on the given graph.
+// Runs one trial of the protocol on the given graph. A non-null `arena`
+// lends reusable scratch buffers (the trial runner passes one per worker
+// so steady-state trials allocate nothing).
 [[nodiscard]] TrialOutcome run_protocol(const Graph& g,
                                         const ProtocolSpec& spec,
-                                        Vertex source, std::uint64_t seed);
+                                        Vertex source, std::uint64_t seed,
+                                        TrialArena* arena = nullptr);
 
 }  // namespace rumor

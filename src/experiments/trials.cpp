@@ -3,8 +3,28 @@
 #include <atomic>
 
 #include "support/thread_pool.hpp"
+#include "support/trial_arena.hpp"
 
 namespace rumor {
+
+namespace {
+
+// One persistent arena per pool worker. Arenas live for the process so the
+// scratch buffers — and the per-graph placement cache — are reused across
+// run_trials invocations: steady-state trials allocate nothing.
+// parallel_for_indexed reports the executing pool thread, so a pool slot is
+// never shared by two live tasks even when run_trials calls overlap. Any
+// non-pool thread (the caller on the inline path) reports worker_count()
+// and gets its own thread-local arena instead — two caller threads hitting
+// the inline path concurrently must not share one slot.
+TrialArena& arena_for_worker(std::size_t worker) {
+  static std::vector<TrialArena> arenas(global_pool().worker_count());
+  if (worker < arenas.size()) return arenas[worker];
+  thread_local TrialArena caller_arena;
+  return caller_arena;
+}
+
+}  // namespace
 
 TrialSet run_trials(const Graph& g, const ProtocolSpec& spec, Vertex source,
                     std::size_t trials, std::uint64_t master_seed) {
@@ -12,12 +32,14 @@ TrialSet run_trials(const Graph& g, const ProtocolSpec& spec, Vertex source,
   TrialSet set;
   set.rounds.assign(trials, 0.0);
   std::atomic<std::size_t> incomplete{0};
-  global_pool().parallel_for(trials, [&](std::size_t i) {
-    const TrialOutcome outcome =
-        run_protocol(g, spec, source, derive_seed(master_seed, i));
-    set.rounds[i] = outcome.rounds;
-    if (!outcome.completed) incomplete.fetch_add(1);
-  });
+  global_pool().parallel_for_indexed(
+      trials, [&](std::size_t worker, std::size_t i) {
+        const TrialOutcome outcome =
+            run_protocol(g, spec, source, derive_seed(master_seed, i),
+                         &arena_for_worker(worker));
+        set.rounds[i] = outcome.rounds;
+        if (!outcome.completed) incomplete.fetch_add(1);
+      });
   set.incomplete = incomplete.load();
   return set;
 }
@@ -30,14 +52,16 @@ TrialSet run_trials_fresh_graph(const GraphSpec& graph_spec,
   TrialSet set;
   set.rounds.assign(trials, 0.0);
   std::atomic<std::size_t> incomplete{0};
-  global_pool().parallel_for(trials, [&](std::size_t i) {
-    Rng graph_rng(derive_seed(master_seed ^ 0xABCDEF12345678ULL, i));
-    const Graph g = graph_spec.make(graph_rng);
-    const TrialOutcome outcome =
-        run_protocol(g, spec, source, derive_seed(master_seed, i));
-    set.rounds[i] = outcome.rounds;
-    if (!outcome.completed) incomplete.fetch_add(1);
-  });
+  global_pool().parallel_for_indexed(
+      trials, [&](std::size_t worker, std::size_t i) {
+        Rng graph_rng(derive_seed(master_seed ^ 0xABCDEF12345678ULL, i));
+        const Graph g = graph_spec.make(graph_rng);
+        const TrialOutcome outcome =
+            run_protocol(g, spec, source, derive_seed(master_seed, i),
+                         &arena_for_worker(worker));
+        set.rounds[i] = outcome.rounds;
+        if (!outcome.completed) incomplete.fetch_add(1);
+      });
   set.incomplete = incomplete.load();
   return set;
 }

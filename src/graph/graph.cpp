@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 namespace rumor {
@@ -69,11 +70,16 @@ Graph::Graph(Vertex num_vertices,
 
   min_degree_ = std::numeric_limits<std::uint32_t>::max();
   max_degree_ = 0;
+  degrees_all_pow2_ = true;
   for (Vertex v = 0; v < n_; ++v) {
     const std::uint32_t d = degree(v);
     min_degree_ = std::min(min_degree_, d);
     max_degree_ = std::max(max_degree_, d);
+    degrees_all_pow2_ = degrees_all_pow2_ && d > 0 && (d & (d - 1)) == 0;
   }
+
+  static std::atomic<std::uint64_t> next_uid{1};
+  uid_ = next_uid.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool Graph::has_edge(Vertex u, Vertex v) const {

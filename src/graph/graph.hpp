@@ -25,6 +25,16 @@ using EdgeId = std::uint32_t;
 
 constexpr Vertex kNoVertex = 0xFFFFFFFFu;
 
+// Borrowed raw view of a graph's CSR arrays for batched kernels that have
+// already validated their inputs at the process boundary. Lifetime is tied
+// to the owning Graph.
+struct CsrView {
+  const std::uint32_t* offsets;  // n + 1 entries
+  const Vertex* neighbors;       // 2m entries, sorted per vertex
+  const EdgeId* edge_ids;        // 2m entries
+  Vertex n;
+};
+
 class Graph {
  public:
   // Constructs from an undirected edge list. Requires: no self loops, no
@@ -83,6 +93,58 @@ class Graph {
     return {neighbors_[offsets_[v] + slot], slot};
   }
 
+  // ---- Unchecked hot-path kernels -------------------------------------
+  //
+  // Identical semantics to the checked accessors above minus the
+  // RUMOR_CHECK bounds branches, for inner loops that have validated their
+  // arguments once at the process boundary (every vertex a simulator holds
+  // is < n by construction). The checked accessors remain the public API;
+  // these exist so per-step costs are loads and arithmetic only. Each
+  // random_* variant consumes the RNG exactly like its checked twin, so
+  // switching paths cannot change a seeded trajectory.
+
+  [[nodiscard]] std::uint32_t degree_unchecked(Vertex v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  [[nodiscard]] std::span<const Vertex> neighbors_unchecked(Vertex v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] Vertex neighbor_unchecked(Vertex v, std::uint32_t i) const {
+    return neighbors_[offsets_[v] + i];
+  }
+
+  [[nodiscard]] EdgeId edge_id_unchecked(Vertex v, std::uint32_t i) const {
+    return edge_ids_[offsets_[v] + i];
+  }
+
+  [[nodiscard]] Vertex random_neighbor_unchecked(Vertex v, Rng& rng) const {
+    return neighbors_[offsets_[v] + rng.below(degree_unchecked(v))];
+  }
+
+  [[nodiscard]] std::pair<Vertex, std::uint32_t> random_neighbor_slot_unchecked(
+      Vertex v, Rng& rng) const {
+    const auto slot =
+        static_cast<std::uint32_t>(rng.below(degree_unchecked(v)));
+    return {neighbors_[offsets_[v] + slot], slot};
+  }
+
+  // Raw CSR arrays for the batched walk kernel.
+  [[nodiscard]] CsrView csr() const {
+    return {offsets_.data(), neighbors_.data(), edge_ids_.data(), n_};
+  }
+
+  // True iff every degree is a (positive) power of two — the regular-graph
+  // bench families — enabling the shift-based neighbor-draw fast path.
+  [[nodiscard]] bool degrees_all_pow2() const { return degrees_all_pow2_; }
+
+  // Process-unique id (monotone across all Graph constructions), used to
+  // key per-graph caches safely across graph rebuilds at recycled
+  // addresses.
+  [[nodiscard]] std::uint64_t uid() const { return uid_; }
+
   // True iff {u, v} is an edge. O(log degree) by binary search.
   [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
 
@@ -103,6 +165,8 @@ class Graph {
   std::vector<std::pair<Vertex, Vertex>> edge_list_;  // m entries, u < v
   std::uint32_t min_degree_ = 0;
   std::uint32_t max_degree_ = 0;
+  bool degrees_all_pow2_ = false;
+  std::uint64_t uid_ = 0;
 };
 
 }  // namespace rumor

@@ -1,0 +1,84 @@
+// EpochArray<T>: a fixed-default array of values with O(1) whole-array reset.
+//
+// Generalizes StampSet from membership to values: each slot carries the
+// epoch at which it was last written, and a slot whose stamp is stale reads
+// as the default value. reset() bumps the epoch instead of touching O(n)
+// memory, which is what lets a trial arena hand the same buffers to
+// thousands of consecutive simulation trials with no per-trial clearing or
+// allocation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace rumor {
+
+template <typename T>
+class EpochArray {
+ public:
+  EpochArray() = default;
+
+  // Re-targets the array to `n` slots all reading `default_value`. O(1)
+  // when capacity suffices (the steady-state trial path); grows otherwise.
+  void reset(std::size_t n, T default_value) {
+    default_ = default_value;
+    if (n > stamps_.size()) {
+      stamps_.assign(n, 0);
+      values_.resize(n);
+      epoch_ = 1;
+    } else {
+      ++epoch_;
+      if (epoch_ == 0) {  // wrapped after 2^32 resets: hard clear, amortized free
+        std::fill(stamps_.begin(), stamps_.end(), std::uint32_t{0});
+        epoch_ = 1;
+      }
+    }
+    size_ = n;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] T default_value() const { return default_; }
+
+  [[nodiscard]] T get(std::size_t i) const {
+    RUMOR_CHECK(i < size_);
+    return stamps_[i] == epoch_ ? values_[i] : default_;
+  }
+
+  // True iff the slot was written since the last reset.
+  [[nodiscard]] bool touched(std::size_t i) const {
+    RUMOR_CHECK(i < size_);
+    return stamps_[i] == epoch_;
+  }
+
+  void set(std::size_t i, T value) {
+    RUMOR_CHECK(i < size_);
+    stamps_[i] = epoch_;
+    values_[i] = value;
+  }
+
+  // Counter-style accumulate; stale slots restart from the default.
+  T add(std::size_t i, T delta) {
+    const T updated = get(i) + delta;
+    set(i, updated);
+    return updated;
+  }
+
+  // Materializes the logical contents (allocates; trace-export only).
+  [[nodiscard]] std::vector<T> to_vector() const {
+    std::vector<T> out(size_);
+    for (std::size_t i = 0; i < size_; ++i) out[i] = get(i);
+    return out;
+  }
+
+ private:
+  std::vector<std::uint32_t> stamps_;  // capacity; logical size is size_
+  std::vector<T> values_;
+  std::size_t size_ = 0;
+  std::uint32_t epoch_ = 1;
+  T default_{};
+};
+
+}  // namespace rumor

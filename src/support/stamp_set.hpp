@@ -21,6 +21,16 @@ class StampSet {
 
   [[nodiscard]] std::size_t size() const { return stamps_.size(); }
 
+  // Re-targets the set to cover [0, n) and empties it; O(1) when capacity
+  // suffices (arena reuse across trials), grows otherwise.
+  void reset(std::size_t n) {
+    if (n > stamps_.size()) {
+      stamps_.assign(n, 0);
+      epoch_ = 0;
+    }
+    advance();
+  }
+
   // Empties the set. O(1) except when the 64-bit epoch wraps (never in
   // practice: 2^64 rounds).
   void advance() {

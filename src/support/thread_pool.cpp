@@ -1,10 +1,21 @@
 #include "support/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 
 #include "support/assert.hpp"
 
 namespace rumor {
+
+namespace {
+
+// Identifies the executing thread's slot in its owning pool. Thread-local
+// rather than shard-local so overlapping parallel_for calls on the same
+// pool can never hand one worker slot to two live threads.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker_index = 0;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
@@ -12,7 +23,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
   }
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -25,7 +36,9 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  tl_pool = this;
+  tl_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {
@@ -41,28 +54,49 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for_indexed(
+      count, [&fn](std::size_t /*worker*/, std::size_t i) { fn(i); });
+}
+
+void ThreadPool::parallel_for_indexed(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t chunk) {
   if (count == 0) return;
-  if (count == 1 || threads_.size() == 1) {  // avoid queueing overhead
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+  const std::size_t workers = threads_.size();
+  if (count == 1 || workers == 1) {  // avoid queueing overhead
+    const std::size_t self =
+        tl_pool == this ? tl_worker_index : workers;
+    for (std::size_t i = 0; i < count; ++i) fn(self, i);
     return;
   }
 
-  // Work is claimed via a shared atomic index; one queued shard per worker.
-  // parallel_for blocks until every shard finishes, so capturing locals by
-  // reference in the shard closure is safe. The completion count is
-  // decremented under done_mutex so the waiter cannot observe zero (and
-  // destroy the condition variable) while a worker still holds it.
+  const std::size_t shards = std::min(workers, count);
+  if (chunk == 0) {
+    // Small enough that the tail stays balanced across shards, large enough
+    // that the shared atomic is touched O(shards) times, not O(count).
+    chunk = std::max<std::size_t>(1, count / (shards * 8));
+  }
+
+  // Chunked ranges are claimed via a shared atomic cursor; one queued shard
+  // per worker. parallel_for_indexed blocks until every shard finishes, so
+  // capturing locals by reference in the shard closure is safe. The
+  // completion count is decremented under done_mutex so the waiter cannot
+  // observe zero (and destroy the condition variable) while a worker still
+  // holds it.
   std::atomic<std::size_t> next{0};
   std::mutex done_mutex;
   std::condition_variable done_cv;
-  const std::size_t shards = std::min(threads_.size(), count);
   std::size_t remaining = shards;
 
-  auto shard_fn = [&next, &remaining, count, &fn, &done_mutex, &done_cv] {
+  auto shard_fn = [&next, &remaining, count, chunk, workers, this, &fn,
+                   &done_mutex, &done_cv] {
+    const std::size_t worker =
+        tl_pool == this ? tl_worker_index : workers;
     for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= count) break;
-      fn(i);
+      const std::size_t begin = next.fetch_add(chunk);
+      if (begin >= count) break;
+      const std::size_t end = std::min(begin + chunk, count);
+      for (std::size_t i = begin; i < end; ++i) fn(worker, i);
     }
     std::lock_guard lock(done_mutex);
     if (--remaining == 0) done_cv.notify_all();

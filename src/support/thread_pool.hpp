@@ -3,6 +3,16 @@
 // Experiment trials are embarrassingly parallel; each index derives its own
 // RNG seed from (master, index), so results are identical regardless of the
 // number of workers or scheduling order.
+//
+// parallel_for_indexed additionally reports a stable *worker index* to the
+// callback: pool thread k always reports k, and any other thread (the
+// caller on the inline path, or a foreign thread) reports worker_count().
+// The index identifies the executing thread — not the queued shard — so a
+// callee can own mutable state per pool worker (e.g. a TrialArena) that is
+// never touched by two tasks concurrently, even when several parallel_for
+// calls from different caller threads overlap on the same pool. Index
+// worker_count() is shared by ALL non-pool threads; callees keying state by
+// it must use thread-local storage for that slot (see trials.cpp).
 #pragma once
 
 #include <condition_variable>
@@ -28,11 +38,23 @@ class ThreadPool {
 
   // Runs fn(i) for every i in [0, count). Blocks until all complete.
   // fn must not throw (simulation code reports failures via contract
-  // aborts); indices are claimed atomically so work is balanced.
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+  // aborts); work is claimed in chunks so scheduling stays balanced without
+  // one atomic operation per index.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  // As parallel_for, but fn(worker, i) also receives the executing thread's
+  // stable worker index in [0, worker_count()]; index worker_count() is the
+  // calling thread (inline path). `chunk` is the number of consecutive
+  // indices claimed per scheduling operation; 0 picks a granularity that
+  // amortizes the atomic while keeping shards balanced.
+  void parallel_for_indexed(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      std::size_t chunk = 0);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;

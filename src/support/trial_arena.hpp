@@ -1,0 +1,98 @@
+// TrialArena: reusable per-worker scratch state for simulation trials.
+//
+// Every protocol trial needs the same O(n + m) working set: per-vertex
+// inform rounds, per-vertex counters, agent orderings, frontier lists.
+// Allocating and zeroing that state per trial dominates wall-clock once a
+// single round is cheap, so the trial runner keeps one arena per worker
+// thread and hands it to every trial that worker executes. Epoch-stamped
+// members reset in O(1); plain vectors are clear()ed, which keeps their
+// capacity, so a steady-state trial performs zero heap allocations.
+//
+// An arena serves one trial at a time (each worker owns one); simulators
+// that are constructed without an arena fall back to a privately owned one,
+// preserving the allocate-per-run behavior of the original API.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/epoch_array.hpp"
+#include "support/stamp_set.hpp"
+
+namespace rumor {
+
+struct TrialArena {
+  // Per-vertex / per-agent inform rounds (default = kNeverInformed).
+  EpochArray<std::uint32_t> vertex_inform_round;
+  EpochArray<std::uint32_t> agent_inform_round;
+  // Per-vertex informed-neighbor counters for push/push-pull saturation
+  // retirement (default = 0).
+  EpochArray<std::uint32_t> informed_nbr_count;
+  // Generic vertex membership: meet-exchange's per-round "informed agent
+  // stands here" marks, push-pull's ever-in-frontier marks.
+  StampSet vertex_marks;
+
+  // Agent-order permutation and its inverse, epoch-reset to the identity:
+  // an untouched slot reads as the sentinel default and is interpreted as
+  // "order[i] == i" by the owning simulator.
+  EpochArray<std::uint32_t> agent_order;
+  EpochArray<std::uint32_t> order_index_of;
+
+  // Reusable plain buffers (clear() keeps capacity across trials).
+  std::vector<std::uint32_t> agent_positions;
+  std::vector<std::uint32_t> active;    // push/push-pull caller list
+  std::vector<std::uint32_t> frontier;  // push-pull puller list
+  std::vector<std::uint32_t> curve;     // informed-curve trace
+  std::vector<std::uint64_t> edge_traffic;  // per-edge trace counters
+
+  // Cache for expensive per-graph placement structures (the stationary
+  // alias sampler). Keyed by Graph::uid() so a rebuilt graph at a recycled
+  // address cannot alias a stale cache. Opaque here to keep support/ free
+  // of walk-layer dependencies.
+  std::uint64_t placement_cache_key = 0;  // 0 = empty
+  std::shared_ptr<void> placement_cache;
+};
+
+// View over the arena's agent-order permutation and its inverse, decoding
+// the identity-default sentinel (an untouched slot i reads as "order[i] ==
+// i"). Shared by the simulators that maintain an informed-prefix partition
+// (visit-exchange, meet-exchange).
+class AgentOrderView {
+ public:
+  // Re-targets both arrays to the identity permutation over [0, count).
+  void reset(TrialArena& arena, std::size_t count) {
+    order_ = &arena.agent_order;
+    inverse_ = &arena.order_index_of;
+    order_->reset(count, kIdentitySlot);
+    inverse_->reset(count, kIdentitySlot);
+  }
+
+  [[nodiscard]] std::uint32_t at(std::size_t idx) const {
+    const std::uint32_t raw = order_->get(idx);
+    return raw == kIdentitySlot ? static_cast<std::uint32_t>(idx) : raw;
+  }
+
+  [[nodiscard]] std::uint32_t index_of(std::uint32_t element) const {
+    const std::uint32_t raw = inverse_->get(element);
+    return raw == kIdentitySlot ? element : raw;
+  }
+
+  // Swaps the permutation entries at positions i and j.
+  void swap(std::size_t i, std::size_t j) {
+    const std::uint32_t a = at(i);
+    const std::uint32_t b = at(j);
+    order_->set(j, a);
+    order_->set(i, b);
+    inverse_->set(a, static_cast<std::uint32_t>(j));
+    inverse_->set(b, static_cast<std::uint32_t>(i));
+  }
+
+ private:
+  static constexpr std::uint32_t kIdentitySlot = 0xFFFFFFFFu;
+
+  EpochArray<std::uint32_t>* order_ = nullptr;
+  EpochArray<std::uint32_t>* inverse_ = nullptr;
+};
+
+}  // namespace rumor

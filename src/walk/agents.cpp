@@ -1,10 +1,36 @@
 #include "walk/agents.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "walk/alias.hpp"
+#include "walk/step_kernel.hpp"
 
 namespace rumor {
+
+namespace {
+
+// Stationary-placement sampler, cached per graph in the arena so repeated
+// trials on one graph build the O(n) alias table once.
+const AliasSampler& stationary_sampler(const Graph& g, TrialArena* arena,
+                                       std::shared_ptr<AliasSampler>& local) {
+  if (arena != nullptr && arena->placement_cache_key == g.uid() &&
+      arena->placement_cache != nullptr) {
+    return *static_cast<const AliasSampler*>(arena->placement_cache.get());
+  }
+  std::vector<double> weights(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    weights[v] = static_cast<double>(g.degree(v));
+  }
+  local = std::make_shared<AliasSampler>(weights);
+  if (arena != nullptr) {
+    arena->placement_cache = local;
+    arena->placement_cache_key = g.uid();
+  }
+  return *local;
+}
+
+}  // namespace
 
 std::size_t agent_count_for(Vertex n, double alpha) {
   RUMOR_REQUIRE(alpha > 0.0);
@@ -14,48 +40,48 @@ std::size_t agent_count_for(Vertex n, double alpha) {
 }
 
 AgentSystem::AgentSystem(const Graph& g, std::size_t count,
-                         Placement placement, Rng& rng, Vertex anchor)
-    : graph_(&g) {
+                         Placement placement, Rng& rng, Vertex anchor,
+                         TrialArena* arena)
+    : graph_(&g),
+      positions_(arena != nullptr ? &arena->agent_positions
+                                  : &owned_positions_) {
   RUMOR_REQUIRE(count > 0);
-  positions_.resize(count);
+  positions_->resize(count);
   switch (placement) {
     case Placement::stationary: {
-      std::vector<double> weights(g.num_vertices());
-      for (Vertex v = 0; v < g.num_vertices(); ++v) {
-        weights[v] = static_cast<double>(g.degree(v));
-      }
-      const AliasSampler sampler(weights);
-      for (auto& pos : positions_) {
+      std::shared_ptr<AliasSampler> local;
+      const AliasSampler& sampler = stationary_sampler(g, arena, local);
+      for (auto& pos : *positions_) {
         pos = static_cast<Vertex>(sampler.sample(rng));
       }
       break;
     }
     case Placement::one_per_vertex: {
       RUMOR_REQUIRE(count == g.num_vertices());
-      for (Agent a = 0; a < count; ++a) positions_[a] = a;
+      for (Agent a = 0; a < count; ++a) (*positions_)[a] = a;
       break;
     }
     case Placement::uniform: {
-      for (auto& pos : positions_) {
+      for (auto& pos : *positions_) {
         pos = static_cast<Vertex>(rng.below(g.num_vertices()));
       }
       break;
     }
     case Placement::at_vertex: {
       RUMOR_REQUIRE(anchor < g.num_vertices());
-      for (auto& pos : positions_) pos = anchor;
+      for (auto& pos : *positions_) pos = anchor;
       break;
     }
   }
 }
 
 void AgentSystem::step_all(Rng& rng, Laziness lazy) {
-  for (auto& pos : positions_) pos = step_from(*graph_, pos, rng, lazy);
+  step_walks(*graph_, positions_mut(), rng, lazy);
 }
 
 std::vector<std::uint32_t> AgentSystem::occupancy() const {
   std::vector<std::uint32_t> occ(graph_->num_vertices(), 0);
-  for (Vertex pos : positions_) ++occ[pos];
+  for (Vertex pos : *positions_) ++occ[pos];
   return occ;
 }
 

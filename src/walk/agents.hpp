@@ -3,9 +3,14 @@
 //
 // The system stores only positions; protocol state (who is informed) lives
 // in the protocol simulators, because the two agent-based protocols track
-// it differently. Movement is exposed both in bulk (step_all) and per agent
-// (set_position + step_from), the latter for the coupled simulators of
-// Sections 5/6 that dictate some steps from shared randomness.
+// it differently. Movement is exposed both in bulk (step_all, which runs
+// the batched walk kernel) and per agent (set_position + step_from), the
+// latter for the coupled simulators of Sections 5/6 that dictate some steps
+// from shared randomness.
+//
+// When constructed with a TrialArena the position array is the arena's
+// reusable buffer (zero allocation in steady state) and the stationary
+// placement's alias sampler is cached in the arena per graph.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +19,7 @@
 
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
+#include "support/trial_arena.hpp"
 
 namespace rumor {
 
@@ -36,6 +42,9 @@ enum class Laziness { none, half };
 [[nodiscard]] std::size_t agent_count_for(Vertex n, double alpha);
 
 // One walk step from v: uniform neighbor, or stay put on the lazy coin.
+// This is the per-agent primitive the coupling machinery dictates steps
+// with; bulk movement goes through the batched kernel (walk/step_kernel.hpp)
+// instead.
 [[nodiscard]] inline Vertex step_from(const Graph& g, Vertex v, Rng& rng,
                                       Laziness lazy) {
   if (lazy == Laziness::half && rng.coin()) return v;
@@ -46,28 +55,38 @@ class AgentSystem {
  public:
   // `anchor` is the start vertex for Placement::at_vertex (ignored
   // otherwise). Placement::one_per_vertex requires count == g.num_vertices().
+  // A non-null `arena` lends the (reused) position buffer and placement
+  // cache; the arena must outlive the system.
   AgentSystem(const Graph& g, std::size_t count, Placement placement,
-              Rng& rng, Vertex anchor = 0);
+              Rng& rng, Vertex anchor = 0, TrialArena* arena = nullptr);
 
-  [[nodiscard]] std::size_t count() const { return positions_.size(); }
+  // Positions may live in a borrowed arena buffer; copies would alias it.
+  AgentSystem(const AgentSystem&) = delete;
+  AgentSystem& operator=(const AgentSystem&) = delete;
+
+  [[nodiscard]] std::size_t count() const { return positions_->size(); }
 
   [[nodiscard]] Vertex position(Agent a) const {
-    RUMOR_CHECK(a < positions_.size());
-    return positions_[a];
+    RUMOR_CHECK(a < positions_->size());
+    return (*positions_)[a];
   }
 
   void set_position(Agent a, Vertex v) {
-    RUMOR_CHECK(a < positions_.size());
+    RUMOR_CHECK(a < positions_->size());
     RUMOR_CHECK(v < graph_->num_vertices());
-    positions_[a] = v;
+    (*positions_)[a] = v;
   }
 
   [[nodiscard]] std::span<const Vertex> positions() const {
-    return positions_;
+    return *positions_;
   }
 
+  // Mutable position array for the batched stepping kernel.
+  [[nodiscard]] std::span<Vertex> positions_mut() { return *positions_; }
+
   // Moves every agent one independent step (agent order is the canonical
-  // total order used by the paper's couplings: ascending agent id).
+  // total order used by the paper's couplings: ascending agent id) via the
+  // batched walk kernel.
   void step_all(Rng& rng, Laziness lazy);
 
   // Number of agents currently on each vertex (O(n + |A|)).
@@ -77,7 +96,8 @@ class AgentSystem {
 
  private:
   const Graph* graph_;
-  std::vector<Vertex> positions_;
+  std::vector<Vertex> owned_positions_;  // used when no arena is lent
+  std::vector<Vertex>* positions_;
 };
 
 }  // namespace rumor

@@ -1,0 +1,74 @@
+// Batched random-walk stepping kernel.
+//
+// All agent-based protocols advance Θ(|A|) walkers per round; this kernel
+// is that inner loop. It replaces per-agent calls through the checked Graph
+// API with a single pass over a position array (SoA) that:
+//
+//  * uses the unchecked CSR accessors — argument validity is the caller's
+//    invariant, established once at the process boundary;
+//  * software-prefetches the CSR offset and neighbor-row cache lines of
+//    upcoming agents, hiding the random-access latency that dominates at
+//    large n;
+//  * fuses the laziness coin and the neighbor slot into one RNG draw (bit
+//    63 is the coin; the low 63 bits drive an unbiased Lemire rejection
+//    sampler for the slot);
+//  * when every degree is a power of two (the regular-graph bench
+//    families), replaces the 128-bit Lemire multiply with a plain shift —
+//    bit-for-bit the same slot Rng::below would produce, so the fast path
+//    cannot change a seeded trajectory.
+//
+// Both engines (batched and the checked scalar reference) consume the RNG
+// identically, and the traced variant consumes it identically to the
+// untraced one — so enabling tracing or switching engines never changes
+// the simulated trajectory for a given seed. The scalar engine is retained
+// as the differential baseline for the equivalence tests and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+#include "walk/agents.hpp"
+
+namespace rumor {
+
+// Which implementation of the stepping loop to run. Identical trajectories
+// by construction; scalar_checked exists for differential testing and as
+// the microbenchmark baseline.
+enum class StepEngine : std::uint8_t { batched, scalar_checked };
+
+// Lazy-step draw shared by every stepping path: one 64-bit draw yields the
+// stay/move coin (bit 63, matching Rng::coin) and the neighbor slot
+// (low 63 bits, unbiased via Lemire rejection). Returns false to stay put.
+[[nodiscard]] inline bool fused_lazy_slot(Rng& rng, std::uint32_t deg,
+                                          std::uint32_t& slot) {
+  constexpr std::uint64_t kMask63 = (std::uint64_t{1} << 63) - 1;
+  std::uint64_t x = rng();
+  if ((x >> 63) != 0) return false;  // stay
+  std::uint64_t x63 = x & kMask63;
+  __extension__ using u128 = unsigned __int128;
+  u128 m = static_cast<u128>(x63) * deg;
+  auto low = static_cast<std::uint64_t>(m) & kMask63;
+  if (low < deg) {
+    const std::uint64_t threshold = ((kMask63 - deg) + 1) % deg;  // 2^63 mod deg
+    while (low < threshold) {
+      x63 = rng() & kMask63;
+      m = static_cast<u128>(x63) * deg;
+      low = static_cast<std::uint64_t>(m) & kMask63;
+    }
+  }
+  slot = static_cast<std::uint32_t>(m >> 63);
+  return true;
+}
+
+// Advances every position one walk step in place (ascending index — the
+// paper's canonical agent order). If edge_traffic is non-null it must point
+// at g.num_edges() counters, and every traversal increments the traversed
+// edge's counter; the RNG consumption is identical either way. Requires
+// g.min_degree() > 0 and every position < g.num_vertices().
+void step_walks(const Graph& g, std::span<Vertex> positions, Rng& rng,
+                Laziness lazy, std::uint64_t* edge_traffic = nullptr,
+                StepEngine engine = StepEngine::batched);
+
+}  // namespace rumor

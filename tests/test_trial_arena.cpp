@@ -1,0 +1,246 @@
+// TrialArena engine tests: EpochArray semantics, arena-vs-owned result
+// equivalence, arena reuse across run_trials invocations, and the
+// instrumented-allocator proof that steady-state trials perform zero heap
+// allocations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/meet_exchange.hpp"
+#include "core/push.hpp"
+#include "core/push_pull.hpp"
+#include "core/visit_exchange.hpp"
+#include "experiments/trials.hpp"
+#include "graph/generators.hpp"
+#include "support/epoch_array.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trial_arena.hpp"
+
+// ---- Instrumented global allocator -----------------------------------
+//
+// Linking these replacements into the test binary lets individual tests
+// count heap allocations in a window. Counting is off by default so the
+// rest of the suite is unaffected.
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rumor {
+namespace {
+
+// ---- EpochArray ------------------------------------------------------
+
+TEST(EpochArray, DefaultsAndWrites) {
+  EpochArray<std::uint32_t> arr;
+  arr.reset(4, 99);
+  EXPECT_EQ(arr.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(arr.get(i), 99u);
+    EXPECT_FALSE(arr.touched(i));
+  }
+  arr.set(2, 7);
+  EXPECT_TRUE(arr.touched(2));
+  EXPECT_EQ(arr.get(2), 7u);
+  EXPECT_EQ(arr.get(1), 99u);
+}
+
+TEST(EpochArray, ResetForgetsWritesInO1) {
+  EpochArray<std::uint32_t> arr;
+  arr.reset(8, 0);
+  for (std::size_t i = 0; i < 8; ++i) arr.set(i, 1 + static_cast<std::uint32_t>(i));
+  arr.reset(8, 5);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(arr.get(i), 5u);
+    EXPECT_FALSE(arr.touched(i));
+  }
+}
+
+TEST(EpochArray, AddAccumulatesFromDefault) {
+  EpochArray<std::uint32_t> arr;
+  arr.reset(3, 0);
+  EXPECT_EQ(arr.add(1, 2), 2u);
+  EXPECT_EQ(arr.add(1, 3), 5u);
+  EXPECT_EQ(arr.get(1), 5u);
+  EXPECT_EQ(arr.get(0), 0u);
+}
+
+TEST(EpochArray, ShrinkAndGrowAcrossResets) {
+  EpochArray<std::uint32_t> arr;
+  arr.reset(16, 1);
+  arr.set(15, 3);
+  arr.reset(4, 2);  // shrink: capacity kept
+  EXPECT_EQ(arr.size(), 4u);
+  EXPECT_EQ(arr.get(3), 2u);
+  arr.reset(32, 9);  // grow
+  EXPECT_EQ(arr.size(), 32u);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(arr.get(i), 9u);
+}
+
+TEST(EpochArray, ToVectorMaterializesDefaults) {
+  EpochArray<std::uint32_t> arr;
+  arr.reset(3, 8);
+  arr.set(1, 4);
+  const std::vector<std::uint32_t> v = arr.to_vector();
+  EXPECT_EQ(v, (std::vector<std::uint32_t>{8, 4, 8}));
+}
+
+TEST(StampSetReset, ReusesAndEmpties) {
+  StampSet set(4);
+  set.insert(2);
+  set.reset(4);
+  EXPECT_FALSE(set.contains(2));
+  set.reset(16);  // grow
+  set.insert(11);
+  EXPECT_TRUE(set.contains(11));
+  set.reset(16);
+  EXPECT_FALSE(set.contains(11));
+}
+
+// ---- Arena-vs-owned equivalence --------------------------------------
+//
+// Lending an arena must not change any simulated trajectory: same (graph,
+// protocol, seed) → identical RunResult, with all traces on, and the
+// arena's recycled state from previous trials must never leak into the
+// next one.
+
+TraceOptions all_traces() {
+  TraceOptions t;
+  t.informed_curve = true;
+  t.inform_rounds = true;
+  t.edge_traffic = true;
+  return t;
+}
+
+void expect_same(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.agent_rounds, b.agent_rounds);
+  EXPECT_EQ(a.informed_curve, b.informed_curve);
+  EXPECT_EQ(a.vertex_inform_round, b.vertex_inform_round);
+  EXPECT_EQ(a.agent_inform_round, b.agent_inform_round);
+  EXPECT_EQ(a.edge_traffic, b.edge_traffic);
+}
+
+TEST(TrialArena, ArenaAndOwnedTrialsAgreeAcrossProtocolsAndGraphs) {
+  Rng gen_rng(2);
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::heavy_binary_tree(63));
+  graphs.push_back(gen::circulant(80, 8));
+  graphs.push_back(gen::random_regular(64, 5, gen_rng));
+  TrialArena arena;  // deliberately shared across everything below
+  for (const Graph& g : graphs) {
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      {
+        PushOptions o;
+        o.trace = all_traces();
+        expect_same(PushProcess(g, 0, seed, o, &arena).run(),
+                    PushProcess(g, 0, seed, o).run());
+      }
+      {
+        PushPullOptions o;
+        o.trace = all_traces();
+        expect_same(PushPullProcess(g, 0, seed, o, &arena).run(),
+                    PushPullProcess(g, 0, seed, o).run());
+      }
+      {
+        WalkOptions o;
+        o.trace = all_traces();
+        expect_same(VisitExchangeProcess(g, 0, seed, o, &arena).run(),
+                    VisitExchangeProcess(g, 0, seed, o).run());
+      }
+      {
+        WalkOptions o = MeetExchangeProcess::default_options();
+        o.trace = all_traces();
+        expect_same(MeetExchangeProcess(g, 0, seed, o, &arena).run(),
+                    MeetExchangeProcess(g, 0, seed, o).run());
+      }
+    }
+  }
+}
+
+TEST(TrialArena, RunTrialsResultsIndependentOfArenaReuse) {
+  const Graph g = gen::circulant(128, 4);
+  const ProtocolSpec spec = default_spec(Protocol::visit_exchange);
+  const TrialSet first = run_trials(g, spec, 0, 40, 99);
+  const TrialSet again = run_trials(g, spec, 0, 40, 99);
+  EXPECT_EQ(first.rounds, again.rounds);  // reuse is invisible
+  EXPECT_EQ(first.incomplete, again.incomplete);
+}
+
+// ---- Zero-allocation steady state ------------------------------------
+
+TEST(TrialArena, SteadyStateTrialsAllocateNothing) {
+  const Graph g = gen::circulant(256, 8);
+  TrialArena arena;
+  std::vector<ProtocolSpec> specs;
+  specs.push_back(default_spec(Protocol::push));
+  specs.push_back(default_spec(Protocol::push_pull));
+  specs.push_back(default_spec(Protocol::visit_exchange));
+  {
+    // meet-exchange with an explicit lazy mode: auto_bipartite would run
+    // the allocating bipartiteness check per construction.
+    ProtocolSpec meetx = default_spec(Protocol::meet_exchange);
+    meetx.walk.lazy = LazyMode::always;
+    specs.push_back(meetx);
+  }
+
+  for (const ProtocolSpec& spec : specs) {
+    // Warm-up: buffers grow to their high-water mark, the placement cache
+    // binds to the graph.
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      (void)run_protocol(g, spec, 0, derive_seed(4242, seed), &arena);
+    }
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    double acc = 0.0;
+    for (std::uint64_t seed = 8; seed < 40; ++seed) {
+      acc += run_protocol(g, spec, 0, derive_seed(4242, seed), &arena).rounds;
+    }
+    g_count_allocs.store(false);
+    EXPECT_EQ(g_alloc_count.load(), 0u)
+        << "protocol=" << spec.name() << " (rounds acc " << acc << ")";
+  }
+}
+
+TEST(TrialArena, RunTrialsSteadyStateAllocationsIndependentOfTrialCount) {
+  if (global_pool().worker_count() != 1) {
+    GTEST_SKIP() << "deterministic only with a single pool worker";
+  }
+  const Graph g = gen::circulant(256, 8);
+  const ProtocolSpec spec = default_spec(Protocol::visit_exchange);
+  (void)run_trials(g, spec, 0, 64, 7);  // warm worker arena + buffers
+
+  auto count_for = [&](std::size_t trials) {
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    (void)run_trials(g, spec, 0, trials, 7);
+    g_count_allocs.store(false);
+    return g_alloc_count.load();
+  };
+  const std::size_t small = count_for(8);
+  const std::size_t large = count_for(64);
+  // Per-call overhead (result vector, one std::function) is allowed; any
+  // per-trial allocation would scale the count with the trial count.
+  EXPECT_EQ(small, large);
+}
+
+}  // namespace
+}  // namespace rumor
