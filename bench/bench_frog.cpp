@@ -44,11 +44,12 @@ void register_all() {
         [c](benchmark::State& state) {
           Rng rng(master_seed() ^ 0xF406u);
           const Graph g = c.spec.make(rng);
+          TrialArena arena;  // reused across trials: measures protocol cost
           std::vector<double> frog_t;
           for (auto _ : state) {
             for (std::size_t i = 0; i < trials_or(12); ++i) {
-              const RunResult r =
-                  run_frog(g, c.source, derive_seed(master_seed(), i));
+              const RunResult r = run_frog(
+                  g, c.source, derive_seed(master_seed(), i), {}, &arena);
               frog_t.push_back(static_cast<double>(r.rounds));
             }
           }

@@ -34,6 +34,7 @@ void register_all() {
           [rumor_count, walks, series](benchmark::State& state) {
             Rng rng(master_seed() ^ 0x316B5u);
             const Graph g = gen::random_regular(kN, 16, rng);
+            TrialArena arena;  // reused across trials
             std::vector<double> latencies;
             for (auto _ : state) {
               for (std::size_t trial = 0; trial < trials_or(10); ++trial) {
@@ -46,8 +47,11 @@ void register_all() {
                 }
                 const std::uint64_t seed = derive_seed(master_seed(), trial);
                 const MultiRumorResult result =
-                    walks ? MultiRumorVisitExchange(g, rumors, seed).run()
-                          : MultiRumorPushPull(g, rumors, seed).run();
+                    walks ? MultiRumorVisitExchange(g, rumors, seed, {},
+                                                    &arena)
+                                .run()
+                          : MultiRumorPushPull(g, rumors, seed, 0, &arena)
+                                .run();
                 for (Round lat : result.latency) {
                   latencies.push_back(static_cast<double>(lat));
                 }
@@ -65,6 +69,7 @@ void register_all() {
   register_point("multi/stream", [](benchmark::State& state) {
     Rng rng(master_seed() ^ 0x57EAAu);
     const Graph g = gen::random_regular(kN, 16, rng);
+    TrialArena arena;  // reused across trials
     std::vector<double> first_half, second_half;
     for (auto _ : state) {
       for (std::size_t trial = 0; trial < trials_or(10); ++trial) {
@@ -76,7 +81,8 @@ void register_all() {
         }
         const MultiRumorResult result =
             MultiRumorVisitExchange(g, rumors,
-                                    derive_seed(master_seed(), trial))
+                                    derive_seed(master_seed(), trial), {},
+                                    &arena)
                 .run();
         for (std::size_t r = 0; r < 16; ++r) {
           first_half.push_back(static_cast<double>(result.latency[r]));

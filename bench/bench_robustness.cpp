@@ -42,6 +42,7 @@ void register_all() {
         "robust/visitx/churn=" + std::to_string(churn),
         [churn](benchmark::State& state) {
           const Graph g = make_graph();
+          TrialArena arena;  // reused across trials: measures protocol cost
           std::vector<double> rounds;
           std::size_t incomplete = 0;
           for (auto _ : state) {
@@ -49,7 +50,7 @@ void register_all() {
               DynamicAgentOptions options;
               options.churn = churn;
               const RunResult r = run_dynamic_visit_exchange(
-                  g, 0, derive_seed(master_seed(), i), options);
+                  g, 0, derive_seed(master_seed(), i), options, &arena);
               rounds.push_back(static_cast<double>(r.rounds));
               if (!r.completed) ++incomplete;
             }
@@ -65,6 +66,7 @@ void register_all() {
         "robust/visitx/bulk=" + std::to_string(loss),
         [loss](benchmark::State& state) {
           const Graph g = make_graph();
+          TrialArena arena;  // reused across trials: measures protocol cost
           std::vector<double> rounds;
           for (auto _ : state) {
             for (std::size_t i = 0; i < trials_or(20); ++i) {
@@ -72,7 +74,7 @@ void register_all() {
               options.loss_round = 5;
               options.loss_fraction = loss;
               const RunResult r = run_dynamic_visit_exchange(
-                  g, 0, derive_seed(master_seed(), i), options);
+                  g, 0, derive_seed(master_seed(), i), options, &arena);
               rounds.push_back(static_cast<double>(r.rounds));
             }
           }

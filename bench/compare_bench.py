@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_micro.json against the checked-in baseline.
+
+The walk-kernel series is the perf contract of the batched stepping engine
+(docs/perf.md). Absolute steps/sec are machine-dependent — a CI runner and a
+developer laptop differ by integer factors — so the default comparison is
+*relative*: for every batched benchmark the script computes its speedup over
+the scalar-checked benchmark of the same variant and size from the SAME run,
+and fails if that speedup regressed by more than the threshold against the
+baseline's speedup. A change that slows the batched kernel (or "speeds up"
+the scalar baseline by miscompiling it) shows up in this ratio on any
+machine.
+
+Pass --absolute to additionally compare raw steps/sec per benchmark — only
+meaningful when fresh and baseline JSON come from the same machine (e.g.
+refreshing bench/baselines/ locally).
+
+Exit codes: 0 ok, 1 regression, 2 usage/data error.
+
+Refreshing the baseline (same-machine, quiet load; repetitions matter —
+the script compares median-of-N, which is what keeps noisy runners from
+flaking the gate):
+    RUMOR_RESULTS_DIR=/tmp ./build/bench_micro \
+        --benchmark_filter='WalkKernel|TrialArena' \
+        --benchmark_min_time=0.4 --benchmark_repetitions=5
+    cp /tmp/BENCH_micro.json bench/baselines/BENCH_micro.json
+CI skips the comparison when the PR carries the `bench-baseline-reset`
+label (see .github/workflows/ci.yml).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path):
+    """name -> steps/sec (falls back to items_per_second).
+
+    When the run used --benchmark_repetitions, the median aggregate is
+    preferred over individual iterations: single runs on shared/noisy
+    machines swing well past any reasonable threshold, medians don't.
+    """
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    rates = {}
+    from_median = set()
+    for b in doc.get("benchmarks", []):
+        rate = b.get("steps_per_sec") or b.get("items_per_second")
+        if not rate:
+            continue
+        name = b.get("run_name", b["name"])
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                rates[name] = float(rate)
+                from_median.add(name)
+        elif name not in from_median and name not in rates:
+            rates[name] = float(rate)
+    if not rates:
+        print(f"error: no benchmark rates in {path}", file=sys.stderr)
+        sys.exit(2)
+    return rates
+
+
+def speedup_pairs(rates):
+    """(variant, size) -> batched/scalar speedup, for pairs present."""
+    pairs = {}
+    for name, rate in rates.items():
+        if "Batched" not in name:
+            continue
+        scalar_name = name.replace("Batched", "Scalar")
+        if scalar_name in rates and rates[scalar_name] > 0:
+            pairs[name] = rate / rates[scalar_name]
+    return pairs
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="freshly generated BENCH_micro.json")
+    ap.add_argument("baseline", help="bench/baselines/BENCH_micro.json")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional regression (default 0.15)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="also compare raw steps/sec (same machine only)")
+    args = ap.parse_args()
+
+    fresh = load_rates(args.fresh)
+    base = load_rates(args.baseline)
+    fresh_speedups = speedup_pairs(fresh)
+    base_speedups = speedup_pairs(base)
+
+    common = sorted(set(fresh_speedups) & set(base_speedups))
+    if not common:
+        print("error: no common batched/scalar pairs between fresh and "
+              "baseline", file=sys.stderr)
+        sys.exit(2)
+
+    failed = False
+    print(f"{'benchmark':58} {'baseline':>9} {'fresh':>9}  verdict")
+    for name in common:
+        b, f = base_speedups[name], fresh_speedups[name]
+        ok = f >= b * (1.0 - args.threshold)
+        verdict = "ok" if ok else f"REGRESSED >{args.threshold:.0%}"
+        print(f"{name:58} {b:8.2f}x {f:8.2f}x  {verdict}")
+        failed |= not ok
+    missing = sorted(set(base_speedups) - set(fresh_speedups))
+    for name in missing:
+        print(f"{name:58} {'':>9} {'':>9}  MISSING from fresh run")
+        failed = True
+
+    if args.absolute:
+        print()
+        print(f"{'benchmark (absolute steps/sec)':58} {'baseline':>11} "
+              f"{'fresh':>11}  verdict")
+        for name in sorted(set(fresh) & set(base)):
+            b, f = base[name], fresh[name]
+            ok = f >= b * (1.0 - args.threshold)
+            verdict = "ok" if ok else f"REGRESSED >{args.threshold:.0%}"
+            print(f"{name:58} {b:11.3g} {f:11.3g}  {verdict}")
+            failed |= not ok
+
+    if failed:
+        print("\nwalk-kernel perf regression detected (see rows above). "
+              "If intentional, refresh bench/baselines/BENCH_micro.json or "
+              "apply the bench-baseline-reset PR label.", file=sys.stderr)
+        return 1
+    print("\nno walk-kernel regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

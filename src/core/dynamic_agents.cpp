@@ -1,65 +1,75 @@
 #include "core/dynamic_agents.hpp"
 
-#include <vector>
+#include "walk/alias.hpp"
 
 namespace rumor {
 
 namespace {
 
-[[nodiscard]] std::vector<double> degree_weights(const Graph& g) {
-  std::vector<double> weights(g.num_vertices());
-  for (Vertex v = 0; v < g.num_vertices(); ++v) {
-    weights[v] = static_cast<double>(g.degree(v));
-  }
-  return weights;
+// Checked before any member that consumes the stationary distribution is
+// built: on an edgeless graph every degree weight is zero, so placement and
+// respawn sampling are undefined. Failing here gives the caller the real
+// precondition instead of an alias-table invariant.
+const Graph& checked_substrate(const Graph& g) {
+  RUMOR_REQUIRE(g.num_edges() > 0);
+  return g;
 }
 
 }  // namespace
 
 DynamicVisitExchangeProcess::DynamicVisitExchangeProcess(
     const Graph& g, Vertex source, std::uint64_t seed,
-    DynamicAgentOptions options)
-    : graph_(&g),
+    DynamicAgentOptions options, TrialArena* arena)
+    : graph_(&checked_substrate(g)),
       rng_(seed),
       options_(options),
       cutoff_(options.walk.max_rounds != 0
                   ? options.walk.max_rounds
                   : default_round_cutoff(g.num_vertices())),
-      agents_(g, resolve_agent_count(g, options.walk),
-              options.walk.placement, rng_, resolve_anchor(options.walk, source)),
-      stationary_(degree_weights(g)),
-      vertex_inform_round_(g.num_vertices(), kNeverInformed),
-      agent_inform_round_(agents_.count(), kNeverInformed),
-      agent_alive_(agents_.count(), 1) {
+      owned_arena_(arena != nullptr ? nullptr : std::make_unique<TrialArena>()),
+      arena_(arena != nullptr ? arena : owned_arena_.get()),
+      agents_(g, resolve_agent_count(g, options.walk), options.walk.placement,
+              rng_, resolve_anchor(options.walk, source), arena_),
+      stationary_(&stationary_sampler(g, arena_, sampler_keepalive_)) {
   RUMOR_REQUIRE(source < g.num_vertices());
   RUMOR_REQUIRE(options.churn >= 0.0 && options.churn < 1.0);
   RUMOR_REQUIRE(options.loss_fraction >= 0.0 && options.loss_fraction <= 1.0);
-  alive_count_ = agents_.count();
+  const std::size_t count = agents_.count();
+  alive_count_ = count;
+  arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
+  arena_->agent_inform_round.reset(count, kNeverInformed);
+  arena_->agent_alive.reset(count, 1);
+  arena_->agent_marks.reset(count);  // born-this-round marks
+  if (options_.walk.trace.informed_curve) arena_->curve.clear();
 
-  vertex_inform_round_[source] = 0;
+  arena_->vertex_inform_round.set(source, 0);
   informed_vertex_count_ = 1;
-  for (Agent a = 0; a < agents_.count(); ++a) {
+  for (Agent a = 0; a < count; ++a) {
     if (agents_.position(a) == source) {
-      agent_inform_round_[a] = 0;
+      arena_->agent_inform_round.set(a, 0);
       ++informed_agent_count_;
     }
   }
   if (options_.walk.trace.informed_curve) {
-    curve_.push_back(informed_vertex_count_);
+    arena_->curve.push_back(informed_vertex_count_);
   }
 }
 
 void DynamicVisitExchangeProcess::respawn(Agent a) {
-  if (agent_inform_round_[a] != kNeverInformed) --informed_agent_count_;
-  agent_inform_round_[a] = kNeverInformed;
-  agents_.set_position(a, static_cast<Vertex>(stationary_.sample(rng_)));
+  if (arena_->agent_inform_round.get(a) != kNeverInformed) {
+    --informed_agent_count_;
+  }
+  arena_->agent_inform_round.set(a, kNeverInformed);
+  agents_.set_position(a, static_cast<Vertex>(stationary_->sample(rng_)));
 }
 
 void DynamicVisitExchangeProcess::kill(Agent a) {
-  if (!agent_alive_[a]) return;
-  if (agent_inform_round_[a] != kNeverInformed) --informed_agent_count_;
-  agent_inform_round_[a] = kNeverInformed;
-  agent_alive_[a] = 0;
+  if (arena_->agent_alive.get(a) == 0) return;
+  if (arena_->agent_inform_round.get(a) != kNeverInformed) {
+    --informed_agent_count_;
+  }
+  arena_->agent_inform_round.set(a, kNeverInformed);
+  arena_->agent_alive.set(a, 0);
   --alive_count_;
 }
 
@@ -70,51 +80,59 @@ void DynamicVisitExchangeProcess::step() {
   // Correlated one-shot loss (experiment E16).
   if (round_ == options_.loss_round && options_.loss_fraction > 0.0) {
     for (Agent a = 0; a < count; ++a) {
-      if (agent_alive_[a] && rng_.chance(options_.loss_fraction)) kill(a);
+      if (arena_->agent_alive.get(a) != 0 &&
+          rng_.chance(options_.loss_fraction)) {
+        kill(a);
+      }
     }
   }
 
   // Churn: dead-and-reborn agents appear uninformed at a stationary vertex
   // and do not move this round (they were just born there).
-  std::vector<std::uint8_t> born_now;
-  if (options_.churn > 0.0) born_now.assign(count, 0);
+  arena_->agent_marks.advance();
   for (Agent a = 0; a < count; ++a) {
-    if (!agent_alive_[a]) continue;
+    if (arena_->agent_alive.get(a) == 0) continue;
     if (options_.churn > 0.0 && rng_.chance(options_.churn)) {
       respawn(a);
-      born_now[a] = 1;
+      arena_->agent_marks.insert(a);
     }
   }
 
   // Movement.
   for (Agent a = 0; a < count; ++a) {
-    if (!agent_alive_[a]) continue;
-    if (!born_now.empty() && born_now[a]) continue;
+    if (arena_->agent_alive.get(a) == 0) continue;
+    if (arena_->agent_marks.contains(a)) continue;
     agents_.set_position(
         a, step_from(*graph_, agents_.position(a), rng_, Laziness::none));
   }
 
   // Phase A: agents informed before this round inform their vertex.
   for (Agent a = 0; a < count; ++a) {
-    if (!agent_alive_[a] || agent_inform_round_[a] >= round_) continue;
+    if (arena_->agent_alive.get(a) == 0 ||
+        arena_->agent_inform_round.get(a) >= round_) {
+      continue;
+    }
     const Vertex v = agents_.position(a);
-    if (vertex_inform_round_[v] == kNeverInformed) {
-      vertex_inform_round_[v] = static_cast<std::uint32_t>(round_);
+    if (!arena_->vertex_inform_round.touched(v)) {
+      arena_->vertex_inform_round.set(v, static_cast<std::uint32_t>(round_));
       ++informed_vertex_count_;
     }
   }
 
   // Phase B: uninformed agents learn from informed vertices.
   for (Agent a = 0; a < count; ++a) {
-    if (!agent_alive_[a] || agent_inform_round_[a] != kNeverInformed) continue;
-    if (vertex_inform_round_[agents_.position(a)] != kNeverInformed) {
-      agent_inform_round_[a] = static_cast<std::uint32_t>(round_);
+    if (arena_->agent_alive.get(a) == 0 ||
+        arena_->agent_inform_round.get(a) != kNeverInformed) {
+      continue;
+    }
+    if (arena_->vertex_inform_round.touched(agents_.position(a))) {
+      arena_->agent_inform_round.set(a, static_cast<std::uint32_t>(round_));
       ++informed_agent_count_;
     }
   }
 
   if (options_.walk.trace.informed_curve) {
-    curve_.push_back(informed_vertex_count_);
+    arena_->curve.push_back(informed_vertex_count_);
   }
 }
 
@@ -124,18 +142,21 @@ RunResult DynamicVisitExchangeProcess::run() {
   result.rounds = round_;
   result.completed = done();
   result.agent_rounds = round_;
-  if (options_.walk.trace.informed_curve) result.informed_curve = curve_;
+  if (options_.walk.trace.informed_curve) {
+    result.informed_curve = arena_->curve;
+  }
   if (options_.walk.trace.inform_rounds) {
-    result.vertex_inform_round = vertex_inform_round_;
-    result.agent_inform_round = agent_inform_round_;
+    result.vertex_inform_round = arena_->vertex_inform_round.to_vector();
+    result.agent_inform_round = arena_->agent_inform_round.to_vector();
   }
   return result;
 }
 
 RunResult run_dynamic_visit_exchange(const Graph& g, Vertex source,
                                      std::uint64_t seed,
-                                     DynamicAgentOptions options) {
-  return DynamicVisitExchangeProcess(g, source, seed, options).run();
+                                     DynamicAgentOptions options,
+                                     TrialArena* arena) {
+  return DynamicVisitExchangeProcess(g, source, seed, options, arena).run();
 }
 
 }  // namespace rumor

@@ -12,18 +12,25 @@
 // `loss_round`) models a correlated failure; lost slots stay dead.
 // Broadcast semantics are visit-exchange's (vertices store the rumor, so
 // agent churn delays but does not destroy progress).
+//
+// Requires a graph with at least one edge: the degree-weighted stationary
+// distribution that places and respawns agents is degenerate (all-zero
+// weights) on an edgeless graph. Scratch state lives in a TrialArena for
+// allocation-free repeated trials.
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <memory>
 
 #include "core/walk_options.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
+#include "support/trial_arena.hpp"
 #include "walk/agents.hpp"
-#include "walk/alias.hpp"
 
 namespace rumor {
+
+class AliasSampler;
 
 struct DynamicAgentOptions {
   WalkOptions walk;
@@ -37,7 +44,8 @@ class DynamicVisitExchangeProcess {
  public:
   DynamicVisitExchangeProcess(const Graph& g, Vertex source,
                               std::uint64_t seed,
-                              DynamicAgentOptions options = {});
+                              DynamicAgentOptions options = {},
+                              TrialArena* arena = nullptr);
 
   void step();
 
@@ -65,22 +73,24 @@ class DynamicVisitExchangeProcess {
   DynamicAgentOptions options_;
   Round round_ = 0;
   Round cutoff_;
+  std::unique_ptr<TrialArena> owned_arena_;
+  TrialArena* arena_;
   AgentSystem agents_;
-  AliasSampler stationary_;
+  // Respawn sampler: the arena-cached stationary alias table (keepalive
+  // owns it when no arena was lent).
+  std::shared_ptr<AliasSampler> sampler_keepalive_;
+  const AliasSampler* stationary_;
   std::uint32_t informed_vertex_count_ = 0;
   std::size_t informed_agent_count_ = 0;  // informed AND alive
   std::size_t alive_count_ = 0;
-  std::vector<std::uint32_t> vertex_inform_round_;
-  // Per-agent inform round (kNeverInformed when uninformed); "informed
-  // before round t" is the natural comparison inform_round < t, which is
-  // what the churn logic resets.
-  std::vector<std::uint32_t> agent_inform_round_;
-  std::vector<std::uint8_t> agent_alive_;
-  std::vector<std::uint32_t> curve_;
+  // Per-agent inform round (kNeverInformed when uninformed) and liveness
+  // live in the arena ("informed before round t" is inform_round < t, which
+  // is what the churn logic resets); born-this-round marks use the arena's
+  // agent StampSet, advanced once per round.
 };
 
 [[nodiscard]] RunResult run_dynamic_visit_exchange(
     const Graph& g, Vertex source, std::uint64_t seed,
-    DynamicAgentOptions options = {});
+    DynamicAgentOptions options = {}, TrialArena* arena = nullptr);
 
 }  // namespace rumor

@@ -3,47 +3,45 @@
 namespace rumor {
 
 FrogProcess::FrogProcess(const Graph& g, Vertex source, std::uint64_t seed,
-                         FrogOptions options)
+                         FrogOptions options, TrialArena* arena)
     : graph_(&g),
       rng_(seed),
       options_(options),
       cutoff_(options.max_rounds != 0 ? options.max_rounds
                                       : default_round_cutoff(g.num_vertices())),
-      positions_(static_cast<std::size_t>(g.num_vertices()) *
-                 options.frogs_per_vertex),
-      visit_round_(g.num_vertices(), kNeverInformed),
-      frog_order_(positions_.size()),
-      order_index_of_(positions_.size()) {
+      owned_arena_(arena != nullptr ? nullptr : std::make_unique<TrialArena>()),
+      arena_(arena != nullptr ? arena : owned_arena_.get()),
+      positions_(&arena_->agent_positions),
+      frog_count_(static_cast<std::size_t>(g.num_vertices()) *
+                  options.frogs_per_vertex) {
   RUMOR_REQUIRE(source < g.num_vertices());
   RUMOR_REQUIRE(options.frogs_per_vertex >= 1);
-  for (std::size_t f = 0; f < positions_.size(); ++f) {
-    positions_[f] = static_cast<Vertex>(f / options_.frogs_per_vertex);
-    frog_order_[f] = static_cast<std::uint32_t>(f);
-    order_index_of_[f] = static_cast<std::uint32_t>(f);
+  positions_->resize(frog_count_);
+  for (std::size_t f = 0; f < frog_count_; ++f) {
+    (*positions_)[f] = static_cast<Vertex>(f / options_.frogs_per_vertex);
   }
+  arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
+  order_.reset(*arena_, frog_count_);
+  if (options_.trace.informed_curve) arena_->curve.clear();
+
   // Round 0: the source is "visited"; its frogs wake.
   wake_at(source);
   if (options_.trace.informed_curve) {
-    curve_.push_back(static_cast<std::uint32_t>(awake_count_));
+    arena_->curve.push_back(static_cast<std::uint32_t>(awake_count_));
   }
 }
 
 void FrogProcess::wake_at(Vertex v) {
-  if (visit_round_[v] != kNeverInformed) return;
-  visit_round_[v] = static_cast<std::uint32_t>(round_);
+  if (arena_->vertex_inform_round.touched(v)) return;
+  arena_->vertex_inform_round.set(v, static_cast<std::uint32_t>(round_));
   // Wake the frogs native to v (they are asleep iff v was unvisited).
   const std::size_t base =
       static_cast<std::size_t>(v) * options_.frogs_per_vertex;
   for (std::uint32_t i = 0; i < options_.frogs_per_vertex; ++i) {
     const auto f = static_cast<std::uint32_t>(base + i);
-    const std::uint32_t idx = order_index_of_[f];
+    const std::uint32_t idx = order_.index_of(f);
     RUMOR_CHECK(idx >= awake_count_);
-    const auto dest = static_cast<std::uint32_t>(awake_count_);
-    const std::uint32_t other = frog_order_[dest];
-    frog_order_[dest] = f;
-    frog_order_[idx] = other;
-    order_index_of_[f] = dest;
-    order_index_of_[other] = idx;
+    order_.swap(idx, awake_count_);
     ++awake_count_;
   }
 }
@@ -54,14 +52,14 @@ void FrogProcess::step() {
   // land on wakes its sleepers (who start walking next round).
   const std::size_t awake_at_start = awake_count_;
   for (std::size_t idx = 0; idx < awake_at_start; ++idx) {
-    const std::uint32_t f = frog_order_[idx];
+    const std::uint32_t f = order_.at(idx);
     const Vertex v =
-        step_from(*graph_, positions_[f], rng_, options_.laziness);
-    positions_[f] = v;
+        step_from(*graph_, (*positions_)[f], rng_, options_.laziness);
+    (*positions_)[f] = v;
     wake_at(v);
   }
   if (options_.trace.informed_curve) {
-    curve_.push_back(static_cast<std::uint32_t>(awake_count_));
+    arena_->curve.push_back(static_cast<std::uint32_t>(awake_count_));
   }
 }
 
@@ -71,14 +69,16 @@ RunResult FrogProcess::run() {
   result.rounds = round_;
   result.completed = done();
   result.agent_rounds = round_;
-  if (options_.trace.informed_curve) result.informed_curve = curve_;
-  if (options_.trace.inform_rounds) result.vertex_inform_round = visit_round_;
+  if (options_.trace.informed_curve) result.informed_curve = arena_->curve;
+  if (options_.trace.inform_rounds) {
+    result.vertex_inform_round = arena_->vertex_inform_round.to_vector();
+  }
   return result;
 }
 
 RunResult run_frog(const Graph& g, Vertex source, std::uint64_t seed,
-                   FrogOptions options) {
-  return FrogProcess(g, source, seed, options).run();
+                   FrogOptions options, TrialArena* arena) {
+  return FrogProcess(g, source, seed, options, arena).run();
 }
 
 }  // namespace rumor

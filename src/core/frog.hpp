@@ -10,14 +10,20 @@
 // Included for the related-work comparison bench; the broadcast time is the
 // round when the last frog wakes (equivalently, when every vertex has been
 // visited by an awake frog).
+//
+// Scratch state (positions, visit rounds, the awake-prefix permutation)
+// lives in a TrialArena — lent for allocation-free repeated trials, or
+// privately owned when constructed without one.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/protocol.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
+#include "support/trial_arena.hpp"
 #include "walk/agents.hpp"
 
 namespace rumor {
@@ -32,16 +38,16 @@ struct FrogOptions {
 class FrogProcess {
  public:
   FrogProcess(const Graph& g, Vertex source, std::uint64_t seed,
-              FrogOptions options = {});
+              FrogOptions options = {}, TrialArena* arena = nullptr);
 
   void step();
 
-  [[nodiscard]] bool done() const { return awake_count_ == positions_.size(); }
+  [[nodiscard]] bool done() const { return awake_count_ == frog_count_; }
   [[nodiscard]] Round round() const { return round_; }
   [[nodiscard]] std::size_t awake_count() const { return awake_count_; }
-  [[nodiscard]] std::size_t frog_count() const { return positions_.size(); }
+  [[nodiscard]] std::size_t frog_count() const { return frog_count_; }
   [[nodiscard]] bool vertex_visited(Vertex v) const {
-    return visit_round_[v] != kNeverInformed;
+    return arena_->vertex_inform_round.touched(v);
   }
 
   [[nodiscard]] RunResult run();
@@ -54,17 +60,20 @@ class FrogProcess {
   FrogOptions options_;
   Round round_ = 0;
   Round cutoff_;
-  // Frog f sleeps at vertex f / frogs_per_vertex until woken.
-  std::vector<Vertex> positions_;
-  std::vector<std::uint32_t> visit_round_;  // first awake visit per vertex
-  // Awake-prefix partition over frog ids.
-  std::vector<std::uint32_t> frog_order_;
-  std::vector<std::uint32_t> order_index_of_;
+  std::unique_ptr<TrialArena> owned_arena_;
+  TrialArena* arena_;
+  // Frog f sleeps at vertex f / frogs_per_vertex until woken; positions use
+  // the arena's reusable agent-position buffer, the first-visit rounds its
+  // per-vertex EpochArray, and the awake-prefix partition its
+  // identity-default order arrays.
+  std::vector<Vertex>* positions_;
+  AgentOrderView order_;
+  std::size_t frog_count_ = 0;
   std::size_t awake_count_ = 0;
-  std::vector<std::uint32_t> curve_;
 };
 
 [[nodiscard]] RunResult run_frog(const Graph& g, Vertex source,
-                                 std::uint64_t seed, FrogOptions options = {});
+                                 std::uint64_t seed, FrogOptions options = {},
+                                 TrialArena* arena = nullptr);
 
 }  // namespace rumor

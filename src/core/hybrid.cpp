@@ -1,65 +1,65 @@
 #include "core/hybrid.hpp"
 
-#include "graph/properties.hpp"
+#include "walk/step_kernel.hpp"
 
 namespace rumor {
 
 HybridProcess::HybridProcess(const Graph& g, Vertex source,
-                             std::uint64_t seed, WalkOptions options)
+                             std::uint64_t seed, WalkOptions options,
+                             TrialArena* arena)
     : graph_(&g),
       rng_(seed),
       options_(options),
-      laziness_(options.lazy == LazyMode::always ? Laziness::half
-                                                 : Laziness::none),
+      laziness_(resolve_laziness(g, options.lazy)),
       cutoff_(options.max_rounds != 0 ? options.max_rounds
                                       : default_round_cutoff(g.num_vertices())),
+      owned_arena_(arena != nullptr ? nullptr : std::make_unique<TrialArena>()),
+      arena_(arena != nullptr ? arena : owned_arena_.get()),
       agents_(g, resolve_agent_count(g, options), options.placement, rng_,
-              resolve_anchor(options, source)),
-      vertex_inform_round_(g.num_vertices(), kNeverInformed),
-      agent_inform_round_(agents_.count(), kNeverInformed),
-      agent_order_(agents_.count()),
-      order_index_of_(agents_.count()),
-      informed_nbr_count_(g.num_vertices(), 0),
-      in_frontier_(g.num_vertices(), 0) {
+              resolve_anchor(options, source), arena_) {
   RUMOR_REQUIRE(source < g.num_vertices());
-  // Vertex-informed walks never need laziness for termination; only the
-  // explicit `always` mode is honored (auto_bipartite is a meet-exchange
-  // concern).
-  for (Agent a = 0; a < agents_.count(); ++a) {
-    agent_order_[a] = a;
-    order_index_of_[a] = a;
-  }
+  const std::size_t count = agents_.count();
+  arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
+  arena_->agent_inform_round.reset(count, kNeverInformed);
+  arena_->informed_nbr_count.reset(g.num_vertices(), 0);
+  arena_->vertex_marks.reset(g.num_vertices());  // ever-in-frontier marks
+  order_.reset(*arena_, count);
+  arena_->active.clear();
+  arena_->active.reserve(g.num_vertices());  // high-water once, then free
+  arena_->frontier.clear();
+  arena_->frontier.reserve(g.num_vertices());
+  if (options_.trace.informed_curve) arena_->curve.clear();
+
   inform_vertex(source);
-  for (Agent a = 0; a < agents_.count(); ++a) {
-    if (agents_.position(a) == source) inform_agent_at(order_index_of_[a]);
+  for (Agent a = 0; a < count; ++a) {
+    if (agents_.position(a) == source) inform_agent_at(order_.index_of(a));
   }
-  if (options_.trace.informed_curve) curve_.push_back(informed_vertex_count_);
+  if (options_.trace.informed_curve) {
+    arena_->curve.push_back(informed_vertex_count_);
+  }
 }
 
 void HybridProcess::inform_vertex(Vertex v) {
-  RUMOR_CHECK(vertex_inform_round_[v] == kNeverInformed);
-  vertex_inform_round_[v] = static_cast<std::uint32_t>(round_);
+  RUMOR_CHECK(!arena_->vertex_inform_round.touched(v));
+  arena_->vertex_inform_round.set(v, static_cast<std::uint32_t>(round_));
   ++informed_vertex_count_;
-  active_.push_back(v);
-  for (Vertex w : graph_->neighbors(v)) {
-    ++informed_nbr_count_[w];
-    if (vertex_inform_round_[w] == kNeverInformed && !in_frontier_[w]) {
-      in_frontier_[w] = 1;
-      frontier_.push_back(w);
+  arena_->active.push_back(v);
+  for (Vertex w : graph_->neighbors_unchecked(v)) {
+    arena_->informed_nbr_count.add(w, 1);
+    if (!arena_->vertex_inform_round.touched(w) &&
+        !arena_->vertex_marks.contains(w)) {
+      arena_->vertex_marks.insert(w);
+      arena_->frontier.push_back(w);
     }
   }
 }
 
 void HybridProcess::inform_agent_at(std::size_t order_index) {
   RUMOR_CHECK(order_index >= informed_agent_count_);
-  const Agent a = agent_order_[order_index];
-  agent_inform_round_[a] = static_cast<std::uint32_t>(round_);
-  const auto dest = static_cast<std::uint32_t>(informed_agent_count_);
-  const Agent other = agent_order_[dest];
-  agent_order_[dest] = a;
-  agent_order_[order_index] = other;
-  order_index_of_[a] = dest;
-  order_index_of_[other] = static_cast<std::uint32_t>(order_index);
+  const Agent a = order_.at(order_index);
+  RUMOR_CHECK(!arena_->agent_inform_round.touched(a));
+  arena_->agent_inform_round.set(a, static_cast<std::uint32_t>(round_));
+  order_.swap(order_index, informed_agent_count_);
   ++informed_agent_count_;
 }
 
@@ -74,47 +74,53 @@ void HybridProcess::step() {
   // (2) previously informed agents inform their vertices.
   const std::size_t informed_agents_at_start = informed_agent_count_;
   for (std::size_t idx = 0; idx < informed_agents_at_start; ++idx) {
-    const Vertex v = agents_.position(agent_order_[idx]);
-    if (vertex_inform_round_[v] == kNeverInformed) inform_vertex(v);
+    const Vertex v = agents_.position(order_.at(idx));
+    if (!arena_->vertex_inform_round.touched(v)) inform_vertex(v);
   }
 
   // (3) push-pull calls on informed-before-round state (fast path: only
   // state-changing calls, exactly as in PushPullProcess).
+  auto& active = arena_->active;
+  auto& frontier = arena_->frontier;
   std::size_t kept = 0;
-  for (Vertex v : active_) {
-    if (informed_nbr_count_[v] < graph_->degree(v)) active_[kept++] = v;
+  for (Vertex v : active) {
+    if (arena_->informed_nbr_count.get(v) < graph_->degree_unchecked(v)) {
+      active[kept++] = v;
+    }
   }
-  active_.resize(kept);
+  active.resize(kept);
   kept = 0;
-  for (Vertex w : frontier_) {
-    if (vertex_inform_round_[w] == kNeverInformed) frontier_[kept++] = w;
+  for (Vertex w : frontier) {
+    if (!arena_->vertex_inform_round.touched(w)) frontier[kept++] = w;
   }
-  frontier_.resize(kept);
+  frontier.resize(kept);
 
-  const std::size_t pushers = active_.size();
+  const std::size_t pushers = active.size();
   for (std::size_t i = 0; i < pushers; ++i) {
-    const Vertex u = active_[i];
+    const Vertex u = active[i];
     if (!informed_before_this_round(u)) continue;  // informed in step (2)
-    const Vertex v = graph_->random_neighbor(u, rng_);
-    if (vertex_inform_round_[v] == kNeverInformed) inform_vertex(v);
+    const Vertex v = graph_->random_neighbor_unchecked(u, rng_);
+    if (!arena_->vertex_inform_round.touched(v)) inform_vertex(v);
   }
-  const std::size_t pullers = frontier_.size();
+  const std::size_t pullers = frontier.size();
   for (std::size_t i = 0; i < pullers; ++i) {
-    const Vertex w = frontier_[i];
-    if (vertex_inform_round_[w] != kNeverInformed) continue;
-    const Vertex v = graph_->random_neighbor(w, rng_);
+    const Vertex w = frontier[i];
+    if (arena_->vertex_inform_round.touched(w)) continue;
+    const Vertex v = graph_->random_neighbor_unchecked(w, rng_);
     if (informed_before_this_round(v)) inform_vertex(w);
   }
 
   // (4) agents standing on informed vertices become informed.
   for (std::size_t idx = informed_agents_at_start; idx < count; ++idx) {
-    const Agent a = agent_order_[idx];
-    if (vertex_inform_round_[agents_.position(a)] != kNeverInformed) {
+    const Agent a = order_.at(idx);
+    if (arena_->vertex_inform_round.touched(agents_.position(a))) {
       inform_agent_at(idx);
     }
   }
 
-  if (options_.trace.informed_curve) curve_.push_back(informed_vertex_count_);
+  if (options_.trace.informed_curve) {
+    arena_->curve.push_back(informed_vertex_count_);
+  }
 }
 
 RunResult HybridProcess::run() {
@@ -123,17 +129,17 @@ RunResult HybridProcess::run() {
   result.rounds = round_;
   result.completed = done();
   result.agent_rounds = round_;
-  if (options_.trace.informed_curve) result.informed_curve = curve_;
+  if (options_.trace.informed_curve) result.informed_curve = arena_->curve;
   if (options_.trace.inform_rounds) {
-    result.vertex_inform_round = vertex_inform_round_;
-    result.agent_inform_round = agent_inform_round_;
+    result.vertex_inform_round = arena_->vertex_inform_round.to_vector();
+    result.agent_inform_round = arena_->agent_inform_round.to_vector();
   }
   return result;
 }
 
 RunResult run_hybrid(const Graph& g, Vertex source, std::uint64_t seed,
-                     WalkOptions options) {
-  return HybridProcess(g, source, seed, options).run();
+                     WalkOptions options, TrialArena* arena) {
+  return HybridProcess(g, source, seed, options, arena).run();
 }
 
 }  // namespace rumor

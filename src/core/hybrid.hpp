@@ -8,13 +8,21 @@
 // informed vertex (any round <= current) become informed. Hence each round
 // costs one call per useful vertex plus one step per agent — the same
 // per-round budget as running the two protocols side by side.
+//
+// All O(n + |A|) scratch state lives in a TrialArena — lent by the trial
+// runner for allocation-free repeated trials, or privately owned when
+// constructed without one. Laziness goes through resolve_laziness, so
+// LazyMode::auto_bipartite enables lazy walks on bipartite graphs exactly
+// as it does for the pure agent protocols.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "core/walk_options.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
+#include "support/trial_arena.hpp"
 #include "walk/agents.hpp"
 
 namespace rumor {
@@ -22,7 +30,7 @@ namespace rumor {
 class HybridProcess {
  public:
   HybridProcess(const Graph& g, Vertex source, std::uint64_t seed,
-                WalkOptions options = {});
+                WalkOptions options = {}, TrialArena* arena = nullptr);
 
   void step();
 
@@ -34,9 +42,10 @@ class HybridProcess {
     return informed_vertex_count_;
   }
   [[nodiscard]] bool vertex_informed(Vertex v) const {
-    return vertex_inform_round_[v] != kNeverInformed;
+    return arena_->vertex_inform_round.touched(v);
   }
   [[nodiscard]] const Graph& graph() const { return *graph_; }
+  [[nodiscard]] Laziness laziness() const { return laziness_; }
 
   [[nodiscard]] RunResult run();
 
@@ -44,8 +53,8 @@ class HybridProcess {
   void inform_vertex(Vertex v);
   void inform_agent_at(std::size_t order_index);
   [[nodiscard]] bool informed_before_this_round(Vertex v) const {
-    return vertex_inform_round_[v] != kNeverInformed &&
-           vertex_inform_round_[v] < round_;
+    const std::uint32_t r = arena_->vertex_inform_round.get(v);
+    return r != kNeverInformed && r < round_;
   }
 
   const Graph* graph_;
@@ -54,23 +63,19 @@ class HybridProcess {
   Laziness laziness_;
   Round round_ = 0;
   Round cutoff_;
+  std::unique_ptr<TrialArena> owned_arena_;
+  TrialArena* arena_;
   AgentSystem agents_;
+  // Identity-default informed-prefix partition over the arena's order
+  // arrays: [0, informed_agent_count_) are the informed agents.
+  AgentOrderView order_;
   std::uint32_t informed_vertex_count_ = 0;
   std::size_t informed_agent_count_ = 0;
-  std::vector<std::uint32_t> vertex_inform_round_;
-  std::vector<std::uint32_t> agent_inform_round_;
-  std::vector<Agent> agent_order_;
-  std::vector<std::uint32_t> order_index_of_;
-  // push-pull working sets (see PushPullProcess)
-  std::vector<std::uint32_t> informed_nbr_count_;
-  std::vector<Vertex> active_;
-  std::vector<Vertex> frontier_;
-  std::vector<std::uint8_t> in_frontier_;
-  std::vector<std::uint32_t> curve_;
 };
 
 [[nodiscard]] RunResult run_hybrid(const Graph& g, Vertex source,
                                    std::uint64_t seed,
-                                   WalkOptions options = {});
+                                   WalkOptions options = {},
+                                   TrialArena* arena = nullptr);
 
 }  // namespace rumor

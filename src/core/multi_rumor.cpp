@@ -2,48 +2,51 @@
 
 #include <bit>
 
+#include "walk/step_kernel.hpp"
+
 namespace rumor {
 
 namespace {
 
 // Applies newly acquired rumor bits to the per-rumor holder counts and
 // completion bookkeeping.
-template <typename OnComplete>
 void account_new_bits(RumorMask fresh, std::vector<std::uint32_t>& have_count,
                       std::uint32_t full_count, std::vector<Round>& completion,
-                      Round round, std::size_t& remaining,
-                      OnComplete on_complete) {
+                      Round round, std::size_t& remaining) {
   while (fresh != 0) {
     const int r = std::countr_zero(fresh);
     fresh &= fresh - 1;
     if (++have_count[static_cast<std::size_t>(r)] == full_count) {
       completion[static_cast<std::size_t>(r)] = round;
       --remaining;
-      on_complete(static_cast<std::size_t>(r));
     }
   }
 }
 
-MultiRumorResult make_result(const std::vector<RumorSpec>& rumors,
-                             const std::vector<Round>& completion,
-                             std::size_t remaining, Round round) {
-  MultiRumorResult result;
-  result.completed = (remaining == 0);
-  result.rounds = round;
-  result.completion_round = completion;
-  result.latency.resize(rumors.size());
+void fill_result(MultiRumorResult& out, std::span<const RumorSpec> rumors,
+                 const std::vector<Round>& completion, std::size_t remaining,
+                 Round round) {
+  out.completed = (remaining == 0);
+  out.rounds = round;
+  out.completion_round.assign(completion.begin(), completion.end());
+  out.latency.resize(rumors.size());
   for (std::size_t r = 0; r < rumors.size(); ++r) {
-    result.latency[r] = completion[r] == kNoRoundYet
-                            ? kNoRoundYet
-                            : completion[r] - rumors[r].release_round;
+    out.latency[r] = completion[r] == kNoRoundYet
+                         ? kNoRoundYet
+                         : completion[r] - rumors[r].release_round;
   }
-  return result;
 }
 
-void validate(const Graph& g, const std::vector<RumorSpec>& rumors) {
+void validate(const Graph& g, std::span<const RumorSpec> rumors) {
   RUMOR_REQUIRE(!rumors.empty());
   RUMOR_REQUIRE(rumors.size() <= kMaxRumors);
   for (const auto& r : rumors) RUMOR_REQUIRE(r.source < g.num_vertices());
+}
+
+Round last_release_round(std::span<const RumorSpec> rumors) {
+  Round last = 0;
+  for (const auto& r : rumors) last = std::max(last, r.release_round);
+  return last;
 }
 
 }  // namespace
@@ -53,104 +56,145 @@ void validate(const Graph& g, const std::vector<RumorSpec>& rumors) {
 // ---------------------------------------------------------------------------
 
 MultiRumorPushPull::MultiRumorPushPull(const Graph& g,
-                                       std::vector<RumorSpec> rumors,
-                                       std::uint64_t seed, Round max_rounds)
+                                       std::span<const RumorSpec> rumors,
+                                       std::uint64_t seed, Round max_rounds,
+                                       TrialArena* arena)
     : graph_(&g),
-      rumors_(std::move(rumors)),
+      rumors_(rumors),
       rng_(seed),
       cutoff_(max_rounds != 0 ? max_rounds
                               : default_round_cutoff(g.num_vertices())),
-      held_(g.num_vertices(), 0),
-      held_before_(g.num_vertices(), 0),
-      have_count_(rumors_.size(), 0),
-      completion_(rumors_.size(), kNoRoundYet),
-      remaining_(rumors_.size()) {
+      owned_arena_(arena != nullptr ? nullptr : std::make_unique<TrialArena>()),
+      arena_(arena != nullptr ? arena : owned_arena_.get()),
+      remaining_(rumors.size()) {
   validate(g, rumors_);
+  // Every vertex calls a random neighbor every round (the definition), so
+  // the per-round loop may use the unchecked neighbor draw.
+  RUMOR_REQUIRE(g.min_degree() > 0);
+  arena_->vertex_rumors.assign(g.num_vertices(), 0);
+  arena_->vertex_rumors_before.assign(g.num_vertices(), 0);
+  arena_->rumor_have_count.assign(rumors_.size(), 0);
+  arena_->rumor_completion.assign(rumors_.size(), kNoRoundYet);
   release_due();
 }
 
+MultiRumorPushPull::MultiRumorPushPull(const Graph& g,
+                                       std::vector<RumorSpec>&& rumors,
+                                       std::uint64_t seed, Round max_rounds,
+                                       TrialArena* arena)
+    : MultiRumorPushPull(g, std::span<const RumorSpec>(rumors), seed,
+                         max_rounds, arena) {
+  // The delegated constructor ran against the caller's vector; adopt it
+  // (the move transfers the same heap buffer, so the span stays valid) and
+  // re-point the span at the stored copy for clarity.
+  rumor_storage_ = std::move(rumors);
+  rumors_ = rumor_storage_;
+}
+
 void MultiRumorPushPull::release_due() {
+  auto& held = arena_->vertex_rumors;
   for (std::size_t r = 0; r < rumors_.size(); ++r) {
     if (rumors_[r].release_round != round_) continue;
     const RumorMask bit = RumorMask{1} << r;
-    if ((held_[rumors_[r].source] & bit) == 0) {
-      held_[rumors_[r].source] |= bit;
-      account_new_bits(bit, have_count_, graph_->num_vertices(), completion_,
-                       round_, remaining_, [](std::size_t) {});
+    if ((held[rumors_[r].source] & bit) == 0) {
+      held[rumors_[r].source] |= bit;
+      account_new_bits(bit, arena_->rumor_have_count, graph_->num_vertices(),
+                       arena_->rumor_completion, round_, remaining_);
     }
   }
 }
 
 void MultiRumorPushPull::step() {
   ++round_;
-  held_before_ = held_;
+  auto& held = arena_->vertex_rumors;
+  auto& held_before = arena_->vertex_rumors_before;
+  held_before.assign(held.begin(), held.end());
   const Vertex n = graph_->num_vertices();
   for (Vertex u = 0; u < n; ++u) {
-    const Vertex v = graph_->random_neighbor(u, rng_);
+    const Vertex v = graph_->random_neighbor_unchecked(u, rng_);
     // Symmetric exchange of everything held before the round.
-    const RumorMask to_v = held_before_[u] & ~held_[v];
+    const RumorMask to_v = held_before[u] & ~held[v];
     if (to_v != 0) {
-      held_[v] |= to_v;
-      account_new_bits(to_v, have_count_, n, completion_, round_, remaining_,
-                       [](std::size_t) {});
+      held[v] |= to_v;
+      account_new_bits(to_v, arena_->rumor_have_count, n,
+                       arena_->rumor_completion, round_, remaining_);
     }
-    const RumorMask to_u = held_before_[v] & ~held_[u];
+    const RumorMask to_u = held_before[v] & ~held[u];
     if (to_u != 0) {
-      held_[u] |= to_u;
-      account_new_bits(to_u, have_count_, n, completion_, round_, remaining_,
-                       [](std::size_t) {});
+      held[u] |= to_u;
+      account_new_bits(to_u, arena_->rumor_have_count, n,
+                       arena_->rumor_completion, round_, remaining_);
     }
   }
   release_due();
 }
 
-MultiRumorResult MultiRumorPushPull::run() {
+void MultiRumorPushPull::run_into(MultiRumorResult& out) {
   // Run at least until every rumor has been released.
-  Round last_release = 0;
-  for (const auto& r : rumors_) last_release = std::max(last_release, r.release_round);
+  const Round last_release = last_release_round(rumors_);
   while ((!done() || round_ < last_release) && round_ < cutoff_) step();
-  return make_result(rumors_, completion_, remaining_, round_);
+  fill_result(out, rumors_, arena_->rumor_completion, remaining_, round_);
+}
+
+MultiRumorResult MultiRumorPushPull::run() {
+  MultiRumorResult result;
+  run_into(result);
+  return result;
 }
 
 // ---------------------------------------------------------------------------
 // visit-exchange
 // ---------------------------------------------------------------------------
 
-MultiRumorVisitExchange::MultiRumorVisitExchange(const Graph& g,
-                                                 std::vector<RumorSpec> rumors,
-                                                 std::uint64_t seed,
-                                                 WalkOptions options)
+MultiRumorVisitExchange::MultiRumorVisitExchange(
+    const Graph& g, std::span<const RumorSpec> rumors, std::uint64_t seed,
+    WalkOptions options, TrialArena* arena)
     : graph_(&g),
-      rumors_(std::move(rumors)),
+      rumors_(rumors),
       rng_(seed),
       options_(options),
+      laziness_(resolve_laziness(g, options.lazy)),
       cutoff_(options.max_rounds != 0 ? options.max_rounds
                                       : default_round_cutoff(g.num_vertices())),
+      owned_arena_(arena != nullptr ? nullptr : std::make_unique<TrialArena>()),
+      arena_(arena != nullptr ? arena : owned_arena_.get()),
       agents_(g, resolve_agent_count(g, options), options.placement, rng_,
-              resolve_anchor(options, rumors_.empty() ? 0 : rumors_[0].source)),
-      held_(g.num_vertices(), 0),
-      agent_held_(agents_.count(), 0),
-      agent_held_before_(agents_.count(), 0),
-      have_count_(rumors_.size(), 0),
-      completion_(rumors_.size(), kNoRoundYet),
-      remaining_(rumors_.size()) {
+              resolve_anchor(options, rumors.empty() ? 0 : rumors[0].source),
+              arena_),
+      remaining_(rumors.size()) {
   validate(g, rumors_);
+  arena_->vertex_rumors.assign(g.num_vertices(), 0);
+  arena_->agent_rumors.assign(agents_.count(), 0);
+  arena_->agent_rumors_before.assign(agents_.count(), 0);
+  arena_->rumor_have_count.assign(rumors_.size(), 0);
+  arena_->rumor_completion.assign(rumors_.size(), kNoRoundYet);
   release_due();
 }
 
+MultiRumorVisitExchange::MultiRumorVisitExchange(
+    const Graph& g, std::vector<RumorSpec>&& rumors, std::uint64_t seed,
+    WalkOptions options, TrialArena* arena)
+    : MultiRumorVisitExchange(g, std::span<const RumorSpec>(rumors), seed,
+                              options, arena) {
+  rumor_storage_ = std::move(rumors);
+  rumors_ = rumor_storage_;
+}
+
 void MultiRumorVisitExchange::release_due() {
+  auto& held = arena_->vertex_rumors;
+  auto& agent_held = arena_->agent_rumors;
   for (std::size_t r = 0; r < rumors_.size(); ++r) {
     if (rumors_[r].release_round != round_) continue;
     const RumorMask bit = RumorMask{1} << r;
     const Vertex source = rumors_[r].source;
-    if ((held_[source] & bit) == 0) {
-      held_[source] |= bit;
-      account_new_bits(bit, have_count_, graph_->num_vertices(), completion_,
-                       round_, remaining_, [](std::size_t) {});
+    if ((held[source] & bit) == 0) {
+      held[source] |= bit;
+      account_new_bits(bit, arena_->rumor_have_count, graph_->num_vertices(),
+                       arena_->rumor_completion, round_, remaining_);
     }
     // As in §3 round zero: agents standing on the source learn it at once.
     for (Agent a = 0; a < agents_.count(); ++a) {
-      if (agents_.position(a) == source) agent_held_[a] |= bit;
+      if (agents_.position(a) == source) agent_held[a] |= bit;
     }
   }
 }
@@ -158,36 +202,42 @@ void MultiRumorVisitExchange::release_due() {
 void MultiRumorVisitExchange::step() {
   ++round_;
   const std::size_t count = agents_.count();
-  const Laziness lazy =
-      options_.lazy == LazyMode::always ? Laziness::half : Laziness::none;
-  step_walks(*graph_, agents_.positions_mut(), rng_, lazy, nullptr,
+  step_walks(*graph_, agents_.positions_mut(), rng_, laziness_, nullptr,
              options_.engine);
-  agent_held_before_ = agent_held_;
+  auto& held = arena_->vertex_rumors;
+  auto& agent_held = arena_->agent_rumors;
+  auto& agent_held_before = arena_->agent_rumors_before;
+  agent_held_before.assign(agent_held.begin(), agent_held.end());
 
   // Phase A: rumors the agent held before the round land on its vertex.
   const Vertex n = graph_->num_vertices();
   for (Agent a = 0; a < count; ++a) {
     const Vertex v = agents_.position(a);
-    const RumorMask fresh = agent_held_before_[a] & ~held_[v];
+    const RumorMask fresh = agent_held_before[a] & ~held[v];
     if (fresh != 0) {
-      held_[v] |= fresh;
-      account_new_bits(fresh, have_count_, n, completion_, round_, remaining_,
-                       [](std::size_t) {});
+      held[v] |= fresh;
+      account_new_bits(fresh, arena_->rumor_have_count, n,
+                       arena_->rumor_completion, round_, remaining_);
     }
   }
   // Phase B: agents absorb everything their vertex holds (including rumors
   // delivered this round by other agents — §3's same-round pickup).
   for (Agent a = 0; a < count; ++a) {
-    agent_held_[a] |= held_[agents_.position(a)];
+    agent_held[a] |= held[agents_.position(a)];
   }
   release_due();
 }
 
-MultiRumorResult MultiRumorVisitExchange::run() {
-  Round last_release = 0;
-  for (const auto& r : rumors_) last_release = std::max(last_release, r.release_round);
+void MultiRumorVisitExchange::run_into(MultiRumorResult& out) {
+  const Round last_release = last_release_round(rumors_);
   while ((!done() || round_ < last_release) && round_ < cutoff_) step();
-  return make_result(rumors_, completion_, remaining_, round_);
+  fill_result(out, rumors_, arena_->rumor_completion, remaining_, round_);
+}
+
+MultiRumorResult MultiRumorVisitExchange::run() {
+  MultiRumorResult result;
+  run_into(result);
+  return result;
 }
 
 }  // namespace rumor

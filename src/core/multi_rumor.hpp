@@ -15,14 +15,22 @@
 // exactly the single-rumor protocol started at its release round — rumors
 // share bandwidth without interfering — so per-rumor broadcast times match
 // the single-rumor distributions.
+//
+// Rumor masks and per-rumor bookkeeping live in a TrialArena. The primary
+// constructors borrow the rumor specs as a span (the caller keeps them
+// alive for the simulator's lifetime — the allocation-free trial path); the
+// vector&& overloads store a moved-in copy for temporaries.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/walk_options.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
+#include "support/trial_arena.hpp"
 #include "walk/agents.hpp"
 
 namespace rumor {
@@ -49,29 +57,34 @@ struct MultiRumorResult {
 // other held before the round.
 class MultiRumorPushPull {
  public:
-  MultiRumorPushPull(const Graph& g, std::vector<RumorSpec> rumors,
-                     std::uint64_t seed, Round max_rounds = 0);
+  MultiRumorPushPull(const Graph& g, std::span<const RumorSpec> rumors,
+                     std::uint64_t seed, Round max_rounds = 0,
+                     TrialArena* arena = nullptr);
+  MultiRumorPushPull(const Graph& g, std::vector<RumorSpec>&& rumors,
+                     std::uint64_t seed, Round max_rounds = 0,
+                     TrialArena* arena = nullptr);
 
   void step();
   [[nodiscard]] bool done() const { return remaining_ == 0; }
   [[nodiscard]] Round round() const { return round_; }
   [[nodiscard]] RumorMask vertex_rumors(Vertex v) const {
-    return held_[v];
+    return arena_->vertex_rumors[v];
   }
   [[nodiscard]] MultiRumorResult run();
+  // As run(), but reuses `out`'s buffers (allocation-free once warm).
+  void run_into(MultiRumorResult& out);
 
  private:
   void release_due();
 
   const Graph* graph_;
-  std::vector<RumorSpec> rumors_;
+  std::vector<RumorSpec> rumor_storage_;  // only for the vector&& overload
+  std::span<const RumorSpec> rumors_;
   Rng rng_;
   Round round_ = 0;
   Round cutoff_;
-  std::vector<RumorMask> held_;         // current rumor set per vertex
-  std::vector<RumorMask> held_before_;  // snapshot at round start
-  std::vector<std::uint32_t> have_count_;  // vertices holding rumor r
-  std::vector<Round> completion_;
+  std::unique_ptr<TrialArena> owned_arena_;
+  TrialArena* arena_;
   std::size_t remaining_;
 };
 
@@ -81,34 +94,42 @@ class MultiRumorPushPull {
 // hands over everything it holds after its own update — matching §3).
 class MultiRumorVisitExchange {
  public:
-  MultiRumorVisitExchange(const Graph& g, std::vector<RumorSpec> rumors,
-                          std::uint64_t seed, WalkOptions options = {});
+  MultiRumorVisitExchange(const Graph& g, std::span<const RumorSpec> rumors,
+                          std::uint64_t seed, WalkOptions options = {},
+                          TrialArena* arena = nullptr);
+  MultiRumorVisitExchange(const Graph& g, std::vector<RumorSpec>&& rumors,
+                          std::uint64_t seed, WalkOptions options = {},
+                          TrialArena* arena = nullptr);
 
   void step();
   [[nodiscard]] bool done() const { return remaining_ == 0; }
   [[nodiscard]] Round round() const { return round_; }
-  [[nodiscard]] RumorMask vertex_rumors(Vertex v) const { return held_[v]; }
+  [[nodiscard]] RumorMask vertex_rumors(Vertex v) const {
+    return arena_->vertex_rumors[v];
+  }
   [[nodiscard]] RumorMask agent_rumors(Agent a) const {
-    return agent_held_[a];
+    return arena_->agent_rumors[a];
   }
   [[nodiscard]] const AgentSystem& agents() const { return agents_; }
+  [[nodiscard]] Laziness laziness() const { return laziness_; }
   [[nodiscard]] MultiRumorResult run();
+  // As run(), but reuses `out`'s buffers (allocation-free once warm).
+  void run_into(MultiRumorResult& out);
 
  private:
   void release_due();
 
   const Graph* graph_;
-  std::vector<RumorSpec> rumors_;
+  std::vector<RumorSpec> rumor_storage_;  // only for the vector&& overload
+  std::span<const RumorSpec> rumors_;
   Rng rng_;
   WalkOptions options_;
+  Laziness laziness_;
   Round round_ = 0;
   Round cutoff_;
+  std::unique_ptr<TrialArena> owned_arena_;
+  TrialArena* arena_;
   AgentSystem agents_;
-  std::vector<RumorMask> held_;        // per vertex
-  std::vector<RumorMask> agent_held_;  // per agent
-  std::vector<RumorMask> agent_held_before_;
-  std::vector<std::uint32_t> have_count_;
-  std::vector<Round> completion_;
   std::size_t remaining_;
 };
 

@@ -41,8 +41,10 @@ struct WalkOptions {
                                                : options.placement_anchor;
 }
 
-// Maps the laziness policy onto the graph at hand (auto_bipartite runs the
-// O(n + m) bipartiteness check).
+// Maps the laziness policy onto the graph at hand. auto_bipartite reads the
+// graph's memoized property cache, so resolution is O(1) and
+// allocation-free per trial (the one-time traversal happens on the first
+// query against each graph).
 [[nodiscard]] Laziness resolve_laziness(const Graph& g, LazyMode mode);
 
 // The explicit agent-count override, or |A| = round(alpha * n).

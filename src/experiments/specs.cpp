@@ -143,7 +143,7 @@ TrialOutcome run_protocol(const Graph& g, const ProtocolSpec& spec,
       r = MeetExchangeProcess(g, source, seed, spec.walk, arena).run();
       break;
     case Protocol::hybrid:
-      r = run_hybrid(g, source, seed, spec.walk);
+      r = HybridProcess(g, source, seed, spec.walk, arena).run();
       break;
   }
   return {static_cast<double>(r.rounds), r.completed};

@@ -3,13 +3,25 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
+#include <mutex>
 
 namespace rumor {
 
+struct Graph::PropertyState {
+  std::once_flag once;
+  std::atomic<bool> ready{false};
+  GraphProperties props;
+};
+
 Graph::Graph(Vertex num_vertices,
              std::span<const std::pair<Vertex, Vertex>> edges)
-    : n_(num_vertices), m_(edges.size()) {
-  RUMOR_REQUIRE(num_vertices > 0);
+    : n_(num_vertices),
+      m_(edges.size()),
+      property_state_(std::make_shared<PropertyState>()) {
+  // The empty graph (no vertices, no edges) is representable so property
+  // queries have a well-defined answer; simulators still require a valid
+  // source vertex and therefore reject it.
+  RUMOR_REQUIRE(num_vertices > 0 || edges.empty());
   RUMOR_REQUIRE(edges.size() < std::numeric_limits<EdgeId>::max() / 2);
 
   edge_list_.reserve(m_);
@@ -68,9 +80,9 @@ Graph::Graph(Vertex num_vertices,
     }
   }
 
-  min_degree_ = std::numeric_limits<std::uint32_t>::max();
+  min_degree_ = n_ > 0 ? std::numeric_limits<std::uint32_t>::max() : 0;
   max_degree_ = 0;
-  degrees_all_pow2_ = true;
+  degrees_all_pow2_ = n_ > 0;
   for (Vertex v = 0; v < n_; ++v) {
     const std::uint32_t d = degree(v);
     min_degree_ = std::min(min_degree_, d);
@@ -80,6 +92,54 @@ Graph::Graph(Vertex num_vertices,
 
   static std::atomic<std::uint64_t> next_uid{1};
   uid_ = next_uid.fetch_add(1, std::memory_order_relaxed);
+}
+
+const GraphProperties& Graph::properties() const {
+  RUMOR_CHECK(property_state_ != nullptr);  // not moved-from
+  PropertyState& state = *property_state_;
+  std::call_once(state.once, [&] {
+    GraphProperties p;
+    p.regular = is_regular();
+    p.degrees_all_pow2 = degrees_all_pow2_;
+    // One BFS pass computes connectivity (all vertices reached from vertex
+    // 0) and bipartiteness (2-coloring across every component) together.
+    // 2 = uncolored; the scratch is allocated once per graph, never per
+    // trial.
+    std::vector<std::uint8_t> color(n_, 2);
+    std::vector<Vertex> queue;
+    queue.reserve(n_);
+    p.bipartite = true;
+    std::size_t reached_from_zero = 0;
+    for (Vertex start = 0; start < n_; ++start) {
+      if (color[start] != 2) continue;
+      color[start] = 0;
+      queue.push_back(start);
+      std::size_t head = 0;
+      while (head < queue.size()) {
+        const Vertex u = queue[head++];
+        for (Vertex v : neighbors_unchecked(u)) {
+          if (color[v] == 2) {
+            color[v] = color[u] ^ 1;
+            queue.push_back(v);
+          } else if (color[v] == color[u]) {
+            p.bipartite = false;
+          }
+        }
+      }
+      if (start == 0) reached_from_zero = queue.size();
+      queue.clear();
+    }
+    // Convention: a single vertex is connected, the empty graph is not.
+    p.connected = n_ > 0 && reached_from_zero == n_;
+    state.props = p;
+    state.ready.store(true, std::memory_order_release);
+  });
+  return state.props;
+}
+
+bool Graph::properties_cached() const {
+  return property_state_ != nullptr &&
+         property_state_->ready.load(std::memory_order_acquire);
 }
 
 bool Graph::has_edge(Vertex u, Vertex v) const {

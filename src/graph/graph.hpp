@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -24,6 +26,16 @@ using Vertex = std::uint32_t;
 using EdgeId = std::uint32_t;
 
 constexpr Vertex kNoVertex = 0xFFFFFFFFu;
+
+// Structural flags derived from a whole-graph traversal, memoized per graph
+// (see Graph::properties()). Deriving options from these — notably
+// LazyMode::auto_bipartite — costs O(1) per trial instead of a BFS.
+struct GraphProperties {
+  bool connected = false;  // empty graph counts as NOT connected
+  bool bipartite = false;  // empty graph is vacuously two-colorable
+  bool regular = false;
+  bool degrees_all_pow2 = false;
+};
 
 // Borrowed raw view of a graph's CSR arrays for batched kernels that have
 // already validated their inputs at the process boundary. Lifetime is tied
@@ -156,7 +168,20 @@ class Graph {
   [[nodiscard]] std::uint32_t max_degree() const { return max_degree_; }
   [[nodiscard]] bool is_regular() const { return min_degree_ == max_degree_; }
 
+  // Memoized structural properties. The first call runs one BFS 2-coloring
+  // (computing connectivity and bipartiteness together); every later call is
+  // O(1) and allocation-free — this is what makes per-trial option
+  // resolution (LazyMode::auto_bipartite) free in the hot path. Thread-safe
+  // (call_once); copies of a Graph share the cache.
+  [[nodiscard]] const GraphProperties& properties() const;
+
+  // True iff properties() has already been computed (assertable by tests
+  // that require the per-trial path to be a pure cache hit).
+  [[nodiscard]] bool properties_cached() const;
+
  private:
+  struct PropertyState;  // once_flag + the computed GraphProperties
+
   Vertex n_ = 0;
   std::size_t m_ = 0;
   std::vector<std::uint32_t> offsets_;              // n+1 entries
@@ -167,6 +192,9 @@ class Graph {
   std::uint32_t max_degree_ = 0;
   bool degrees_all_pow2_ = false;
   std::uint64_t uid_ = 0;
+  // Shared (not deep-copied) so copies of an immutable graph reuse one
+  // computation; pointer identity never leaks into results.
+  std::shared_ptr<PropertyState> property_state_;
 };
 
 }  // namespace rumor

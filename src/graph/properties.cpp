@@ -15,6 +15,8 @@ constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
 }  // namespace
 
 std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source) {
+  // Also rejects every source on the empty graph (0 vertices): there is no
+  // valid vertex to start from.
   RUMOR_REQUIRE(source < g.num_vertices());
   std::vector<std::uint32_t> dist(g.num_vertices(), kUnreached);
   std::queue<Vertex> queue;
@@ -34,32 +36,13 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source) {
 }
 
 bool is_connected(const Graph& g) {
-  const auto dist = bfs_distances(g, 0);
-  return std::none_of(dist.begin(), dist.end(),
-                      [](std::uint32_t d) { return d == kUnreached; });
+  // Memoized in the graph (one traversal ever); guarded for the empty and
+  // single-vertex graphs, which must not BFS from a nonexistent vertex 0.
+  return g.properties().connected;
 }
 
 bool is_bipartite(const Graph& g) {
-  std::vector<std::uint8_t> color(g.num_vertices(), 2);  // 2 = uncolored
-  std::queue<Vertex> queue;
-  for (Vertex start = 0; start < g.num_vertices(); ++start) {
-    if (color[start] != 2) continue;
-    color[start] = 0;
-    queue.push(start);
-    while (!queue.empty()) {
-      const Vertex u = queue.front();
-      queue.pop();
-      for (Vertex v : g.neighbors(u)) {
-        if (color[v] == 2) {
-          color[v] = color[u] ^ 1;
-          queue.push(v);
-        } else if (color[v] == color[u]) {
-          return false;
-        }
-      }
-    }
-  }
-  return true;
+  return g.properties().bipartite;
 }
 
 std::uint32_t eccentricity(const Graph& g, Vertex source) {

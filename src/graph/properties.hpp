@@ -8,12 +8,16 @@
 
 namespace rumor {
 
-// BFS reachability from vertex 0.
+// Reachability of every vertex from vertex 0. Memoized per graph via
+// Graph::properties(): the first call on a graph traverses it, every later
+// call is O(1) and allocation-free. The empty graph reports NOT connected;
+// a single vertex reports connected.
 [[nodiscard]] bool is_connected(const Graph& g);
 
 // Two-coloring check. Connected bipartite graphs make non-lazy
 // meet-exchange potentially non-terminating (paper §3), so the protocol
-// consults this to auto-enable laziness.
+// consults this to auto-enable laziness. Memoized like is_connected; the
+// empty graph is vacuously bipartite.
 [[nodiscard]] bool is_bipartite(const Graph& g);
 
 // BFS distances from source; unreachable vertices get UINT32_MAX.

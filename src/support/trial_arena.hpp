@@ -30,8 +30,13 @@ struct TrialArena {
   // retirement (default = 0).
   EpochArray<std::uint32_t> informed_nbr_count;
   // Generic vertex membership: meet-exchange's per-round "informed agent
-  // stands here" marks, push-pull's ever-in-frontier marks.
+  // stands here" marks, push-pull's and hybrid's ever-in-frontier marks.
   StampSet vertex_marks;
+  // Generic agent membership: the dynamic-agent simulator's born-this-round
+  // marks (advance()d per round).
+  StampSet agent_marks;
+  // Per-agent liveness for the dynamic-agent simulator (default = alive).
+  EpochArray<std::uint8_t> agent_alive;
 
   // Agent-order permutation and its inverse, epoch-reset to the identity:
   // an untouched slot reads as the sentinel default and is interpreted as
@@ -45,6 +50,15 @@ struct TrialArena {
   std::vector<std::uint32_t> frontier;  // push-pull puller list
   std::vector<std::uint32_t> curve;     // informed-curve trace
   std::vector<std::uint64_t> edge_traffic;  // per-edge trace counters
+
+  // Multi-rumor scratch: per-vertex / per-agent rumor bitmasks, their
+  // round-start snapshots, and the (≤ 64-entry) per-rumor bookkeeping.
+  std::vector<std::uint64_t> vertex_rumors;
+  std::vector<std::uint64_t> vertex_rumors_before;
+  std::vector<std::uint64_t> agent_rumors;
+  std::vector<std::uint64_t> agent_rumors_before;
+  std::vector<std::uint32_t> rumor_have_count;
+  std::vector<std::uint64_t> rumor_completion;
 
   // Cache for expensive per-graph placement structures (the stationary
   // alias sampler). Keyed by Graph::uid() so a rebuilt graph at a recycled

@@ -8,12 +8,8 @@
 
 namespace rumor {
 
-namespace {
-
-// Stationary-placement sampler, cached per graph in the arena so repeated
-// trials on one graph build the O(n) alias table once.
 const AliasSampler& stationary_sampler(const Graph& g, TrialArena* arena,
-                                       std::shared_ptr<AliasSampler>& local) {
+                                       std::shared_ptr<AliasSampler>& keepalive) {
   if (arena != nullptr && arena->placement_cache_key == g.uid() &&
       arena->placement_cache != nullptr) {
     return *static_cast<const AliasSampler*>(arena->placement_cache.get());
@@ -22,15 +18,13 @@ const AliasSampler& stationary_sampler(const Graph& g, TrialArena* arena,
   for (Vertex v = 0; v < g.num_vertices(); ++v) {
     weights[v] = static_cast<double>(g.degree(v));
   }
-  local = std::make_shared<AliasSampler>(weights);
+  keepalive = std::make_shared<AliasSampler>(weights);
   if (arena != nullptr) {
-    arena->placement_cache = local;
+    arena->placement_cache = keepalive;
     arena->placement_cache_key = g.uid();
   }
-  return *local;
+  return *keepalive;
 }
-
-}  // namespace
 
 std::size_t agent_count_for(Vertex n, double alpha) {
   RUMOR_REQUIRE(alpha > 0.0);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -22,6 +23,8 @@
 #include "support/trial_arena.hpp"
 
 namespace rumor {
+
+class AliasSampler;
 
 using Agent = std::uint32_t;
 
@@ -40,6 +43,15 @@ enum class Laziness { none, half };
 
 // |A| = round(alpha * n), at least 1.
 [[nodiscard]] std::size_t agent_count_for(Vertex n, double alpha);
+
+// The alias sampler of the walk's stationary distribution π(v) =
+// deg(v)/2|E|, cached in the arena per Graph::uid() so repeated trials on
+// one graph build the O(n) table once. With no arena, `keepalive` owns the
+// freshly built sampler (callers hold it for the sampler's lifetime).
+// Shared by stationary placement and the dynamic-agent respawn path.
+[[nodiscard]] const AliasSampler& stationary_sampler(
+    const Graph& g, TrialArena* arena,
+    std::shared_ptr<AliasSampler>& keepalive);
 
 // One walk step from v: uniform neighbor, or stay put on the lazy coin.
 // This is the per-agent primitive the coupling machinery dictates steps

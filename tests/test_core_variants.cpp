@@ -58,6 +58,29 @@ TEST(Hybrid, MonotoneAndConsistentTrace) {
   EXPECT_EQ(r.informed_curve.back(), 64u);
 }
 
+TEST(Hybrid, AutoBipartiteResolvesLazyOnEvenCycle) {
+  // Regression: the seed implementation mapped auto_bipartite to `never`
+  // regardless of the graph, so hybrid walks on bipartite graphs stayed
+  // non-lazy. Resolution now goes through resolve_laziness, backed by the
+  // graph's memoized property cache.
+  WalkOptions options;
+  options.lazy = LazyMode::auto_bipartite;
+  const Graph even = gen::cycle(64);
+  EXPECT_EQ(HybridProcess(even, 0, 1, options).laziness(), Laziness::half);
+  const Graph odd = gen::cycle(63);
+  EXPECT_EQ(HybridProcess(odd, 0, 1, options).laziness(), Laziness::none);
+  const Graph grid = gen::grid2d(6, 6);  // bipartite, non-cycle
+  EXPECT_EQ(HybridProcess(grid, 0, 1, options).laziness(), Laziness::half);
+  // Explicit modes are unaffected.
+  options.lazy = LazyMode::never;
+  EXPECT_EQ(HybridProcess(even, 0, 1, options).laziness(), Laziness::none);
+  options.lazy = LazyMode::always;
+  EXPECT_EQ(HybridProcess(odd, 0, 1, options).laziness(), Laziness::half);
+  // And lazy hybrid still completes on the bipartite graph.
+  options.lazy = LazyMode::auto_bipartite;
+  EXPECT_TRUE(run_hybrid(even, 0, 2, options).completed);
+}
+
 TEST(Async, CompletesAndReportsTimeUnits) {
   const Graph g = gen::complete(128);
   const AsyncResult r = run_async_push_pull(g, 0, 5);
@@ -149,6 +172,15 @@ TEST(DynamicAgents, BulkLossSurvivable) {
     EXPECT_LT(p.alive_agent_count(), 256u);  // agents actually died
     EXPECT_GT(p.alive_agent_count(), 64u);   // ...about half, not all
   }
+}
+
+TEST(DynamicAgents, RejectsEdgelessGraph) {
+  // The degree-weighted stationary distribution that places and respawns
+  // agents is degenerate (all weights zero) without edges; the constructor
+  // must fail the precondition up front rather than die inside the alias
+  // sampler mid-respawn.
+  const Graph edgeless(4, {});
+  EXPECT_DEATH(DynamicVisitExchangeProcess(edgeless, 0, 1), "precondition");
 }
 
 TEST(DynamicAgents, TotalLossStallsAfterLocalFlood) {

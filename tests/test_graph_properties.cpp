@@ -59,6 +59,55 @@ TEST(DiameterLowerBound, NeverExceedsExactAndUsuallyMatchesOnTrees) {
   EXPECT_EQ(lb, exact);
 }
 
+TEST(Connectivity, EmptyAndSingleVertexGuards) {
+  // The empty graph must not BFS from a nonexistent vertex 0: it reports
+  // NOT connected (no component exists) and vacuously bipartite.
+  const Graph empty(0, {});
+  EXPECT_FALSE(is_connected(empty));
+  EXPECT_TRUE(is_bipartite(empty));
+  EXPECT_EQ(empty.min_degree(), 0u);
+  // A single isolated vertex is trivially connected and bipartite.
+  const Graph single(1, {});
+  EXPECT_TRUE(is_connected(single));
+  EXPECT_TRUE(is_bipartite(single));
+  // Two isolated vertices: bipartite but not connected.
+  const Graph two(2, {});
+  EXPECT_FALSE(is_connected(two));
+  EXPECT_TRUE(is_bipartite(two));
+}
+
+TEST(BfsDistances, RejectsSourceOnEmptyGraph) {
+  const Graph empty(0, {});
+  EXPECT_DEATH((void)bfs_distances(empty, 0), "precondition");
+}
+
+TEST(GraphProperties, MatchesFreeFunctionsAcrossFamilies) {
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::cycle(10));   // even cycle: bipartite, regular
+  graphs.push_back(gen::cycle(9));    // odd cycle: not bipartite
+  graphs.push_back(gen::star(8));     // bipartite, irregular
+  graphs.push_back(gen::complete(5)); // not bipartite
+  graphs.push_back(gen::hypercube(4));  // bipartite, pow2-regular
+  for (const Graph& g : graphs) {
+    const GraphProperties& p = g.properties();
+    EXPECT_EQ(p.connected, is_connected(g));
+    EXPECT_EQ(p.bipartite, is_bipartite(g));
+    EXPECT_EQ(p.regular, g.is_regular());
+    EXPECT_EQ(p.degrees_all_pow2, g.degrees_all_pow2());
+  }
+}
+
+TEST(GraphProperties, DisconnectedComponentsAllCheckedForBipartiteness) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);  // component 1: bipartite edge
+  b.add_edge(2, 3);  // component 2: triangle (odd cycle)
+  b.add_edge(3, 4);
+  b.add_edge(4, 2);
+  const Graph g = b.build();
+  EXPECT_FALSE(g.properties().bipartite);
+  EXPECT_FALSE(g.properties().connected);  // vertex 5 is isolated
+}
+
 TEST(DegreeStats, Star) {
   const auto s = degree_stats(gen::star(9));
   EXPECT_EQ(s.min, 1u);

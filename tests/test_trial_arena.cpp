@@ -8,7 +8,11 @@
 #include <cstdlib>
 #include <new>
 
+#include "core/dynamic_agents.hpp"
+#include "core/frog.hpp"
+#include "core/hybrid.hpp"
 #include "core/meet_exchange.hpp"
+#include "core/multi_rumor.hpp"
 #include "core/push.hpp"
 #include "core/push_pull.hpp"
 #include "core/visit_exchange.hpp"
@@ -176,6 +180,66 @@ TEST(TrialArena, ArenaAndOwnedTrialsAgreeAcrossProtocolsAndGraphs) {
   }
 }
 
+TEST(TrialArena, ArenaAndOwnedTrialsAgreeForHybridDynamicFrog) {
+  Rng gen_rng(5);
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::heavy_binary_tree(63));
+  graphs.push_back(gen::cycle(64));  // bipartite: exercises auto laziness
+  graphs.push_back(gen::random_regular(64, 5, gen_rng));
+  TrialArena arena;  // deliberately shared and dirty across everything below
+  for (const Graph& g : graphs) {
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      {
+        WalkOptions o;
+        o.lazy = LazyMode::auto_bipartite;
+        o.trace.informed_curve = true;
+        o.trace.inform_rounds = true;
+        expect_same(HybridProcess(g, 0, seed, o, &arena).run(),
+                    HybridProcess(g, 0, seed, o).run());
+      }
+      {
+        DynamicAgentOptions o;
+        o.churn = 0.1;
+        o.loss_round = 3;
+        o.loss_fraction = 0.25;
+        o.walk.trace.informed_curve = true;
+        o.walk.trace.inform_rounds = true;
+        expect_same(
+            DynamicVisitExchangeProcess(g, 0, seed, o, &arena).run(),
+            DynamicVisitExchangeProcess(g, 0, seed, o).run());
+      }
+      {
+        FrogOptions o;
+        o.frogs_per_vertex = 2;
+        o.trace.informed_curve = true;
+        o.trace.inform_rounds = true;
+        expect_same(FrogProcess(g, 0, seed, o, &arena).run(),
+                    FrogProcess(g, 0, seed, o).run());
+      }
+    }
+  }
+}
+
+void expect_same_multi(const MultiRumorResult& a, const MultiRumorResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.completion_round, b.completion_round);
+  EXPECT_EQ(a.latency, b.latency);
+}
+
+TEST(TrialArena, ArenaAndOwnedTrialsAgreeForMultiRumor) {
+  const Graph g = gen::hypercube(6);
+  const std::vector<RumorSpec> rumors = {{0, 0}, {7, 2}, {33, 5}};
+  TrialArena arena;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    expect_same_multi(MultiRumorPushPull(g, rumors, seed, 0, &arena).run(),
+                      MultiRumorPushPull(g, rumors, seed).run());
+    expect_same_multi(
+        MultiRumorVisitExchange(g, rumors, seed, {}, &arena).run(),
+        MultiRumorVisitExchange(g, rumors, seed).run());
+  }
+}
+
 TEST(TrialArena, RunTrialsResultsIndependentOfArenaReuse) {
   const Graph g = gen::circulant(128, 4);
   const ProtocolSpec spec = default_spec(Protocol::visit_exchange);
@@ -194,13 +258,15 @@ TEST(TrialArena, SteadyStateTrialsAllocateNothing) {
   specs.push_back(default_spec(Protocol::push));
   specs.push_back(default_spec(Protocol::push_pull));
   specs.push_back(default_spec(Protocol::visit_exchange));
+  // Default meet-exchange keeps LazyMode::auto_bipartite: resolution reads
+  // the graph's memoized property cache, so it no longer allocates.
+  specs.push_back(default_spec(Protocol::meet_exchange));
   {
-    // meet-exchange with an explicit lazy mode: auto_bipartite would run
-    // the allocating bipartiteness check per construction.
     ProtocolSpec meetx = default_spec(Protocol::meet_exchange);
     meetx.walk.lazy = LazyMode::always;
     specs.push_back(meetx);
   }
+  specs.push_back(default_spec(Protocol::hybrid));
 
   for (const ProtocolSpec& spec : specs) {
     // Warm-up: buffers grow to their high-water mark, the placement cache
@@ -218,6 +284,97 @@ TEST(TrialArena, SteadyStateTrialsAllocateNothing) {
     EXPECT_EQ(g_alloc_count.load(), 0u)
         << "protocol=" << spec.name() << " (rounds acc " << acc << ")";
   }
+}
+
+TEST(TrialArena, SteadyStateDynamicAgentTrialsAllocateNothing) {
+  const Graph g = gen::circulant(256, 8);
+  TrialArena arena;
+  DynamicAgentOptions options;
+  options.churn = 0.05;  // exercises respawn + born-this-round marks
+  options.loss_round = 4;
+  options.loss_fraction = 0.25;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    (void)run_dynamic_visit_exchange(g, 0, seed, options, &arena);
+  }
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  Round acc = 0;
+  for (std::uint64_t seed = 8; seed < 24; ++seed) {
+    acc += run_dynamic_visit_exchange(g, 0, seed, options, &arena).rounds;
+  }
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0u) << "(rounds acc " << acc << ")";
+}
+
+TEST(TrialArena, SteadyStateFrogTrialsAllocateNothing) {
+  const Graph g = gen::circulant(256, 8);
+  TrialArena arena;
+  FrogOptions options;
+  options.frogs_per_vertex = 2;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    (void)run_frog(g, 0, seed, options, &arena);
+  }
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  Round acc = 0;
+  for (std::uint64_t seed = 8; seed < 24; ++seed) {
+    acc += run_frog(g, 0, seed, options, &arena).rounds;
+  }
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0u) << "(rounds acc " << acc << ")";
+}
+
+TEST(TrialArena, SteadyStateMultiRumorTrialsAllocateNothing) {
+  const Graph g = gen::circulant(256, 8);
+  TrialArena arena;
+  const std::vector<RumorSpec> rumors = {{0, 0}, {17, 3}, {99, 6}};
+  MultiRumorResult result;  // reused output buffers (run_into)
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    MultiRumorPushPull(g, rumors, seed, 0, &arena).run_into(result);
+    MultiRumorVisitExchange(g, rumors, seed, {}, &arena).run_into(result);
+  }
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  Round acc = 0;
+  for (std::uint64_t seed = 8; seed < 24; ++seed) {
+    MultiRumorPushPull pp(g, rumors, seed, 0, &arena);
+    pp.run_into(result);
+    acc += result.rounds;
+    MultiRumorVisitExchange vx(g, rumors, seed, {}, &arena);
+    vx.run_into(result);
+    acc += result.rounds;
+  }
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0u) << "(rounds acc " << acc << ")";
+}
+
+// ---- Graph property cache --------------------------------------------
+
+TEST(GraphPropertiesCache, ComputedOnceAndAllocationFreeAfterward) {
+  const Graph g = gen::cycle(128);  // even cycle: bipartite
+  EXPECT_FALSE(g.properties_cached());
+  // First query runs the one-time traversal...
+  EXPECT_EQ(resolve_laziness(g, LazyMode::auto_bipartite), Laziness::half);
+  EXPECT_TRUE(g.properties_cached());
+  // ...and every later resolution is a pure cache hit: no allocations, no
+  // BFS scratch.
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(resolve_laziness(g, LazyMode::auto_bipartite), Laziness::half);
+  }
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0u);
+}
+
+TEST(GraphPropertiesCache, SharedAcrossCopies) {
+  const Graph g = gen::cycle(9);  // odd cycle: not bipartite
+  (void)g.properties();
+  const Graph copy = g;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_TRUE(copy.properties_cached());
+  EXPECT_FALSE(copy.properties().bipartite);
+  EXPECT_TRUE(copy.properties().connected);
+  EXPECT_TRUE(copy.properties().regular);
 }
 
 TEST(TrialArena, RunTrialsSteadyStateAllocationsIndependentOfTrialCount) {
