@@ -28,7 +28,7 @@ void register_all() {
             Rng rng(master_seed() ^ 0xA1FAu);
             const Graph g = gen::random_regular(kN, 18, rng);
             ProtocolSpec spec = default_spec(p);
-            spec.walk.alpha = alpha;
+            spec.walk().alpha = alpha;
             measure_point(state, series, alpha, g, spec, 0, trials_or(20));
           });
     }

@@ -27,10 +27,10 @@ void register_all() {
         [lazy, series](benchmark::State& state) {
           const Graph g = gen::star(kLeaves);
           ProtocolSpec spec = default_spec(Protocol::meet_exchange);
-          spec.walk.lazy = lazy ? LazyMode::always : LazyMode::never;
+          spec.walk().lazy = lazy ? LazyMode::always : LazyMode::never;
           // Cutoff: far beyond the lazy completion scale — a non-lazy run
           // that hits it is genuinely stuck, not merely slow.
-          spec.walk.max_rounds =
+          spec.walk().max_rounds =
               static_cast<Round>(400 * std::log2(double(kLeaves)));
           TrialSet set;
           for (auto _ : state) {
@@ -55,7 +55,7 @@ void register_all() {
       // Odd circulant: non-bipartite, both modes terminate.
       const Graph g = gen::circulant(4097, 12);
       ProtocolSpec spec = default_spec(Protocol::meet_exchange);
-      spec.walk.lazy = lazy ? LazyMode::always : LazyMode::never;
+      spec.walk().lazy = lazy ? LazyMode::always : LazyMode::never;
       measure_point(state, series, 4097.0, g, spec, 0, trials_or(20));
     });
   }

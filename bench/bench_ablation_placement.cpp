@@ -31,9 +31,9 @@ void register_all() {
             Rng rng(master_seed() ^ 0x97ACEu);
             const Graph g = gen::random_regular(n, 16, rng);
             ProtocolSpec spec = default_spec(Protocol::visit_exchange);
-            spec.walk.placement = placement;
+            spec.walk().placement = placement;
             if (placement == Placement::one_per_vertex) {
-              spec.walk.agent_count = n;
+              spec.walk().agent_count = n;
             }
             measure_point(state, series, static_cast<double>(n), g, spec, 0,
                           trials_or(20));

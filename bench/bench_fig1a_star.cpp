@@ -21,14 +21,16 @@ void register_all() {
     for (Protocol p : {Protocol::push, Protocol::push_pull,
                        Protocol::visit_exchange, Protocol::meet_exchange}) {
       const std::string series = protocol_name(p);
+      // Each point is the scenario line a rumor_run file would hold
+      // (examples/scenarios/fig1a.scn): source is a leaf — the hardest
+      // case for push (the center must coupon-collect the other leaves).
+      const std::string scenario = "star(leaves=" + std::to_string(leaves) +
+                                   ") " + series + " source=1";
       register_point(
           "fig1a/" + series + "/leaves=" + std::to_string(leaves),
-          [leaves, p, series](benchmark::State& state) {
-            const Graph g = gen::star(leaves);
-            // Source is a leaf: the hardest case for push (the center must
-            // then coupon-collect all other leaves).
-            measure_point(state, series, static_cast<double>(leaves), g,
-                          default_spec(p), /*source=*/1, trials_or(20));
+          [leaves, series, scenario](benchmark::State& state) {
+            measure_scenario(state, series, static_cast<double>(leaves),
+                             scenario);
           });
     }
   }

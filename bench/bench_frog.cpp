@@ -9,7 +9,6 @@
 #include <cstdio>
 
 #include "common.hpp"
-#include "core/frog.hpp"
 #include "graph/generators.hpp"
 
 namespace {
@@ -44,24 +43,22 @@ void register_all() {
         [c](benchmark::State& state) {
           Rng rng(master_seed() ^ 0xF406u);
           const Graph g = c.spec.make(rng);
-          TrialArena arena;  // reused across trials: measures protocol cost
-          std::vector<double> frog_t;
+          // All three protocols go through the unified registry path:
+          // run_trials fans the trials over the pool with per-worker
+          // arenas, so the timed section measures protocol cost.
+          TrialSet frog;
           for (auto _ : state) {
-            for (std::size_t i = 0; i < trials_or(12); ++i) {
-              const RunResult r = run_frog(
-                  g, c.source, derive_seed(master_seed(), i), {}, &arena);
-              frog_t.push_back(static_cast<double>(r.rounds));
-            }
+            frog = run_trials(g, default_spec(Protocol::frog), c.source,
+                              trials_or(12), master_seed());
           }
-          SeriesRegistry::instance().record(c.family + "/frog", c.x,
-                                            Summary::of(frog_t));
+          auto& reg = SeriesRegistry::instance();
+          reg.record(c.family + "/frog", c.x, frog.summary());
           const TrialSet push =
               run_trials(g, default_spec(Protocol::push), c.source,
                          trials_or(12), master_seed() + 1);
           const TrialSet visitx =
               run_trials(g, default_spec(Protocol::visit_exchange), c.source,
                          trials_or(12), master_seed() + 2);
-          auto& reg = SeriesRegistry::instance();
           reg.record(c.family + "/push", c.x, push.summary());
           reg.record(c.family + "/visit-exchange", c.x, visitx.summary());
         });

@@ -141,6 +141,65 @@ void BM_VisitExchangeRound(benchmark::State& state) {
 }
 BENCHMARK(BM_VisitExchangeRound)->Arg(1 << 12)->Arg(1 << 16);
 
+// ---- run_protocol dispatch series -------------------------------------
+//
+// Registry-path vs direct-construction throughput for one arena-backed
+// trial. The Registry/Direct ratio (≈1.0) is the dispatch-overhead
+// contract of the scenario API: like the batched/scalar walk-kernel
+// pairs it is machine-independent, so bench/compare_bench.py gates on it
+// in CI. Trajectories are identical by construction (same simulator, same
+// seed), making the comparison pure dispatch overhead.
+
+void run_protocol_trial_bench(benchmark::State& state, bool registry_path,
+                              bool walks) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = gen::circulant(n, 8);
+  const ProtocolSpec spec =
+      default_spec(walks ? Protocol::visit_exchange : Protocol::push);
+  TrialArena arena;
+  std::uint64_t seed = 0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    if (registry_path) {
+      acc += run_protocol(g, spec, 0, ++seed, &arena).rounds;
+    } else if (walks) {
+      acc += static_cast<double>(
+          VisitExchangeProcess(g, 0, ++seed, std::get<WalkOptions>(spec.options),
+                               &arena)
+              .run()
+              .rounds);
+    } else {
+      acc += static_cast<double>(
+          PushProcess(g, 0, ++seed, std::get<PushOptions>(spec.options),
+                      &arena)
+              .run()
+              .rounds);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RunProtocolDirectPush(benchmark::State& state) {
+  run_protocol_trial_bench(state, /*registry_path=*/false, /*walks=*/false);
+}
+BENCHMARK(BM_RunProtocolDirectPush)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_RunProtocolRegistryPush(benchmark::State& state) {
+  run_protocol_trial_bench(state, /*registry_path=*/true, /*walks=*/false);
+}
+BENCHMARK(BM_RunProtocolRegistryPush)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_RunProtocolDirectVisitX(benchmark::State& state) {
+  run_protocol_trial_bench(state, /*registry_path=*/false, /*walks=*/true);
+}
+BENCHMARK(BM_RunProtocolDirectVisitX)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_RunProtocolRegistryVisitX(benchmark::State& state) {
+  run_protocol_trial_bench(state, /*registry_path=*/true, /*walks=*/true);
+}
+BENCHMARK(BM_RunProtocolRegistryVisitX)->Arg(1 << 10)->Arg(1 << 14);
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -31,7 +31,7 @@ void register_all() {
         [loss](benchmark::State& state) {
           const Graph g = make_graph();
           ProtocolSpec spec = default_spec(Protocol::push_pull);
-          spec.push_pull.loss_probability = loss;
+          spec.push_pull().loss_probability = loss;
           measure_point(state, "push-pull vs loss", loss, g, spec, 0,
                         trials_or(20));
         });

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "experiments/scenario.hpp"
+
 namespace rumor::bench {
 
 std::size_t trials_or(std::size_t default_trials) {
@@ -103,6 +105,33 @@ Summary measure_point_fresh(benchmark::State& state,
                                  master_seed());
   }
   return finish_point(state, series, x, set);
+}
+
+Summary measure_scenario(benchmark::State& state, const std::string& series,
+                         double x, const std::string& scenario_line) {
+  std::string error;
+  auto scenario = ScenarioSpec::parse(scenario_line, &error);
+  if (!scenario) {
+    std::fprintf(stderr, "bad scenario \"%s\": %s\n", scenario_line.c_str(),
+                 error.c_str());
+  }
+  RUMOR_REQUIRE(scenario.has_value());
+  // Env knobs override the line's plan only when actually set (matching
+  // trials_or, which keeps the line's trial count otherwise).
+  scenario->plan.trials = trials_or(scenario->plan.trials);
+  if (std::getenv("RUMOR_SEED") != nullptr) {
+    scenario->plan.seed = master_seed();
+  }
+  std::optional<ScenarioResult> result;
+  for (auto _ : state) {
+    result = run_scenario(*scenario, &error);
+  }
+  if (!result) {
+    std::fprintf(stderr, "scenario \"%s\": %s\n", scenario_line.c_str(),
+                 error.c_str());
+  }
+  RUMOR_REQUIRE(result.has_value());
+  return finish_point(state, series, x, result->set);
 }
 
 std::string series_table(const std::vector<std::string>& series_labels,

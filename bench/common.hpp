@@ -62,6 +62,13 @@ Summary measure_point_fresh(benchmark::State& state, const std::string& series,
                             const ProtocolSpec& spec, Vertex source,
                             std::size_t trials);
 
+// Runs a full scenario line (the spec grammar of docs/scenarios.md) and
+// records its summary — figure benches register points from the same text
+// a rumor_run scenario file holds. RUMOR_TRIALS / RUMOR_SEED override the
+// line's plan, as everywhere in the bench harness.
+Summary measure_scenario(benchmark::State& state, const std::string& series,
+                         double x, const std::string& scenario_line);
+
 // Renders a sizes-by-series table of mean±stderr for the report section.
 [[nodiscard]] std::string series_table(
     const std::vector<std::string>& series_labels,

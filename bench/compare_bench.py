@@ -65,15 +65,24 @@ def load_rates(path):
     return rates
 
 
+# Each series is a (numerator, denominator) name-substring pair; the ratio
+# is machine-independent, which is what makes the gate portable:
+#   Batched/Scalar   — the walk-kernel speedup contract (docs/perf.md)
+#   Registry/Direct  — run_protocol dispatch overhead (~1.0; a per-trial
+#                      allocation or lookup regression shows up here)
+RATIO_SERIES = (("Batched", "Scalar"), ("Registry", "Direct"))
+
+
 def speedup_pairs(rates):
-    """(variant, size) -> batched/scalar speedup, for pairs present."""
+    """(variant, size) -> numerator/denominator ratio, for pairs present."""
     pairs = {}
     for name, rate in rates.items():
-        if "Batched" not in name:
-            continue
-        scalar_name = name.replace("Batched", "Scalar")
-        if scalar_name in rates and rates[scalar_name] > 0:
-            pairs[name] = rate / rates[scalar_name]
+        for numer, denom in RATIO_SERIES:
+            if numer not in name:
+                continue
+            other = name.replace(numer, denom)
+            if other in rates and rates[other] > 0:
+                pairs[name] = rate / rates[other]
     return pairs
 
 

@@ -1,0 +1,152 @@
+// rumor_run: execute a scenario file through the unified scenario API.
+//
+//   rumor_run [options] <scenario-file|->
+//
+// A scenario file holds one ScenarioSpec per line (see docs/scenarios.md):
+//
+//   # Figure 1(a), star family
+//   star(leaves=8192) push source=1 label=push
+//   star(leaves=8192) visit-exchange source=1 label=visit-exchange
+//
+// Options:
+//   --trials=N   override every scenario's trial count
+//   --seed=S     override every scenario's master seed
+//   --csv=PATH   additionally write the CSV report to PATH
+//   --dry-run    parse and echo canonical spec lines, run nothing
+//   --list       list registered simulators and graph families, then exit
+//
+// Each scenario's trials fan out over the process thread pool with
+// per-worker trial arenas: steady-state trials allocate nothing, and the
+// sample vectors depend only on (seed, trial index) — never on worker
+// count or scheduling.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "experiments/scenario.hpp"
+#include "support/spec_text.hpp"
+
+namespace {
+
+using namespace rumor;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--trials=N] [--seed=S] [--csv=PATH] [--dry-run] "
+               "[--list] <scenario-file|->\n",
+               argv0);
+  return 2;
+}
+
+void list_registry() {
+  std::printf("registered simulators:\n");
+  for (const SimulatorEntry& entry : SimulatorRegistry::instance().all()) {
+    std::printf("  %-22s %s\n", entry.name.c_str(), entry.summary.c_str());
+  }
+  std::printf("\ngraph families (see docs/scenarios.md for parameters):\n ");
+  for (const std::string_view family : graph_family_names()) {
+    std::printf(" %.*s", static_cast<int>(family.size()), family.data());
+  }
+  std::printf("\n");
+}
+
+struct CliOptions {
+  std::optional<std::size_t> trials;
+  std::optional<std::uint64_t> seed;
+  std::string csv_path;
+  bool dry_run = false;
+  bool list = false;
+  std::string input;
+};
+
+std::optional<CliOptions> parse_cli(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--dry-run") {
+      cli.dry_run = true;
+    } else if (arg == "--list") {
+      cli.list = true;
+    } else if (arg.starts_with("--trials=")) {
+      const auto v = spec_text::parse_u64(arg.substr(9));
+      if (!v || *v == 0) return std::nullopt;
+      cli.trials = static_cast<std::size_t>(*v);
+    } else if (arg.starts_with("--seed=")) {
+      const auto v = spec_text::parse_u64(arg.substr(7));
+      if (!v) return std::nullopt;
+      cli.seed = *v;
+    } else if (arg.starts_with("--csv=")) {
+      cli.csv_path = std::string(arg.substr(6));
+      if (cli.csv_path.empty()) return std::nullopt;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return std::nullopt;
+    } else if (cli.input.empty()) {
+      cli.input = std::string(arg);
+    } else {
+      return std::nullopt;  // more than one input file
+    }
+  }
+  return cli;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = parse_cli(argc, argv);
+  if (!cli) return usage(argv[0]);
+  if (cli->list) {
+    list_registry();
+    return 0;
+  }
+  if (cli->input.empty()) return usage(argv[0]);
+
+  std::string error;
+  std::optional<std::vector<ScenarioSpec>> specs;
+  if (cli->input == "-") {
+    specs = parse_scenario_stream(std::cin, &error);
+  } else {
+    specs = load_scenario_file(cli->input, &error);
+  }
+  if (!specs) {
+    std::fprintf(stderr, "%s: %s\n", cli->input.c_str(), error.c_str());
+    return 2;
+  }
+  if (specs->empty()) {
+    std::fprintf(stderr, "%s: no scenarios\n", cli->input.c_str());
+    return 2;
+  }
+  for (ScenarioSpec& spec : *specs) {
+    if (cli->trials) spec.plan.trials = *cli->trials;
+    if (cli->seed) spec.plan.seed = *cli->seed;
+  }
+
+  if (cli->dry_run) {
+    for (const ScenarioSpec& spec : *specs) {
+      std::printf("%s\n", spec.name().c_str());
+    }
+    return 0;
+  }
+
+  const auto results = run_scenarios(*specs, &error);
+  if (!results) {
+    std::fprintf(stderr, "%s: %s\n", cli->input.c_str(), error.c_str());
+    return 2;
+  }
+  std::printf("%s", scenario_table(*results).c_str());
+
+  if (!cli->csv_path.empty()) {
+    std::ofstream out(cli->csv_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", cli->csv_path.c_str());
+      return 1;
+    }
+    write_scenario_csv(out, *results);
+    std::printf("csv: %s\n", cli->csv_path.c_str());
+  }
+  return 0;
+}

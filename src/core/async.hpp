@@ -12,12 +12,15 @@
 
 #include "core/protocol.hpp"
 #include "support/rng.hpp"
+#include "support/trial_arena.hpp"
 
 namespace rumor {
 
 struct AsyncOptions {
   std::uint64_t max_ticks = 0;  // 0 = n * default_round_cutoff(n)
   bool pull_enabled = true;     // false = async push only
+
+  friend bool operator==(const AsyncOptions&, const AsyncOptions&) = default;
 };
 
 struct AsyncResult {
@@ -26,9 +29,16 @@ struct AsyncResult {
   bool completed = false;
 };
 
-// Runs asynchronous push(-pull) from `source` to completion or cutoff.
+// Runs asynchronous push(-pull) from `source` to completion or cutoff. A
+// non-null arena lends the informed-vertex marks (StampSet), making
+// repeated trials allocation-free like the synchronous simulators.
 [[nodiscard]] AsyncResult run_async_push_pull(const Graph& g, Vertex source,
                                               std::uint64_t seed,
-                                              AsyncOptions options = {});
+                                              AsyncOptions options = {},
+                                              TrialArena* arena = nullptr);
+
+class SimulatorRegistry;
+// Registers the asynchronous push-pull simulator (spec name "async").
+void register_async_simulator(SimulatorRegistry& registry);
 
 }  // namespace rumor

@@ -1,5 +1,8 @@
 #include "core/dynamic_agents.hpp"
 
+#include "core/registry.hpp"
+#include "support/spec_text.hpp"
+
 #include "walk/alias.hpp"
 
 namespace rumor {
@@ -157,6 +160,80 @@ RunResult run_dynamic_visit_exchange(const Graph& g, Vertex source,
                                      DynamicAgentOptions options,
                                      TrialArena* arena) {
   return DynamicVisitExchangeProcess(g, source, seed, options, arena).run();
+}
+
+// ---- Scenario registry entry ------------------------------------------
+
+namespace {
+
+TrialResult dynamic_agent_entry_run(const Graph& g,
+                                    const ProtocolOptions& options,
+                                    Vertex source, std::uint64_t seed,
+                                    TrialArena* arena) {
+  return to_trial_result(
+      DynamicVisitExchangeProcess(g, source, seed,
+                                  std::get<DynamicAgentOptions>(options),
+                                  arena)
+          .run());
+}
+
+void dynamic_agent_entry_format(const ProtocolOptions& options,
+                                const ProtocolOptions& defaults,
+                                spec_text::KeyValWriter& out) {
+  const auto& opt = std::get<DynamicAgentOptions>(options);
+  const auto& def = std::get<DynamicAgentOptions>(defaults);
+  if (opt.churn != def.churn) out.add("churn", opt.churn);
+  if (opt.loss_round != def.loss_round) {
+    out.add("loss_round", static_cast<std::uint64_t>(opt.loss_round));
+  }
+  if (opt.loss_fraction != def.loss_fraction) {
+    out.add("loss_fraction", opt.loss_fraction);
+  }
+  format_walk_options(opt.walk, def.walk, out);
+}
+
+bool dynamic_agent_entry_set(ProtocolOptions& options, std::string_view key,
+                             std::string_view value) {
+  auto& opt = std::get<DynamicAgentOptions>(options);
+  if (key == "churn") {
+    const auto v = spec_text::parse_double(value);
+    if (!v || !(*v >= 0.0 && *v <= 1.0)) return false;  // NaN-proof
+    opt.churn = *v;
+    return true;
+  }
+  if (key == "loss_round") {
+    const auto v = spec_text::parse_u64(value);
+    if (!v) return false;
+    opt.loss_round = *v;
+    return true;
+  }
+  if (key == "loss_fraction") {
+    const auto v = spec_text::parse_double(value);
+    if (!v || !(*v >= 0.0 && *v <= 1.0)) return false;  // NaN-proof
+    opt.loss_fraction = *v;
+    return true;
+  }
+  return set_walk_option(opt.walk, key, value);
+}
+
+TraceOptions* dynamic_agent_entry_trace(ProtocolOptions& options) {
+  return &std::get<DynamicAgentOptions>(options).walk.trace;
+}
+
+}  // namespace
+
+void register_dynamic_agent_simulator(SimulatorRegistry& registry) {
+  SimulatorEntry entry;
+  entry.id = Protocol::dynamic_agent;
+  entry.name = "dynamic-agent";
+  entry.summary =
+      "visit-exchange with agent churn, respawn, and one-shot bulk loss";
+  entry.defaults = DynamicAgentOptions{};
+  entry.run = dynamic_agent_entry_run;
+  entry.format_options = dynamic_agent_entry_format;
+  entry.set_option = dynamic_agent_entry_set;
+  entry.trace = dynamic_agent_entry_trace;
+  registry.add(std::move(entry));
 }
 
 }  // namespace rumor

@@ -38,7 +38,14 @@ struct DynamicAgentOptions {
   // Optional one-shot correlated failure.
   Round loss_round = kNoRoundYet;
   double loss_fraction = 0.0;
+
+  friend bool operator==(const DynamicAgentOptions&,
+                         const DynamicAgentOptions&) = default;
 };
+
+class SimulatorRegistry;
+// Registers the dynamic-agent simulator (spec name "dynamic-agent").
+void register_dynamic_agent_simulator(SimulatorRegistry& registry);
 
 class DynamicVisitExchangeProcess {
  public:

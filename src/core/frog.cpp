@@ -1,5 +1,8 @@
 #include "core/frog.hpp"
 
+#include "core/registry.hpp"
+#include "support/spec_text.hpp"
+
 namespace rumor {
 
 FrogProcess::FrogProcess(const Graph& g, Vertex source, std::uint64_t seed,
@@ -79,6 +82,84 @@ RunResult FrogProcess::run() {
 RunResult run_frog(const Graph& g, Vertex source, std::uint64_t seed,
                    FrogOptions options, TrialArena* arena) {
   return FrogProcess(g, source, seed, options, arena).run();
+}
+
+// ---- Scenario registry entry ------------------------------------------
+
+namespace {
+
+TrialResult frog_entry_run(const Graph& g, const ProtocolOptions& options,
+                           Vertex source, std::uint64_t seed,
+                           TrialArena* arena) {
+  return to_trial_result(
+      FrogProcess(g, source, seed, std::get<FrogOptions>(options), arena)
+          .run());
+}
+
+void frog_entry_format(const ProtocolOptions& options,
+                       const ProtocolOptions& defaults,
+                       spec_text::KeyValWriter& out) {
+  const auto& opt = std::get<FrogOptions>(options);
+  const auto& def = std::get<FrogOptions>(defaults);
+  if (opt.frogs_per_vertex != def.frogs_per_vertex) {
+    out.add("frogs", static_cast<std::uint64_t>(opt.frogs_per_vertex));
+  }
+  if (opt.laziness != def.laziness) {
+    out.add("lazy", opt.laziness == Laziness::half ? "half" : "none");
+  }
+  if (opt.max_rounds != def.max_rounds) {
+    out.add("max_rounds", static_cast<std::uint64_t>(opt.max_rounds));
+  }
+  format_trace_options(opt.trace, def.trace, out);
+}
+
+bool frog_entry_set(ProtocolOptions& options, std::string_view key,
+                    std::string_view value) {
+  auto& opt = std::get<FrogOptions>(options);
+  if (key == "frogs") {
+    const auto v = spec_text::parse_u64(value);
+    if (!v || *v == 0) return false;
+    opt.frogs_per_vertex = static_cast<std::uint32_t>(*v);
+    return true;
+  }
+  if (key == "lazy") {
+    if (value == "none") {
+      opt.laziness = Laziness::none;
+    } else if (value == "half") {
+      opt.laziness = Laziness::half;
+    } else {
+      return false;
+    }
+    return true;
+  }
+  if (key == "max_rounds") {
+    const auto v = spec_text::parse_u64(value);
+    if (!v) return false;
+    opt.max_rounds = *v;
+    return true;
+  }
+  return set_trace_option(opt.trace, key, value);
+}
+
+TraceOptions* frog_entry_trace(ProtocolOptions& options) {
+  return &std::get<FrogOptions>(options).trace;
+}
+
+}  // namespace
+
+void register_frog_simulator(SimulatorRegistry& registry) {
+  SimulatorEntry entry;
+  entry.id = Protocol::frog;
+  entry.name = "frog";
+  entry.summary =
+      "frog model: sleeping per-vertex walkers woken (and recruited) by "
+      "visits";
+  entry.defaults = FrogOptions{};
+  entry.run = frog_entry_run;
+  entry.format_options = frog_entry_format;
+  entry.set_option = frog_entry_set;
+  entry.trace = frog_entry_trace;
+  registry.add(std::move(entry));
 }
 
 }  // namespace rumor

@@ -33,7 +33,13 @@ struct FrogOptions {
   Laziness laziness = Laziness::none;
   Round max_rounds = 0;  // 0 = default_round_cutoff(n)
   TraceOptions trace;
+
+  friend bool operator==(const FrogOptions&, const FrogOptions&) = default;
 };
+
+class SimulatorRegistry;
+// Registers the frog simulator (spec name "frog").
+void register_frog_simulator(SimulatorRegistry& registry);
 
 class FrogProcess {
  public:

@@ -1,5 +1,7 @@
 #include "core/hybrid.hpp"
 
+#include "core/registry.hpp"
+
 #include "walk/step_kernel.hpp"
 
 namespace rumor {
@@ -140,6 +142,34 @@ RunResult HybridProcess::run() {
 RunResult run_hybrid(const Graph& g, Vertex source, std::uint64_t seed,
                      WalkOptions options, TrialArena* arena) {
   return HybridProcess(g, source, seed, options, arena).run();
+}
+
+// ---- Scenario registry entry ------------------------------------------
+
+namespace {
+
+TrialResult hybrid_entry_run(const Graph& g, const ProtocolOptions& options,
+                             Vertex source, std::uint64_t seed,
+                             TrialArena* arena) {
+  return to_trial_result(
+      HybridProcess(g, source, seed, std::get<WalkOptions>(options), arena)
+          .run());
+}
+
+}  // namespace
+
+void register_hybrid_simulator(SimulatorRegistry& registry) {
+  SimulatorEntry entry;
+  entry.id = Protocol::hybrid;
+  entry.name = "hybrid";
+  entry.summary =
+      "hybrid: push-pull and visit-exchange on shared informed-vertex state";
+  entry.defaults = WalkOptions{};
+  entry.run = hybrid_entry_run;
+  entry.format_options = walk_entry_format;
+  entry.set_option = walk_entry_set;
+  entry.trace = walk_entry_trace;
+  registry.add(std::move(entry));
 }
 
 }  // namespace rumor

@@ -78,4 +78,8 @@ class HybridProcess {
                                    WalkOptions options = {},
                                    TrialArena* arena = nullptr);
 
+class SimulatorRegistry;
+// Registers the hybrid simulator (spec name "hybrid").
+void register_hybrid_simulator(SimulatorRegistry& registry);
+
 }  // namespace rumor

@@ -1,5 +1,7 @@
 #include "core/meet_exchange.hpp"
 
+#include "core/registry.hpp"
+
 #include "walk/step_kernel.hpp"
 
 namespace rumor {
@@ -108,6 +110,37 @@ RunResult MeetExchangeProcess::run() {
 RunResult run_meet_exchange(const Graph& g, Vertex source, std::uint64_t seed,
                             WalkOptions options) {
   return MeetExchangeProcess(g, source, seed, options).run();
+}
+
+// ---- Scenario registry entry ------------------------------------------
+
+namespace {
+
+TrialResult meet_exchange_entry_run(const Graph& g,
+                                    const ProtocolOptions& options,
+                                    Vertex source, std::uint64_t seed,
+                                    TrialArena* arena) {
+  return to_trial_result(
+      MeetExchangeProcess(g, source, seed, std::get<WalkOptions>(options),
+                          arena)
+          .run());
+}
+
+}  // namespace
+
+void register_meet_exchange_simulator(SimulatorRegistry& registry) {
+  SimulatorEntry entry;
+  entry.id = Protocol::meet_exchange;
+  entry.name = "meet-exchange";
+  entry.summary =
+      "MEET-EXCHANGE: only agents carry the rumor; meetings exchange it";
+  // The paper's convention: lazy walks exactly on bipartite graphs.
+  entry.defaults = MeetExchangeProcess::default_options();
+  entry.run = meet_exchange_entry_run;
+  entry.format_options = walk_entry_format;
+  entry.set_option = walk_entry_set;
+  entry.trace = walk_entry_trace;
+  registry.add(std::move(entry));
 }
 
 }  // namespace rumor

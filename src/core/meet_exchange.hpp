@@ -89,4 +89,8 @@ class MeetExchangeProcess {
     const Graph& g, Vertex source, std::uint64_t seed,
     WalkOptions options = MeetExchangeProcess::default_options());
 
+class SimulatorRegistry;
+// Registers the MEET-EXCHANGE simulator (spec name "meet-exchange").
+void register_meet_exchange_simulator(SimulatorRegistry& registry);
+
 }  // namespace rumor

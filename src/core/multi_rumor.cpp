@@ -1,5 +1,8 @@
 #include "core/multi_rumor.hpp"
 
+#include "core/registry.hpp"
+#include "support/spec_text.hpp"
+
 #include <bit>
 
 #include "walk/step_kernel.hpp"
@@ -238,6 +241,179 @@ MultiRumorResult MultiRumorVisitExchange::run() {
   MultiRumorResult result;
   run_into(result);
   return result;
+}
+
+// ---- Scenario registry entries ----------------------------------------
+
+namespace {
+
+// Materializes the declarative rumor set: rumor 0 at the scenario source
+// (round 0), rumor r >= 1 at a seed-derived uniform vertex, released at
+// r * release_interval. Deterministic in (options, source, seed) — the
+// trial runner's worker-count independence needs nothing more. The
+// thread-local buffers keep steady-state trials allocation-free.
+std::span<const RumorSpec> materialize_rumors(const MultiRumorOptions& opt,
+                                              const Graph& g, Vertex source,
+                                              std::uint64_t seed) {
+  static thread_local std::vector<RumorSpec> rumors;
+  rumors.clear();
+  rumors.push_back({source, 0});
+  Rng placement_rng(derive_seed(seed, 0x5EED5EEDULL));
+  for (std::uint32_t r = 1; r < opt.rumor_count; ++r) {
+    rumors.push_back(
+        {static_cast<Vertex>(placement_rng.below(g.num_vertices())),
+         static_cast<Round>(r) * opt.release_interval});
+  }
+  return rumors;
+}
+
+TrialResult run_multi_entry(const Graph& g, const ProtocolOptions& options,
+                            Vertex source, std::uint64_t seed,
+                            TrialArena* arena, bool walks) {
+  const auto& opt = std::get<MultiRumorOptions>(options);
+  const std::span<const RumorSpec> rumors =
+      materialize_rumors(opt, g, source, seed);
+  static thread_local MultiRumorResult scratch;
+  if (walks) {
+    MultiRumorVisitExchange(g, rumors, seed, opt.walk, arena)
+        .run_into(scratch);
+  } else {
+    MultiRumorPushPull(g, rumors, seed, opt.walk.max_rounds, arena)
+        .run_into(scratch);
+  }
+  TrialResult result;
+  result.rounds = static_cast<double>(scratch.rounds);
+  result.completed = scratch.completed;
+  return result;
+}
+
+TrialResult multi_push_pull_entry_run(const Graph& g,
+                                      const ProtocolOptions& options,
+                                      Vertex source, std::uint64_t seed,
+                                      TrialArena* arena) {
+  return run_multi_entry(g, options, source, seed, arena, /*walks=*/false);
+}
+
+TrialResult multi_visit_exchange_entry_run(const Graph& g,
+                                           const ProtocolOptions& options,
+                                           Vertex source, std::uint64_t seed,
+                                           TrialArena* arena) {
+  return run_multi_entry(g, options, source, seed, arena, /*walks=*/true);
+}
+
+// Each variant's formatter mirrors its set hook exactly — a formatter that
+// emits a key its parser rejects would break the parse(name()) round-trip
+// for programmatically built specs.
+void multi_entry_format_common(const MultiRumorOptions& opt,
+                               const MultiRumorOptions& def,
+                               spec_text::KeyValWriter& out) {
+  if (opt.rumor_count != def.rumor_count) {
+    out.add("rumors", static_cast<std::uint64_t>(opt.rumor_count));
+  }
+  if (opt.release_interval != def.release_interval) {
+    out.add("interval", static_cast<std::uint64_t>(opt.release_interval));
+  }
+}
+
+void multi_visit_exchange_entry_format(const ProtocolOptions& options,
+                                       const ProtocolOptions& defaults,
+                                       spec_text::KeyValWriter& out) {
+  const auto& opt = std::get<MultiRumorOptions>(options);
+  const auto& def = std::get<MultiRumorOptions>(defaults);
+  multi_entry_format_common(opt, def, out);
+  format_agent_walk_options(opt.walk, def.walk, out);
+}
+
+void multi_push_pull_entry_format(const ProtocolOptions& options,
+                                  const ProtocolOptions& defaults,
+                                  spec_text::KeyValWriter& out) {
+  const auto& opt = std::get<MultiRumorOptions>(options);
+  const auto& def = std::get<MultiRumorOptions>(defaults);
+  multi_entry_format_common(opt, def, out);
+  if (opt.walk.max_rounds != def.walk.max_rounds) {
+    out.add("max_rounds", static_cast<std::uint64_t>(opt.walk.max_rounds));
+  }
+}
+
+bool multi_entry_set_common(MultiRumorOptions& opt, std::string_view key,
+                            std::string_view value, bool* handled) {
+  *handled = true;
+  if (key == "rumors") {
+    const auto v = spec_text::parse_u64(value);
+    if (!v || *v == 0 || *v > kMaxRumors) return false;
+    opt.rumor_count = static_cast<std::uint32_t>(*v);
+    return true;
+  }
+  if (key == "interval") {
+    const auto v = spec_text::parse_u64(value);
+    if (!v) return false;
+    opt.release_interval = *v;
+    return true;
+  }
+  *handled = false;
+  return false;
+}
+
+// Neither simulator records traces (the registry trace() hook below is
+// null), so the trace keys are rejected here rather than parsed into a
+// silently ignored WalkOptions::trace.
+bool multi_visit_exchange_entry_set(ProtocolOptions& options,
+                                    std::string_view key,
+                                    std::string_view value) {
+  auto& opt = std::get<MultiRumorOptions>(options);
+  bool handled = false;
+  const bool ok = multi_entry_set_common(opt, key, value, &handled);
+  if (handled) return ok;
+  return set_agent_walk_option(opt.walk, key, value);
+}
+
+// The push-pull variant has no agent substrate at all: only the cutoff
+// survives from the walk block.
+bool multi_push_pull_entry_set(ProtocolOptions& options, std::string_view key,
+                               std::string_view value) {
+  auto& opt = std::get<MultiRumorOptions>(options);
+  bool handled = false;
+  const bool ok = multi_entry_set_common(opt, key, value, &handled);
+  if (handled) return ok;
+  if (key == "max_rounds") {
+    const auto v = spec_text::parse_u64(value);
+    if (!v) return false;
+    opt.walk.max_rounds = *v;
+    return true;
+  }
+  return false;
+}
+
+TraceOptions* multi_entry_trace(ProtocolOptions&) {
+  return nullptr;  // the multi-rumor simulators record no traces
+}
+
+}  // namespace
+
+void register_multi_rumor_simulators(SimulatorRegistry& registry) {
+  SimulatorEntry push_pull_entry;
+  push_pull_entry.id = Protocol::multi_push_pull;
+  push_pull_entry.name = "multi-push-pull";
+  push_pull_entry.summary =
+      "parallel rumors over one shared push-pull call schedule";
+  push_pull_entry.defaults = MultiRumorOptions{};
+  push_pull_entry.run = multi_push_pull_entry_run;
+  push_pull_entry.format_options = multi_push_pull_entry_format;
+  push_pull_entry.set_option = multi_push_pull_entry_set;
+  push_pull_entry.trace = multi_entry_trace;
+  registry.add(std::move(push_pull_entry));
+
+  SimulatorEntry visit_entry;
+  visit_entry.id = Protocol::multi_visit_exchange;
+  visit_entry.name = "multi-visit-exchange";
+  visit_entry.summary =
+      "parallel rumors carried by one perpetual agent population";
+  visit_entry.defaults = MultiRumorOptions{};
+  visit_entry.run = multi_visit_exchange_entry_run;
+  visit_entry.format_options = multi_visit_exchange_entry_format;
+  visit_entry.set_option = multi_visit_exchange_entry_set;
+  visit_entry.trace = multi_entry_trace;
+  registry.add(std::move(visit_entry));
 }
 
 }  // namespace rumor

@@ -43,6 +43,28 @@ struct RumorSpec {
   Round release_round = 0;  // the round at which the source learns it
 };
 
+// Declarative multi-rumor scenario: `rumor_count` rumors on one shared
+// substrate, rumor 0 released at the scenario source in round 0 and rumor
+// r >= 1 at a seed-derived uniform vertex in round r * release_interval.
+// This is the spec-level face of the multi-rumor simulators; callers that
+// need explicit per-rumor (source, release) pairs construct the simulator
+// classes below directly.
+struct MultiRumorOptions {
+  // Agent substrate for the visit-exchange variant; the push-pull variant
+  // uses only walk.max_rounds (its cutoff) and ignores the agent fields.
+  WalkOptions walk;
+  std::uint32_t rumor_count = 2;
+  Round release_interval = 0;
+
+  friend bool operator==(const MultiRumorOptions&,
+                         const MultiRumorOptions&) = default;
+};
+
+class SimulatorRegistry;
+// Registers both multi-rumor simulators (spec names "multi-push-pull" and
+// "multi-visit-exchange").
+void register_multi_rumor_simulators(SimulatorRegistry& registry);
+
 struct MultiRumorResult {
   // Per rumor: the absolute round when every vertex (visit-exchange /
   // push-pull) held it, and the latency relative to its release round.

@@ -28,6 +28,8 @@ struct TraceOptions {
   bool informed_curve = false;  // per-round count of informed vertices/agents
   bool inform_rounds = false;   // per-vertex (and per-agent) inform rounds
   bool edge_traffic = false;    // per-undirected-edge utilization counters
+
+  friend bool operator==(const TraceOptions&, const TraceOptions&) = default;
 };
 
 struct RunResult {

@@ -1,0 +1,148 @@
+#include "core/protocol_spec.hpp"
+
+#include "core/registry.hpp"
+#include "support/assert.hpp"
+#include "support/spec_text.hpp"
+
+namespace rumor {
+
+std::string protocol_name(Protocol p) {
+  return SimulatorRegistry::instance().at(p).name;
+}
+
+std::string ProtocolSpec::name() const {
+  const SimulatorEntry& entry = SimulatorRegistry::instance().at(protocol);
+  spec_text::KeyValWriter writer;
+  entry.format_options(options, entry.defaults, writer);
+  if (writer.empty()) return entry.name;
+  return entry.name + "(" + writer.str() + ")";
+}
+
+std::optional<ProtocolSpec> ProtocolSpec::parse(std::string_view text,
+                                                std::string* error) {
+  const auto call = spec_text::parse_call(text, error);
+  if (!call) return std::nullopt;
+  const SimulatorEntry* entry = SimulatorRegistry::instance().find(call->head);
+  if (entry == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown protocol \"" + call->head + "\"";
+    }
+    return std::nullopt;
+  }
+  ProtocolSpec spec;
+  spec.protocol = entry->id;
+  spec.options = entry->defaults;
+  for (const auto& [key, value] : call->args) {
+    if (!entry->set_option(spec.options, key, value)) {
+      if (error != nullptr) {
+        *error = "protocol \"" + entry->name + "\": bad option " + key + "=" +
+                 value;
+      }
+      return std::nullopt;
+    }
+  }
+  return spec;
+}
+
+PushOptions& ProtocolSpec::push() {
+  RUMOR_REQUIRE(std::holds_alternative<PushOptions>(options));
+  return std::get<PushOptions>(options);
+}
+const PushOptions& ProtocolSpec::push() const {
+  RUMOR_REQUIRE(std::holds_alternative<PushOptions>(options));
+  return std::get<PushOptions>(options);
+}
+
+PushPullOptions& ProtocolSpec::push_pull() {
+  RUMOR_REQUIRE(std::holds_alternative<PushPullOptions>(options));
+  return std::get<PushPullOptions>(options);
+}
+const PushPullOptions& ProtocolSpec::push_pull() const {
+  RUMOR_REQUIRE(std::holds_alternative<PushPullOptions>(options));
+  return std::get<PushPullOptions>(options);
+}
+
+WalkOptions* ProtocolSpec::walk_if() {
+  if (auto* walk = std::get_if<WalkOptions>(&options)) return walk;
+  if (auto* dynamic = std::get_if<DynamicAgentOptions>(&options)) {
+    return &dynamic->walk;
+  }
+  if (auto* multi = std::get_if<MultiRumorOptions>(&options)) {
+    return &multi->walk;
+  }
+  return nullptr;
+}
+const WalkOptions* ProtocolSpec::walk_if() const {
+  return const_cast<ProtocolSpec*>(this)->walk_if();
+}
+
+WalkOptions& ProtocolSpec::walk() {
+  WalkOptions* walk = walk_if();
+  RUMOR_REQUIRE(walk != nullptr);
+  return *walk;
+}
+const WalkOptions& ProtocolSpec::walk() const {
+  return const_cast<ProtocolSpec*>(this)->walk();
+}
+
+FrogOptions& ProtocolSpec::frog() {
+  RUMOR_REQUIRE(std::holds_alternative<FrogOptions>(options));
+  return std::get<FrogOptions>(options);
+}
+const FrogOptions& ProtocolSpec::frog() const {
+  RUMOR_REQUIRE(std::holds_alternative<FrogOptions>(options));
+  return std::get<FrogOptions>(options);
+}
+
+DynamicAgentOptions& ProtocolSpec::dynamic_agent() {
+  RUMOR_REQUIRE(std::holds_alternative<DynamicAgentOptions>(options));
+  return std::get<DynamicAgentOptions>(options);
+}
+const DynamicAgentOptions& ProtocolSpec::dynamic_agent() const {
+  RUMOR_REQUIRE(std::holds_alternative<DynamicAgentOptions>(options));
+  return std::get<DynamicAgentOptions>(options);
+}
+
+MultiRumorOptions& ProtocolSpec::multi() {
+  RUMOR_REQUIRE(std::holds_alternative<MultiRumorOptions>(options));
+  return std::get<MultiRumorOptions>(options);
+}
+const MultiRumorOptions& ProtocolSpec::multi() const {
+  RUMOR_REQUIRE(std::holds_alternative<MultiRumorOptions>(options));
+  return std::get<MultiRumorOptions>(options);
+}
+
+AsyncOptions& ProtocolSpec::async() {
+  RUMOR_REQUIRE(std::holds_alternative<AsyncOptions>(options));
+  return std::get<AsyncOptions>(options);
+}
+const AsyncOptions& ProtocolSpec::async() const {
+  RUMOR_REQUIRE(std::holds_alternative<AsyncOptions>(options));
+  return std::get<AsyncOptions>(options);
+}
+
+TraceOptions* ProtocolSpec::trace() {
+  return SimulatorRegistry::instance().at(protocol).trace(options);
+}
+const TraceOptions* ProtocolSpec::trace() const {
+  return const_cast<ProtocolSpec*>(this)->trace();
+}
+
+ProtocolSpec default_spec(Protocol p) {
+  const SimulatorEntry& entry = SimulatorRegistry::instance().at(p);
+  ProtocolSpec spec;
+  spec.protocol = entry.id;
+  spec.options = entry.defaults;
+  return spec;
+}
+
+TrialResult to_trial_result(RunResult&& r) {
+  TrialResult result;
+  result.rounds = static_cast<double>(r.rounds);
+  result.agent_rounds = static_cast<double>(r.agent_rounds);
+  result.completed = r.completed;
+  result.informed_curve = std::move(r.informed_curve);
+  return result;
+}
+
+}  // namespace rumor

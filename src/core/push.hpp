@@ -33,7 +33,14 @@ struct PushOptions {
   double loss_probability = 0.0;
   Round max_rounds = 0;  // 0 = default_round_cutoff(n)
   TraceOptions trace;
+
+  friend bool operator==(const PushOptions&, const PushOptions&) = default;
 };
+
+class SimulatorRegistry;
+// Registers the PUSH simulator (spec name "push") with the scenario
+// registry; called once by SimulatorRegistry::instance().
+void register_push_simulator(SimulatorRegistry& registry);
 
 class PushProcess {
  public:

@@ -1,5 +1,8 @@
 #include "core/push_pull.hpp"
 
+#include "core/registry.hpp"
+#include "support/spec_text.hpp"
+
 namespace rumor {
 
 PushPullProcess::PushPullProcess(const Graph& g, Vertex source,
@@ -131,6 +134,70 @@ RunResult PushPullProcess::run() {
 RunResult run_push_pull(const Graph& g, Vertex source, std::uint64_t seed,
                         PushPullOptions options) {
   return PushPullProcess(g, source, seed, options).run();
+}
+
+// ---- Scenario registry entry ------------------------------------------
+
+namespace {
+
+TrialResult push_pull_entry_run(const Graph& g, const ProtocolOptions& options,
+                                Vertex source, std::uint64_t seed,
+                                TrialArena* arena) {
+  return to_trial_result(
+      PushPullProcess(g, source, seed, std::get<PushPullOptions>(options),
+                      arena)
+          .run());
+}
+
+void push_pull_entry_format(const ProtocolOptions& options,
+                            const ProtocolOptions& defaults,
+                            spec_text::KeyValWriter& out) {
+  const auto& opt = std::get<PushPullOptions>(options);
+  const auto& def = std::get<PushPullOptions>(defaults);
+  if (opt.loss_probability != def.loss_probability) {
+    out.add("loss", opt.loss_probability);
+  }
+  if (opt.max_rounds != def.max_rounds) {
+    out.add("max_rounds", static_cast<std::uint64_t>(opt.max_rounds));
+  }
+  format_trace_options(opt.trace, def.trace, out);
+}
+
+bool push_pull_entry_set(ProtocolOptions& options, std::string_view key,
+                         std::string_view value) {
+  auto& opt = std::get<PushPullOptions>(options);
+  if (key == "loss") {
+    const auto v = spec_text::parse_double(value);
+    if (!v || !(*v >= 0.0 && *v < 1.0)) return false;  // NaN-proof
+    opt.loss_probability = *v;
+    return true;
+  }
+  if (key == "max_rounds") {
+    const auto v = spec_text::parse_u64(value);
+    if (!v) return false;
+    opt.max_rounds = *v;
+    return true;
+  }
+  return set_trace_option(opt.trace, key, value);
+}
+
+TraceOptions* push_pull_entry_trace(ProtocolOptions& options) {
+  return &std::get<PushPullOptions>(options).trace;
+}
+
+}  // namespace
+
+void register_push_pull_simulator(SimulatorRegistry& registry) {
+  SimulatorEntry entry;
+  entry.id = Protocol::push_pull;
+  entry.name = "push-pull";
+  entry.summary = "PUSH-PULL: every vertex calls; informed pairs exchange";
+  entry.defaults = PushPullOptions{};
+  entry.run = push_pull_entry_run;
+  entry.format_options = push_pull_entry_format;
+  entry.set_option = push_pull_entry_set;
+  entry.trace = push_pull_entry_trace;
+  registry.add(std::move(entry));
 }
 
 }  // namespace rumor

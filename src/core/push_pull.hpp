@@ -29,7 +29,14 @@ struct PushPullOptions {
   double loss_probability = 0.0;  // per-call drop probability
   Round max_rounds = 0;           // 0 = default_round_cutoff(n)
   TraceOptions trace;
+
+  friend bool operator==(const PushPullOptions&,
+                         const PushPullOptions&) = default;
 };
+
+class SimulatorRegistry;
+// Registers the PUSH-PULL simulator (spec name "push-pull").
+void register_push_pull_simulator(SimulatorRegistry& registry);
 
 class PushPullProcess {
  public:

@@ -1,5 +1,7 @@
 #include "core/visit_exchange.hpp"
 
+#include "core/registry.hpp"
+
 #include "walk/step_kernel.hpp"
 
 namespace rumor {
@@ -111,6 +113,36 @@ RunResult VisitExchangeProcess::run() {
 RunResult run_visit_exchange(const Graph& g, Vertex source,
                              std::uint64_t seed, WalkOptions options) {
   return VisitExchangeProcess(g, source, seed, options).run();
+}
+
+// ---- Scenario registry entry ------------------------------------------
+
+namespace {
+
+TrialResult visit_exchange_entry_run(const Graph& g,
+                                     const ProtocolOptions& options,
+                                     Vertex source, std::uint64_t seed,
+                                     TrialArena* arena) {
+  return to_trial_result(
+      VisitExchangeProcess(g, source, seed, std::get<WalkOptions>(options),
+                           arena)
+          .run());
+}
+
+}  // namespace
+
+void register_visit_exchange_simulator(SimulatorRegistry& registry) {
+  SimulatorEntry entry;
+  entry.id = Protocol::visit_exchange;
+  entry.name = "visit-exchange";
+  entry.summary =
+      "VISIT-EXCHANGE: stationary random walkers relay via visited vertices";
+  entry.defaults = WalkOptions{};
+  entry.run = visit_exchange_entry_run;
+  entry.format_options = walk_entry_format;
+  entry.set_option = walk_entry_set;
+  entry.trace = walk_entry_trace;
+  registry.add(std::move(entry));
 }
 
 }  // namespace rumor

@@ -90,4 +90,8 @@ class VisitExchangeProcess {
                                            std::uint64_t seed,
                                            WalkOptions options = {});
 
+class SimulatorRegistry;
+// Registers the VISIT-EXCHANGE simulator (spec name "visit-exchange").
+void register_visit_exchange_simulator(SimulatorRegistry& registry);
+
 }  // namespace rumor

@@ -3,12 +3,17 @@
 #pragma once
 
 #include <cstddef>
+#include <string_view>
 
 #include "core/protocol.hpp"
 #include "walk/agents.hpp"
 #include "walk/step_kernel.hpp"
 
 namespace rumor {
+
+namespace spec_text {
+class KeyValWriter;
+}  // namespace spec_text
 
 // Walk laziness policy. The paper uses non-lazy walks for visit-exchange
 // and lazy walks for meet-exchange "when the graph is bipartite"; the
@@ -32,6 +37,8 @@ struct WalkOptions {
   // baseline (identical trajectories by construction).
   StepEngine engine = StepEngine::batched;
   TraceOptions trace;
+
+  friend bool operator==(const WalkOptions&, const WalkOptions&) = default;
 };
 
 // Resolves the at_vertex anchor against the broadcast source.
@@ -56,5 +63,37 @@ struct WalkOptions {
   return resolve_agent_count(g.num_vertices(), options.agent_count,
                              options.alpha);
 }
+
+// Scenario-spec plumbing shared by every WalkOptions-based simulator
+// (visit-exchange, meet-exchange, hybrid, dynamic-agent, multi-rumor).
+// Keys: alpha, agents, placement (stationary|one_per_vertex|uniform|
+// at_vertex), anchor (vertex id or "source"), lazy (never|always|auto),
+// max_rounds, engine (batched|scalar), curve, inform_rounds, edge_traffic.
+// set_walk_option returns false for an unknown key or unparsable value;
+// format_walk_options appends only keys that differ from `defaults`, so the
+// canonical spec text of a default spec is the bare protocol name.
+[[nodiscard]] bool set_walk_option(WalkOptions& options, std::string_view key,
+                                   std::string_view value);
+// As set_walk_option but WITHOUT the trace keys — for simulators that honor
+// the agent substrate but record no traces (multi-rumor): accepting
+// curve=on there would parse, round-trip, and silently do nothing.
+[[nodiscard]] bool set_agent_walk_option(WalkOptions& options,
+                                         std::string_view key,
+                                         std::string_view value);
+void format_walk_options(const WalkOptions& options,
+                         const WalkOptions& defaults,
+                         spec_text::KeyValWriter& out);
+// Formatter mirror of set_agent_walk_option (no trace keys): a formatter
+// must never emit a key its set hook rejects, or parse(name()) breaks.
+void format_agent_walk_options(const WalkOptions& options,
+                               const WalkOptions& defaults,
+                               spec_text::KeyValWriter& out);
+
+// TraceOptions plumbing (also used by the non-walk protocols).
+[[nodiscard]] bool set_trace_option(TraceOptions& trace, std::string_view key,
+                                    std::string_view value);
+void format_trace_options(const TraceOptions& trace,
+                          const TraceOptions& defaults,
+                          spec_text::KeyValWriter& out);
 
 }  // namespace rumor

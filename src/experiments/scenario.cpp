@@ -1,0 +1,265 @@
+#include "experiments/scenario.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "experiments/report.hpp"
+#include "support/csv.hpp"
+#include "support/spec_text.hpp"
+#include "support/table.hpp"
+
+namespace rumor {
+
+namespace {
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+std::vector<std::string_view> split_tokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  while (!line.empty()) {
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string_view::npos) break;
+    line.remove_prefix(start);
+    const std::size_t end = line.find_first_of(" \t");
+    tokens.push_back(line.substr(0, end));
+    if (end == std::string_view::npos) break;
+    line.remove_prefix(end);
+  }
+  return tokens;
+}
+
+// Applies one trailing `key=value` plan token; false = not a plan key.
+bool set_plan_option(TrialPlan& plan, std::string& label,
+                     std::string_view key, std::string_view value,
+                     std::string* error) {
+  if (key == "trials") {
+    const auto v = spec_text::parse_u64(value);
+    if (!v || *v == 0) {
+      set_error(error, "bad value trials=" + std::string(value));
+      return false;
+    }
+    plan.trials = static_cast<std::size_t>(*v);
+  } else if (key == "seed") {
+    const auto v = spec_text::parse_u64(value);
+    if (!v) {
+      set_error(error, "bad value seed=" + std::string(value));
+      return false;
+    }
+    plan.seed = *v;
+  } else if (key == "source") {
+    const auto v = spec_text::parse_u64(value);
+    if (!v) {
+      set_error(error, "bad value source=" + std::string(value));
+      return false;
+    }
+    plan.source = static_cast<Vertex>(*v);
+  } else if (key == "fresh") {
+    const auto v = spec_text::parse_bool(value);
+    if (!v) {
+      set_error(error, "bad value fresh=" + std::string(value));
+      return false;
+    }
+    plan.fresh_graph = *v;
+  } else if (key == "label") {
+    // '#' would be stripped as a comment when the canonical line is
+    // written to a scenario file and re-read.
+    if (value.empty() || value.find('#') != std::string_view::npos) {
+      set_error(error, "bad label \"" + std::string(value) +
+                           "\" (must be non-empty, no '#')");
+      return false;
+    }
+    label = std::string(value);
+  } else {
+    set_error(error, "unknown scenario option \"" + std::string(key) + "\"");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ScenarioSpec::name() const {
+  std::string out = graph.name() + " " + protocol.name();
+  const TrialPlan defaults;
+  if (plan.trials != defaults.trials) {
+    out += " trials=" + std::to_string(plan.trials);
+  }
+  if (plan.seed != defaults.seed) {
+    out += " seed=" + std::to_string(plan.seed);
+  }
+  if (plan.source != defaults.source) {
+    out += " source=" + std::to_string(plan.source);
+  }
+  if (plan.fresh_graph) out += " fresh=on";
+  if (!label.empty()) out += " label=" + label;
+  return out;
+}
+
+std::string ScenarioSpec::display_label() const {
+  if (!label.empty()) return label;
+  return graph.name() + " " + protocol.name();
+}
+
+std::optional<ScenarioSpec> ScenarioSpec::parse(std::string_view line,
+                                                std::string* error) {
+  const std::vector<std::string_view> tokens = split_tokens(line);
+  if (tokens.size() < 2) {
+    set_error(error,
+              "expected \"<graph-spec> <protocol-spec> [key=value...]\"");
+    return std::nullopt;
+  }
+  ScenarioSpec spec;
+  auto graph = GraphSpec::parse(tokens[0], error);
+  if (!graph) return std::nullopt;
+  spec.graph = *graph;
+  auto protocol = ProtocolSpec::parse(tokens[1], error);
+  if (!protocol) return std::nullopt;
+  spec.protocol = *protocol;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const std::string_view token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      set_error(error, "expected key=value, got \"" + std::string(token) +
+                           "\"");
+      return std::nullopt;
+    }
+    if (!set_plan_option(spec.plan, spec.label, token.substr(0, eq),
+                         token.substr(eq + 1), error)) {
+      return std::nullopt;
+    }
+  }
+  if (spec.plan.fresh_graph && !spec.graph.is_random()) {
+    set_error(error, "fresh=on requires a random graph family, got " +
+                         spec.graph.name());
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::optional<std::vector<ScenarioSpec>> parse_scenario_stream(
+    std::istream& in, std::string* error) {
+  std::vector<ScenarioSpec> specs;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view text(line);
+    const std::size_t hash = text.find('#');
+    if (hash != std::string_view::npos) text = text.substr(0, hash);
+    text = spec_text::trim(text);
+    if (text.empty()) continue;
+    std::string reason;
+    auto spec = ScenarioSpec::parse(text, &reason);
+    if (!spec) {
+      set_error(error,
+                "line " + std::to_string(line_number) + ": " + reason);
+      return std::nullopt;
+    }
+    specs.push_back(std::move(*spec));
+  }
+  return specs;
+}
+
+std::optional<std::vector<ScenarioSpec>> load_scenario_file(
+    const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    set_error(error, "cannot open \"" + path + "\"");
+    return std::nullopt;
+  }
+  return parse_scenario_stream(in, error);
+}
+
+std::optional<ScenarioResult> run_scenario(const ScenarioSpec& spec,
+                                           std::string* error) {
+  ScenarioResult result;
+  result.spec = spec;
+  // The graph draw uses a seed stream disjoint from the trial seeds (and,
+  // for fresh mode, matches trial 0's draw), so a scenario is reproducible
+  // from its text alone.
+  Rng graph_rng(derive_seed(spec.plan.seed ^ kGraphSeedSalt, 0));
+  const Graph g = spec.graph.make(graph_rng);
+  result.n = g.num_vertices();
+  result.edges = g.num_edges();
+  // Graph sizes are fixed by the spec, so these checks cover every fresh
+  // draw too (the per-draw RUMOR_REQUIRE in the runner stays as backstop).
+  if (spec.plan.source >= result.n) {
+    set_error(error, "scenario \"" + spec.name() + "\": source=" +
+                         std::to_string(spec.plan.source) +
+                         " is out of range for " + spec.graph.name() +
+                         " (n=" + std::to_string(result.n) + ")");
+    return std::nullopt;
+  }
+  if (const WalkOptions* walk = spec.protocol.walk_if();
+      walk != nullptr && walk->placement == Placement::at_vertex &&
+      walk->placement_anchor != kNoVertex &&
+      walk->placement_anchor >= result.n) {
+    set_error(error, "scenario \"" + spec.name() + "\": anchor=" +
+                         std::to_string(walk->placement_anchor) +
+                         " is out of range for " + spec.graph.name() +
+                         " (n=" + std::to_string(result.n) + ")");
+    return std::nullopt;
+  }
+  if (spec.plan.fresh_graph) {
+    result.set =
+        run_trials_fresh_graph(spec.graph, spec.protocol, spec.plan.source,
+                               spec.plan.trials, spec.plan.seed);
+  } else {
+    result.set = run_trials(g, spec.protocol, spec.plan.source,
+                            spec.plan.trials, spec.plan.seed);
+  }
+  return result;
+}
+
+std::optional<std::vector<ScenarioResult>> run_scenarios(
+    const std::vector<ScenarioSpec>& specs, std::string* error) {
+  std::vector<ScenarioResult> results;
+  results.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    auto result = run_scenario(spec, error);
+    if (!result) return std::nullopt;
+    results.push_back(std::move(*result));
+  }
+  return results;
+}
+
+std::string scenario_table(const std::vector<ScenarioResult>& results) {
+  TextTable table({"scenario", "graph", "protocol", "n", "trials", "mean",
+                   "median", "min", "max", "incomplete"});
+  for (const ScenarioResult& r : results) {
+    const Summary s = r.set.summary();
+    table.add_row({r.spec.display_label(), r.spec.graph.name(),
+                   r.spec.protocol.name(),
+                   std::to_string(r.n), std::to_string(s.count),
+                   fmt_mean_pm(s), TextTable::num(s.median, 1),
+                   TextTable::num(s.min, 1), TextTable::num(s.max, 1),
+                   std::to_string(r.set.incomplete)});
+  }
+  return table.render_plain();
+}
+
+void write_scenario_csv(std::ostream& out,
+                        const std::vector<ScenarioResult>& results) {
+  CsvWriter csv(out,
+                {"label", "graph", "protocol", "n", "m", "trials", "seed",
+                 "source", "mean", "stddev", "stderr", "min", "q25",
+                 "median", "q75", "max", "agent_mean", "incomplete"});
+  for (const ScenarioResult& r : results) {
+    const Summary s = r.set.summary();
+    const Summary agents = r.set.agent_summary();
+    csv.row({r.spec.display_label(), r.spec.graph.name(),
+             r.spec.protocol.name(), std::to_string(r.n),
+             std::to_string(r.edges), std::to_string(s.count),
+             std::to_string(r.spec.plan.seed),
+             std::to_string(r.spec.plan.source), std::to_string(s.mean),
+             std::to_string(s.stddev), std::to_string(s.stderr_mean),
+             std::to_string(s.min), std::to_string(s.q25),
+             std::to_string(s.median), std::to_string(s.q75),
+             std::to_string(s.max), std::to_string(agents.mean),
+             std::to_string(r.set.incomplete)});
+  }
+}
+
+}  // namespace rumor

@@ -1,0 +1,91 @@
+// ScenarioSpec: the complete declarative description of one experiment —
+// GraphSpec + ProtocolSpec + TrialPlan — with a one-line text form:
+//
+//   star(leaves=8192) push source=1 trials=50 label=push-star
+//
+// A scenario file is a sequence of such lines (blank lines and #-comments
+// ignored); `rumor_run` executes one and renders the shared table/CSV
+// report. parse(name()) round-trips, so specs can be generated, stored,
+// and replayed losslessly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "experiments/trials.hpp"
+
+namespace rumor {
+
+// The master seed every runner defaults to (the PODC'19 date, matching the
+// bench harness).
+constexpr std::uint64_t kDefaultMasterSeed = 20190729ULL;
+
+struct TrialPlan {
+  std::size_t trials = 20;
+  std::uint64_t seed = kDefaultMasterSeed;
+  Vertex source = 0;
+  // Redraw the graph per trial (random families only): averages over graph
+  // randomness instead of fixing one draw.
+  bool fresh_graph = false;
+
+  friend bool operator==(const TrialPlan&, const TrialPlan&) = default;
+};
+
+struct ScenarioSpec {
+  GraphSpec graph;
+  ProtocolSpec protocol;
+  TrialPlan plan;
+  std::string label;  // optional series label (single token, no spaces)
+
+  // Canonical line: "<graph> <protocol> [trials=..] [seed=..] [source=..]
+  // [fresh=on] [label=..]" with only non-default plan keys emitted.
+  [[nodiscard]] std::string name() const;
+  // The label, or "<graph> <protocol>" when none was given.
+  [[nodiscard]] std::string display_label() const;
+
+  static std::optional<ScenarioSpec> parse(std::string_view line,
+                                           std::string* error = nullptr);
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+struct ScenarioResult {
+  ScenarioSpec spec;
+  Vertex n = 0;           // vertices of the scenario's graph
+  std::size_t edges = 0;  // undirected edge count
+  TrialSet set;
+};
+
+// Parses a scenario stream/file. On failure returns nullopt and reports
+// "line N: <reason>" through *error.
+std::optional<std::vector<ScenarioSpec>> parse_scenario_stream(
+    std::istream& in, std::string* error = nullptr);
+std::optional<std::vector<ScenarioSpec>> load_scenario_file(
+    const std::string& path, std::string* error = nullptr);
+
+// Executes one scenario: builds the graph from the plan seed (or redraws
+// per trial when fresh_graph) and fans the trials out over the global
+// thread pool through the simulator registry. A plan inconsistent with
+// the built graph (source out of range) is reported through *error, not
+// aborted on — scenario files are user input.
+[[nodiscard]] std::optional<ScenarioResult> run_scenario(
+    const ScenarioSpec& spec, std::string* error = nullptr);
+
+// Executes scenarios in order (each scenario's trials run in parallel);
+// stops at the first failing scenario and reports it through *error.
+[[nodiscard]] std::optional<std::vector<ScenarioResult>> run_scenarios(
+    const std::vector<ScenarioSpec>& specs, std::string* error = nullptr);
+
+// The shared report format: an aligned table for terminals, CSV (one row
+// per scenario, same columns as the bench artifact dumps plus the spec
+// text) for artifacts.
+[[nodiscard]] std::string scenario_table(
+    const std::vector<ScenarioResult>& results);
+void write_scenario_csv(std::ostream& out,
+                        const std::vector<ScenarioResult>& results);
+
+}  // namespace rumor

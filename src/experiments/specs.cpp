@@ -1,11 +1,62 @@
 #include "experiments/specs.hpp"
 
-#include "core/hybrid.hpp"
-#include "core/meet_exchange.hpp"
-#include "core/visit_exchange.hpp"
+#include <array>
+
 #include "graph/generators.hpp"
+#include "support/spec_text.hpp"
 
 namespace rumor {
+
+namespace {
+
+// One row per family: the spec-grammar head and the parameter keys. The
+// same table drives name() and parse(), so the two cannot drift apart.
+struct FamilyInfo {
+  Family family;
+  const char* name;
+  const char* key_a;
+  const char* key_b;   // nullptr = family has no second parameter
+  bool has_p = false;  // erdos_renyi's edge probability
+};
+
+constexpr std::array<FamilyInfo, 19> kFamilies{{
+    {Family::star, "star", "leaves", nullptr},
+    {Family::double_star, "double_star", "leaves", nullptr},
+    {Family::heavy_tree, "heavy_tree", "n", nullptr},
+    {Family::siamese, "siamese", "n", nullptr},
+    {Family::cycle_stars_cliques, "cycle_stars_cliques", "k", nullptr},
+    {Family::complete, "complete", "n", nullptr},
+    {Family::cycle, "cycle", "n", nullptr},
+    {Family::path, "path", "n", nullptr},
+    {Family::grid, "grid", "rows", "cols"},
+    {Family::torus, "torus", "rows", "cols"},
+    {Family::hypercube, "hypercube", "dim", nullptr},
+    {Family::circulant, "circulant", "n", "k"},
+    {Family::clique_ring, "clique_ring", "groups", "k"},
+    {Family::clique_path, "clique_path", "groups", "k"},
+    {Family::random_regular, "random_regular", "n", "d"},
+    {Family::erdos_renyi, "erdos_renyi", "n", nullptr, true},
+    {Family::barbell, "barbell", "k", nullptr},
+    {Family::star_of_cliques, "star_of_cliques", "c", "k"},
+    {Family::binary_tree, "binary_tree", "n", nullptr},
+}};
+
+const FamilyInfo& family_info(Family family) {
+  for (const FamilyInfo& info : kFamilies) {
+    if (info.family == family) return info;
+  }
+  RUMOR_CHECK(false);  // unreachable: the table covers the enum
+  return kFamilies[0];
+}
+
+const FamilyInfo* family_info(std::string_view name) {
+  for (const FamilyInfo& info : kFamilies) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace
 
 Graph GraphSpec::make(Rng& rng) const {
   switch (family) {
@@ -56,97 +107,93 @@ Graph GraphSpec::make(Rng& rng) const {
 }
 
 std::string GraphSpec::name() const {
-  const auto num = [](std::uint64_t v) { return std::to_string(v); };
-  switch (family) {
-    case Family::star:
-      return "star(leaves=" + num(a) + ")";
-    case Family::double_star:
-      return "double_star(leaves=" + num(a) + ")";
-    case Family::heavy_tree:
-      return "heavy_tree(n=" + num(a) + ")";
-    case Family::siamese:
-      return "siamese(n=" + num(a) + ")";
-    case Family::cycle_stars_cliques:
-      return "cycle_stars_cliques(k=" + num(a) + ")";
-    case Family::complete:
-      return "complete(n=" + num(a) + ")";
-    case Family::cycle:
-      return "cycle(n=" + num(a) + ")";
-    case Family::path:
-      return "path(n=" + num(a) + ")";
-    case Family::grid:
-      return "grid(" + num(a) + "x" + num(b) + ")";
-    case Family::torus:
-      return "torus(" + num(a) + "x" + num(b) + ")";
-    case Family::hypercube:
-      return "hypercube(dim=" + num(a) + ")";
-    case Family::circulant:
-      return "circulant(n=" + num(a) + ",k=" + num(b) + ")";
-    case Family::clique_ring:
-      return "clique_ring(groups=" + num(a) + ",k=" + num(b) + ")";
-    case Family::clique_path:
-      return "clique_path(groups=" + num(a) + ",k=" + num(b) + ")";
-    case Family::random_regular:
-      return "random_regular(n=" + num(a) + ",d=" + num(b) + ")";
-    case Family::erdos_renyi:
-      return "erdos_renyi(n=" + num(a) + ",p=" + std::to_string(p) + ")";
-    case Family::barbell:
-      return "barbell(k=" + num(a) + ")";
-    case Family::star_of_cliques:
-      return "star_of_cliques(c=" + num(a) + ",k=" + num(b) + ")";
-    case Family::binary_tree:
-      return "binary_tree(n=" + num(a) + ")";
-  }
-  return "unknown";
+  const FamilyInfo& info = family_info(family);
+  spec_text::KeyValWriter writer;
+  writer.add(info.key_a, a);
+  if (info.key_b != nullptr) writer.add(info.key_b, b);
+  if (info.has_p) writer.add("p", p);
+  return std::string(info.name) + "(" + writer.str() + ")";
 }
 
-std::string protocol_name(Protocol p) {
-  switch (p) {
-    case Protocol::push:
-      return "push";
-    case Protocol::push_pull:
-      return "push-pull";
-    case Protocol::visit_exchange:
-      return "visit-exchange";
-    case Protocol::meet_exchange:
-      return "meet-exchange";
-    case Protocol::hybrid:
-      return "hybrid";
+std::optional<GraphSpec> GraphSpec::parse(std::string_view text,
+                                          std::string* error) {
+  const auto call = spec_text::parse_call(text, error);
+  if (!call) return std::nullopt;
+  const FamilyInfo* info = family_info(std::string_view(call->head));
+  if (info == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown graph family \"" + call->head + "\"";
+    }
+    return std::nullopt;
   }
-  return "unknown";
-}
-
-ProtocolSpec default_spec(Protocol p) {
-  ProtocolSpec spec;
-  spec.protocol = p;
-  if (p == Protocol::meet_exchange) {
-    spec.walk.lazy = LazyMode::auto_bipartite;
+  GraphSpec spec;
+  spec.family = info->family;
+  bool have_a = false;
+  bool have_b = false;
+  bool have_p = false;
+  for (const auto& [key, value] : call->args) {
+    if (key == info->key_a) {
+      const auto v = spec_text::parse_u64(value);
+      if (!v) {
+        if (error != nullptr) *error = "bad value " + key + "=" + value;
+        return std::nullopt;
+      }
+      spec.a = *v;
+      have_a = true;
+    } else if (info->key_b != nullptr && key == info->key_b) {
+      const auto v = spec_text::parse_u64(value);
+      if (!v) {
+        if (error != nullptr) *error = "bad value " + key + "=" + value;
+        return std::nullopt;
+      }
+      spec.b = *v;
+      have_b = true;
+    } else if (info->has_p && key == "p") {
+      const auto v = spec_text::parse_double(value);
+      // Positive form is NaN-proof; p = 0 is rejected too (the generator
+      // requires a positive edge probability).
+      if (!v || !(*v > 0.0 && *v <= 1.0)) {
+        if (error != nullptr) *error = "bad value p=" + value;
+        return std::nullopt;
+      }
+      spec.p = *v;
+      have_p = true;
+    } else {
+      if (error != nullptr) {
+        *error = "graph family \"" + call->head + "\" has no parameter \"" +
+                 key + "\"";
+      }
+      return std::nullopt;
+    }
+  }
+  // Every parameter the family declares is required: a defaulted-to-zero
+  // size would only abort later, deep inside the generator.
+  const char* missing = !have_a ? info->key_a
+                        : (info->key_b != nullptr && !have_b) ? info->key_b
+                        : (info->has_p && !have_p)            ? "p"
+                                                              : nullptr;
+  if (missing != nullptr) {
+    if (error != nullptr) {
+      *error = "graph family \"" + call->head + "\" requires " +
+               std::string(missing) + "=<value>";
+    }
+    return std::nullopt;
   }
   return spec;
 }
 
-TrialOutcome run_protocol(const Graph& g, const ProtocolSpec& spec,
-                          Vertex source, std::uint64_t seed,
-                          TrialArena* arena) {
-  RunResult r;
-  switch (spec.protocol) {
-    case Protocol::push:
-      r = PushProcess(g, source, seed, spec.push, arena).run();
-      break;
-    case Protocol::push_pull:
-      r = PushPullProcess(g, source, seed, spec.push_pull, arena).run();
-      break;
-    case Protocol::visit_exchange:
-      r = VisitExchangeProcess(g, source, seed, spec.walk, arena).run();
-      break;
-    case Protocol::meet_exchange:
-      r = MeetExchangeProcess(g, source, seed, spec.walk, arena).run();
-      break;
-    case Protocol::hybrid:
-      r = HybridProcess(g, source, seed, spec.walk, arena).run();
-      break;
-  }
-  return {static_cast<double>(r.rounds), r.completed};
+std::vector<std::string_view> graph_family_names() {
+  std::vector<std::string_view> names;
+  names.reserve(kFamilies.size());
+  for (const FamilyInfo& info : kFamilies) names.push_back(info.name);
+  return names;
+}
+
+TrialResult run_protocol(const Graph& g, const ProtocolSpec& spec,
+                         Vertex source, std::uint64_t seed,
+                         TrialArena* arena) {
+  return SimulatorRegistry::instance().at(spec.protocol).run(
+      g, spec.options, source, seed, arena);
 }
 
 }  // namespace rumor

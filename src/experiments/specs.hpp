@@ -1,13 +1,22 @@
 // Experiment specifications: declarative graph + protocol descriptions that
-// the trial runner and the bench binaries share.
+// the trial runner, the scenario files, and the bench binaries share.
+//
+// Both halves have a canonical text round-trip: GraphSpec::parse /
+// GraphSpec::name for the graph ("star(leaves=1024)"), ProtocolSpec::parse
+// / ProtocolSpec::name for the protocol ("frog(frogs=2,lazy=half)").
+// run_protocol dispatches through the SimulatorRegistry, so every
+// registered simulator — built-in or downstream — is reachable from a
+// parsed spec.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
-#include "core/push.hpp"
-#include "core/push_pull.hpp"
-#include "core/walk_options.hpp"
+#include "core/protocol_spec.hpp"
+#include "core/registry.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
 
@@ -44,49 +53,30 @@ struct GraphSpec {
   // Builds the graph; rng is consumed only by random families.
   [[nodiscard]] Graph make(Rng& rng) const;
 
-  // Human-readable, e.g. "star(leaves=1024)".
+  // Canonical text form, e.g. "star(leaves=1024)" or
+  // "erdos_renyi(n=32,p=0.3)". parse(name()) reproduces the spec.
   [[nodiscard]] std::string name() const;
+  static std::optional<GraphSpec> parse(std::string_view text,
+                                        std::string* error = nullptr);
 
   // True if make() consumes randomness (trials may want fresh graphs).
   [[nodiscard]] bool is_random() const {
     return family == Family::random_regular || family == Family::erdos_renyi;
   }
+
+  friend bool operator==(const GraphSpec&, const GraphSpec&) = default;
 };
 
-enum class Protocol {
-  push,
-  push_pull,
-  visit_exchange,
-  meet_exchange,
-  hybrid,
-};
+// The spec-grammar heads of every graph family, in table order (drives
+// `rumor_run --list`; the same table drives name()/parse()).
+[[nodiscard]] std::vector<std::string_view> graph_family_names();
 
-[[nodiscard]] std::string protocol_name(Protocol p);
-
-struct ProtocolSpec {
-  Protocol protocol = Protocol::push;
-  PushOptions push;          // push / push_pull options
-  PushPullOptions push_pull;
-  WalkOptions walk;          // agent-based protocol options
-
-  [[nodiscard]] std::string name() const { return protocol_name(protocol); }
-};
-
-// Canonical defaults per protocol; notably meet-exchange gets
-// LazyMode::auto_bipartite, matching the paper's convention.
-[[nodiscard]] ProtocolSpec default_spec(Protocol p);
-
-struct TrialOutcome {
-  double rounds = 0.0;
-  bool completed = false;
-};
-
-// Runs one trial of the protocol on the given graph. A non-null `arena`
-// lends reusable scratch buffers (the trial runner passes one per worker
-// so steady-state trials allocate nothing).
-[[nodiscard]] TrialOutcome run_protocol(const Graph& g,
-                                        const ProtocolSpec& spec,
-                                        Vertex source, std::uint64_t seed,
-                                        TrialArena* arena = nullptr);
+// Runs one trial of the protocol on the given graph through the simulator
+// registry. A non-null `arena` lends reusable scratch buffers (the trial
+// runner passes one per worker so steady-state trials allocate nothing).
+[[nodiscard]] TrialResult run_protocol(const Graph& g,
+                                       const ProtocolSpec& spec,
+                                       Vertex source, std::uint64_t seed,
+                                       TrialArena* arena = nullptr);
 
 }  // namespace rumor

@@ -24,21 +24,34 @@ TrialArena& arena_for_worker(std::size_t worker) {
   return caller_arena;
 }
 
+void record_trial(TrialSet& set, std::size_t i, TrialResult&& outcome,
+                  std::atomic<std::size_t>& incomplete, bool want_curves) {
+  set.rounds[i] = outcome.rounds;
+  set.agent_rounds[i] = outcome.agent_rounds;
+  if (want_curves) set.informed_curves[i] = std::move(outcome.informed_curve);
+  if (!outcome.completed) incomplete.fetch_add(1);
+}
+
 }  // namespace
 
 TrialSet run_trials(const Graph& g, const ProtocolSpec& spec, Vertex source,
                     std::size_t trials, std::uint64_t master_seed) {
   RUMOR_REQUIRE(trials > 0);
+  RUMOR_REQUIRE(source < g.num_vertices());
   TrialSet set;
   set.rounds.assign(trials, 0.0);
+  set.agent_rounds.assign(trials, 0.0);
+  const TraceOptions* trace = spec.trace();
+  const bool want_curves = trace != nullptr && trace->informed_curve;
+  if (want_curves) set.informed_curves.resize(trials);
   std::atomic<std::size_t> incomplete{0};
   global_pool().parallel_for_indexed(
       trials, [&](std::size_t worker, std::size_t i) {
-        const TrialOutcome outcome =
-            run_protocol(g, spec, source, derive_seed(master_seed, i),
-                         &arena_for_worker(worker));
-        set.rounds[i] = outcome.rounds;
-        if (!outcome.completed) incomplete.fetch_add(1);
+        record_trial(set, i,
+                     run_protocol(g, spec, source,
+                                  derive_seed(master_seed, i),
+                                  &arena_for_worker(worker)),
+                     incomplete, want_curves);
       });
   set.incomplete = incomplete.load();
   return set;
@@ -51,16 +64,23 @@ TrialSet run_trials_fresh_graph(const GraphSpec& graph_spec,
   RUMOR_REQUIRE(trials > 0);
   TrialSet set;
   set.rounds.assign(trials, 0.0);
+  set.agent_rounds.assign(trials, 0.0);
+  const TraceOptions* trace = spec.trace();
+  const bool want_curves = trace != nullptr && trace->informed_curve;
+  if (want_curves) set.informed_curves.resize(trials);
   std::atomic<std::size_t> incomplete{0};
   global_pool().parallel_for_indexed(
       trials, [&](std::size_t worker, std::size_t i) {
-        Rng graph_rng(derive_seed(master_seed ^ 0xABCDEF12345678ULL, i));
+        Rng graph_rng(derive_seed(master_seed ^ kGraphSeedSalt, i));
         const Graph g = graph_spec.make(graph_rng);
-        const TrialOutcome outcome =
-            run_protocol(g, spec, source, derive_seed(master_seed, i),
-                         &arena_for_worker(worker));
-        set.rounds[i] = outcome.rounds;
-        if (!outcome.completed) incomplete.fetch_add(1);
+        // Every draw must cover the source; aborting with a clear message
+        // beats the out-of-bounds UB a silent mismatch would cause.
+        RUMOR_REQUIRE(source < g.num_vertices());
+        record_trial(set, i,
+                     run_protocol(g, spec, source,
+                                  derive_seed(master_seed, i),
+                                  &arena_for_worker(worker)),
+                     incomplete, want_curves);
       });
   set.incomplete = incomplete.load();
   return set;

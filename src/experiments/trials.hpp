@@ -1,7 +1,7 @@
 // Parallel trial runner.
 //
 // Trials are independent repetitions with seeds derived statelessly from
-// (master seed, trial index): the produced sample vector is identical
+// (master seed, trial index): the produced sample vectors are identical
 // regardless of worker count or scheduling.
 #pragma once
 
@@ -13,22 +13,41 @@
 
 namespace rumor {
 
+// Salt separating the graph-draw seed stream from the trial seed stream:
+// fresh-graph trial i draws its graph from derive_seed(master ^
+// kGraphSeedSalt, i). Shared with run_scenario's single-graph draw so a
+// scenario is reproducible from its text alone.
+constexpr std::uint64_t kGraphSeedSalt = 0xABCDEF12345678ULL;
+
+// The full per-trial distribution, not just a broadcast-time scalar: one
+// slot per trial in every vector.
 struct TrialSet {
-  std::vector<double> rounds;   // one entry per trial (cutoff if incomplete)
-  std::size_t incomplete = 0;   // trials that hit the round cutoff
+  std::vector<double> rounds;  // broadcast time (cutoff if incomplete)
+  // The all-agents milestone (visit-exchange's agent_rounds); equals
+  // `rounds` for protocols without a separate one, 0 for protocols with no
+  // agent notion at all (multi-rumor, async).
+  std::vector<double> agent_rounds;
+  std::size_t incomplete = 0;  // trials that hit the round cutoff
+  // Per-trial informed curves; populated only when the protocol spec
+  // traces informed_curve.
+  std::vector<std::vector<std::uint32_t>> informed_curves;
 
   [[nodiscard]] Summary summary() const { return Summary::of(rounds); }
+  [[nodiscard]] Summary agent_summary() const {
+    return Summary::of(agent_rounds);
+  }
 };
 
-// R trials of `spec` on a fixed graph.
+// R trials of `spec` on a fixed graph; `source` must be a vertex of `g`.
 [[nodiscard]] TrialSet run_trials(const Graph& g, const ProtocolSpec& spec,
                                   Vertex source, std::size_t trials,
                                   std::uint64_t master_seed);
 
 // R trials where each trial draws a fresh graph from the GraphSpec (for
 // random families where graph randomness should be averaged over) and runs
-// from `source` (must be valid in every draw; graph sizes are fixed by the
-// spec).
+// from `source`. The source is validated against every draw — a spec whose
+// sizes don't cover `source` fails loudly instead of indexing out of
+// bounds.
 [[nodiscard]] TrialSet run_trials_fresh_graph(const GraphSpec& graph_spec,
                                               const ProtocolSpec& spec,
                                               Vertex source,

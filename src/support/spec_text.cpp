@@ -1,0 +1,147 @@
+#include "support/spec_text.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rumor::spec_text {
+
+namespace {
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+bool is_identifier(std::string_view token) {
+  if (token.empty()) return false;
+  for (char c : token) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::optional<Call> parse_call(std::string_view text, std::string* error) {
+  text = trim(text);
+  Call call;
+  const std::size_t open = text.find('(');
+  if (open == std::string_view::npos) {
+    if (!is_identifier(text)) {
+      set_error(error, "expected `name` or `name(key=value,...)`, got \"" +
+                           std::string(text) + "\"");
+      return std::nullopt;
+    }
+    call.head = std::string(text);
+    return call;
+  }
+  if (text.back() != ')') {
+    set_error(error, "missing closing `)` in \"" + std::string(text) + "\"");
+    return std::nullopt;
+  }
+  const std::string_view head = trim(text.substr(0, open));
+  if (!is_identifier(head)) {
+    set_error(error,
+              "bad spec name \"" + std::string(head) + "\" in \"" +
+                  std::string(text) + "\"");
+    return std::nullopt;
+  }
+  call.head = std::string(head);
+  std::string_view args = text.substr(open + 1, text.size() - open - 2);
+  if (trim(args).empty()) return call;
+  while (!args.empty()) {
+    const std::size_t comma = args.find(',');
+    const std::string_view item =
+        trim(comma == std::string_view::npos ? args : args.substr(0, comma));
+    args = comma == std::string_view::npos ? std::string_view{}
+                                           : args.substr(comma + 1);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      set_error(error, "expected key=value, got \"" + std::string(item) +
+                           "\" in \"" + std::string(text) + "\"");
+      return std::nullopt;
+    }
+    const std::string_view key = trim(item.substr(0, eq));
+    const std::string_view value = trim(item.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      set_error(error, "empty key or value in \"" + std::string(item) + "\"");
+      return std::nullopt;
+    }
+    call.args.push_back({std::string(key), std::string(value)});
+  }
+  return call;
+}
+
+void KeyValWriter::add(std::string_view key, double value) {
+  add(key, std::string_view(fmt_double(value)));
+}
+
+std::string KeyValWriter::str() const {
+  std::string out;
+  for (const auto& [key, value] : pairs_) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+std::string fmt_double(double value) {
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  const std::string token(trim(text));
+  if (token.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  const std::string token(trim(text));
+  if (token.empty() || token.front() == '-' || token.front() == '+') {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t value = std::strtoull(token.c_str(), &end, 10);
+  // ERANGE check: strtoull silently clamps overflow to UINT64_MAX, which
+  // would turn a typo'd literal into a different (huge) value.
+  if (end != token.c_str() + token.size() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::optional<bool> parse_bool(std::string_view text) {
+  const std::string_view token = trim(text);
+  if (token == "on" || token == "true" || token == "1") return true;
+  if (token == "off" || token == "false" || token == "0") return false;
+  return std::nullopt;
+}
+
+}  // namespace rumor::spec_text

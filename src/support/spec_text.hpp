@@ -1,0 +1,64 @@
+// Text substrate for the declarative spec grammar: `name(key=value,...)`
+// calls, key=value option lists, and value formatting that round-trips
+// exactly through parse (the invariant the scenario API is built on:
+// parse(x.name()) == x).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rumor::spec_text {
+
+struct KeyValue {
+  std::string key;
+  std::string value;
+};
+
+// A parsed `head(key=value,...)` call; bare `head` has no arguments.
+struct Call {
+  std::string head;
+  std::vector<KeyValue> args;
+};
+
+// Parses "head" or "head(k=v,k=v,...)" (whitespace around tokens allowed).
+// Returns nullopt and fills *error (when non-null) on malformed input.
+[[nodiscard]] std::optional<Call> parse_call(std::string_view text,
+                                             std::string* error = nullptr);
+
+// Collects key=value pairs and renders them as "k=v,k=v".
+class KeyValWriter {
+ public:
+  void add(std::string_view key, std::string_view value) {
+    pairs_.push_back({std::string(key), std::string(value)});
+  }
+  void add(std::string_view key, double value);
+  void add(std::string_view key, std::uint64_t value) {
+    add(key, std::string_view(std::to_string(value)));
+  }
+
+  [[nodiscard]] bool empty() const { return pairs_.empty(); }
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<KeyValue> pairs_;
+};
+
+// Shortest decimal representation that strtod parses back to exactly
+// `value` — canonical spec text stays readable ("0.1", not
+// "0.10000000000000001") without losing round-trip fidelity.
+[[nodiscard]] std::string fmt_double(double value);
+
+// Strict scalar parsers: the full token must be consumed.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);
+// "on"/"off"/"true"/"false"/"1"/"0".
+[[nodiscard]] std::optional<bool> parse_bool(std::string_view text);
+
+// Trims ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+}  // namespace rumor::spec_text

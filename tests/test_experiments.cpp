@@ -57,22 +57,42 @@ TEST(ProtocolSpec, DefaultsAndNames) {
   EXPECT_EQ(default_spec(Protocol::visit_exchange).name(), "visit-exchange");
   EXPECT_EQ(default_spec(Protocol::meet_exchange).name(), "meet-exchange");
   EXPECT_EQ(default_spec(Protocol::hybrid).name(), "hybrid");
+  EXPECT_EQ(default_spec(Protocol::frog).name(), "frog");
+  EXPECT_EQ(default_spec(Protocol::dynamic_agent).name(), "dynamic-agent");
+  EXPECT_EQ(default_spec(Protocol::multi_push_pull).name(),
+            "multi-push-pull");
+  EXPECT_EQ(default_spec(Protocol::multi_visit_exchange).name(),
+            "multi-visit-exchange");
+  EXPECT_EQ(default_spec(Protocol::async_push_pull).name(), "async");
   // meet-exchange defaults to the paper's auto-lazy convention.
-  EXPECT_EQ(default_spec(Protocol::meet_exchange).walk.lazy,
+  EXPECT_EQ(default_spec(Protocol::meet_exchange).walk().lazy,
             LazyMode::auto_bipartite);
-  EXPECT_EQ(default_spec(Protocol::push).walk.lazy, LazyMode::never);
+  EXPECT_EQ(default_spec(Protocol::visit_exchange).walk().lazy,
+            LazyMode::never);
 }
 
-TEST(RunProtocol, AllProtocolsProduceCompletedRuns) {
+TEST(RunProtocol, EveryRegisteredSimulatorProducesCompletedRuns) {
   Rng rng(2);
   const Graph g = (GraphSpec{Family::complete, 48}).make(rng);
-  for (Protocol p : {Protocol::push, Protocol::push_pull,
-                     Protocol::visit_exchange, Protocol::meet_exchange,
-                     Protocol::hybrid}) {
-    const TrialOutcome outcome = run_protocol(g, default_spec(p), 0, 7);
-    EXPECT_TRUE(outcome.completed) << protocol_name(p);
-    EXPECT_GT(outcome.rounds, 0.0) << protocol_name(p);
+  for (const SimulatorEntry& entry : SimulatorRegistry::instance().all()) {
+    const TrialResult outcome =
+        run_protocol(g, default_spec(entry.id), 0, 7);
+    EXPECT_TRUE(outcome.completed) << entry.name;
+    EXPECT_GT(outcome.rounds, 0.0) << entry.name;
   }
+}
+
+TEST(RunProtocol, TrialResultCarriesAgentMilestoneAndCurve) {
+  Rng rng(6);
+  const Graph g = (GraphSpec{Family::circulant, 96, 3}).make(rng);
+  ProtocolSpec spec = default_spec(Protocol::visit_exchange);
+  spec.walk().trace.informed_curve = true;
+  const TrialResult r = run_protocol(g, spec, 0, 11);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.agent_rounds, 0.0);
+  EXPECT_LE(r.agent_rounds, r.rounds);  // milestone recorded by completion
+  ASSERT_EQ(r.informed_curve.size(), static_cast<std::size_t>(r.rounds) + 1);
+  EXPECT_EQ(r.informed_curve.back(), g.num_vertices());
 }
 
 TEST(Trials, DeterministicAcrossRuns) {

@@ -71,10 +71,10 @@ TEST_P(ProtocolGridTest, CompletesAndIsDeterministic) {
   ProtocolSpec spec = default_spec(protocol());
   const Vertex source = graph_case().source;
 
-  const TrialOutcome first = run_protocol(g, spec, source, 1234);
+  const TrialResult first = run_protocol(g, spec, source, 1234);
   EXPECT_TRUE(first.completed)
       << graph_case().name << " / " << protocol_name(protocol());
-  const TrialOutcome again = run_protocol(g, spec, source, 1234);
+  const TrialResult again = run_protocol(g, spec, source, 1234);
   EXPECT_EQ(first.rounds, again.rounds);
 
   // Vertex-based protocols cannot beat the source eccentricity.

@@ -251,77 +251,69 @@ TEST(TrialArena, RunTrialsResultsIndependentOfArenaReuse) {
 
 // ---- Zero-allocation steady state ------------------------------------
 
+// Specs arrive as TEXT and dispatch through the SimulatorRegistry — the
+// exact path rumor_run takes — so the zero-allocation contract is proven
+// for the scenario API, not just for hand-built specs.
+void expect_zero_alloc_steady_state(const Graph& g, const char* spec_text,
+                                    TrialArena& arena, Vertex source = 0) {
+  const auto spec = ProtocolSpec::parse(spec_text);
+  ASSERT_TRUE(spec) << spec_text;
+  // Warm-up: buffers grow to their high-water mark, the placement cache
+  // binds to the graph.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    (void)run_protocol(g, *spec, source, derive_seed(4242, seed), &arena);
+  }
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  double acc = 0.0;
+  for (std::uint64_t seed = 8; seed < 40; ++seed) {
+    acc +=
+        run_protocol(g, *spec, source, derive_seed(4242, seed), &arena).rounds;
+  }
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0u)
+      << "protocol=" << spec_text << " (rounds acc " << acc << ")";
+}
+
 TEST(TrialArena, SteadyStateTrialsAllocateNothing) {
   const Graph g = gen::circulant(256, 8);
   TrialArena arena;
-  std::vector<ProtocolSpec> specs;
-  specs.push_back(default_spec(Protocol::push));
-  specs.push_back(default_spec(Protocol::push_pull));
-  specs.push_back(default_spec(Protocol::visit_exchange));
   // Default meet-exchange keeps LazyMode::auto_bipartite: resolution reads
   // the graph's memoized property cache, so it no longer allocates.
-  specs.push_back(default_spec(Protocol::meet_exchange));
-  {
-    ProtocolSpec meetx = default_spec(Protocol::meet_exchange);
-    meetx.walk.lazy = LazyMode::always;
-    specs.push_back(meetx);
+  for (const char* spec : {"push", "push-pull", "visit-exchange",
+                           "meet-exchange", "meet-exchange(lazy=always)",
+                           "hybrid", "async",
+                           "multi-push-pull(rumors=4,interval=2)",
+                           "multi-visit-exchange(rumors=4,interval=2)"}) {
+    expect_zero_alloc_steady_state(g, spec, arena);
   }
-  specs.push_back(default_spec(Protocol::hybrid));
+}
 
-  for (const ProtocolSpec& spec : specs) {
-    // Warm-up: buffers grow to their high-water mark, the placement cache
-    // binds to the graph.
-    for (std::uint64_t seed = 0; seed < 8; ++seed) {
-      (void)run_protocol(g, spec, 0, derive_seed(4242, seed), &arena);
-    }
-    g_alloc_count.store(0);
-    g_count_allocs.store(true);
-    double acc = 0.0;
-    for (std::uint64_t seed = 8; seed < 40; ++seed) {
-      acc += run_protocol(g, spec, 0, derive_seed(4242, seed), &arena).rounds;
-    }
-    g_count_allocs.store(false);
-    EXPECT_EQ(g_alloc_count.load(), 0u)
-        << "protocol=" << spec.name() << " (rounds acc " << acc << ")";
+// The acceptance scenario: the Fig. 1(a) star family, leaf source, every
+// protocol the figure compares — zero steady-state allocations through the
+// registry path.
+TEST(TrialArena, Fig1aStarScenarioAllocatesNothingThroughRegistry) {
+  const Graph g = gen::star(512);
+  TrialArena arena;
+  for (const char* spec :
+       {"push", "push-pull", "visit-exchange", "meet-exchange"}) {
+    expect_zero_alloc_steady_state(g, spec, arena, /*source=*/1);
   }
 }
 
 TEST(TrialArena, SteadyStateDynamicAgentTrialsAllocateNothing) {
   const Graph g = gen::circulant(256, 8);
   TrialArena arena;
-  DynamicAgentOptions options;
-  options.churn = 0.05;  // exercises respawn + born-this-round marks
-  options.loss_round = 4;
-  options.loss_fraction = 0.25;
-  for (std::uint64_t seed = 0; seed < 8; ++seed) {
-    (void)run_dynamic_visit_exchange(g, 0, seed, options, &arena);
-  }
-  g_alloc_count.store(0);
-  g_count_allocs.store(true);
-  Round acc = 0;
-  for (std::uint64_t seed = 8; seed < 24; ++seed) {
-    acc += run_dynamic_visit_exchange(g, 0, seed, options, &arena).rounds;
-  }
-  g_count_allocs.store(false);
-  EXPECT_EQ(g_alloc_count.load(), 0u) << "(rounds acc " << acc << ")";
+  // churn exercises respawn + born-this-round marks; spec text exercises
+  // the registry path.
+  expect_zero_alloc_steady_state(
+      g, "dynamic-agent(churn=0.05,loss_round=4,loss_fraction=0.25)", arena);
 }
 
 TEST(TrialArena, SteadyStateFrogTrialsAllocateNothing) {
   const Graph g = gen::circulant(256, 8);
   TrialArena arena;
-  FrogOptions options;
-  options.frogs_per_vertex = 2;
-  for (std::uint64_t seed = 0; seed < 8; ++seed) {
-    (void)run_frog(g, 0, seed, options, &arena);
-  }
-  g_alloc_count.store(0);
-  g_count_allocs.store(true);
-  Round acc = 0;
-  for (std::uint64_t seed = 8; seed < 24; ++seed) {
-    acc += run_frog(g, 0, seed, options, &arena).rounds;
-  }
-  g_count_allocs.store(false);
-  EXPECT_EQ(g_alloc_count.load(), 0u) << "(rounds acc " << acc << ")";
+  expect_zero_alloc_steady_state(g, "frog(frogs=2)", arena);
 }
 
 TEST(TrialArena, SteadyStateMultiRumorTrialsAllocateNothing) {
