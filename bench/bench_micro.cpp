@@ -21,7 +21,9 @@
 #include "common.hpp"
 #include "core/push.hpp"
 #include "core/visit_exchange.hpp"
+#include "experiments/trials.hpp"
 #include "graph/generators.hpp"
+#include "support/thread_pool.hpp"
 #include "walk/agents.hpp"
 #include "walk/step_kernel.hpp"
 
@@ -126,8 +128,55 @@ void BM_PushTrialArenaSteadyState(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(PushProcess(g, 0, ++seed, {}, &arena).run());
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PushTrialArenaSteadyState)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_PushTrialArenaFreshAlloc(benchmark::State& state) {
+  // Same trial without a lent arena: the process owns (and allocates) its
+  // buffers every run — the pre-arena shape. The SteadyState/FreshAlloc
+  // trials/sec ratio is the arena-reuse contract compare_bench.py gates
+  // (machine-independent: same code, same trajectories, allocation and
+  // zeroing cost is the only difference).
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = gen::circulant(n, 8);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PushProcess(g, 0, ++seed, {}, nullptr).run());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PushTrialArenaFreshAlloc)->Arg(1 << 10)->Arg(1 << 14);
+
+// The allocation-dominated regime: push-pull on the star completes in ~2
+// rounds, so per-trial O(n) buffer allocation + zeroing is a constant
+// fraction of the whole trial and arena reuse shows as a measurable
+// (~1.1-1.5x, allocator-dependent) trials/sec win (vs ~1.0x for the
+// long circulant broadcasts above,
+// where simulation work swamps setup). Both ratios are gated: the star
+// pair contracts "arena reuse keeps winning where allocation matters",
+// the circulant pair "the arena path adds no overhead where it doesn't".
+void push_pull_star_trial_arena_bench(benchmark::State& state, TrialArena* arena) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = gen::star(n);
+  const ProtocolSpec spec = default_spec(Protocol::push_pull);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_protocol(g, spec, 1, ++seed, arena));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PushPullStarTrialArenaSteadyState(benchmark::State& state) {
+  TrialArena arena;
+  push_pull_star_trial_arena_bench(state, &arena);
+}
+BENCHMARK(BM_PushPullStarTrialArenaSteadyState)->Arg(1 << 14);
+
+void BM_PushPullStarTrialArenaFreshAlloc(benchmark::State& state) {
+  push_pull_star_trial_arena_bench(state, nullptr);
+}
+BENCHMARK(BM_PushPullStarTrialArenaFreshAlloc)->Arg(1 << 14);
 
 void BM_VisitExchangeRound(benchmark::State& state) {
   const auto n = static_cast<Vertex>(state.range(0));
@@ -199,6 +248,66 @@ void BM_RunProtocolRegistryVisitX(benchmark::State& state) {
   run_protocol_trial_bench(state, /*registry_path=*/true, /*walks=*/true);
 }
 BENCHMARK(BM_RunProtocolRegistryVisitX)->Arg(1 << 10)->Arg(1 << 14);
+
+// ---- Cross-scenario scheduler series -----------------------------------
+//
+// A mixed-tail experiment file: long-tail push-on-star scenarios (coupon
+// collector, hundreds of rounds) alternating with quick visit-exchange
+// scenarios, every scenario with fewer trials than workers — the sweep
+// shape, where per-scenario barriers idle most of the pool on each
+// long-tail point. Barrier = one run_trial_batches call per scenario in
+// sequence (the pre-sweep run_scenarios); Interleaved = ONE call draining
+// all scenarios through the global (scenario, trial) queue. Same trials,
+// same seeds, identical sample vectors — wall clock is the only
+// difference, so the Interleaved/Barrier scenarios/sec ratio is the
+// scheduling contract: ~1.0 on a single core (the shared queue costs
+// nothing) and >1 with real parallelism (~2x at 4 cores). A fixed 4-worker
+// pool keeps the ratio comparable across machines; compare_bench.py gates
+// it with a widened threshold for core-count variation.
+
+void scheduler_bench(benchmark::State& state, bool interleaved) {
+  constexpr std::size_t kScenarios = 8;
+  constexpr std::size_t kTrials = 2;
+  const Graph slow_g = gen::star(512);
+  const Graph fast_g = gen::circulant(512, 4);
+  const ProtocolSpec slow_spec = default_spec(Protocol::push);
+  const ProtocolSpec fast_spec = default_spec(Protocol::visit_exchange);
+  ThreadPool pool(4);
+  std::vector<TrialSet> sets(kScenarios);
+  std::vector<TrialBatch> batches(kScenarios);
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    const bool slow = i % 2 == 0;
+    batches[i].graph = slow ? &slow_g : &fast_g;
+    batches[i].protocol = slow ? &slow_spec : &fast_spec;
+    batches[i].source = slow ? 1 : 0;  // leaf source = push's hard case
+    batches[i].trials = kTrials;
+    batches[i].master_seed = 100 + i;
+    batches[i].out = &sets[i];
+  }
+  for (auto _ : state) {
+    if (interleaved) {
+      run_trial_batches(batches, {}, &pool);
+    } else {
+      for (const TrialBatch& batch : batches) {
+        run_trial_batches({batch}, {}, &pool);
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kScenarios);
+}
+
+// UseRealTime: the work happens on pool threads, so the main thread's CPU
+// clock (the default rate denominator) would measure only its own
+// blocking overhead.
+void BM_SchedulerBarrier(benchmark::State& state) {
+  scheduler_bench(state, /*interleaved=*/false);
+}
+BENCHMARK(BM_SchedulerBarrier)->UseRealTime();
+
+void BM_SchedulerInterleaved(benchmark::State& state) {
+  scheduler_bench(state, /*interleaved=*/true);
+}
+BENCHMARK(BM_SchedulerInterleaved)->UseRealTime();
 
 }  // namespace
 

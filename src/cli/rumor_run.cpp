@@ -2,23 +2,29 @@
 //
 //   rumor_run [options] <scenario-file|->
 //
-// A scenario file holds one ScenarioSpec per line (see docs/scenarios.md):
+// A scenario file holds one ScenarioSpec per line (see docs/scenarios.md),
+// and any numeric value may be a sweep — a range or a value list — that
+// expands the line into a series:
 //
-//   # Figure 1(a), star family
-//   star(leaves=8192) push source=1 label=push
-//   star(leaves=8192) visit-exchange source=1 label=visit-exchange
+//   # Figure 1(a), star family, n = 2^11..2^15
+//   star(leaves=2k..32k:factor=4) push           source=1 label=push
+//   star(leaves=2k..32k:factor=4) visit-exchange source=1 label=visit-exchange
 //
 // Options:
 //   --trials=N   override every scenario's trial count
 //   --seed=S     override every scenario's master seed
-//   --csv=PATH   additionally write the CSV report to PATH
-//   --dry-run    parse and echo canonical spec lines, run nothing
+//   --jobs=N     worker threads (default: hardware concurrency)
+//   --csv=PATH   additionally write the CSV report to PATH (the sink is
+//                opened and validated BEFORE any trial runs)
+//   --progress   per-scenario completion lines on stderr
+//   --dry-run    parse and echo canonical expanded spec lines, run nothing
 //   --list       list registered simulators and graph families, then exit
 //
-// Each scenario's trials fan out over the process thread pool with
-// per-worker trial arenas: steady-state trials allocate nothing, and the
-// sample vectors depend only on (seed, trial index) — never on worker
-// count or scheduling.
+// The whole file drains through ONE global (scenario, trial) work queue:
+// trials from different scenarios interleave across the pool, report rows
+// stream as scenarios complete (deterministic file order), and the sample
+// vectors depend only on (seed, trial index) — never on --jobs or
+// scheduling, so --jobs=1 and --jobs=N emit byte-identical reports.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -28,8 +34,10 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "experiments/report.hpp"
 #include "experiments/scenario.hpp"
 #include "support/spec_text.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -37,8 +45,8 @@ using namespace rumor;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--trials=N] [--seed=S] [--csv=PATH] [--dry-run] "
-               "[--list] <scenario-file|->\n",
+               "usage: %s [--trials=N] [--seed=S] [--jobs=N] [--csv=PATH] "
+               "[--progress] [--dry-run] [--list] <scenario-file|->\n",
                argv0);
   return 2;
 }
@@ -48,17 +56,23 @@ void list_registry() {
   for (const SimulatorEntry& entry : SimulatorRegistry::instance().all()) {
     std::printf("  %-22s %s\n", entry.name.c_str(), entry.summary.c_str());
   }
-  std::printf("\ngraph families (see docs/scenarios.md for parameters):\n ");
-  for (const std::string_view family : graph_family_names()) {
-    std::printf(" %.*s", static_cast<int>(family.size()), family.data());
+  std::printf(
+      "\ngraph families (parameter signatures from the spec grammar):\n");
+  for (const std::string& signature : graph_family_signatures()) {
+    std::printf("  %s\n", signature.c_str());
   }
-  std::printf("\n");
+  std::printf(
+      "\nany numeric value sweeps: lo..hi (geometric x2; :factor=N or "
+      ":step=N override,\nk/m suffixes) or {v1,v2,...}; one line expands "
+      "to the cross product.\n");
 }
 
 struct CliOptions {
   std::optional<std::size_t> trials;
   std::optional<std::uint64_t> seed;
+  std::optional<std::size_t> jobs;
   std::string csv_path;
+  bool progress = false;
   bool dry_run = false;
   bool list = false;
   std::string input;
@@ -72,6 +86,8 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
       cli.dry_run = true;
     } else if (arg == "--list") {
       cli.list = true;
+    } else if (arg == "--progress") {
+      cli.progress = true;
     } else if (arg.starts_with("--trials=")) {
       const auto v = spec_text::parse_u64(arg.substr(9));
       if (!v || *v == 0) return std::nullopt;
@@ -80,6 +96,10 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
       const auto v = spec_text::parse_u64(arg.substr(7));
       if (!v) return std::nullopt;
       cli.seed = *v;
+    } else if (arg.starts_with("--jobs=")) {
+      const auto v = spec_text::parse_u64(arg.substr(7));
+      if (!v || *v == 0 || *v > 1024) return std::nullopt;
+      cli.jobs = static_cast<std::size_t>(*v);
     } else if (arg.starts_with("--csv=")) {
       cli.csv_path = std::string(arg.substr(6));
       if (cli.csv_path.empty()) return std::nullopt;
@@ -104,6 +124,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cli->input.empty()) return usage(argv[0]);
+  if (cli->jobs) set_global_pool_workers(*cli->jobs);
 
   std::string error;
   std::optional<std::vector<ScenarioSpec>> specs;
@@ -132,20 +153,52 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto results = run_scenarios(*specs, &error);
+  // With a CSV sink, validate every scenario BEFORE opening it (opening
+  // truncates, and a failed run must not clobber an existing results
+  // file — without a sink, run_scenarios' own validation fails fast and
+  // the extra graph-build pass would be pure waste), then open the sink
+  // BEFORE any trial runs (an unwritable path must fail in milliseconds,
+  // not discard hours of simulation).
+  if (!cli->csv_path.empty() && !validate_scenarios(*specs, &error)) {
+    std::fprintf(stderr, "%s: %s\n", cli->input.c_str(), error.c_str());
+    return 2;
+  }
+  std::ofstream csv_file;
+  std::optional<ScenarioCsvStream> csv;
+  if (!cli->csv_path.empty()) {
+    csv_file.open(cli->csv_path);
+    if (!csv_file) {
+      std::fprintf(stderr, "cannot write %s\n", cli->csv_path.c_str());
+      return 2;
+    }
+    csv.emplace(csv_file);
+  }
+
+  // Rows stream in file order as scenarios complete; the trials
+  // themselves interleave across the whole file's work queue.
+  ScenarioTableStream table(*specs, std::cout);
+  const std::size_t total = specs->size();
+  ScenarioRunOptions options;
+  options.on_result = [&](const ScenarioResult& r, std::size_t index) {
+    table.row(r);
+    if (csv) csv->row(r);
+    if (cli->progress) {
+      std::fprintf(stderr, "progress: %zu/%zu %s done (trials=%zu)\n",
+                   index + 1, total, r.spec.display_label().c_str(),
+                   r.set.rounds.size());
+    }
+  };
+  const auto results = run_scenarios(*specs, &error, options);
   if (!results) {
     std::fprintf(stderr, "%s: %s\n", cli->input.c_str(), error.c_str());
     return 2;
   }
-  std::printf("%s", scenario_table(*results).c_str());
-
-  if (!cli->csv_path.empty()) {
-    std::ofstream out(cli->csv_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", cli->csv_path.c_str());
+  if (csv) {
+    csv_file.flush();
+    if (!csv_file) {
+      std::fprintf(stderr, "error writing %s\n", cli->csv_path.c_str());
       return 1;
     }
-    write_scenario_csv(out, *results);
     std::printf("csv: %s\n", cli->csv_path.c_str());
   }
   return 0;

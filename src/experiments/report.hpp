@@ -1,11 +1,16 @@
-// Output helpers shared by the bench binaries: claim verdict lines,
-// mean±stderr cells, and optional CSV artifact dumps.
+// Output helpers shared by the bench binaries and the scenario runner:
+// claim verdict lines, mean±stderr cells, optional CSV artifact dumps,
+// and the streaming scenario report (rows emitted as scenarios complete,
+// in file order — see run_scenarios' on_result hook).
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <string_view>
 
 #include "analysis/scaling.hpp"
+#include "experiments/scenario.hpp"
+#include "support/csv.hpp"
 #include "support/stats.hpp"
 
 namespace rumor {
@@ -22,5 +27,32 @@ bool print_claim(bool ok, std::string_view claim, std::string_view measured);
 // reports failures to stderr (bench output must not die on I/O).
 void maybe_dump_csv(const std::string& name,
                     const std::vector<ScalingSeries>& series);
+
+// Streams the terminal scenario report: the header is printed at
+// construction, one aligned row per completed scenario. Spec-derived
+// column widths are computed from the whole file up front, so streamed
+// rows line up without waiting for the last scenario.
+class ScenarioTableStream {
+ public:
+  ScenarioTableStream(const std::vector<ScenarioSpec>& specs,
+                      std::ostream& out);
+  void row(const ScenarioResult& r);
+
+ private:
+  std::ostream& out_;
+  std::vector<std::size_t> widths_;
+};
+
+// Streams the scenario CSV artifact: header at construction — which is
+// what lets the CLI open and validate the sink BEFORE any trial runs —
+// then one row per completed scenario, same columns as write_scenario_csv.
+class ScenarioCsvStream {
+ public:
+  explicit ScenarioCsvStream(std::ostream& out);
+  void row(const ScenarioResult& r);
+
+ private:
+  CsvWriter csv_;
+};
 
 }  // namespace rumor

@@ -3,10 +3,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "experiments/report.hpp"
-#include "support/csv.hpp"
 #include "support/spec_text.hpp"
-#include "support/table.hpp"
 
 namespace rumor {
 
@@ -78,7 +75,160 @@ bool set_plan_option(TrialPlan& plan, std::string& label,
   return true;
 }
 
+// ---- Sweep expansion ---------------------------------------------------
+//
+// Expansion is textual: the line is sliced into literal pieces and sweep
+// slots, every combination is re-assembled and handed to the ordinary
+// scalar parser. That keeps one grammar — an expanded line is valid input
+// by construction, and every parse diagnostic comes from one place.
+
+// One swept key=value site in a line.
+struct SweepSlot {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+// A line sliced at its sweep values: literal text in `text`, or a
+// substitution point referencing slots[slot].
+struct LinePiece {
+  std::string text;
+  int slot = -1;
+};
+
+void add_literal(std::vector<LinePiece>& pieces, std::string_view text) {
+  if (text.empty()) return;
+  pieces.push_back({std::string(text), -1});
+}
+
+// Registers `value` as a sweep slot if it uses sweep syntax; returns
+// false only on a malformed sweep. Scalar values stay literal. The label
+// is free text, so a ".." inside it is not a range ("label=run1..2" was
+// always legal) — but a {...} list still sweeps it.
+bool add_value(std::vector<LinePiece>& pieces, std::vector<SweepSlot>& slots,
+               std::string_view key, std::string_view value,
+               std::string* error) {
+  const bool label_range =
+      key == "label" && (value.empty() || value.front() != '{');
+  if (label_range || !spec_text::is_sweep_value(value)) {
+    add_literal(pieces, value);
+    return true;
+  }
+  auto expanded = spec_text::expand_sweep_value(value, error);
+  if (!expanded) return false;
+  pieces.push_back({std::string(), static_cast<int>(slots.size())});
+  slots.push_back({std::string(key), std::move(*expanded)});
+  return true;
+}
+
+// Slices one whitespace token ("key=value", "head(k=v,...)", or a bare
+// head) into pieces/slots. Structurally odd tokens pass through literal —
+// the scalar parser owns their diagnostics.
+bool scan_token(std::vector<LinePiece>& pieces, std::vector<SweepSlot>& slots,
+                std::string_view token, std::string* error) {
+  const std::size_t open = token.find('(');
+  if (open == std::string_view::npos) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      add_literal(pieces, token);
+      return true;
+    }
+    add_literal(pieces, token.substr(0, eq + 1));
+    return add_value(pieces, slots, token.substr(0, eq),
+                     token.substr(eq + 1), error);
+  }
+  if (token.back() != ')') {
+    add_literal(pieces, token);
+    return true;
+  }
+  add_literal(pieces, token.substr(0, open + 1));
+  std::string_view args = token.substr(open + 1, token.size() - open - 2);
+  bool first = true;
+  while (!args.empty()) {
+    const std::size_t comma = spec_text::find_top_level_comma(args);
+    const std::string_view item =
+        comma == std::string_view::npos ? args : args.substr(0, comma);
+    args = comma == std::string_view::npos ? std::string_view{}
+                                           : args.substr(comma + 1);
+    if (!first) add_literal(pieces, ",");
+    first = false;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      add_literal(pieces, item);
+      continue;
+    }
+    add_literal(pieces, item.substr(0, eq + 1));
+    if (!add_value(pieces, slots, spec_text::trim(item.substr(0, eq)),
+                   item.substr(eq + 1), error)) {
+      return false;
+    }
+  }
+  add_literal(pieces, ")");
+  return true;
+}
+
+// "/2k" for 2048, "/0.5" for list items that aren't plain integers.
+std::string label_suffix(const std::string& value) {
+  if (const auto v = spec_text::parse_u64(value)) {
+    return "/" + spec_text::fmt_magnitude(*v);
+  }
+  return "/" + value;
+}
+
 }  // namespace
+
+std::optional<std::vector<ScenarioSpec>> expand_scenario_line(
+    std::string_view line, std::string* error) {
+  std::vector<LinePiece> pieces;
+  std::vector<SweepSlot> slots;
+  for (const std::string_view token : split_tokens(line)) {
+    if (!pieces.empty()) add_literal(pieces, " ");
+    if (!scan_token(pieces, slots, token, error)) return std::nullopt;
+  }
+  if (slots.empty()) {
+    auto spec = ScenarioSpec::parse(line, error);
+    if (!spec) return std::nullopt;
+    return std::vector<ScenarioSpec>{std::move(*spec)};
+  }
+  std::size_t total = 1;
+  for (const SweepSlot& slot : slots) {
+    total *= slot.values.size();  // each factor <= kMaxSweepPoints
+    if (total > spec_text::kMaxSweepPoints) {
+      set_error(error,
+                "sweep cross product exceeds " +
+                    std::to_string(spec_text::kMaxSweepPoints) +
+                    " scenarios");
+      return std::nullopt;
+    }
+  }
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(total);
+  std::vector<std::size_t> idx(slots.size(), 0);
+  for (;;) {
+    std::string text;
+    for (const LinePiece& piece : pieces) {
+      text += piece.slot < 0 ? piece.text : slots[piece.slot].values[idx[piece.slot]];
+    }
+    auto spec = ScenarioSpec::parse(text, error);
+    if (!spec) return std::nullopt;
+    if (!spec->label.empty()) {
+      // Derive one "/<value>" per swept key so every expanded series
+      // point reports under a distinct label. A swept label already
+      // distinguishes itself.
+      for (std::size_t s = 0; s < slots.size(); ++s) {
+        if (slots[s].key == "label") continue;
+        spec->label += label_suffix(slots[s].values[idx[s]]);
+      }
+    }
+    specs.push_back(std::move(*spec));
+    // Odometer: rightmost slot varies fastest (leftmost slowest).
+    std::size_t s = slots.size();
+    while (s > 0 && ++idx[s - 1] == slots[s - 1].values.size()) {
+      idx[--s] = 0;
+    }
+    if (s == 0) break;
+  }
+  return specs;
+}
 
 std::string ScenarioSpec::name() const {
   std::string out = graph.name() + " " + protocol.name();
@@ -151,13 +301,13 @@ std::optional<std::vector<ScenarioSpec>> parse_scenario_stream(
     text = spec_text::trim(text);
     if (text.empty()) continue;
     std::string reason;
-    auto spec = ScenarioSpec::parse(text, &reason);
-    if (!spec) {
+    auto expanded = expand_scenario_line(text, &reason);
+    if (!expanded) {
       set_error(error,
                 "line " + std::to_string(line_number) + ": " + reason);
       return std::nullopt;
     }
-    specs.push_back(std::move(*spec));
+    for (ScenarioSpec& spec : *expanded) specs.push_back(std::move(spec));
   }
   return specs;
 }
@@ -172,19 +322,22 @@ std::optional<std::vector<ScenarioSpec>> load_scenario_file(
   return parse_scenario_stream(in, error);
 }
 
-std::optional<ScenarioResult> run_scenario(const ScenarioSpec& spec,
-                                           std::string* error) {
-  ScenarioResult result;
+namespace {
+
+// Builds the scenario's graph and validates the plan against it. Graph
+// sizes are fixed by the spec, so these checks cover every fresh draw too
+// (the per-draw RUMOR_REQUIRE in the runner stays as backstop).
+std::optional<Graph> prepare_scenario(const ScenarioSpec& spec,
+                                      ScenarioResult& result,
+                                      std::string* error) {
   result.spec = spec;
   // The graph draw uses a seed stream disjoint from the trial seeds (and,
   // for fresh mode, matches trial 0's draw), so a scenario is reproducible
   // from its text alone.
   Rng graph_rng(derive_seed(spec.plan.seed ^ kGraphSeedSalt, 0));
-  const Graph g = spec.graph.make(graph_rng);
+  Graph g = spec.graph.make(graph_rng);
   result.n = g.num_vertices();
   result.edges = g.num_edges();
-  // Graph sizes are fixed by the spec, so these checks cover every fresh
-  // draw too (the per-draw RUMOR_REQUIRE in the runner stays as backstop).
   if (spec.plan.source >= result.n) {
     set_error(error, "scenario \"" + spec.name() + "\": source=" +
                          std::to_string(spec.plan.source) +
@@ -202,64 +355,66 @@ std::optional<ScenarioResult> run_scenario(const ScenarioSpec& spec,
                          " (n=" + std::to_string(result.n) + ")");
     return std::nullopt;
   }
-  if (spec.plan.fresh_graph) {
-    result.set =
-        run_trials_fresh_graph(spec.graph, spec.protocol, spec.plan.source,
-                               spec.plan.trials, spec.plan.seed);
-  } else {
-    result.set = run_trials(g, spec.protocol, spec.plan.source,
-                            spec.plan.trials, spec.plan.seed);
+  return g;
+}
+
+}  // namespace
+
+std::optional<ScenarioResult> run_scenario(const ScenarioSpec& spec,
+                                           std::string* error) {
+  auto results = run_scenarios({spec}, error);
+  if (!results) return std::nullopt;
+  return std::move(results->front());
+}
+
+bool validate_scenarios(const std::vector<ScenarioSpec>& specs,
+                        std::string* error) {
+  for (const ScenarioSpec& spec : specs) {
+    ScenarioResult scratch;
+    if (!prepare_scenario(spec, scratch, error)) return false;
   }
-  return result;
+  return true;
 }
 
 std::optional<std::vector<ScenarioResult>> run_scenarios(
-    const std::vector<ScenarioSpec>& specs, std::string* error) {
-  std::vector<ScenarioResult> results;
-  results.reserve(specs.size());
-  for (const ScenarioSpec& spec : specs) {
-    auto result = run_scenario(spec, error);
-    if (!result) return std::nullopt;
-    results.push_back(std::move(*result));
+    const std::vector<ScenarioSpec>& specs, std::string* error,
+    const ScenarioRunOptions& options) {
+  // Phase 1 — validate every scenario and build every graph before any
+  // trial runs: a bad line at the bottom of the file fails fast instead
+  // of after hours of simulation. Fresh-graph scenarios redraw per trial,
+  // so their validation graph is dropped immediately instead of pinning
+  // the whole series' memory for the run.
+  std::vector<ScenarioResult> results(specs.size());
+  std::vector<std::optional<Graph>> graphs(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    graphs[i] = prepare_scenario(specs[i], results[i], error);
+    if (!graphs[i]) return std::nullopt;
+    if (specs[i].plan.fresh_graph) graphs[i].reset();
   }
+  // Phase 2 — one global (scenario, trial) queue across the whole file.
+  std::vector<TrialBatch> batches(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    TrialBatch& batch = batches[i];
+    if (specs[i].plan.fresh_graph) {
+      batch.fresh_spec = &specs[i].graph;
+    } else {
+      batch.graph = &*graphs[i];
+    }
+    batch.protocol = &specs[i].protocol;
+    batch.source = specs[i].plan.source;
+    batch.trials = specs[i].plan.trials;
+    batch.master_seed = specs[i].plan.seed;
+    batch.out = &results[i].set;
+  }
+  std::function<void(std::size_t)> on_batch_done;
+  if (options.on_result) {
+    on_batch_done = [&](std::size_t i) { options.on_result(results[i], i); };
+  }
+  run_trial_batches(batches, on_batch_done);
   return results;
 }
 
-std::string scenario_table(const std::vector<ScenarioResult>& results) {
-  TextTable table({"scenario", "graph", "protocol", "n", "trials", "mean",
-                   "median", "min", "max", "incomplete"});
-  for (const ScenarioResult& r : results) {
-    const Summary s = r.set.summary();
-    table.add_row({r.spec.display_label(), r.spec.graph.name(),
-                   r.spec.protocol.name(),
-                   std::to_string(r.n), std::to_string(s.count),
-                   fmt_mean_pm(s), TextTable::num(s.median, 1),
-                   TextTable::num(s.min, 1), TextTable::num(s.max, 1),
-                   std::to_string(r.set.incomplete)});
-  }
-  return table.render_plain();
-}
-
-void write_scenario_csv(std::ostream& out,
-                        const std::vector<ScenarioResult>& results) {
-  CsvWriter csv(out,
-                {"label", "graph", "protocol", "n", "m", "trials", "seed",
-                 "source", "mean", "stddev", "stderr", "min", "q25",
-                 "median", "q75", "max", "agent_mean", "incomplete"});
-  for (const ScenarioResult& r : results) {
-    const Summary s = r.set.summary();
-    const Summary agents = r.set.agent_summary();
-    csv.row({r.spec.display_label(), r.spec.graph.name(),
-             r.spec.protocol.name(), std::to_string(r.n),
-             std::to_string(r.edges), std::to_string(s.count),
-             std::to_string(r.spec.plan.seed),
-             std::to_string(r.spec.plan.source), std::to_string(s.mean),
-             std::to_string(s.stddev), std::to_string(s.stderr_mean),
-             std::to_string(s.min), std::to_string(s.q25),
-             std::to_string(s.median), std::to_string(s.q75),
-             std::to_string(s.max), std::to_string(agents.mean),
-             std::to_string(r.set.incomplete)});
-  }
-}
+// scenario_table / write_scenario_csv live in experiments/report.cpp next
+// to their streaming variants so the row formats cannot drift apart.
 
 }  // namespace rumor

@@ -7,9 +7,23 @@
 // ignored); `rumor_run` executes one and renders the shared table/CSV
 // report. parse(name()) round-trips, so specs can be generated, stored,
 // and replayed losslessly.
+//
+// Any numeric value in a line may also be a *sweep* — a range
+// (`leaves=2k..32k`, geometric x2; `:factor=`/`:step=` override) or a
+// value list (`alpha={0.5,1,2}`) — and the line expands into the cross
+// product of concrete scenarios with derived labels:
+//
+//   star(leaves=2k..32k:factor=4) push source=1 label=push
+//     -> star(leaves=2048) push source=1 label=push/2k
+//        star(leaves=8192) push source=1 label=push/8k
+//        star(leaves=32768) push source=1 label=push/32k
+//
+// Expanded lines are plain scalar scenarios: parse(name()) round-trips on
+// every one of them.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -60,8 +74,19 @@ struct ScenarioResult {
   TrialSet set;
 };
 
-// Parses a scenario stream/file. On failure returns nullopt and reports
-// "line N: <reason>" through *error.
+// Expands one scenario line's sweep values (ranges / {...} lists, in graph
+// args, protocol args, or plan keys) into the cross product of concrete
+// scenarios, leftmost sweep varying slowest. A line without sweeps yields
+// exactly ScenarioSpec::parse(line). When the line carries a label, each
+// expanded spec's label gains one "/<value>" suffix per swept key (integer
+// values in compact magnitude form: 2048 -> "2k"). Rejects what parse
+// rejects, plus empty/inverted/overflowing ranges and cross products of
+// more than kMaxSweepPoints scenarios.
+std::optional<std::vector<ScenarioSpec>> expand_scenario_line(
+    std::string_view line, std::string* error = nullptr);
+
+// Parses a scenario stream/file, expanding sweep lines in place. On
+// failure returns nullopt and reports "line N: <reason>" through *error.
 std::optional<std::vector<ScenarioSpec>> parse_scenario_stream(
     std::istream& in, std::string* error = nullptr);
 std::optional<std::vector<ScenarioSpec>> load_scenario_file(
@@ -75,10 +100,31 @@ std::optional<std::vector<ScenarioSpec>> load_scenario_file(
 [[nodiscard]] std::optional<ScenarioResult> run_scenario(
     const ScenarioSpec& spec, std::string* error = nullptr);
 
-// Executes scenarios in order (each scenario's trials run in parallel);
-// stops at the first failing scenario and reports it through *error.
+// Validates every scenario — builds each graph once, checks source and
+// placement anchor — without running any trial. run_scenarios performs
+// the same checks itself; this exists for callers that must fail BEFORE
+// taking a destructive step (the CLI validates before truncating an
+// existing --csv file).
+[[nodiscard]] bool validate_scenarios(const std::vector<ScenarioSpec>& specs,
+                                      std::string* error = nullptr);
+
+struct ScenarioRunOptions {
+  // Fired once per scenario, in FILE ORDER, as completions allow (the
+  // streaming-report hook): by the time it sees index i, results[0..i]
+  // are final. Runs on a worker thread under the scheduler's emission
+  // lock; keep it cheap.
+  std::function<void(const ScenarioResult&, std::size_t index)> on_result;
+};
+
+// Executes all scenarios through ONE global (scenario, trial) work queue:
+// every scenario is validated and its graph built up front (the first
+// invalid scenario is reported through *error before any trial runs),
+// then trials from all scenarios interleave across the thread pool — no
+// per-scenario barrier, so a long-tail scenario cannot serialize the
+// file. Results are in file order and identical for any worker count.
 [[nodiscard]] std::optional<std::vector<ScenarioResult>> run_scenarios(
-    const std::vector<ScenarioSpec>& specs, std::string* error = nullptr);
+    const std::vector<ScenarioSpec>& specs, std::string* error = nullptr,
+    const ScenarioRunOptions& options = {});
 
 // The shared report format: an aligned table for terminals, CSV (one row
 // per scenario, same columns as the bench artifact dumps plus the spec

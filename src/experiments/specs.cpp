@@ -189,6 +189,19 @@ std::vector<std::string_view> graph_family_names() {
   return names;
 }
 
+std::vector<std::string> graph_family_signatures() {
+  std::vector<std::string> signatures;
+  signatures.reserve(kFamilies.size());
+  for (const FamilyInfo& info : kFamilies) {
+    std::string sig = std::string(info.name) + "(" + info.key_a;
+    if (info.key_b != nullptr) sig += std::string(",") + info.key_b;
+    if (info.has_p) sig += ",p";
+    sig += ")";
+    signatures.push_back(std::move(sig));
+  }
+  return signatures;
+}
+
 TrialResult run_protocol(const Graph& g, const ProtocolSpec& spec,
                          Vertex source, std::uint64_t seed,
                          TrialArena* arena) {

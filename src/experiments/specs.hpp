@@ -71,6 +71,11 @@ struct GraphSpec {
 // `rumor_run --list`; the same table drives name()/parse()).
 [[nodiscard]] std::vector<std::string_view> graph_family_names();
 
+// Full parameter signatures, one per family, straight from the grammar
+// table — e.g. "grid(rows,cols)", "erdos_renyi(n,p)" — so `rumor_run
+// --list` documents the exact keys parse() will accept.
+[[nodiscard]] std::vector<std::string> graph_family_signatures();
+
 // Runs one trial of the protocol on the given graph through the simulator
 // registry. A non-null `arena` lends reusable scratch buffers (the trial
 // runner passes one per worker so steady-state trials allocate nothing).

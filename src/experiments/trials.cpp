@@ -1,6 +1,8 @@
 #include "experiments/trials.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 
 #include "support/thread_pool.hpp"
 #include "support/trial_arena.hpp"
@@ -9,19 +11,15 @@ namespace rumor {
 
 namespace {
 
-// One persistent arena per pool worker. Arenas live for the process so the
-// scratch buffers — and the per-graph placement cache — are reused across
-// run_trials invocations: steady-state trials allocate nothing.
-// parallel_for_indexed reports the executing pool thread, so a pool slot is
-// never shared by two live tasks even when run_trials calls overlap. Any
-// non-pool thread (the caller on the inline path) reports worker_count()
-// and gets its own thread-local arena instead — two caller threads hitting
-// the inline path concurrently must not share one slot.
-TrialArena& arena_for_worker(std::size_t worker) {
-  static std::vector<TrialArena> arenas(global_pool().worker_count());
-  if (worker < arenas.size()) return arenas[worker];
-  thread_local TrialArena caller_arena;
-  return caller_arena;
+// One persistent arena per executing thread. Pool workers live for the
+// process, so the scratch buffers — and the per-graph placement cache —
+// are reused across invocations: steady-state trials allocate nothing.
+// Thread-local (rather than keyed by pool worker index) so two pools
+// draining batches concurrently, or a caller thread on the inline path,
+// can never hand one arena to two live trials.
+TrialArena& arena_for_thread() {
+  thread_local TrialArena arena;
+  return arena;
 }
 
 void record_trial(TrialSet& set, std::size_t i, TrialResult&& outcome,
@@ -32,28 +30,111 @@ void record_trial(TrialSet& set, std::size_t i, TrialResult&& outcome,
   if (!outcome.completed) incomplete.fetch_add(1);
 }
 
+void run_one_trial(const TrialBatch& batch, std::size_t i,
+                   std::atomic<std::size_t>& incomplete, bool want_curves) {
+  if (batch.fresh_spec != nullptr) {
+    Rng graph_rng(derive_seed(batch.master_seed ^ kGraphSeedSalt, i));
+    const Graph g = batch.fresh_spec->make(graph_rng);
+    // Every draw must cover the source; aborting with a clear message
+    // beats the out-of-bounds UB a silent mismatch would cause.
+    RUMOR_REQUIRE(batch.source < g.num_vertices());
+    record_trial(*batch.out, i,
+                 run_protocol(g, *batch.protocol, batch.source,
+                              derive_seed(batch.master_seed, i),
+                              &arena_for_thread()),
+                 incomplete, want_curves);
+  } else {
+    record_trial(*batch.out, i,
+                 run_protocol(*batch.graph, *batch.protocol, batch.source,
+                              derive_seed(batch.master_seed, i),
+                              &arena_for_thread()),
+                 incomplete, want_curves);
+  }
+}
+
 }  // namespace
+
+void run_trial_batches(const std::vector<TrialBatch>& batches,
+                       const std::function<void(std::size_t)>& on_batch_done,
+                       ThreadPool* pool) {
+  if (batches.empty()) return;
+  const std::size_t n = batches.size();
+  // Validate + size every result slot up front; offsets[b] is batch b's
+  // start in the flattened trial index space.
+  std::vector<std::size_t> offsets(n + 1, 0);
+  std::vector<bool> want_curves(n, false);
+  for (std::size_t b = 0; b < n; ++b) {
+    const TrialBatch& batch = batches[b];
+    RUMOR_REQUIRE(batch.trials > 0);
+    RUMOR_REQUIRE(batch.out != nullptr && batch.protocol != nullptr);
+    RUMOR_REQUIRE((batch.graph != nullptr) != (batch.fresh_spec != nullptr));
+    if (batch.graph != nullptr) {
+      RUMOR_REQUIRE(batch.source < batch.graph->num_vertices());
+    }
+    TrialSet& set = *batch.out;
+    set.rounds.assign(batch.trials, 0.0);
+    set.agent_rounds.assign(batch.trials, 0.0);
+    set.incomplete = 0;
+    set.informed_curves.clear();
+    const TraceOptions* trace = batch.protocol->trace();
+    want_curves[b] = trace != nullptr && trace->informed_curve;
+    if (want_curves[b]) set.informed_curves.resize(batch.trials);
+    offsets[b + 1] = offsets[b] + batch.trials;
+  }
+  const std::size_t total = offsets.back();
+
+  std::vector<std::atomic<std::size_t>> incomplete(n);
+  std::vector<std::atomic<std::size_t>> finished(n);
+  // In-order emission state: done[b] flips when batch b's last trial
+  // lands; next_emit advances over the done prefix so on_batch_done sees
+  // batches in file order no matter which finishes first.
+  std::mutex emit_mutex;
+  std::vector<bool> done(n, false);
+  std::size_t next_emit = 0;
+
+  auto complete_batch = [&](std::size_t b) {
+    batches[b].out->incomplete = incomplete[b].load();
+    if (!on_batch_done) return;
+    std::lock_guard lock(emit_mutex);
+    done[b] = true;
+    while (next_emit < n && done[next_emit]) {
+      on_batch_done(next_emit);
+      ++next_emit;
+    }
+  };
+
+  // Trials are macroscopic (a whole protocol run), so claiming them one at
+  // a time costs nothing and keeps mixed-duration batches balanced: a
+  // worker never gets stuck holding a chunk of long-tail trials while the
+  // rest of the pool idles.
+  const std::size_t chunk = n > 1 ? 1 : 0;
+  if (pool == nullptr) pool = &global_pool();
+  pool->parallel_for_indexed(
+      total,
+      [&](std::size_t /*worker*/, std::size_t flat) {
+        const std::size_t b = static_cast<std::size_t>(
+            std::upper_bound(offsets.begin(), offsets.end(), flat) -
+            offsets.begin() - 1);
+        run_one_trial(batches[b], flat - offsets[b], incomplete[b],
+                      want_curves[b]);
+        if (finished[b].fetch_add(1) + 1 == batches[b].trials) {
+          complete_batch(b);
+        }
+      },
+      chunk);
+}
 
 TrialSet run_trials(const Graph& g, const ProtocolSpec& spec, Vertex source,
                     std::size_t trials, std::uint64_t master_seed) {
-  RUMOR_REQUIRE(trials > 0);
-  RUMOR_REQUIRE(source < g.num_vertices());
   TrialSet set;
-  set.rounds.assign(trials, 0.0);
-  set.agent_rounds.assign(trials, 0.0);
-  const TraceOptions* trace = spec.trace();
-  const bool want_curves = trace != nullptr && trace->informed_curve;
-  if (want_curves) set.informed_curves.resize(trials);
-  std::atomic<std::size_t> incomplete{0};
-  global_pool().parallel_for_indexed(
-      trials, [&](std::size_t worker, std::size_t i) {
-        record_trial(set, i,
-                     run_protocol(g, spec, source,
-                                  derive_seed(master_seed, i),
-                                  &arena_for_worker(worker)),
-                     incomplete, want_curves);
-      });
-  set.incomplete = incomplete.load();
+  TrialBatch batch;
+  batch.graph = &g;
+  batch.protocol = &spec;
+  batch.source = source;
+  batch.trials = trials;
+  batch.master_seed = master_seed;
+  batch.out = &set;
+  run_trial_batches({batch});
   return set;
 }
 
@@ -61,28 +142,15 @@ TrialSet run_trials_fresh_graph(const GraphSpec& graph_spec,
                                 const ProtocolSpec& spec, Vertex source,
                                 std::size_t trials,
                                 std::uint64_t master_seed) {
-  RUMOR_REQUIRE(trials > 0);
   TrialSet set;
-  set.rounds.assign(trials, 0.0);
-  set.agent_rounds.assign(trials, 0.0);
-  const TraceOptions* trace = spec.trace();
-  const bool want_curves = trace != nullptr && trace->informed_curve;
-  if (want_curves) set.informed_curves.resize(trials);
-  std::atomic<std::size_t> incomplete{0};
-  global_pool().parallel_for_indexed(
-      trials, [&](std::size_t worker, std::size_t i) {
-        Rng graph_rng(derive_seed(master_seed ^ kGraphSeedSalt, i));
-        const Graph g = graph_spec.make(graph_rng);
-        // Every draw must cover the source; aborting with a clear message
-        // beats the out-of-bounds UB a silent mismatch would cause.
-        RUMOR_REQUIRE(source < g.num_vertices());
-        record_trial(set, i,
-                     run_protocol(g, spec, source,
-                                  derive_seed(master_seed, i),
-                                  &arena_for_worker(worker)),
-                     incomplete, want_curves);
-      });
-  set.incomplete = incomplete.load();
+  TrialBatch batch;
+  batch.fresh_spec = &graph_spec;
+  batch.protocol = &spec;
+  batch.source = source;
+  batch.trials = trials;
+  batch.master_seed = master_seed;
+  batch.out = &set;
+  run_trial_batches({batch});
   return set;
 }
 

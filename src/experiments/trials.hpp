@@ -1,17 +1,26 @@
-// Parallel trial runner.
+// Parallel trial runner: one global (batch, trial) work queue.
 //
 // Trials are independent repetitions with seeds derived statelessly from
 // (master seed, trial index): the produced sample vectors are identical
 // regardless of worker count or scheduling.
+//
+// A multi-scenario experiment file submits ALL of its scenarios' trials as
+// one flattened index space (run_trial_batches), so trials from different
+// scenarios interleave across the pool — a long-tail scenario (push on the
+// 32k star: ~370k rounds/trial) no longer holds every worker hostage at a
+// per-scenario barrier while quick scenarios wait their turn.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "experiments/specs.hpp"
 #include "support/stats.hpp"
 
 namespace rumor {
+
+class ThreadPool;
 
 // Salt separating the graph-draw seed stream from the trial seed stream:
 // fresh-graph trial i draws its graph from derive_seed(master ^
@@ -53,5 +62,36 @@ struct TrialSet {
                                               Vertex source,
                                               std::size_t trials,
                                               std::uint64_t master_seed);
+
+// One scenario's block of trials in the global work queue. Exactly one of
+// `graph` (fixed-graph mode) and `fresh_spec` (redraw per trial) is set;
+// `out` is the caller-owned result slot the scheduler sizes and fills.
+// Every referenced object must outlive the run_trial_batches call.
+struct TrialBatch {
+  const Graph* graph = nullptr;
+  const GraphSpec* fresh_spec = nullptr;
+  const ProtocolSpec* protocol = nullptr;
+  Vertex source = 0;
+  std::size_t trials = 0;
+  std::uint64_t master_seed = 0;
+  TrialSet* out = nullptr;
+};
+
+// Drains every batch's trials through ONE parallel-for over the
+// concatenated (batch, trial) index space: trials from different batches
+// interleave freely across workers, there is no barrier between batches,
+// and per-worker TrialArena reuse keeps steady-state allocations at zero.
+// Sample i of batch b is still derive_seed(b.master_seed, i) — identical
+// to running the batches one at a time, for any worker count.
+//
+// `on_batch_done(b)` fires once per batch, in BATCH ORDER (batch b is
+// reported only after batches 0..b-1 were reported), as completions allow
+// — the streaming-report hook. It runs on a worker thread under the
+// scheduler's emission lock; keep it cheap. `pool` defaults to
+// global_pool().
+void run_trial_batches(
+    const std::vector<TrialBatch>& batches,
+    const std::function<void(std::size_t)>& on_batch_done = {},
+    ThreadPool* pool = nullptr);
 
 }  // namespace rumor

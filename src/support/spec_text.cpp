@@ -26,6 +26,20 @@ bool is_identifier(std::string_view token) {
 
 }  // namespace
 
+std::size_t find_top_level_comma(std::string_view text) {
+  int depth = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '{') {
+      ++depth;
+    } else if (text[i] == '}' && depth > 0) {
+      --depth;
+    } else if (text[i] == ',' && depth == 0) {
+      return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
 std::string_view trim(std::string_view text) {
   while (!text.empty() &&
          std::isspace(static_cast<unsigned char>(text.front()))) {
@@ -66,7 +80,7 @@ std::optional<Call> parse_call(std::string_view text, std::string* error) {
   std::string_view args = text.substr(open + 1, text.size() - open - 2);
   if (trim(args).empty()) return call;
   while (!args.empty()) {
-    const std::size_t comma = args.find(',');
+    const std::size_t comma = find_top_level_comma(args);
     const std::string_view item =
         trim(comma == std::string_view::npos ? args : args.substr(0, comma));
     args = comma == std::string_view::npos ? std::string_view{}
@@ -142,6 +156,148 @@ std::optional<bool> parse_bool(std::string_view text) {
   if (token == "on" || token == "true" || token == "1") return true;
   if (token == "off" || token == "false" || token == "0") return false;
   return std::nullopt;
+}
+
+// ---- Sweep values ------------------------------------------------------
+
+bool is_sweep_value(std::string_view text) {
+  text = trim(text);
+  return text.find("..") != std::string_view::npos ||
+         (!text.empty() && text.front() == '{');
+}
+
+std::optional<std::uint64_t> parse_magnitude(std::string_view text) {
+  text = trim(text);
+  std::uint64_t scale = 1;
+  if (!text.empty() && (text.back() == 'k' || text.back() == 'm')) {
+    scale = text.back() == 'k' ? 1024ULL : 1024ULL * 1024ULL;
+    text.remove_suffix(1);
+  }
+  const auto base = parse_u64(text);
+  if (!base) return std::nullopt;
+  if (scale != 1 && *base > UINT64_MAX / scale) return std::nullopt;
+  return *base * scale;
+}
+
+std::string fmt_magnitude(std::uint64_t value) {
+  constexpr std::uint64_t kMega = 1024ULL * 1024ULL;
+  if (value != 0 && value % kMega == 0) {
+    return std::to_string(value / kMega) + "m";
+  }
+  if (value != 0 && value % 1024ULL == 0) {
+    return std::to_string(value / 1024ULL) + "k";
+  }
+  return std::to_string(value);
+}
+
+namespace {
+
+std::optional<std::vector<std::string>> expand_value_list(
+    std::string_view body, std::string_view original, std::string* error) {
+  std::vector<std::string> values;
+  while (true) {
+    const std::size_t comma = body.find(',');
+    const std::string_view item =
+        trim(comma == std::string_view::npos ? body : body.substr(0, comma));
+    if (item.empty()) {
+      set_error(error, "empty item in value list \"" + std::string(original) +
+                           "\"");
+      return std::nullopt;
+    }
+    values.emplace_back(item);
+    if (comma == std::string_view::npos) break;
+    body.remove_prefix(comma + 1);
+  }
+  return values;
+}
+
+std::optional<std::vector<std::string>> expand_range(
+    std::string_view text, std::string_view original, std::string* error) {
+  // lo..hi with an optional :factor=N (geometric) or :step=N (arithmetic)
+  // tail; geometric x2 is the default.
+  bool geometric = true;
+  std::uint64_t stride = 2;
+  const std::size_t colon = text.find(':');
+  if (colon != std::string_view::npos) {
+    const std::string_view tail = text.substr(colon + 1);
+    const std::size_t eq = tail.find('=');
+    const std::string_view key =
+        eq == std::string_view::npos ? tail : trim(tail.substr(0, eq));
+    const auto v = eq == std::string_view::npos
+                       ? std::nullopt
+                       : parse_magnitude(tail.substr(eq + 1));
+    if (key == "factor" && v && *v >= 2) {
+      stride = *v;
+    } else if (key == "step" && v && *v >= 1) {
+      geometric = false;
+      stride = *v;
+    } else {
+      set_error(error, "bad range modifier \"" + std::string(tail) +
+                           "\" in \"" + std::string(original) +
+                           "\" (want factor=N>=2 or step=N>=1)");
+      return std::nullopt;
+    }
+    text = text.substr(0, colon);
+  }
+  const std::size_t dots = text.find("..");
+  const auto lo = parse_magnitude(text.substr(0, dots));
+  const auto hi = parse_magnitude(text.substr(dots + 2));
+  if (!lo || !hi) {
+    set_error(error, "bad range endpoints in \"" + std::string(original) +
+                         "\" (want <lo>..<hi>, integers with optional k/m "
+                         "suffix)");
+    return std::nullopt;
+  }
+  if (*lo > *hi) {
+    set_error(error, "inverted range " + std::to_string(*lo) + ".." +
+                         std::to_string(*hi) + " in \"" +
+                         std::string(original) + "\"");
+    return std::nullopt;
+  }
+  std::vector<std::string> values;
+  for (std::uint64_t v = *lo;;) {
+    values.push_back(std::to_string(v));
+    if (values.size() > kMaxSweepPoints) {
+      set_error(error, "range \"" + std::string(original) + "\" expands to "
+                           "more than " + std::to_string(kMaxSweepPoints) +
+                           " points");
+      return std::nullopt;
+    }
+    if (geometric) {
+      // Stop when the next point would pass hi (or overflow); lo=0 never
+      // grows, so it is a single-point range.
+      if (v == 0 || v > *hi / stride) break;
+      v *= stride;
+    } else {
+      if (*hi - v < stride) break;
+      v += stride;
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::string>> expand_sweep_value(
+    std::string_view text, std::string* error) {
+  const std::string_view original = text;
+  text = trim(text);
+  if (!text.empty() && text.front() == '{') {
+    if (text.back() != '}' || text.size() < 3 ||
+        trim(text.substr(1, text.size() - 2)).empty()) {
+      set_error(error, "bad value list \"" + std::string(original) +
+                           "\" (want {v,v,...})");
+      return std::nullopt;
+    }
+    return expand_value_list(text.substr(1, text.size() - 2), original,
+                             error);
+  }
+  if (text.find("..") != std::string_view::npos) {
+    return expand_range(text, original, error);
+  }
+  // A scalar "expands" to itself so callers can treat every value
+  // uniformly.
+  return std::vector<std::string>{std::string(text)};
 }
 
 }  // namespace rumor::spec_text

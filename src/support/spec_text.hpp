@@ -4,6 +4,7 @@
 // parse(x.name()) == x).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -60,5 +61,46 @@ class KeyValWriter {
 
 // Trims ASCII whitespace from both ends.
 [[nodiscard]] std::string_view trim(std::string_view text);
+
+// Position of the first comma outside any {...} run (npos if none):
+// top-level commas separate call arguments, braced commas belong to a
+// sweep value list. Shared by parse_call and the sweep-expansion slicer
+// so the tokenization rule cannot drift between them.
+[[nodiscard]] std::size_t find_top_level_comma(std::string_view text);
+
+// ---- Sweep values ------------------------------------------------------
+//
+// Any numeric spec value may be a *sweep*: a range or an explicit list
+// that expands one spec line into a series of concrete lines.
+//
+//   leaves=2k..32k            geometric, factor 2 (2048 4096 ... 32768)
+//   leaves=2k..32k:factor=4   geometric, factor 4 (2048 8192 32768)
+//   n=100..500:step=200       arithmetic (100 300 500)
+//   alpha={0.5,1,2}           explicit list (any value text, not only
+//                             integers; items re-parse downstream)
+//
+// Range endpoints are unsigned integers with an optional k (x1024) or m
+// (x1048576) suffix. A range emits every point <= hi; hi itself appears
+// only when the progression lands on it exactly.
+
+// True when `text` uses sweep syntax (a `..` range or a {...} list) and
+// must go through expand_sweep_value before scalar parsing.
+[[nodiscard]] bool is_sweep_value(std::string_view text);
+
+// Expands a sweep value into its concrete value strings (ranges render as
+// plain decimal). Rejects empty lists/items, inverted or overflowing
+// ranges, factor < 2, step = 0, and ranges of more than kMaxSweepPoints
+// points. nullopt + *error on rejection.
+inline constexpr std::size_t kMaxSweepPoints = 1024;
+[[nodiscard]] std::optional<std::vector<std::string>> expand_sweep_value(
+    std::string_view text, std::string* error = nullptr);
+
+// parse_u64 plus the k/m magnitude suffixes ("2k" -> 2048).
+[[nodiscard]] std::optional<std::uint64_t> parse_magnitude(
+    std::string_view text);
+
+// Compact magnitude rendering for derived sweep labels: 2048 -> "2k",
+// 3145728 -> "3m", 100 -> "100". parse_magnitude(fmt_magnitude(v)) == v.
+[[nodiscard]] std::string fmt_magnitude(std::uint64_t value);
 
 }  // namespace rumor::spec_text

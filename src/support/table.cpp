@@ -40,21 +40,32 @@ std::vector<std::size_t> TextTable::widths() const {
   return w;
 }
 
+void TextTable::emit_plain_row(std::ostream& out,
+                               const std::vector<std::string>& cells,
+                               const std::vector<std::size_t>& widths) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const std::size_t width = c < widths.size() ? widths[c] : 0;
+    out << (c == 0 ? "" : "  ") << cells[c]
+        << std::string(width > cells[c].size() ? width - cells[c].size() : 0,
+                       ' ');
+  }
+  out << '\n';
+}
+
+std::string TextTable::plain_rule(const std::vector<std::size_t>& widths) {
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  return std::string(total, '-');
+}
+
 std::string TextTable::render_plain() const {
   const auto w = widths();
   std::ostringstream out;
-  auto emit = [&](const std::vector<std::string>& cells) {
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-      out << (c == 0 ? "" : "  ");
-      out << cells[c] << std::string(w[c] - cells[c].size(), ' ');
-    }
-    out << '\n';
-  };
-  emit(header_);
-  std::size_t total = 0;
-  for (std::size_t c = 0; c < w.size(); ++c) total += w[c] + (c == 0 ? 0 : 2);
-  out << std::string(total, '-') << '\n';
-  for (const auto& row : rows_) emit(row);
+  emit_plain_row(out, header_, w);
+  out << plain_rule(w) << '\n';
+  for (const auto& row : rows_) emit_plain_row(out, row, w);
   return out.str();
 }
 

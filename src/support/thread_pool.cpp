@@ -113,9 +113,26 @@ void ThreadPool::parallel_for_indexed(
   done_cv.wait(lock, [&] { return remaining == 0; });
 }
 
+namespace {
+
+std::atomic<std::size_t> g_requested_workers{0};
+std::atomic<bool> g_pool_constructed{false};
+
+}  // namespace
+
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool{[] {
+    g_pool_constructed.store(true);
+    return g_requested_workers.load();
+  }()};
   return pool;
+}
+
+void set_global_pool_workers(std::size_t workers) {
+  // A fixed-size pool cannot be resized after threads exist; configuring
+  // too late would silently run at the wrong width.
+  RUMOR_CHECK(!g_pool_constructed.load());
+  g_requested_workers.store(workers);
 }
 
 }  // namespace rumor

@@ -66,4 +66,9 @@ class ThreadPool {
 // Process-wide pool for experiment runners (constructed on first use).
 ThreadPool& global_pool();
 
+// Sets the worker count global_pool() will be constructed with (the CLI's
+// --jobs=N). Must be called before the first global_pool() use — the pool
+// is fixed-size — and aborts otherwise; 0 restores the hardware default.
+void set_global_pool_workers(std::size_t workers);
+
 }  // namespace rumor
