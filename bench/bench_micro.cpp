@@ -249,6 +249,43 @@ void BM_RunProtocolRegistryVisitX(benchmark::State& state) {
 }
 BENCHMARK(BM_RunProtocolRegistryVisitX)->Arg(1 << 10)->Arg(1 << 14);
 
+// ---- Transmission-model series -----------------------------------------
+//
+// Uniform = the default push spec: tp=1, no interventions, i.e. the
+// compile-time `transmission::Uniform` fast path whose attempt() folds
+// away — trajectories are byte-identical to the pre-transmission engine.
+// Heterogeneous = degree-scaled receive probabilities (tp=deg^-0.5)
+// through the General instantiation: per-vertex field reads plus one
+// success draw per state-changing delivery. Same graph, same seeds; the
+// Uniform/Heterogeneous trials/sec ratio is the fast-path contract
+// compare_bench.py gates (machine-independent): if the Uniform series
+// slows down relative to the General one — e.g. a homogeneous-path branch
+// or draw sneaks into the inner loop — the ratio drops and CI fails.
+
+void push_transmission_bench(benchmark::State& state, const char* spec_text) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = gen::circulant(n, 8);
+  const auto spec = ProtocolSpec::parse(spec_text);
+  TrialArena arena;
+  std::uint64_t seed = 0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += run_protocol(g, *spec, 0, ++seed, &arena).rounds;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PushTransmissionUniform(benchmark::State& state) {
+  push_transmission_bench(state, "push");
+}
+BENCHMARK(BM_PushTransmissionUniform)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_PushTransmissionHeterogeneous(benchmark::State& state) {
+  push_transmission_bench(state, "push(tp=deg^-0.5)");
+}
+BENCHMARK(BM_PushTransmissionHeterogeneous)->Arg(1 << 10)->Arg(1 << 14);
+
 // ---- Cross-scenario scheduler series -----------------------------------
 //
 // A mixed-tail experiment file: long-tail push-on-star scenarios (coupon

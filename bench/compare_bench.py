@@ -21,7 +21,7 @@ Refreshing the baseline (same-machine, quiet load; repetitions matter —
 the script compares median-of-N, which is what keeps noisy runners from
 flaking the gate):
     RUMOR_RESULTS_DIR=/tmp ./build/bench_micro \
-        --benchmark_filter='WalkKernel|TrialArena|RunProtocol|Scheduler' \
+        --benchmark_filter='WalkKernel|TrialArena|RunProtocol|Scheduler|Transmission' \
         --benchmark_min_time=0.4 --benchmark_repetitions=5
     cp /tmp/BENCH_micro.json bench/baselines/BENCH_micro.json
 CI skips the comparison when the PR carries the `bench-baseline-reset`
@@ -86,11 +86,21 @@ def load_rates(path):
 #                             0.35 threshold absorbs core-count variation
 #                             on top of timing noise; a regression here
 #                             means the global queue itself got slower.
+#   TransmissionUniform/TransmissionHeterogeneous
+#                           — the homogeneous fast-path contract of the
+#                             transmission-model layer: the default tp=1
+#                             push trial (compile-time Uniform
+#                             instantiation, byte-identical to the
+#                             pre-transmission engine) vs the degree-
+#                             scaled General path on the same graph and
+#                             seeds. A drop means the trivial-model path
+#                             picked up per-contact overhead.
 RATIO_SERIES = (
     ("Batched", "Scalar", 0.15),
     ("Registry", "Direct", 0.15),
     ("SteadyState", "FreshAlloc", 0.20),
     ("Interleaved", "Barrier", 0.35),
+    ("TransmissionUniform", "TransmissionHeterogeneous", 0.15),
 )
 
 

@@ -14,11 +14,19 @@
 //   --trials=N   override every scenario's trial count
 //   --seed=S     override every scenario's master seed
 //   --jobs=N     worker threads (default: hardware concurrency)
+//   --order=K    trial claim order: file (default) or longest-first
+//                (start the highest n·trials scenarios first for tighter
+//                tails; reports are byte-identical either way)
 //   --csv=PATH   additionally write the CSV report to PATH (the sink is
 //                opened and validated BEFORE any trial runs)
 //   --progress   per-scenario completion lines on stderr
 //   --dry-run    parse and echo canonical expanded spec lines, run nothing
-//   --list       list registered simulators and graph families, then exit
+//   --list       list registered simulators, graph families, and the
+//                shared transmission/intervention keys, then exit
+//
+// Exit codes: 0 success, 1 a trial failed mid-run (the failing scenario is
+// named on stderr, and a streamed --csv gains a trailing "# truncated"
+// comment), 2 usage/parse/validation errors.
 //
 // The whole file drains through ONE global (scenario, trial) work queue:
 // trials from different scenarios interleave across the pool, report rows
@@ -45,8 +53,9 @@ using namespace rumor;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--trials=N] [--seed=S] [--jobs=N] [--csv=PATH] "
-               "[--progress] [--dry-run] [--list] <scenario-file|->\n",
+               "usage: %s [--trials=N] [--seed=S] [--jobs=N] "
+               "[--order=file|longest-first] [--csv=PATH] [--progress] "
+               "[--dry-run] [--list] <scenario-file|->\n",
                argv0);
   return 2;
 }
@@ -62,6 +71,12 @@ void list_registry() {
     std::printf("  %s\n", signature.c_str());
   }
   std::printf(
+      "\ntransmission model & interventions (protocol options; multi-rumor "
+      "and async\naccept tp only):\n");
+  for (const std::string& signature : transmission_key_signatures()) {
+    std::printf("  %s\n", signature.c_str());
+  }
+  std::printf(
       "\nany numeric value sweeps: lo..hi (geometric x2; :factor=N or "
       ":step=N override,\nk/m suffixes) or {v1,v2,...}; one line expands "
       "to the cross product.\n");
@@ -71,6 +86,7 @@ struct CliOptions {
   std::optional<std::size_t> trials;
   std::optional<std::uint64_t> seed;
   std::optional<std::size_t> jobs;
+  BatchOrder order = BatchOrder::file;
   std::string csv_path;
   bool progress = false;
   bool dry_run = false;
@@ -100,6 +116,15 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
       const auto v = spec_text::parse_u64(arg.substr(7));
       if (!v || *v == 0 || *v > 1024) return std::nullopt;
       cli.jobs = static_cast<std::size_t>(*v);
+    } else if (arg.starts_with("--order=")) {
+      const std::string_view value = arg.substr(8);
+      if (value == "file") {
+        cli.order = BatchOrder::file;
+      } else if (value == "longest-first") {
+        cli.order = BatchOrder::longest_first;
+      } else {
+        return std::nullopt;
+      }
     } else if (arg.starts_with("--csv=")) {
       cli.csv_path = std::string(arg.substr(6));
       if (cli.csv_path.empty()) return std::nullopt;
@@ -153,13 +178,13 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // With a CSV sink, validate every scenario BEFORE opening it (opening
-  // truncates, and a failed run must not clobber an existing results
-  // file — without a sink, run_scenarios' own validation fails fast and
-  // the extra graph-build pass would be pure waste), then open the sink
-  // BEFORE any trial runs (an unwritable path must fail in milliseconds,
-  // not discard hours of simulation).
-  if (!cli->csv_path.empty() && !validate_scenarios(*specs, &error)) {
+  // Validate every scenario up front: a bad spec exits 2 here, before a
+  // --csv sink is truncated and before any trial runs — which also means
+  // any run_scenarios failure below IS a runtime trial failure (exit 1),
+  // not a validation error, keeping the exit codes unambiguous. The sink
+  // itself is opened BEFORE the trials too (an unwritable path must fail
+  // in milliseconds, not discard hours of simulation).
+  if (!validate_scenarios(*specs, &error)) {
     std::fprintf(stderr, "%s: %s\n", cli->input.c_str(), error.c_str());
     return 2;
   }
@@ -178,10 +203,13 @@ int main(int argc, char** argv) {
   // themselves interleave across the whole file's work queue.
   ScenarioTableStream table(*specs, std::cout);
   const std::size_t total = specs->size();
+  std::size_t rows_streamed = 0;
   ScenarioRunOptions options;
+  options.order = cli->order;
   options.on_result = [&](const ScenarioResult& r, std::size_t index) {
     table.row(r);
     if (csv) csv->row(r);
+    ++rows_streamed;
     if (cli->progress) {
       std::fprintf(stderr, "progress: %zu/%zu %s done (trials=%zu)\n",
                    index + 1, total, r.spec.display_label().c_str(),
@@ -190,8 +218,19 @@ int main(int argc, char** argv) {
   };
   const auto results = run_scenarios(*specs, &error, options);
   if (!results) {
+    // Validation passed above, so this is a runtime trial failure: name
+    // the scenario, mark any partially streamed CSV — a truncated
+    // artifact that looks complete is worse than no artifact — and exit
+    // 1 (distinct from the exit-2 spec errors).
     std::fprintf(stderr, "%s: %s\n", cli->input.c_str(), error.c_str());
-    return 2;
+    if (csv) {
+      csv_file << "# truncated: " << rows_streamed << "/" << total
+               << " scenarios completed; " << error << "\n";
+      csv_file.flush();
+    }
+    std::fprintf(stderr, "note: report truncated after %zu/%zu scenarios\n",
+                 rows_streamed, total);
+    return 1;
   }
   if (csv) {
     csv_file.flush();

@@ -8,25 +8,17 @@
 
 namespace rumor {
 
-AsyncResult run_async_push_pull(const Graph& g, Vertex source,
-                                std::uint64_t seed, AsyncOptions options,
-                                TrialArena* arena) {
-  RUMOR_REQUIRE(source < g.num_vertices());
+namespace {
+
+template <class Mode>
+AsyncResult run_async_impl(const Graph& g, Vertex source, std::uint64_t seed,
+                           const AsyncOptions& options,
+                           const TransmissionModel& model, StampSet& informed) {
   const Vertex n = g.num_vertices();
   const std::uint64_t cutoff =
       options.max_ticks != 0
           ? options.max_ticks
           : static_cast<std::uint64_t>(n) * default_round_cutoff(n);
-
-  // The informed set lives in the arena's vertex marks (O(1) reset, zero
-  // steady-state allocations); without an arena a private one is owned for
-  // the duration of the run.
-  std::unique_ptr<TrialArena> owned_arena;
-  if (arena == nullptr) {
-    owned_arena = std::make_unique<TrialArena>();
-    arena = owned_arena.get();
-  }
-  StampSet& informed = arena->vertex_marks;
   informed.reset(n);
   informed.insert(source);
   std::uint32_t informed_count = 1;
@@ -38,21 +30,49 @@ AsyncResult run_async_push_pull(const Graph& g, Vertex source,
     const auto u = static_cast<Vertex>(rng.below(n));
     const Vertex v = g.random_neighbor(u, rng);
     // In the asynchronous model there are no rounds, so the exchange acts
-    // on the current state.
+    // on the current state. The success draw fires only for state-changing
+    // deliveries, mirroring the synchronous simulators.
     const bool u_informed = informed.contains(u);
     const bool v_informed = informed.contains(v);
     if (u_informed && !v_informed) {
+      if (!model.attempt<Mode>(u, v, rng)) continue;
       informed.insert(v);
       ++informed_count;
     } else if (!u_informed && v_informed && options.pull_enabled) {
+      if (!model.attempt<Mode>(v, u, rng)) continue;
       informed.insert(u);
       ++informed_count;
     }
   }
   result.completed = (informed_count == n);
+  result.informed = informed_count;
   result.time_units =
       static_cast<double>(result.ticks) / static_cast<double>(n);
   return result;
+}
+
+}  // namespace
+
+AsyncResult run_async_push_pull(const Graph& g, Vertex source,
+                                std::uint64_t seed, AsyncOptions options,
+                                TrialArena* arena) {
+  RUMOR_REQUIRE(source < g.num_vertices());
+  // The informed set lives in the arena's vertex marks (O(1) reset, zero
+  // steady-state allocations); without an arena a private one is owned for
+  // the duration of the run.
+  std::unique_ptr<TrialArena> owned_arena;
+  if (arena == nullptr) {
+    owned_arena = std::make_unique<TrialArena>();
+    arena = owned_arena.get();
+  }
+  TransmissionModel model;
+  model.bind(g, options.transmission, *arena);
+  if (model.trivial()) {
+    return run_async_impl<transmission::Uniform>(g, source, seed, options,
+                                                 model, arena->vertex_marks);
+  }
+  return run_async_impl<transmission::General>(g, source, seed, options,
+                                               model, arena->vertex_marks);
 }
 
 // ---- Scenario registry entry ------------------------------------------
@@ -67,6 +87,7 @@ TrialResult async_entry_run(const Graph& g, const ProtocolOptions& options,
   TrialResult result;
   result.rounds = r.time_units;  // ticks / n: comparable to sync rounds
   result.completed = r.completed;
+  result.informed = r.informed;
   return result;
 }
 
@@ -79,6 +100,8 @@ void async_entry_format(const ProtocolOptions& options,
   if (opt.pull_enabled != def.pull_enabled) {
     out.add("pull", opt.pull_enabled ? "on" : "off");
   }
+  format_transmission_probability_options(opt.transmission, def.transmission,
+                                          out);
 }
 
 bool async_entry_set(ProtocolOptions& options, std::string_view key,
@@ -96,7 +119,7 @@ bool async_entry_set(ProtocolOptions& options, std::string_view key,
     opt.pull_enabled = *v;
     return true;
   }
-  return false;
+  return set_transmission_probability_option(opt.transmission, key, value);
 }
 
 TraceOptions* async_entry_trace(ProtocolOptions&) {

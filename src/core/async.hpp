@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "core/protocol.hpp"
+#include "core/transmission.hpp"
 #include "support/rng.hpp"
 #include "support/trial_arena.hpp"
 
@@ -19,6 +20,9 @@ namespace rumor {
 struct AsyncOptions {
   std::uint64_t max_ticks = 0;  // 0 = n * default_round_cutoff(n)
   bool pull_enabled = true;     // false = async push only
+  // Only the probability half applies (the tick clock keeps no inform
+  // ages, so intervention keys are rejected at the grammar level).
+  TransmissionOptions transmission;
 
   friend bool operator==(const AsyncOptions&, const AsyncOptions&) = default;
 };
@@ -26,6 +30,7 @@ struct AsyncOptions {
 struct AsyncResult {
   std::uint64_t ticks = 0;   // activations until completion (or cutoff)
   double time_units = 0.0;   // ticks / n, comparable to synchronous rounds
+  std::uint32_t informed = 0;  // final informed-vertex count
   bool completed = false;
 };
 

@@ -37,6 +37,8 @@ DynamicVisitExchangeProcess::DynamicVisitExchangeProcess(
   RUMOR_REQUIRE(source < g.num_vertices());
   RUMOR_REQUIRE(options.churn >= 0.0 && options.churn < 1.0);
   RUMOR_REQUIRE(options.loss_fraction >= 0.0 && options.loss_fraction <= 1.0);
+  model_.bind(g, options_.walk.transmission, *arena_);
+  target_ = g.num_vertices();
   const std::size_t count = agents_.count();
   alive_count_ = count;
   arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
@@ -76,8 +78,29 @@ void DynamicVisitExchangeProcess::kill(Agent a) {
   --alive_count_;
 }
 
+void DynamicVisitExchangeProcess::activate_blocking() {
+  const Vertex n = graph_->num_vertices();
+  target_ =
+      n - model_.count_blocked_uninformed(arena_->vertex_inform_round, n);
+}
+
 void DynamicVisitExchangeProcess::step() {
+  if (model_.trivial()) {
+    step_impl<transmission::Uniform>();
+  } else {
+    step_impl<transmission::General>();
+  }
+}
+
+template <class Mode>
+void DynamicVisitExchangeProcess::step_impl() {
+  constexpr bool kGeneral = std::is_same_v<Mode, transmission::General>;
   ++round_;
+  if constexpr (kGeneral) {
+    if (model_.blocking() && round_ == model_.block_round()) {
+      activate_blocking();
+    }
+  }
   const std::size_t count = agents_.count();
 
   // Correlated one-shot loss (experiment E16).
@@ -109,29 +132,46 @@ void DynamicVisitExchangeProcess::step() {
         a, step_from(*graph_, agents_.position(a), rng_, Laziness::none));
   }
 
-  // Phase A: agents informed before this round inform their vertex.
+  // Phase A: agents informed before this round inform their vertex
+  // (stifled agents and quarantined vertices excepted).
   for (Agent a = 0; a < count; ++a) {
     if (arena_->agent_alive.get(a) == 0 ||
         arena_->agent_inform_round.get(a) >= round_) {
       continue;
     }
     const Vertex v = agents_.position(a);
-    if (!arena_->vertex_inform_round.touched(v)) {
-      arena_->vertex_inform_round.set(v, static_cast<std::uint32_t>(round_));
-      ++informed_vertex_count_;
+    if (arena_->vertex_inform_round.touched(v)) continue;
+    if constexpr (kGeneral) {
+      if (!model_.can_transmit<Mode>(arena_->agent_inform_round.get(a), v,
+                                     round_) ||
+          !model_.attempt<Mode>(v, v, rng_)) {
+        continue;
+      }
     }
+    arena_->vertex_inform_round.set(v, static_cast<std::uint32_t>(round_));
+    ++informed_vertex_count_;
+    last_inform_round_ = round_;
   }
 
-  // Phase B: uninformed agents learn from informed vertices.
+  // Phase B: uninformed agents learn from informed vertices (unless the
+  // vertex has stifled or is quarantined).
   for (Agent a = 0; a < count; ++a) {
     if (arena_->agent_alive.get(a) == 0 ||
         arena_->agent_inform_round.get(a) != kNeverInformed) {
       continue;
     }
-    if (arena_->vertex_inform_round.touched(agents_.position(a))) {
-      arena_->agent_inform_round.set(a, static_cast<std::uint32_t>(round_));
-      ++informed_agent_count_;
+    const Vertex v = agents_.position(a);
+    if (!arena_->vertex_inform_round.touched(v)) continue;
+    if constexpr (kGeneral) {
+      if (!model_.can_transmit<Mode>(arena_->vertex_inform_round.get(v), v,
+                                     round_) ||
+          !model_.attempt<Mode>(v, v, rng_)) {
+        continue;
+      }
     }
+    arena_->agent_inform_round.set(a, static_cast<std::uint32_t>(round_));
+    ++informed_agent_count_;
+    last_inform_round_ = round_;
   }
 
   if (options_.walk.trace.informed_curve) {
@@ -139,14 +179,24 @@ void DynamicVisitExchangeProcess::step() {
   }
 }
 
+bool DynamicVisitExchangeProcess::halted() const {
+  if (done() || round_ >= cutoff_) return true;
+  if (model_.trivial()) return false;
+  if (informed_vertex_count_ >= target_) return true;  // containment
+  return model_.extinct(round_, last_inform_round_);
+}
+
 RunResult DynamicVisitExchangeProcess::run() {
-  while (!done() && round_ < cutoff_) step();
+  while (!halted()) step();
   RunResult result;
   result.rounds = round_;
   result.completed = done();
   result.agent_rounds = round_;
+  result.informed = informed_vertex_count_;
   if (options_.walk.trace.informed_curve) {
     result.informed_curve = arena_->curve;
+    result.stifled_curve =
+        derive_stifled_curve(result.informed_curve, model_.stifle());
   }
   if (options_.walk.trace.inform_rounds) {
     result.vertex_inform_round = arena_->vertex_inform_round.to_vector();

@@ -74,12 +74,19 @@ class DynamicVisitExchangeProcess {
  private:
   void respawn(Agent a);
   void kill(Agent a);
+  template <class Mode>
+  void step_impl();
+  void activate_blocking();
+  [[nodiscard]] bool halted() const;
 
   const Graph* graph_;
   Rng rng_;
   DynamicAgentOptions options_;
+  TransmissionModel model_;
   Round round_ = 0;
   Round cutoff_;
+  std::uint32_t target_ = 0;  // blocking containment target (vertices)
+  Round last_inform_round_ = 0;
   std::unique_ptr<TrialArena> owned_arena_;
   TrialArena* arena_;
   AgentSystem agents_;

@@ -19,6 +19,8 @@ FrogProcess::FrogProcess(const Graph& g, Vertex source, std::uint64_t seed,
                   options.frogs_per_vertex) {
   RUMOR_REQUIRE(source < g.num_vertices());
   RUMOR_REQUIRE(options.frogs_per_vertex >= 1);
+  model_.bind(g, options_.transmission, *arena_);
+  target_awake_ = frog_count_;
   positions_->resize(frog_count_);
   for (std::size_t f = 0; f < frog_count_; ++f) {
     (*positions_)[f] = static_cast<Vertex>(f / options_.frogs_per_vertex);
@@ -37,6 +39,7 @@ FrogProcess::FrogProcess(const Graph& g, Vertex source, std::uint64_t seed,
 void FrogProcess::wake_at(Vertex v) {
   if (arena_->vertex_inform_round.touched(v)) return;
   arena_->vertex_inform_round.set(v, static_cast<std::uint32_t>(round_));
+  last_inform_round_ = round_;
   // Wake the frogs native to v (they are asleep iff v was unvisited).
   const std::size_t base =
       static_cast<std::size_t>(v) * options_.frogs_per_vertex;
@@ -49,16 +52,47 @@ void FrogProcess::wake_at(Vertex v) {
   }
 }
 
+void FrogProcess::activate_blocking() {
+  // Sleepers at quarantined unvisited vertices can never wake.
+  const Vertex n = graph_->num_vertices();
+  const std::size_t unreachable =
+      model_.count_blocked_uninformed(arena_->vertex_inform_round, n);
+  target_awake_ = frog_count_ - unreachable * options_.frogs_per_vertex;
+}
+
 void FrogProcess::step() {
+  if (model_.trivial()) {
+    step_impl<transmission::Uniform>();
+  } else {
+    step_impl<transmission::General>();
+  }
+}
+
+template <class Mode>
+void FrogProcess::step_impl() {
+  constexpr bool kGeneral = std::is_same_v<Mode, transmission::General>;
   ++round_;
+  if constexpr (kGeneral) {
+    if (model_.blocking() && round_ == model_.block_round()) {
+      activate_blocking();
+    }
+  }
   // Frogs awake at the start of the round walk one step; every vertex they
-  // land on wakes its sleepers (who start walking next round).
+  // land on wakes its sleepers (who start walking next round). Stifled
+  // frogs keep walking but wake nobody; quarantined vertices never wake.
   const std::size_t awake_at_start = awake_count_;
   for (std::size_t idx = 0; idx < awake_at_start; ++idx) {
     const std::uint32_t f = order_.at(idx);
     const Vertex v =
         step_from(*graph_, (*positions_)[f], rng_, options_.laziness);
     (*positions_)[f] = v;
+    if constexpr (kGeneral) {
+      if (arena_->vertex_inform_round.touched(v) ||
+          !model_.can_transmit<Mode>(wake_round(f), v, round_) ||
+          !model_.attempt<Mode>(v, v, rng_)) {
+        continue;
+      }
+    }
     wake_at(v);
   }
   if (options_.trace.informed_curve) {
@@ -66,13 +100,25 @@ void FrogProcess::step() {
   }
 }
 
+bool FrogProcess::halted() const {
+  if (done() || round_ >= cutoff_) return true;
+  if (model_.trivial()) return false;
+  if (awake_count_ >= target_awake_) return true;  // blocking containment
+  return model_.extinct(round_, last_inform_round_);
+}
+
 RunResult FrogProcess::run() {
-  while (!done() && round_ < cutoff_) step();
+  while (!halted()) step();
   RunResult result;
   result.rounds = round_;
   result.completed = done();
   result.agent_rounds = round_;
-  if (options_.trace.informed_curve) result.informed_curve = arena_->curve;
+  result.informed = static_cast<std::uint32_t>(awake_count_);
+  if (options_.trace.informed_curve) {
+    result.informed_curve = arena_->curve;
+    result.stifled_curve =
+        derive_stifled_curve(result.informed_curve, model_.stifle());
+  }
   if (options_.trace.inform_rounds) {
     result.vertex_inform_round = arena_->vertex_inform_round.to_vector();
   }
@@ -110,6 +156,7 @@ void frog_entry_format(const ProtocolOptions& options,
   if (opt.max_rounds != def.max_rounds) {
     out.add("max_rounds", static_cast<std::uint64_t>(opt.max_rounds));
   }
+  format_transmission_options(opt.transmission, def.transmission, out);
   format_trace_options(opt.trace, def.trace, out);
 }
 
@@ -138,6 +185,7 @@ bool frog_entry_set(ProtocolOptions& options, std::string_view key,
     opt.max_rounds = *v;
     return true;
   }
+  if (set_transmission_option(opt.transmission, key, value)) return true;
   return set_trace_option(opt.trace, key, value);
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "core/transmission.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
 #include "support/trial_arena.hpp"
@@ -32,6 +33,9 @@ struct FrogOptions {
   std::uint32_t frogs_per_vertex = 1;
   Laziness laziness = Laziness::none;
   Round max_rounds = 0;  // 0 = default_round_cutoff(n)
+  // Contact rule: a visit wakes the vertex's sleepers with the model's
+  // receive probability; stifled frogs keep walking but wake nobody.
+  TransmissionOptions transmission;
   TraceOptions trace;
 
   friend bool operator==(const FrogOptions&, const FrogOptions&) = default;
@@ -60,12 +64,23 @@ class FrogProcess {
 
  private:
   void wake_at(Vertex v);
+  template <class Mode>
+  void step_impl();
+  void activate_blocking();
+  [[nodiscard]] bool halted() const;
+  // A frog's wake round is its home vertex's first-visit round.
+  [[nodiscard]] std::uint32_t wake_round(std::uint32_t f) const {
+    return arena_->vertex_inform_round.get(f / options_.frogs_per_vertex);
+  }
 
   const Graph* graph_;
   Rng rng_;
   FrogOptions options_;
+  TransmissionModel model_;
   Round round_ = 0;
   Round cutoff_;
+  std::size_t target_awake_ = 0;  // blocking containment target (frogs)
+  Round last_inform_round_ = 0;
   std::unique_ptr<TrialArena> owned_arena_;
   TrialArena* arena_;
   // Frog f sleeps at vertex f / frogs_per_vertex until woken; positions use

@@ -20,6 +20,8 @@ HybridProcess::HybridProcess(const Graph& g, Vertex source,
       agents_(g, resolve_agent_count(g, options), options.placement, rng_,
               resolve_anchor(options, source), arena_) {
   RUMOR_REQUIRE(source < g.num_vertices());
+  model_.bind(g, options_.transmission, *arena_);
+  target_ = g.num_vertices();
   const std::size_t count = agents_.count();
   arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
   arena_->agent_inform_round.reset(count, kNeverInformed);
@@ -45,6 +47,7 @@ void HybridProcess::inform_vertex(Vertex v) {
   RUMOR_CHECK(!arena_->vertex_inform_round.touched(v));
   arena_->vertex_inform_round.set(v, static_cast<std::uint32_t>(round_));
   ++informed_vertex_count_;
+  last_inform_round_ = round_;
   arena_->active.push_back(v);
   for (Vertex w : graph_->neighbors_unchecked(v)) {
     arena_->informed_nbr_count.add(w, 1);
@@ -63,21 +66,63 @@ void HybridProcess::inform_agent_at(std::size_t order_index) {
   arena_->agent_inform_round.set(a, static_cast<std::uint32_t>(round_));
   order_.swap(order_index, informed_agent_count_);
   ++informed_agent_count_;
+  last_inform_round_ = round_;
+}
+
+void HybridProcess::activate_blocking() {
+  // Also feed the neighbor counters so the push-pull half's saturation
+  // retirement treats quarantined-uninformed vertices as unreachable.
+  const std::uint8_t* blocked = model_.blocked_flags();
+  const Vertex n = graph_->num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    if (blocked[v] != 0 && !arena_->vertex_inform_round.touched(v)) {
+      for (Vertex w : graph_->neighbors_unchecked(v)) {
+        arena_->informed_nbr_count.add(w, 1);
+      }
+    }
+  }
+  target_ =
+      n - model_.count_blocked_uninformed(arena_->vertex_inform_round, n);
 }
 
 void HybridProcess::step() {
+  if (model_.trivial()) {
+    step_impl<transmission::Uniform>();
+  } else {
+    step_impl<transmission::General>();
+  }
+}
+
+template <class Mode>
+void HybridProcess::step_impl() {
+  constexpr bool kGeneral = std::is_same_v<Mode, transmission::General>;
   ++round_;
+  if constexpr (kGeneral) {
+    if (model_.blocking() && round_ == model_.block_round()) {
+      activate_blocking();
+    }
+  }
   const std::size_t count = agents_.count();
 
   // (1) agents move (batched walk kernel).
   step_walks(*graph_, agents_.positions_mut(), rng_, laziness_, nullptr,
              options_.engine);
 
-  // (2) previously informed agents inform their vertices.
+  // (2) previously informed agents inform their vertices (stifled agents
+  // and quarantined vertices excepted).
   const std::size_t informed_agents_at_start = informed_agent_count_;
   for (std::size_t idx = 0; idx < informed_agents_at_start; ++idx) {
-    const Vertex v = agents_.position(order_.at(idx));
-    if (!arena_->vertex_inform_round.touched(v)) inform_vertex(v);
+    const Agent a = order_.at(idx);
+    const Vertex v = agents_.position(a);
+    if (arena_->vertex_inform_round.touched(v)) continue;
+    if constexpr (kGeneral) {
+      if (!model_.can_transmit<Mode>(arena_->agent_inform_round.get(a), v,
+                                     round_) ||
+          !model_.attempt<Mode>(v, v, rng_)) {
+        continue;
+      }
+    }
+    inform_vertex(v);
   }
 
   // (3) push-pull calls on informed-before-round state (fast path: only
@@ -87,13 +132,24 @@ void HybridProcess::step() {
   std::size_t kept = 0;
   for (Vertex v : active) {
     if (arena_->informed_nbr_count.get(v) < graph_->degree_unchecked(v)) {
+      if constexpr (kGeneral) {
+        if (!model_.can_transmit<Mode>(arena_->vertex_inform_round.get(v), v,
+                                       round_)) {
+          continue;
+        }
+      }
       active[kept++] = v;
     }
   }
   active.resize(kept);
   kept = 0;
   for (Vertex w : frontier) {
-    if (!arena_->vertex_inform_round.touched(w)) frontier[kept++] = w;
+    if (!arena_->vertex_inform_round.touched(w)) {
+      if constexpr (kGeneral) {
+        if (model_.blocked<Mode>(w, round_)) continue;
+      }
+      frontier[kept++] = w;
+    }
   }
   frontier.resize(kept);
 
@@ -102,22 +158,47 @@ void HybridProcess::step() {
     const Vertex u = active[i];
     if (!informed_before_this_round(u)) continue;  // informed in step (2)
     const Vertex v = graph_->random_neighbor_unchecked(u, rng_);
-    if (!arena_->vertex_inform_round.touched(v)) inform_vertex(v);
+    if constexpr (kGeneral) {
+      if (model_.blocked<Mode>(v, round_) ||
+          arena_->vertex_inform_round.touched(v) ||
+          !model_.attempt<Mode>(u, v, rng_)) {
+        continue;
+      }
+      inform_vertex(v);
+    } else {
+      if (!arena_->vertex_inform_round.touched(v)) inform_vertex(v);
+    }
   }
   const std::size_t pullers = frontier.size();
   for (std::size_t i = 0; i < pullers; ++i) {
     const Vertex w = frontier[i];
     if (arena_->vertex_inform_round.touched(w)) continue;
     const Vertex v = graph_->random_neighbor_unchecked(w, rng_);
-    if (informed_before_this_round(v)) inform_vertex(w);
+    if (!informed_before_this_round(v)) continue;
+    if constexpr (kGeneral) {
+      if (!model_.can_transmit<Mode>(arena_->vertex_inform_round.get(v), v,
+                                     round_) ||
+          !model_.attempt<Mode>(v, w, rng_)) {
+        continue;
+      }
+    }
+    inform_vertex(w);
   }
 
-  // (4) agents standing on informed vertices become informed.
+  // (4) agents standing on informed vertices become informed (unless the
+  // vertex has stifled or is quarantined).
   for (std::size_t idx = informed_agents_at_start; idx < count; ++idx) {
     const Agent a = order_.at(idx);
-    if (arena_->vertex_inform_round.touched(agents_.position(a))) {
-      inform_agent_at(idx);
+    const Vertex v = agents_.position(a);
+    if (!arena_->vertex_inform_round.touched(v)) continue;
+    if constexpr (kGeneral) {
+      if (!model_.can_transmit<Mode>(arena_->vertex_inform_round.get(v), v,
+                                     round_) ||
+          !model_.attempt<Mode>(v, v, rng_)) {
+        continue;
+      }
     }
+    inform_agent_at(idx);
   }
 
   if (options_.trace.informed_curve) {
@@ -125,13 +206,25 @@ void HybridProcess::step() {
   }
 }
 
+bool HybridProcess::halted() const {
+  if (done() || round_ >= cutoff_) return true;
+  if (model_.trivial()) return false;
+  if (informed_vertex_count_ >= target_) return true;  // containment
+  return model_.extinct(round_, last_inform_round_);
+}
+
 RunResult HybridProcess::run() {
-  while (!done() && round_ < cutoff_) step();
+  while (!halted()) step();
   RunResult result;
   result.rounds = round_;
   result.completed = done();
   result.agent_rounds = round_;
-  if (options_.trace.informed_curve) result.informed_curve = arena_->curve;
+  result.informed = informed_vertex_count_;
+  if (options_.trace.informed_curve) {
+    result.informed_curve = arena_->curve;
+    result.stifled_curve =
+        derive_stifled_curve(result.informed_curve, model_.stifle());
+  }
   if (options_.trace.inform_rounds) {
     result.vertex_inform_round = arena_->vertex_inform_round.to_vector();
     result.agent_inform_round = arena_->agent_inform_round.to_vector();

@@ -52,6 +52,10 @@ class HybridProcess {
  private:
   void inform_vertex(Vertex v);
   void inform_agent_at(std::size_t order_index);
+  template <class Mode>
+  void step_impl();
+  void activate_blocking();
+  [[nodiscard]] bool halted() const;
   [[nodiscard]] bool informed_before_this_round(Vertex v) const {
     const std::uint32_t r = arena_->vertex_inform_round.get(v);
     return r != kNeverInformed && r < round_;
@@ -60,9 +64,12 @@ class HybridProcess {
   const Graph* graph_;
   Rng rng_;
   WalkOptions options_;
+  TransmissionModel model_;
   Laziness laziness_;
   Round round_ = 0;
   Round cutoff_;
+  std::uint32_t target_ = 0;  // blocking containment target (vertices)
+  Round last_inform_round_ = 0;
   std::unique_ptr<TrialArena> owned_arena_;
   TrialArena* arena_;
   AgentSystem agents_;

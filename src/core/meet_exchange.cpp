@@ -22,6 +22,7 @@ MeetExchangeProcess::MeetExchangeProcess(const Graph& g, Vertex source,
               resolve_anchor(options, source), arena_),
       source_(source) {
   RUMOR_REQUIRE(source < g.num_vertices());
+  model_.bind(g, options_.transmission, *arena_);
   const std::size_t count = agents_.count();
   arena_->agent_inform_round.reset(count, kNeverInformed);
   order_.reset(*arena_, count);
@@ -51,9 +52,20 @@ void MeetExchangeProcess::inform_agent_at(std::size_t order_index) {
   arena_->agent_inform_round.set(a, static_cast<std::uint32_t>(round_));
   order_.swap(order_index, informed_agent_count_);
   ++informed_agent_count_;
+  last_inform_round_ = round_;
 }
 
 void MeetExchangeProcess::step() {
+  if (model_.trivial()) {
+    step_impl<transmission::Uniform>();
+  } else {
+    step_impl<transmission::General>();
+  }
+}
+
+template <class Mode>
+void MeetExchangeProcess::step_impl() {
+  constexpr bool kGeneral = std::is_same_v<Mode, transmission::General>;
   ++round_;
 
   // Traced and untraced stepping run the same kernel and consume the RNG
@@ -65,22 +77,41 @@ void MeetExchangeProcess::step() {
 
   // Mark the vertices occupied by agents that were informed before this
   // round; exchanges only flow from those agents (paper: "exactly one of
-  // them was informed in a previous round").
+  // them was informed in a previous round"). Stifled agents and agents on
+  // quarantined vertices mark nothing — they no longer share.
   const std::size_t count = agents_.count();
   const std::size_t informed_at_start = informed_agent_count_;
   arena_->vertex_marks.advance();
   for (std::size_t idx = 0; idx < informed_at_start; ++idx) {
-    arena_->vertex_marks.insert(agents_.position(order_.at(idx)));
+    const Agent a = order_.at(idx);
+    const Vertex v = agents_.position(a);
+    if constexpr (kGeneral) {
+      if (!model_.can_transmit<Mode>(arena_->agent_inform_round.get(a), v,
+                                     round_)) {
+        continue;
+      }
+    }
+    arena_->vertex_marks.insert(v);
   }
 
-  // Uninformed agents learn from meetings, or from the still-active source.
+  // Uninformed agents learn from meetings, or from the still-active source
+  // (which transmits like an entity informed at round 0).
   bool source_met = false;
   for (std::size_t idx = informed_at_start; idx < count; ++idx) {
     const Agent a = order_.at(idx);
     const Vertex v = agents_.position(a);
     if (arena_->vertex_marks.contains(v)) {
+      if constexpr (kGeneral) {
+        if (!model_.attempt<Mode>(v, v, rng_)) continue;
+      }
       inform_agent_at(idx);
     } else if (source_active_ && v == source_) {
+      if constexpr (kGeneral) {
+        if (!model_.can_transmit<Mode>(0, source_, round_) ||
+            !model_.attempt<Mode>(source_, v, rng_)) {
+          continue;
+        }
+      }
       // All simultaneous first visitors are informed (paper §3).
       inform_agent_at(idx);
       source_met = true;
@@ -93,13 +124,27 @@ void MeetExchangeProcess::step() {
   }
 }
 
+bool MeetExchangeProcess::halted() const {
+  if (done() || round_ >= cutoff_) return true;
+  if (model_.trivial()) return false;
+  // The still-active source transmits like an entity informed at round 0 —
+  // which is exactly what last_inform_round_'s initial value encodes, so
+  // the generic extinction rule covers it.
+  return model_.extinct(round_, last_inform_round_);
+}
+
 RunResult MeetExchangeProcess::run() {
-  while (!done() && round_ < cutoff_) step();
+  while (!halted()) step();
   RunResult result;
   result.rounds = round_;
   result.completed = done();
   result.agent_rounds = round_;
-  if (options_.trace.informed_curve) result.informed_curve = arena_->curve;
+  result.informed = static_cast<std::uint32_t>(informed_agent_count_);
+  if (options_.trace.informed_curve) {
+    result.informed_curve = arena_->curve;
+    result.stifled_curve =
+        derive_stifled_curve(result.informed_curve, model_.stifle());
+  }
   if (options_.trace.inform_rounds) {
     result.agent_inform_round = arena_->agent_inform_round.to_vector();
   }

@@ -67,13 +67,18 @@ class MeetExchangeProcess {
 
  private:
   void inform_agent_at(std::size_t order_index);
+  template <class Mode>
+  void step_impl();
+  [[nodiscard]] bool halted() const;
 
   const Graph* graph_;
   Rng rng_;
   WalkOptions options_;
+  TransmissionModel model_;
   Laziness laziness_;
   Round round_ = 0;
   Round cutoff_;
+  Round last_inform_round_ = 0;
   std::unique_ptr<TrialArena> owned_arena_;
   TrialArena* arena_;
   AgentSystem agents_;

@@ -61,7 +61,8 @@ Round last_release_round(std::span<const RumorSpec> rumors) {
 MultiRumorPushPull::MultiRumorPushPull(const Graph& g,
                                        std::span<const RumorSpec> rumors,
                                        std::uint64_t seed, Round max_rounds,
-                                       TrialArena* arena)
+                                       TrialArena* arena,
+                                       TransmissionOptions transmission)
     : graph_(&g),
       rumors_(rumors),
       rng_(seed),
@@ -71,6 +72,7 @@ MultiRumorPushPull::MultiRumorPushPull(const Graph& g,
       arena_(arena != nullptr ? arena : owned_arena_.get()),
       remaining_(rumors.size()) {
   validate(g, rumors_);
+  model_.bind(g, transmission, *arena_);
   // Every vertex calls a random neighbor every round (the definition), so
   // the per-round loop may use the unchecked neighbor draw.
   RUMOR_REQUIRE(g.min_degree() > 0);
@@ -84,9 +86,10 @@ MultiRumorPushPull::MultiRumorPushPull(const Graph& g,
 MultiRumorPushPull::MultiRumorPushPull(const Graph& g,
                                        std::vector<RumorSpec>&& rumors,
                                        std::uint64_t seed, Round max_rounds,
-                                       TrialArena* arena)
+                                       TrialArena* arena,
+                                       TransmissionOptions transmission)
     : MultiRumorPushPull(g, std::span<const RumorSpec>(rumors), seed,
-                         max_rounds, arena) {
+                         max_rounds, arena, transmission) {
   // The delegated constructor ran against the caller's vector; adopt it
   // (the move transfers the same heap buffer, so the span stays valid) and
   // re-point the span at the stored copy for clarity.
@@ -108,6 +111,15 @@ void MultiRumorPushPull::release_due() {
 }
 
 void MultiRumorPushPull::step() {
+  if (model_.trivial()) {
+    step_impl<transmission::Uniform>();
+  } else {
+    step_impl<transmission::General>();
+  }
+}
+
+template <class Mode>
+void MultiRumorPushPull::step_impl() {
   ++round_;
   auto& held = arena_->vertex_rumors;
   auto& held_before = arena_->vertex_rumors_before;
@@ -115,14 +127,17 @@ void MultiRumorPushPull::step() {
   const Vertex n = graph_->num_vertices();
   for (Vertex u = 0; u < n; ++u) {
     const Vertex v = graph_->random_neighbor_unchecked(u, rng_);
-    // Symmetric exchange of everything held before the round.
-    const RumorMask to_v = held_before[u] & ~held[v];
+    // Symmetric exchange of everything held before the round; each rumor
+    // transfer succeeds independently with the receiver's probability.
+    const RumorMask to_v =
+        model_.filter_mask<Mode>(held_before[u] & ~held[v], v, rng_);
     if (to_v != 0) {
       held[v] |= to_v;
       account_new_bits(to_v, arena_->rumor_have_count, n,
                        arena_->rumor_completion, round_, remaining_);
     }
-    const RumorMask to_u = held_before[v] & ~held[u];
+    const RumorMask to_u =
+        model_.filter_mask<Mode>(held_before[v] & ~held[u], u, rng_);
     if (to_u != 0) {
       held[u] |= to_u;
       account_new_bits(to_u, arena_->rumor_have_count, n,
@@ -166,6 +181,7 @@ MultiRumorVisitExchange::MultiRumorVisitExchange(
               arena_),
       remaining_(rumors.size()) {
   validate(g, rumors_);
+  model_.bind(g, options_.transmission, *arena_);
   arena_->vertex_rumors.assign(g.num_vertices(), 0);
   arena_->agent_rumors.assign(agents_.count(), 0);
   arena_->agent_rumors_before.assign(agents_.count(), 0);
@@ -203,6 +219,16 @@ void MultiRumorVisitExchange::release_due() {
 }
 
 void MultiRumorVisitExchange::step() {
+  if (model_.trivial()) {
+    step_impl<transmission::Uniform>();
+  } else {
+    step_impl<transmission::General>();
+  }
+}
+
+template <class Mode>
+void MultiRumorVisitExchange::step_impl() {
+  constexpr bool kGeneral = std::is_same_v<Mode, transmission::General>;
   ++round_;
   const std::size_t count = agents_.count();
   step_walks(*graph_, agents_.positions_mut(), rng_, laziness_, nullptr,
@@ -212,11 +238,14 @@ void MultiRumorVisitExchange::step() {
   auto& agent_held_before = arena_->agent_rumors_before;
   agent_held_before.assign(agent_held.begin(), agent_held.end());
 
-  // Phase A: rumors the agent held before the round land on its vertex.
+  // Phase A: rumors the agent held before the round land on its vertex,
+  // each transfer drawn independently against the vertex's receive
+  // probability.
   const Vertex n = graph_->num_vertices();
   for (Agent a = 0; a < count; ++a) {
     const Vertex v = agents_.position(a);
-    const RumorMask fresh = agent_held_before[a] & ~held[v];
+    const RumorMask fresh =
+        model_.filter_mask<Mode>(agent_held_before[a] & ~held[v], v, rng_);
     if (fresh != 0) {
       held[v] |= fresh;
       account_new_bits(fresh, arena_->rumor_have_count, n,
@@ -224,9 +253,17 @@ void MultiRumorVisitExchange::step() {
     }
   }
   // Phase B: agents absorb everything their vertex holds (including rumors
-  // delivered this round by other agents — §3's same-round pickup).
+  // delivered this round by other agents — §3's same-round pickup); under
+  // a heterogeneous model each pickup succeeds with the location's
+  // probability.
   for (Agent a = 0; a < count; ++a) {
-    agent_held[a] |= held[agents_.position(a)];
+    const Vertex v = agents_.position(a);
+    if constexpr (kGeneral) {
+      agent_held[a] |=
+          model_.filter_mask<Mode>(held[v] & ~agent_held[a], v, rng_);
+    } else {
+      agent_held[a] |= held[v];
+    }
   }
   release_due();
 }
@@ -278,12 +315,19 @@ TrialResult run_multi_entry(const Graph& g, const ProtocolOptions& options,
     MultiRumorVisitExchange(g, rumors, seed, opt.walk, arena)
         .run_into(scratch);
   } else {
-    MultiRumorPushPull(g, rumors, seed, opt.walk.max_rounds, arena)
+    MultiRumorPushPull(g, rumors, seed, opt.walk.max_rounds, arena,
+                       opt.walk.transmission)
         .run_into(scratch);
   }
   TrialResult result;
   result.rounds = static_cast<double>(scratch.rounds);
   result.completed = scratch.completed;
+  // "informed" for multi-rumor: how many rumors reached everyone.
+  std::uint32_t completed_rumors = 0;
+  for (const Round r : scratch.completion_round) {
+    if (r != kNoRoundYet) ++completed_rumors;
+  }
+  result.informed = completed_rumors;
   return result;
 }
 
@@ -333,6 +377,8 @@ void multi_push_pull_entry_format(const ProtocolOptions& options,
   if (opt.walk.max_rounds != def.walk.max_rounds) {
     out.add("max_rounds", static_cast<std::uint64_t>(opt.walk.max_rounds));
   }
+  format_transmission_probability_options(opt.walk.transmission,
+                                          def.walk.transmission, out);
 }
 
 bool multi_entry_set_common(MultiRumorOptions& opt, std::string_view key,
@@ -381,7 +427,8 @@ bool multi_push_pull_entry_set(ProtocolOptions& options, std::string_view key,
     opt.walk.max_rounds = *v;
     return true;
   }
-  return false;
+  return set_transmission_probability_option(opt.walk.transmission, key,
+                                             value);
 }
 
 TraceOptions* multi_entry_trace(ProtocolOptions&) {

@@ -79,12 +79,17 @@ struct MultiRumorResult {
 // other held before the round.
 class MultiRumorPushPull {
  public:
+  // `transmission` carries the per-rumor transfer probability (only the
+  // probability half applies here: the packed rumor masks carry no inform
+  // ages, so the intervention keys are rejected at the grammar level).
   MultiRumorPushPull(const Graph& g, std::span<const RumorSpec> rumors,
                      std::uint64_t seed, Round max_rounds = 0,
-                     TrialArena* arena = nullptr);
+                     TrialArena* arena = nullptr,
+                     TransmissionOptions transmission = {});
   MultiRumorPushPull(const Graph& g, std::vector<RumorSpec>&& rumors,
                      std::uint64_t seed, Round max_rounds = 0,
-                     TrialArena* arena = nullptr);
+                     TrialArena* arena = nullptr,
+                     TransmissionOptions transmission = {});
 
   void step();
   [[nodiscard]] bool done() const { return remaining_ == 0; }
@@ -98,11 +103,14 @@ class MultiRumorPushPull {
 
  private:
   void release_due();
+  template <class Mode>
+  void step_impl();
 
   const Graph* graph_;
   std::vector<RumorSpec> rumor_storage_;  // only for the vector&& overload
   std::span<const RumorSpec> rumors_;
   Rng rng_;
+  TransmissionModel model_;
   Round round_ = 0;
   Round cutoff_;
   std::unique_ptr<TrialArena> owned_arena_;
@@ -140,12 +148,15 @@ class MultiRumorVisitExchange {
 
  private:
   void release_due();
+  template <class Mode>
+  void step_impl();
 
   const Graph* graph_;
   std::vector<RumorSpec> rumor_storage_;  // only for the vector&& overload
   std::span<const RumorSpec> rumors_;
   Rng rng_;
   WalkOptions options_;
+  TransmissionModel model_;
   Laziness laziness_;
   Round round_ = 0;
   Round cutoff_;

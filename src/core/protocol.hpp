@@ -43,8 +43,16 @@ struct RunResult {
   // quantity coupled against meet-exchange in Theorem 23).
   Round agent_rounds = 0;
 
+  // Final informed-entity count (vertices, or agents for the agent-counting
+  // protocols). Equals n on completed runs; with interventions (stifling,
+  // blocking) it measures how far the rumor got before dying out.
+  std::uint32_t informed = 0;
+
   // Populated according to TraceOptions.
   std::vector<std::uint32_t> informed_curve;
+  // Per-round stifled-entity counts; populated alongside informed_curve
+  // when the transmission model stifles (see derive_stifled_curve).
+  std::vector<std::uint32_t> stifled_curve;
   std::vector<std::uint32_t> vertex_inform_round;
   std::vector<std::uint32_t> agent_inform_round;
   std::vector<std::uint64_t> edge_traffic;

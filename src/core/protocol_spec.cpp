@@ -140,8 +140,10 @@ TrialResult to_trial_result(RunResult&& r) {
   TrialResult result;
   result.rounds = static_cast<double>(r.rounds);
   result.agent_rounds = static_cast<double>(r.agent_rounds);
+  result.informed = static_cast<double>(r.informed);
   result.completed = r.completed;
   result.informed_curve = std::move(r.informed_curve);
+  result.stifled_curve = std::move(r.stifled_curve);
   return result;
 }
 

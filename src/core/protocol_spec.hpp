@@ -107,8 +107,13 @@ struct TrialResult {
   // rounds when the protocol has no separate milestone, 0 for multi-rumor
   // and async).
   double agent_rounds = 0.0;
+  // Final informed-entity count (completed rumors for multi-rumor): the
+  // containment measure under interventions.
+  double informed = 0.0;
   bool completed = false;
   std::vector<std::uint32_t> informed_curve;  // filled iff traced
+  // Filled iff traced AND the spec's transmission model stifles.
+  std::vector<std::uint32_t> stifled_curve;
 };
 
 // Maps a stepwise simulator's RunResult onto the trial payload.

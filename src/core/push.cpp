@@ -17,6 +17,9 @@ PushProcess::PushProcess(const Graph& g, Vertex source, std::uint64_t seed,
   RUMOR_REQUIRE(source < g.num_vertices());
   RUMOR_REQUIRE(options.loss_probability >= 0.0 &&
                 options.loss_probability < 1.0);
+  model_.bind(g, options_.transmission, *arena_,
+              /*need_edge_field=*/options_.trace.edge_traffic);
+  target_ = g.num_vertices();
   arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
   arena_->informed_nbr_count.reset(g.num_vertices(), 0);
   arena_->active.clear();
@@ -33,22 +36,64 @@ void PushProcess::inform(Vertex v) {
   RUMOR_CHECK(!arena_->vertex_inform_round.touched(v));
   arena_->vertex_inform_round.set(v, static_cast<std::uint32_t>(round_));
   ++informed_count_;
+  last_inform_round_ = round_;
   arena_->active.push_back(v);
   for (Vertex w : graph_->neighbors_unchecked(v)) {
     arena_->informed_nbr_count.add(w, 1);
   }
 }
 
+void PushProcess::activate_blocking() {
+  // Vertices quarantined while uninformed can never be informed; informed
+  // blocked vertices count toward the (already reached) target. Counting
+  // them as "informed" in the neighbor counters lets saturation retirement
+  // drop callers whose remaining uninformed neighbors are all quarantined —
+  // and an empty caller list then halts the run (see halted()).
+  const std::uint8_t* blocked = model_.blocked_flags();
+  const Vertex n = graph_->num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    if (blocked[v] != 0 && !arena_->vertex_inform_round.touched(v)) {
+      for (Vertex w : graph_->neighbors_unchecked(v)) {
+        arena_->informed_nbr_count.add(w, 1);
+      }
+    }
+  }
+  target_ =
+      n - model_.count_blocked_uninformed(arena_->vertex_inform_round, n);
+}
+
 void PushProcess::step() {
+  if (model_.trivial()) {
+    step_impl<transmission::Uniform>();
+  } else {
+    step_impl<transmission::General>();
+  }
+}
+
+template <class Mode>
+void PushProcess::step_impl() {
+  constexpr bool kGeneral = std::is_same_v<Mode, transmission::General>;
   ++round_;
+  if constexpr (kGeneral) {
+    if (model_.blocking() && round_ == model_.block_round()) {
+      activate_blocking();
+    }
+  }
 
   // Retire saturated vertices before taking the round snapshot: everyone in
   // active_ right now was informed in a previous round, so what survives the
-  // sweep is exactly the set of useful callers.
+  // sweep is exactly the set of useful callers. Stifled and blocked callers
+  // retire the same way — both conditions are permanent once true.
   auto& active = arena_->active;
   std::size_t kept = 0;
   for (Vertex v : active) {
     if (arena_->informed_nbr_count.get(v) < graph_->degree_unchecked(v)) {
+      if constexpr (kGeneral) {
+        if (!model_.can_transmit<Mode>(arena_->vertex_inform_round.get(v), v,
+                                       round_)) {
+          continue;
+        }
+      }
       active[kept++] = v;
     }
   }
@@ -58,9 +103,11 @@ void PushProcess::step() {
   for (std::size_t i = 0; i < callers; ++i) {
     const Vertex u = active[i];
     Vertex v;
+    std::uint32_t slot = 0;
     if (options_.trace.edge_traffic) {
-      const auto [nbr, slot] = graph_->random_neighbor_slot_unchecked(u, rng_);
+      const auto [nbr, s] = graph_->random_neighbor_slot_unchecked(u, rng_);
       v = nbr;
+      slot = s;
       ++arena_->edge_traffic[graph_->edge_id_unchecked(u, slot)];
     } else {
       v = graph_->random_neighbor_unchecked(u, rng_);
@@ -69,19 +116,47 @@ void PushProcess::step() {
         rng_.chance(options_.loss_probability)) {
       continue;  // the call happened (and was counted) but the message dropped
     }
-    if (!arena_->vertex_inform_round.touched(v)) inform(v);
+    if constexpr (kGeneral) {
+      // The success draw fires only for state-changing deliveries, on both
+      // the traced and untraced paths, so tracing never shifts the stream.
+      if (model_.blocked<Mode>(v, round_) ||
+          arena_->vertex_inform_round.touched(v)) {
+        continue;
+      }
+      const bool delivered = options_.trace.edge_traffic
+                                 ? model_.attempt_slot<Mode>(u, slot, rng_)
+                                 : model_.attempt<Mode>(u, v, rng_);
+      if (delivered) inform(v);
+    } else {
+      if (!arena_->vertex_inform_round.touched(v)) inform(v);
+    }
   }
 
   if (options_.trace.informed_curve) arena_->curve.push_back(informed_count_);
 }
 
+bool PushProcess::halted() const {
+  if (done() || round_ >= cutoff_) return true;
+  if (model_.trivial()) return false;
+  if (informed_count_ >= target_) return true;  // blocking containment
+  // No callers left (all saturated, stifled, or quarantined): push has no
+  // pull side, so the state can never change again.
+  if (round_ > 0 && arena_->active.empty()) return true;
+  return model_.extinct(round_, last_inform_round_);
+}
+
 RunResult PushProcess::run() {
-  while (!done() && round_ < cutoff_) step();
+  while (!halted()) step();
   RunResult result;
   result.rounds = round_;
   result.completed = done();
   result.agent_rounds = round_;  // no agents in push
-  if (options_.trace.informed_curve) result.informed_curve = arena_->curve;
+  result.informed = informed_count_;
+  if (options_.trace.informed_curve) {
+    result.informed_curve = arena_->curve;
+    result.stifled_curve =
+        derive_stifled_curve(result.informed_curve, model_.stifle());
+  }
   if (options_.trace.inform_rounds) {
     result.vertex_inform_round = arena_->vertex_inform_round.to_vector();
   }
@@ -117,6 +192,7 @@ void push_entry_format(const ProtocolOptions& options,
   if (opt.max_rounds != def.max_rounds) {
     out.add("max_rounds", static_cast<std::uint64_t>(opt.max_rounds));
   }
+  format_transmission_options(opt.transmission, def.transmission, out);
   format_trace_options(opt.trace, def.trace, out);
 }
 
@@ -135,6 +211,7 @@ bool push_entry_set(ProtocolOptions& options, std::string_view key,
     opt.max_rounds = *v;
     return true;
   }
+  if (set_transmission_option(opt.transmission, key, value)) return true;
   return set_trace_option(opt.trace, key, value);
 }
 

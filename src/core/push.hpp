@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "core/protocol.hpp"
+#include "core/transmission.hpp"
 #include "support/rng.hpp"
 #include "support/trial_arena.hpp"
 
@@ -32,6 +33,8 @@ struct PushOptions {
   // with this probability (robustness ablation, cf. Elsässer–Sauerwald).
   double loss_probability = 0.0;
   Round max_rounds = 0;  // 0 = default_round_cutoff(n)
+  // Contact rule: success probabilities + interventions (core/transmission).
+  TransmissionOptions transmission;
   TraceOptions trace;
 
   friend bool operator==(const PushOptions&, const PushOptions&) = default;
@@ -70,13 +73,23 @@ class PushProcess {
 
  private:
   void inform(Vertex v);
+  template <class Mode>
+  void step_impl();
+  void activate_blocking();
+  // True when the run loop must stop before the cutoff: completion,
+  // blocking containment, or stifling extinction.
+  [[nodiscard]] bool halted() const;
 
   const Graph* graph_;
   Rng rng_;
   PushOptions options_;
+  TransmissionModel model_;
   Round round_ = 0;
   Round cutoff_;
   std::uint32_t informed_count_ = 0;
+  // Containment target under blocking: vertices that can ever be informed.
+  std::uint32_t target_;
+  Round last_inform_round_ = 0;
   std::unique_ptr<TrialArena> owned_arena_;
   TrialArena* arena_;
 };

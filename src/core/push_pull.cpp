@@ -18,6 +18,9 @@ PushPullProcess::PushPullProcess(const Graph& g, Vertex source,
   RUMOR_REQUIRE(source < g.num_vertices());
   RUMOR_REQUIRE(options.loss_probability >= 0.0 &&
                 options.loss_probability < 1.0);
+  model_.bind(g, options_.transmission, *arena_,
+              /*need_edge_field=*/options_.trace.edge_traffic);
+  target_ = g.num_vertices();
   arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
   arena_->informed_nbr_count.reset(g.num_vertices(), 0);
   arena_->vertex_marks.reset(g.num_vertices());  // ever-in-frontier marks
@@ -41,6 +44,7 @@ void PushPullProcess::inform(Vertex v) {
   RUMOR_CHECK(!arena_->vertex_inform_round.touched(v));
   arena_->vertex_inform_round.set(v, static_cast<std::uint32_t>(round_));
   ++informed_count_;
+  last_inform_round_ = round_;
   arena_->active.push_back(v);
   for (Vertex w : graph_->neighbors_unchecked(v)) {
     arena_->informed_nbr_count.add(w, 1);
@@ -53,14 +57,51 @@ void PushPullProcess::inform(Vertex v) {
 }
 
 void PushPullProcess::step() {
+  if (model_.trivial()) {
+    step_impl<transmission::Uniform>();
+  } else {
+    step_impl<transmission::General>();
+  }
+}
+
+void PushPullProcess::activate_blocking() {
+  // As in PushProcess: quarantined-uninformed vertices count into the
+  // neighbor counters so saturation retirement treats them as permanently
+  // unreachable, and an empty caller list halts the run.
+  const std::uint8_t* blocked = model_.blocked_flags();
+  const Vertex n = graph_->num_vertices();
+  for (Vertex v = 0; v < n; ++v) {
+    if (blocked[v] != 0 && !arena_->vertex_inform_round.touched(v)) {
+      for (Vertex w : graph_->neighbors_unchecked(v)) {
+        arena_->informed_nbr_count.add(w, 1);
+      }
+    }
+  }
+  target_ =
+      n - model_.count_blocked_uninformed(arena_->vertex_inform_round, n);
+}
+
+template <class Mode>
+void PushPullProcess::step_impl() {
+  constexpr bool kGeneral = std::is_same_v<Mode, transmission::General>;
   ++round_;
+  if constexpr (kGeneral) {
+    if (model_.blocking() && round_ == model_.block_round()) {
+      activate_blocking();
+    }
+  }
 
   if (options_.trace.edge_traffic) {
     // Exact-bandwidth path: every vertex makes its call (the definition) so
     // per-edge utilization counts every call, not only state-changing ones.
-    // Used by the fairness experiments; O(n) per round.
+    // Used by the fairness experiments; O(n) per round. Quarantined callers
+    // initiate no call at all; calls TO a quarantined callee still count as
+    // traffic but deliver nothing.
     const Vertex n = graph_->num_vertices();
     for (Vertex u = 0; u < n; ++u) {
+      if constexpr (kGeneral) {
+        if (model_.blocked<Mode>(u, round_)) continue;
+      }
       const auto [v, slot] = graph_->random_neighbor_slot_unchecked(u, rng_);
       ++arena_->edge_traffic[graph_->edge_id_unchecked(u, slot)];
       if (options_.loss_probability > 0.0 &&
@@ -71,22 +112,52 @@ void PushPullProcess::step() {
       const bool v_was = informed_before_this_round(v);
       if (u_was == v_was) continue;
       const Vertex target = u_was ? v : u;
-      if (!arena_->vertex_inform_round.touched(target)) inform(target);
+      if (arena_->vertex_inform_round.touched(target)) continue;
+      if constexpr (kGeneral) {
+        const Vertex transmitter = u_was ? u : v;
+        if (!model_.can_transmit<Mode>(
+                arena_->vertex_inform_round.get(transmitter), transmitter,
+                round_) ||
+            model_.blocked<Mode>(target, round_)) {
+          continue;
+        }
+        // The callee-side delivery reads the per-edge field through the
+        // caller's slot; the pull direction reads the per-vertex field.
+        const bool delivered =
+            target == v ? model_.attempt_slot<Mode>(u, slot, rng_)
+                        : model_.attempt<Mode>(v, u, rng_);
+        if (!delivered) continue;
+      }
+      inform(target);
     }
   } else {
-    // Fast path: iterate exactly the calls that can change state.
+    // Fast path: iterate exactly the calls that can change state. Stifled
+    // and quarantined pushers retire like saturated ones (both conditions
+    // are permanent); quarantined frontier vertices can never be informed
+    // and drop out the same way.
     auto& active = arena_->active;
     auto& frontier = arena_->frontier;
     std::size_t kept = 0;
     for (Vertex v : active) {
       if (arena_->informed_nbr_count.get(v) < graph_->degree_unchecked(v)) {
+        if constexpr (kGeneral) {
+          if (!model_.can_transmit<Mode>(arena_->vertex_inform_round.get(v),
+                                         v, round_)) {
+            continue;
+          }
+        }
         active[kept++] = v;
       }
     }
     active.resize(kept);
     kept = 0;
     for (Vertex w : frontier) {
-      if (!arena_->vertex_inform_round.touched(w)) frontier[kept++] = w;
+      if (!arena_->vertex_inform_round.touched(w)) {
+        if constexpr (kGeneral) {
+          if (model_.blocked<Mode>(w, round_)) continue;
+        }
+        frontier[kept++] = w;
+      }
     }
     frontier.resize(kept);
 
@@ -100,7 +171,16 @@ void PushPullProcess::step() {
           rng_.chance(options_.loss_probability)) {
         continue;
       }
-      if (!arena_->vertex_inform_round.touched(v)) inform(v);
+      if constexpr (kGeneral) {
+        if (model_.blocked<Mode>(v, round_) ||
+            arena_->vertex_inform_round.touched(v) ||
+            !model_.attempt<Mode>(u, v, rng_)) {
+          continue;
+        }
+        inform(v);
+      } else {
+        if (!arena_->vertex_inform_round.touched(v)) inform(v);
+      }
     }
     for (std::size_t i = 0; i < pullers; ++i) {
       const Vertex w = frontier[i];
@@ -110,20 +190,48 @@ void PushPullProcess::step() {
           rng_.chance(options_.loss_probability)) {
         continue;
       }
-      if (informed_before_this_round(v)) inform(w);
+      if (!informed_before_this_round(v)) continue;
+      if constexpr (kGeneral) {
+        if (!model_.can_transmit<Mode>(arena_->vertex_inform_round.get(v), v,
+                                       round_) ||
+            !model_.attempt<Mode>(v, w, rng_)) {
+          continue;
+        }
+      }
+      inform(w);
     }
   }
 
   if (options_.trace.informed_curve) arena_->curve.push_back(informed_count_);
 }
 
+bool PushPullProcess::halted() const {
+  if (done() || round_ >= cutoff_) return true;
+  if (model_.trivial()) return false;
+  if (informed_count_ >= target_) return true;  // blocking containment
+  // No active transmitters: pushes are gone, and a successful pull would
+  // need an informed, transmitting vertex with an uninformed unblocked
+  // neighbor — which is exactly a vertex the caller filter would have
+  // kept. (Only meaningful on the untraced fast path, where the filter
+  // runs; the exact-bandwidth path iterates all vertices regardless.)
+  if (!options_.trace.edge_traffic && round_ > 0 && arena_->active.empty()) {
+    return true;
+  }
+  return model_.extinct(round_, last_inform_round_);
+}
+
 RunResult PushPullProcess::run() {
-  while (!done() && round_ < cutoff_) step();
+  while (!halted()) step();
   RunResult result;
   result.rounds = round_;
   result.completed = done();
   result.agent_rounds = round_;
-  if (options_.trace.informed_curve) result.informed_curve = arena_->curve;
+  result.informed = informed_count_;
+  if (options_.trace.informed_curve) {
+    result.informed_curve = arena_->curve;
+    result.stifled_curve =
+        derive_stifled_curve(result.informed_curve, model_.stifle());
+  }
   if (options_.trace.inform_rounds) {
     result.vertex_inform_round = arena_->vertex_inform_round.to_vector();
   }
@@ -160,6 +268,7 @@ void push_pull_entry_format(const ProtocolOptions& options,
   if (opt.max_rounds != def.max_rounds) {
     out.add("max_rounds", static_cast<std::uint64_t>(opt.max_rounds));
   }
+  format_transmission_options(opt.transmission, def.transmission, out);
   format_trace_options(opt.trace, def.trace, out);
 }
 
@@ -178,6 +287,7 @@ bool push_pull_entry_set(ProtocolOptions& options, std::string_view key,
     opt.max_rounds = *v;
     return true;
   }
+  if (set_transmission_option(opt.transmission, key, value)) return true;
   return set_trace_option(opt.trace, key, value);
 }
 

@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "core/protocol.hpp"
+#include "core/transmission.hpp"
 #include "support/rng.hpp"
 #include "support/trial_arena.hpp"
 
@@ -28,6 +29,8 @@ namespace rumor {
 struct PushPullOptions {
   double loss_probability = 0.0;  // per-call drop probability
   Round max_rounds = 0;           // 0 = default_round_cutoff(n)
+  // Contact rule: success probabilities + interventions (core/transmission).
+  TransmissionOptions transmission;
   TraceOptions trace;
 
   friend bool operator==(const PushPullOptions&,
@@ -64,6 +67,10 @@ class PushPullProcess {
 
  private:
   void inform(Vertex v);
+  template <class Mode>
+  void step_impl();
+  void activate_blocking();
+  [[nodiscard]] bool halted() const;
   [[nodiscard]] bool informed_before_this_round(Vertex v) const {
     const std::uint32_t r = arena_->vertex_inform_round.get(v);
     return r != kNeverInformed && r < round_;
@@ -72,9 +79,12 @@ class PushPullProcess {
   const Graph* graph_;
   Rng rng_;
   PushPullOptions options_;
+  TransmissionModel model_;
   Round round_ = 0;
   Round cutoff_;
   std::uint32_t informed_count_ = 0;
+  std::uint32_t target_;  // blocking containment target
+  Round last_inform_round_ = 0;
   std::unique_ptr<TrialArena> owned_arena_;
   TrialArena* arena_;
 };

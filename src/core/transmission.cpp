@@ -1,0 +1,230 @@
+#include "core/transmission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "support/spec_text.hpp"
+
+namespace rumor {
+
+namespace {
+
+// Parses a `tp=` value: a plain probability in (0, 1] or the degree-scaled
+// form `deg^<exponent>` (exponent a finite double in [-8, 8] — enough for
+// every published degree-scaling law, small enough that pow stays finite).
+bool parse_tp_value(TransmissionOptions& options, std::string_view value) {
+  constexpr std::string_view kDegPrefix = "deg^";
+  if (value.starts_with(kDegPrefix)) {
+    const auto e = spec_text::parse_double(value.substr(kDegPrefix.size()));
+    if (!e || !(*e >= -8.0 && *e <= 8.0)) return false;  // NaN-proof
+    options.degree_scaled = true;
+    options.tp_exponent = *e;
+    options.tp = 1.0;
+    return true;
+  }
+  const auto v = spec_text::parse_double(value);
+  if (!v || !(*v > 0.0 && *v <= 1.0)) return false;  // NaN-proof
+  options.degree_scaled = false;
+  options.tp_exponent = 0.0;
+  options.tp = *v;
+  return true;
+}
+
+std::string format_tp_value(const TransmissionOptions& options) {
+  if (options.degree_scaled) {
+    return "deg^" + spec_text::fmt_double(options.tp_exponent);
+  }
+  return spec_text::fmt_double(options.tp);
+}
+
+}  // namespace
+
+bool set_transmission_probability_option(TransmissionOptions& options,
+                                         std::string_view key,
+                                         std::string_view value) {
+  if (key != "tp") return false;
+  return parse_tp_value(options, value);
+}
+
+bool set_transmission_option(TransmissionOptions& options,
+                             std::string_view key, std::string_view value) {
+  if (key == "tp") return parse_tp_value(options, value);
+  return set_transmission_intervention_option(options, key, value);
+}
+
+bool set_transmission_intervention_option(TransmissionOptions& options,
+                                          std::string_view key,
+                                          std::string_view value) {
+  if (key == "stifle") {
+    const auto v = spec_text::parse_u64(value);
+    if (!v || *v > 0xFFFFFFFFULL) return false;
+    options.stifle = static_cast<std::uint32_t>(*v);
+    return true;
+  }
+  if (key == "block") {
+    const auto v = spec_text::parse_double(value);
+    if (!v || !(*v >= 0.0 && *v < 1.0)) return false;  // NaN-proof
+    options.block_fraction = *v;
+    return true;
+  }
+  if (key == "block@t") {
+    const auto v = spec_text::parse_u64(value);
+    if (!v || *v == 0) return false;  // round 0 is initialization
+    options.block_round = *v;
+    return true;
+  }
+  return false;
+}
+
+void format_transmission_probability_options(
+    const TransmissionOptions& options, const TransmissionOptions& defaults,
+    spec_text::KeyValWriter& out) {
+  if (options.tp != defaults.tp ||
+      options.degree_scaled != defaults.degree_scaled ||
+      options.tp_exponent != defaults.tp_exponent) {
+    out.add("tp", format_tp_value(options));
+  }
+}
+
+void format_transmission_options(const TransmissionOptions& options,
+                                 const TransmissionOptions& defaults,
+                                 spec_text::KeyValWriter& out) {
+  format_transmission_probability_options(options, defaults, out);
+  format_transmission_intervention_options(options, defaults, out);
+}
+
+void format_transmission_intervention_options(
+    const TransmissionOptions& options, const TransmissionOptions& defaults,
+    spec_text::KeyValWriter& out) {
+  if (options.stifle != defaults.stifle) {
+    out.add("stifle", static_cast<std::uint64_t>(options.stifle));
+  }
+  if (options.block_fraction != defaults.block_fraction) {
+    out.add("block", options.block_fraction);
+  }
+  if (options.block_round != defaults.block_round) {
+    out.add("block@t", static_cast<std::uint64_t>(options.block_round));
+  }
+}
+
+std::vector<std::string> transmission_key_signatures() {
+  return {
+      "tp=<p in (0,1]> | tp=deg^<exp>   contact success probability "
+      "(uniform / degree-scaled receive)",
+      "stifle=<k>                       informed entities transmit for k "
+      "rounds, then stifle",
+      "block=<f> [block@t=<round>]      quarantine the top f*n "
+      "highest-degree vertices from that round on",
+  };
+}
+
+namespace {
+
+// The per-edge field is the per-vertex field scattered to CSR slots; only
+// the edge-traffic traced contact sites read it, so it is filled on demand.
+void fill_edge_field(const Graph& g, TransmissionScratch& s) {
+  const CsrView csr = g.csr();
+  const std::size_t slots = 2 * g.num_edges();
+  s.edge_success.resize(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    s.edge_success[i] = s.vertex_success[csr.neighbors[i]];
+  }
+}
+
+void rebuild_fields(const Graph& g, const TransmissionOptions& options,
+                    TransmissionScratch& s, bool need_edge_field) {
+  const Vertex n = g.num_vertices();
+  const CsrView csr = g.csr();
+  s.vertex_success.assign(n, static_cast<float>(options.tp));
+  if (options.degree_scaled) {
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint32_t deg = csr.offsets[v + 1] - csr.offsets[v];
+      // Degree-0 vertices are never contacted; keep them at tp so the
+      // field stays well-defined for negative exponents.
+      const double p =
+          deg == 0 ? options.tp
+                   : options.tp * std::pow(static_cast<double>(deg),
+                                           options.tp_exponent);
+      s.vertex_success[v] = static_cast<float>(std::clamp(p, 0.0, 1.0));
+    }
+  }
+  s.edge_success.clear();
+  if (need_edge_field) fill_edge_field(g, s);
+
+  s.blocked.assign(n, 0);
+  s.blocked_count = 0;
+  if (options.block_fraction > 0.0) {
+    const auto count = static_cast<std::uint32_t>(std::min<double>(
+        n, std::llround(options.block_fraction * static_cast<double>(n))));
+    if (count > 0) {
+      // Targeted quarantine: the highest-degree vertices go first (ties by
+      // ascending id) — deterministic, so blocking consumes no RNG and the
+      // trial stream is unchanged by where the blocked set lands.
+      auto& order = s.order;
+      order.resize(n);
+      std::iota(order.begin(), order.end(), 0u);
+      std::partial_sort(order.begin(), order.begin() + count, order.end(),
+                        [&](std::uint32_t a, std::uint32_t b) {
+                          const std::uint32_t da =
+                              csr.offsets[a + 1] - csr.offsets[a];
+                          const std::uint32_t db =
+                              csr.offsets[b + 1] - csr.offsets[b];
+                          if (da != db) return da > db;
+                          return a < b;
+                        });
+      for (std::uint32_t i = 0; i < count; ++i) s.blocked[order[i]] = 1;
+      s.blocked_count = count;
+    }
+  }
+}
+
+}  // namespace
+
+void TransmissionModel::bind(const Graph& g,
+                             const TransmissionOptions& options,
+                             TrialArena& arena, bool need_edge_field) {
+  trivial_ = options.trivial();
+  stifle_ = options.stifle;
+  block_round_ = options.block_round;
+  vertex_success_ = nullptr;
+  edge_success_ = nullptr;
+  blocked_ = nullptr;
+  offsets_ = nullptr;
+  if (trivial_) return;
+
+  TransmissionScratch& s = arena.transmission;
+  const bool cache_hit =
+      s.graph_uid == g.uid() && s.tp == options.tp &&
+      s.exponent == options.tp_exponent &&
+      s.degree_scaled == options.degree_scaled &&
+      s.block_fraction == options.block_fraction;
+  if (!cache_hit) {
+    rebuild_fields(g, options, s, need_edge_field);
+    s.graph_uid = g.uid();
+    s.tp = options.tp;
+    s.exponent = options.tp_exponent;
+    s.degree_scaled = options.degree_scaled;
+    s.block_fraction = options.block_fraction;
+  } else if (need_edge_field && s.edge_success.size() != 2 * g.num_edges()) {
+    // Cache built by an untraced bind: scatter the per-edge view now.
+    fill_edge_field(g, s);
+  }
+  vertex_success_ = s.vertex_success.data();
+  if (need_edge_field) edge_success_ = s.edge_success.data();
+  blocked_ = s.blocked_count > 0 ? s.blocked.data() : nullptr;
+  offsets_ = g.csr().offsets;
+}
+
+std::vector<std::uint32_t> derive_stifled_curve(
+    const std::vector<std::uint32_t>& informed_curve, std::uint32_t stifle) {
+  if (stifle == 0 || informed_curve.empty()) return {};
+  std::vector<std::uint32_t> stifled(informed_curve.size(), 0);
+  for (std::size_t t = stifle + 1; t < informed_curve.size(); ++t) {
+    stifled[t] = informed_curve[t - stifle - 1];
+  }
+  return stifled;
+}
+
+}  // namespace rumor

@@ -1,0 +1,258 @@
+// Transmission-model layer: who succeeds in passing the rumor on contact.
+//
+// The paper's protocols assume homogeneous, always-successful transmission;
+// this module makes the contact rule a *data* property shared by every
+// simulator in the registry instead of a per-simulator flag:
+//
+//   * per-vertex receive probabilities — uniform (`tp=0.5`) or
+//     degree-scaled (`tp=deg^-0.5`, Vega-Oliveros et al.: heterogeneous
+//     transmission in social networks), materialized once per (graph,
+//     options) binding as CSR-aligned per-vertex and per-edge float fields
+//     in TrialArena scratch;
+//   * interventions (Zehmakan et al.: why rumors spread fast, and how to
+//     stop it) — age-based stifling (`stifle=k`: an informed entity
+//     transmits only during the k rounds after it was informed) and
+//     targeted vertex blocking (`block=f` quarantines the top f·n
+//     highest-degree vertices from round `block@t` on: they neither
+//     receive nor transmit).
+//
+// Every contact site draws through TransmissionModel::attempt(u, v, rng),
+// templated on a mode tag: the `transmission::Uniform` instantiation
+// compiles to "always succeed" — zero extra work, zero extra RNG draws —
+// so the default tp=1/no-intervention configuration reproduces the
+// pre-transmission trial samples byte-identically (pinned in
+// tests/test_transmission.cpp), and each simulator picks the instantiation
+// once per round, not once per contact.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+#include "support/trial_arena.hpp"
+
+namespace rumor {
+
+namespace spec_text {
+class KeyValWriter;
+}  // namespace spec_text
+
+namespace transmission {
+// Compile-time mode tags for the per-round loop specialization: Uniform is
+// the trivial homogeneous model (tp=1, no interventions) whose attempt()
+// and intervention predicates fold away entirely; General reads the bound
+// fields.
+struct Uniform {};
+struct General {};
+}  // namespace transmission
+
+// The grammar-facing half: what a ProtocolSpec carries. Keys (shared by
+// every registered simulator through its option hooks):
+//   tp=0.5        uniform contact success probability in (0, 1]
+//   tp=deg^-0.5   degree-scaled receive probability min(1, deg(v)^beta)
+//   stifle=3      informed entities transmit for 3 rounds, then stifle
+//   block=0.1     quarantine the top 10% highest-degree vertices
+//   block@t=5     ...starting at round 5 (default 1)
+// All values sweep with the range/list syntax (`tp={0.25,0.5,1}`).
+struct TransmissionOptions {
+  double tp = 1.0;           // uniform success probability
+  double tp_exponent = 0.0;  // degree_scaled: p(v) = min(1, deg(v)^exponent)
+  bool degree_scaled = false;
+  std::uint32_t stifle = 0;     // 0 = spreaders never stifle
+  double block_fraction = 0.0;  // 0 = no blocking
+  Round block_round = 1;        // blocking activates at this round's start
+
+  // True for the homogeneous always-successful default: the simulators take
+  // the byte-identical transmission-free fast path.
+  [[nodiscard]] bool trivial() const {
+    return !degree_scaled && tp == 1.0 && stifle == 0 &&
+           block_fraction == 0.0;
+  }
+
+  friend bool operator==(const TransmissionOptions&,
+                         const TransmissionOptions&) = default;
+};
+
+// Option plumbing shared by the registry entries. The full set accepts
+// every key above; the probability-only variant accepts just `tp` — for
+// simulators whose bookkeeping cannot honor interventions (multi-rumor's
+// packed rumor masks, async's tick clock), where silently parsing
+// `stifle=` would be a lie.
+[[nodiscard]] bool set_transmission_option(TransmissionOptions& options,
+                                           std::string_view key,
+                                           std::string_view value);
+[[nodiscard]] bool set_transmission_probability_option(
+    TransmissionOptions& options, std::string_view key,
+    std::string_view value);
+// The intervention keys alone (stifle, block, block@t) — composed with the
+// probability layer by option stacks that parse `tp` at a different level
+// (set_agent_walk_option vs set_walk_option).
+[[nodiscard]] bool set_transmission_intervention_option(
+    TransmissionOptions& options, std::string_view key,
+    std::string_view value);
+void format_transmission_options(const TransmissionOptions& options,
+                                 const TransmissionOptions& defaults,
+                                 spec_text::KeyValWriter& out);
+void format_transmission_probability_options(
+    const TransmissionOptions& options, const TransmissionOptions& defaults,
+    spec_text::KeyValWriter& out);
+void format_transmission_intervention_options(
+    const TransmissionOptions& options, const TransmissionOptions& defaults,
+    spec_text::KeyValWriter& out);
+
+// One-line key summary for `rumor_run --list`.
+[[nodiscard]] std::vector<std::string> transmission_key_signatures();
+
+// The bound model a simulator holds for one trial. Binding a non-trivial
+// model materializes the per-vertex receive field, the CSR-slot-aligned
+// per-edge field, and the blocked set into the arena's TransmissionScratch;
+// the build is cached by (graph uid, parameters), so steady-state trials on
+// the same graph rebuild nothing and allocate nothing.
+class TransmissionModel {
+ public:
+  TransmissionModel() = default;
+  // `need_edge_field` materializes the 2m-entry per-edge field too — only
+  // the edge-traffic traced contact sites read it (attempt_slot), so
+  // untraced binds skip the O(m) build and its memory entirely.
+  void bind(const Graph& g, const TransmissionOptions& options,
+            TrialArena& arena, bool need_edge_field = false);
+
+  [[nodiscard]] bool trivial() const { return trivial_; }
+  [[nodiscard]] std::uint32_t stifle() const { return stifle_; }
+  [[nodiscard]] bool blocking() const { return blocked_ != nullptr; }
+  [[nodiscard]] Round block_round() const { return block_round_; }
+  // Per-vertex blocked flags (valid iff blocking()); simulators use this to
+  // compute their containment target when blocking activates.
+  [[nodiscard]] const std::uint8_t* blocked_flags() const { return blocked_; }
+
+  // Vertices that are blocked and still uninformed when blocking
+  // activates — they can never be informed, so they come off the
+  // completion target (the shared piece of every activate_blocking()).
+  [[nodiscard]] std::uint32_t count_blocked_uninformed(
+      const EpochArray<std::uint32_t>& vertex_inform_round, Vertex n) const {
+    std::uint32_t unreachable = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      if (blocked_[v] != 0 && !vertex_inform_round.touched(v)) {
+        ++unreachable;
+      }
+    }
+    return unreachable;
+  }
+
+  // Success draw for a contact delivering the rumor to (an entity at)
+  // vertex v; u is the transmitting side's vertex. Uniform: always true,
+  // no RNG consumed. General: one uniform01 draw against the per-vertex
+  // receive field (skipped when the field entry is 1, so tp=1-with-
+  // interventions configurations stay draw-free too).
+  template <class Mode>
+  [[nodiscard]] bool attempt(Vertex u, Vertex v, Rng& rng) const {
+    (void)u;
+    if constexpr (std::is_same_v<Mode, transmission::Uniform>) {
+      return true;
+    } else {
+      const float p = vertex_success_[v];
+      if (p >= 1.0f) return true;
+      return rng.uniform01() < static_cast<double>(p);
+    }
+  }
+
+  // As attempt(), but reads the CSR-aligned per-edge field through the
+  // transmitter's adjacency slot — for contact sites that already hold the
+  // slot (edge-traffic tracing paths).
+  template <class Mode>
+  [[nodiscard]] bool attempt_slot(Vertex u, std::uint32_t slot,
+                                  Rng& rng) const {
+    if constexpr (std::is_same_v<Mode, transmission::Uniform>) {
+      return true;
+    } else {
+      const float p = edge_success_[offsets_[u] + slot];
+      if (p >= 1.0f) return true;
+      return rng.uniform01() < static_cast<double>(p);
+    }
+  }
+
+  // Filters a multi-rumor mask: each set bit survives an independent
+  // attempt() toward receiver v, lowest bit drawn first.
+  template <class Mode>
+  [[nodiscard]] std::uint64_t filter_mask(std::uint64_t mask, Vertex v,
+                                          Rng& rng) const {
+    if constexpr (std::is_same_v<Mode, transmission::Uniform>) {
+      return mask;
+    } else {
+      std::uint64_t kept = 0;
+      std::uint64_t rest = mask;
+      while (rest != 0) {
+        const std::uint64_t bit = rest & (0 - rest);
+        rest &= rest - 1;
+        if (attempt<Mode>(v, v, rng)) kept |= bit;
+      }
+      return kept;
+    }
+  }
+
+  // True iff vertex v is quarantined at round `now` (blocked vertices
+  // neither receive nor transmit once blocking has activated).
+  template <class Mode>
+  [[nodiscard]] bool blocked(Vertex v, Round now) const {
+    if constexpr (std::is_same_v<Mode, transmission::Uniform>) {
+      return false;
+    } else {
+      return blocked_ != nullptr && now >= block_round_ && blocked_[v] != 0;
+    }
+  }
+
+  // True iff an entity informed at `inform_round` may still transmit at
+  // round `now` (age-based stifling; both arguments in simulator rounds).
+  template <class Mode>
+  [[nodiscard]] bool spreader_active(std::uint32_t inform_round,
+                                     Round now) const {
+    if constexpr (std::is_same_v<Mode, transmission::Uniform>) {
+      return true;
+    } else {
+      // 64-bit sum: the parser admits stifle up to 2^32-1 ("effectively
+      // never"), which would wrap a uint32 addition.
+      return stifle_ == 0 ||
+             now <= static_cast<Round>(inform_round) + stifle_;
+    }
+  }
+
+  // spreader_active and not quarantined: the full "may this informed entity
+  // standing at vertex `at` transmit now" predicate.
+  template <class Mode>
+  [[nodiscard]] bool can_transmit(std::uint32_t inform_round, Vertex at,
+                                  Round now) const {
+    return spreader_active<Mode>(inform_round, now) &&
+           !blocked<Mode>(at, now);
+  }
+
+  // Exact extinction test under stifling: an entity informed at round L
+  // transmits only in rounds L+1 .. L+stifle, so once `now` reaches
+  // last_inform + stifle with the run not done, no contact can ever
+  // change the state again.
+  [[nodiscard]] bool extinct(Round now, Round last_inform_round) const {
+    return stifle_ != 0 && now >= last_inform_round + stifle_;
+  }
+
+ private:
+  bool trivial_ = true;
+  std::uint32_t stifle_ = 0;
+  Round block_round_ = 1;
+  const float* vertex_success_ = nullptr;  // n entries
+  const float* edge_success_ = nullptr;    // 2m entries, CSR-slot aligned
+  const std::uint8_t* blocked_ = nullptr;  // n entries; nullptr = none
+  const std::uint32_t* offsets_ = nullptr;
+};
+
+// The per-round stifled-entity counts derivable from an informed curve:
+// an entity informed at round q transmits in rounds q+1 .. q+stifle and
+// counts as stifled from round q+stifle+1 on, so
+// stifled[t] = informed[t - stifle - 1] (0 before that index exists).
+// Returns an empty vector when stifle == 0 (nothing ever stifles).
+[[nodiscard]] std::vector<std::uint32_t> derive_stifled_curve(
+    const std::vector<std::uint32_t>& informed_curve, std::uint32_t stifle);
+
+}  // namespace rumor

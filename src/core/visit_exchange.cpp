@@ -21,6 +21,8 @@ VisitExchangeProcess::VisitExchangeProcess(const Graph& g, Vertex source,
       agents_(g, resolve_agent_count(g, options), options.placement, rng_,
               resolve_anchor(options, source), arena_) {
   RUMOR_REQUIRE(source < g.num_vertices());
+  model_.bind(g, options_.transmission, *arena_);
+  target_ = g.num_vertices();
   const std::size_t count = agents_.count();
   arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
   arena_->agent_inform_round.reset(count, kNeverInformed);
@@ -47,6 +49,7 @@ void VisitExchangeProcess::inform_vertex(Vertex v) {
   RUMOR_CHECK(!arena_->vertex_inform_round.touched(v));
   arena_->vertex_inform_round.set(v, static_cast<std::uint32_t>(round_));
   ++informed_vertex_count_;
+  last_inform_round_ = round_;
 }
 
 void VisitExchangeProcess::inform_agent_at(std::size_t order_index) {
@@ -56,10 +59,32 @@ void VisitExchangeProcess::inform_agent_at(std::size_t order_index) {
   arena_->agent_inform_round.set(a, static_cast<std::uint32_t>(round_));
   order_.swap(order_index, informed_agent_count_);
   ++informed_agent_count_;
+  last_inform_round_ = round_;
+}
+
+void VisitExchangeProcess::activate_blocking() {
+  const Vertex n = graph_->num_vertices();
+  target_ =
+      n - model_.count_blocked_uninformed(arena_->vertex_inform_round, n);
 }
 
 void VisitExchangeProcess::step() {
+  if (model_.trivial()) {
+    step_impl<transmission::Uniform>();
+  } else {
+    step_impl<transmission::General>();
+  }
+}
+
+template <class Mode>
+void VisitExchangeProcess::step_impl() {
+  constexpr bool kGeneral = std::is_same_v<Mode, transmission::General>;
   ++round_;
+  if constexpr (kGeneral) {
+    if (model_.blocking() && round_ == model_.block_round()) {
+      activate_blocking();
+    }
+  }
 
   // All agents take one walk step (ascending id = the paper's canonical
   // agent order). Traced and untraced paths run the same kernel and consume
@@ -69,21 +94,40 @@ void VisitExchangeProcess::step() {
   step_walks(*graph_, agents_.positions_mut(), rng_, laziness_, traffic,
              options_.engine);
 
-  // Phase A: agents informed in a previous round inform their vertex.
+  // Phase A: agents informed in a previous round inform their vertex
+  // (stifled agents and quarantined vertices excepted; the success draw
+  // fires only for state-changing deliveries).
   const std::size_t count = agents_.count();
   const std::size_t informed_at_start = informed_agent_count_;
   for (std::size_t idx = 0; idx < informed_at_start; ++idx) {
-    const Vertex v = agents_.position(order_.at(idx));
-    if (!arena_->vertex_inform_round.touched(v)) inform_vertex(v);
+    const Agent a = order_.at(idx);
+    const Vertex v = agents_.position(a);
+    if (arena_->vertex_inform_round.touched(v)) continue;
+    if constexpr (kGeneral) {
+      if (!model_.can_transmit<Mode>(arena_->agent_inform_round.get(a), v,
+                                     round_) ||
+          !model_.attempt<Mode>(v, v, rng_)) {
+        continue;
+      }
+    }
+    inform_vertex(v);
   }
 
   // Phase B: agents standing on an informed vertex (informed in this round
-  // or earlier) become informed.
+  // or earlier) become informed — unless the vertex has stifled or is
+  // quarantined.
   for (std::size_t idx = informed_at_start; idx < count; ++idx) {
     const Agent a = order_.at(idx);
-    if (arena_->vertex_inform_round.touched(agents_.position(a))) {
-      inform_agent_at(idx);
+    const Vertex v = agents_.position(a);
+    if (!arena_->vertex_inform_round.touched(v)) continue;
+    if constexpr (kGeneral) {
+      if (!model_.can_transmit<Mode>(arena_->vertex_inform_round.get(v), v,
+                                     round_) ||
+          !model_.attempt<Mode>(v, v, rng_)) {
+        continue;
+      }
     }
+    inform_agent_at(idx);
   }
 
   if (all_agents_informed() && agent_complete_round_ == kNoRoundYet) {
@@ -94,14 +138,26 @@ void VisitExchangeProcess::step() {
   }
 }
 
+bool VisitExchangeProcess::halted() const {
+  if (done() || round_ >= cutoff_) return true;
+  if (model_.trivial()) return false;
+  if (informed_vertex_count_ >= target_) return true;  // containment
+  return model_.extinct(round_, last_inform_round_);
+}
+
 RunResult VisitExchangeProcess::run() {
-  while (!done() && round_ < cutoff_) step();
+  while (!halted()) step();
   RunResult result;
   result.rounds = round_;
   result.completed = done();
   result.agent_rounds =
       agent_complete_round_ != kNoRoundYet ? agent_complete_round_ : round_;
-  if (options_.trace.informed_curve) result.informed_curve = arena_->curve;
+  result.informed = informed_vertex_count_;
+  if (options_.trace.informed_curve) {
+    result.informed_curve = arena_->curve;
+    result.stifled_curve =
+        derive_stifled_curve(result.informed_curve, model_.stifle());
+  }
   if (options_.trace.inform_rounds) {
     result.vertex_inform_round = arena_->vertex_inform_round.to_vector();
     result.agent_inform_round = arena_->agent_inform_round.to_vector();

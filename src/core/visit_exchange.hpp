@@ -66,13 +66,20 @@ class VisitExchangeProcess {
  private:
   void inform_vertex(Vertex v);
   void inform_agent_at(std::size_t order_index);
+  template <class Mode>
+  void step_impl();
+  void activate_blocking();
+  [[nodiscard]] bool halted() const;
 
   const Graph* graph_;
   Rng rng_;
   WalkOptions options_;
+  TransmissionModel model_;
   Laziness laziness_;
   Round round_ = 0;
   Round cutoff_;
+  std::uint32_t target_ = 0;  // blocking containment target (vertices)
+  Round last_inform_round_ = 0;
   // Scratch state: the identity-default agent-order permutation and the
   // epoch-stamped inform rounds live here (see TrialArena).
   std::unique_ptr<TrialArena> owned_arena_;

@@ -87,6 +87,10 @@ void format_trace_options(const TraceOptions& trace,
 bool set_walk_option(WalkOptions& options, std::string_view key,
                      std::string_view value) {
   if (set_agent_walk_option(options, key, value)) return true;
+  if (set_transmission_intervention_option(options.transmission, key,
+                                           value)) {
+    return true;
+  }
   return set_trace_option(options.trace, key, value);
 }
 
@@ -146,6 +150,9 @@ bool set_agent_walk_option(WalkOptions& options, std::string_view key,
     } else {
       return false;
     }
+  } else if (key == "tp") {
+    return set_transmission_probability_option(options.transmission, key,
+                                               value);
   } else {
     return false;
   }
@@ -156,6 +163,8 @@ void format_walk_options(const WalkOptions& options,
                          const WalkOptions& defaults,
                          spec_text::KeyValWriter& out) {
   format_agent_walk_options(options, defaults, out);
+  format_transmission_intervention_options(options.transmission,
+                                           defaults.transmission, out);
   format_trace_options(options.trace, defaults.trace, out);
 }
 
@@ -183,6 +192,8 @@ void format_agent_walk_options(const WalkOptions& options,
     out.add("engine",
             options.engine == StepEngine::batched ? "batched" : "scalar");
   }
+  format_transmission_probability_options(options.transmission,
+                                          defaults.transmission, out);
 }
 
 }  // namespace rumor

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "core/protocol.hpp"
+#include "core/transmission.hpp"
 #include "walk/agents.hpp"
 #include "walk/step_kernel.hpp"
 
@@ -36,6 +37,9 @@ struct WalkOptions {
   // Stepping-loop implementation; scalar_checked is the differential
   // baseline (identical trajectories by construction).
   StepEngine engine = StepEngine::batched;
+  // Contact rule (success probabilities + interventions); the default is
+  // the paper's always-successful homogeneous transmission.
+  TransmissionOptions transmission;
   TraceOptions trace;
 
   friend bool operator==(const WalkOptions&, const WalkOptions&) = default;
@@ -68,15 +72,18 @@ struct WalkOptions {
 // (visit-exchange, meet-exchange, hybrid, dynamic-agent, multi-rumor).
 // Keys: alpha, agents, placement (stationary|one_per_vertex|uniform|
 // at_vertex), anchor (vertex id or "source"), lazy (never|always|auto),
-// max_rounds, engine (batched|scalar), curve, inform_rounds, edge_traffic.
+// max_rounds, engine (batched|scalar), tp, curve, inform_rounds,
+// edge_traffic, plus the intervention keys (stifle, block, block@t).
 // set_walk_option returns false for an unknown key or unparsable value;
 // format_walk_options appends only keys that differ from `defaults`, so the
 // canonical spec text of a default spec is the bare protocol name.
 [[nodiscard]] bool set_walk_option(WalkOptions& options, std::string_view key,
                                    std::string_view value);
-// As set_walk_option but WITHOUT the trace keys — for simulators that honor
-// the agent substrate but record no traces (multi-rumor): accepting
-// curve=on there would parse, round-trip, and silently do nothing.
+// As set_walk_option but WITHOUT the trace and intervention keys — for
+// simulators that honor the agent substrate and the transmission
+// probability but can honor neither traces nor interventions (multi-rumor:
+// its packed rumor masks carry no inform ages): accepting curve=on or
+// stifle=3 there would parse, round-trip, and silently do nothing.
 [[nodiscard]] bool set_agent_walk_option(WalkOptions& options,
                                          std::string_view key,
                                          std::string_view value);

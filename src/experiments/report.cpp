@@ -53,8 +53,8 @@ namespace {
 
 const std::vector<std::string>& scenario_table_header() {
   static const std::vector<std::string> header{
-      "scenario", "graph", "protocol",  "n",   "trials",
-      "mean",     "median", "min",      "max", "incomplete"};
+      "scenario", "graph",  "protocol", "n",        "trials",    "mean",
+      "median",   "min",    "max",      "informed", "incomplete"};
   return header;
 }
 
@@ -64,14 +64,17 @@ std::vector<std::string> scenario_table_cells(const ScenarioResult& r) {
           r.spec.protocol.name(),   std::to_string(r.n),
           std::to_string(s.count),  fmt_mean_pm(s),
           TextTable::num(s.median, 1), TextTable::num(s.min, 1),
-          TextTable::num(s.max, 1), std::to_string(r.set.incomplete)};
+          TextTable::num(s.max, 1),
+          TextTable::num(r.set.informed_summary().mean, 1),
+          std::to_string(r.set.incomplete)};
 }
 
 const std::vector<std::string>& scenario_csv_header() {
   static const std::vector<std::string> header{
       "label", "graph",  "protocol", "n",   "m",   "trials",
       "seed",  "source", "mean",     "stddev", "stderr", "min",
-      "q25",   "median", "q75",      "max", "agent_mean", "incomplete"};
+      "q25",   "median", "q75",      "max", "agent_mean", "informed_mean",
+      "incomplete"};
   return header;
 }
 
@@ -87,6 +90,7 @@ std::vector<std::string> scenario_csv_cells(const ScenarioResult& r) {
           std::to_string(s.min), std::to_string(s.q25),
           std::to_string(s.median), std::to_string(s.q75),
           std::to_string(s.max), std::to_string(agents.mean),
+          std::to_string(r.set.informed_summary().mean),
           std::to_string(r.set.incomplete)};
 }
 
@@ -127,6 +131,7 @@ ScenarioTableStream::ScenarioTableStream(
   widths_[6] = std::max<std::size_t>(widths_[6], 9);   // median
   widths_[7] = std::max<std::size_t>(widths_[7], 9);   // min
   widths_[8] = std::max<std::size_t>(widths_[8], 9);   // max
+  widths_[9] = std::max<std::size_t>(widths_[9], 9);   // informed
   TextTable::emit_plain_row(out_, header, widths_);
   out_ << TextTable::plain_rule(widths_) << '\n' << std::flush;
 }

@@ -404,13 +404,26 @@ std::optional<std::vector<ScenarioResult>> run_scenarios(
     batch.source = specs[i].plan.source;
     batch.trials = specs[i].plan.trials;
     batch.master_seed = specs[i].plan.seed;
+    // Expected-cost heuristic for --order=longest-first: per-trial work is
+    // roughly proportional to the graph size.
+    batch.cost_hint = static_cast<std::size_t>(results[i].n) *
+                      specs[i].plan.trials;
     batch.out = &results[i].set;
   }
   std::function<void(std::size_t)> on_batch_done;
   if (options.on_result) {
     on_batch_done = [&](std::size_t i) { options.on_result(results[i], i); };
   }
-  run_trial_batches(batches, on_batch_done);
+  try {
+    run_trial_batches(batches, on_batch_done, nullptr, options.order);
+  } catch (const TrialBatchError& e) {
+    // Name the failing scenario: scenario files are user input, and "which
+    // line died" is the difference between a fixable report and a bare
+    // abort three hours in.
+    set_error(error, "scenario \"" + specs[e.batch_index()].name() +
+                         "\" failed: " + e.what());
+    return std::nullopt;
+  }
   return results;
 }
 

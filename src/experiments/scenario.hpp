@@ -114,6 +114,11 @@ struct ScenarioRunOptions {
   // are final. Runs on a worker thread under the scheduler's emission
   // lock; keep it cheap.
   std::function<void(const ScenarioResult&, std::size_t index)> on_result;
+  // Claim order for the global queue. longest_first starts the highest
+  // expected-cost scenarios (n·trials heuristic) first for tighter tails
+  // on many-scenario files; results and report order are identical either
+  // way.
+  BatchOrder order = BatchOrder::file;
 };
 
 // Executes all scenarios through ONE global (scenario, trial) work queue:

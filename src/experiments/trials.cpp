@@ -26,7 +26,11 @@ void record_trial(TrialSet& set, std::size_t i, TrialResult&& outcome,
                   std::atomic<std::size_t>& incomplete, bool want_curves) {
   set.rounds[i] = outcome.rounds;
   set.agent_rounds[i] = outcome.agent_rounds;
-  if (want_curves) set.informed_curves[i] = std::move(outcome.informed_curve);
+  set.informed[i] = outcome.informed;
+  if (want_curves) {
+    set.informed_curves[i] = std::move(outcome.informed_curve);
+    set.stifled_curves[i] = std::move(outcome.stifled_curve);
+  }
   if (!outcome.completed) incomplete.fetch_add(1);
 }
 
@@ -56,12 +60,10 @@ void run_one_trial(const TrialBatch& batch, std::size_t i,
 
 void run_trial_batches(const std::vector<TrialBatch>& batches,
                        const std::function<void(std::size_t)>& on_batch_done,
-                       ThreadPool* pool) {
+                       ThreadPool* pool, BatchOrder order) {
   if (batches.empty()) return;
   const std::size_t n = batches.size();
-  // Validate + size every result slot up front; offsets[b] is batch b's
-  // start in the flattened trial index space.
-  std::vector<std::size_t> offsets(n + 1, 0);
+  // Validate + size every result slot up front.
   std::vector<bool> want_curves(n, false);
   for (std::size_t b = 0; b < n; ++b) {
     const TrialBatch& batch = batches[b];
@@ -74,12 +76,39 @@ void run_trial_batches(const std::vector<TrialBatch>& batches,
     TrialSet& set = *batch.out;
     set.rounds.assign(batch.trials, 0.0);
     set.agent_rounds.assign(batch.trials, 0.0);
+    set.informed.assign(batch.trials, 0.0);
     set.incomplete = 0;
     set.informed_curves.clear();
+    set.stifled_curves.clear();
     const TraceOptions* trace = batch.protocol->trace();
     want_curves[b] = trace != nullptr && trace->informed_curve;
-    if (want_curves[b]) set.informed_curves.resize(batch.trials);
-    offsets[b + 1] = offsets[b] + batch.trials;
+    if (want_curves[b]) {
+      set.informed_curves.resize(batch.trials);
+      set.stifled_curves.resize(batch.trials);
+    }
+  }
+
+  // Claim order: the identity (file order), or highest expected cost
+  // first. Only the order in which workers START trials changes — sample
+  // values and emission order are claim-order independent.
+  std::vector<std::size_t> exec(n);
+  for (std::size_t b = 0; b < n; ++b) exec[b] = b;
+  if (order == BatchOrder::longest_first) {
+    std::stable_sort(exec.begin(), exec.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const std::size_t ca = batches[a].cost_hint != 0
+                                                  ? batches[a].cost_hint
+                                                  : batches[a].trials;
+                       const std::size_t cb = batches[b].cost_hint != 0
+                                                  ? batches[b].cost_hint
+                                                  : batches[b].trials;
+                       return ca > cb;
+                     });
+  }
+  // offsets[p] = start of exec[p]'s trials in the flattened index space.
+  std::vector<std::size_t> offsets(n + 1, 0);
+  for (std::size_t p = 0; p < n; ++p) {
+    offsets[p + 1] = offsets[p] + batches[exec[p]].trials;
   }
   const std::size_t total = offsets.back();
 
@@ -91,11 +120,18 @@ void run_trial_batches(const std::vector<TrialBatch>& batches,
   std::mutex emit_mutex;
   std::vector<bool> done(n, false);
   std::size_t next_emit = 0;
+  // First-failure capture: one trial throwing cancels the remaining work
+  // (already-running trials finish; nothing further is claimed or
+  // emitted) and surfaces as TrialBatchError after the pool drains.
+  std::atomic<bool> cancelled{false};
+  std::size_t failed_batch = 0;
+  std::string failure;
 
   auto complete_batch = [&](std::size_t b) {
     batches[b].out->incomplete = incomplete[b].load();
     if (!on_batch_done) return;
     std::lock_guard lock(emit_mutex);
+    if (cancelled.load(std::memory_order_relaxed)) return;
     done[b] = true;
     while (next_emit < n && done[next_emit]) {
       on_batch_done(next_emit);
@@ -112,16 +148,35 @@ void run_trial_batches(const std::vector<TrialBatch>& batches,
   pool->parallel_for_indexed(
       total,
       [&](std::size_t /*worker*/, std::size_t flat) {
-        const std::size_t b = static_cast<std::size_t>(
+        if (cancelled.load(std::memory_order_relaxed)) return;
+        const std::size_t p = static_cast<std::size_t>(
             std::upper_bound(offsets.begin(), offsets.end(), flat) -
             offsets.begin() - 1);
-        run_one_trial(batches[b], flat - offsets[b], incomplete[b],
-                      want_curves[b]);
+        const std::size_t b = exec[p];
+        try {
+          run_one_trial(batches[b], flat - offsets[p], incomplete[b],
+                        want_curves[b]);
+        } catch (const std::exception& e) {
+          std::lock_guard lock(emit_mutex);
+          if (!cancelled.exchange(true)) {
+            failed_batch = b;
+            failure = e.what();
+          }
+          return;
+        } catch (...) {
+          std::lock_guard lock(emit_mutex);
+          if (!cancelled.exchange(true)) {
+            failed_batch = b;
+            failure = "unknown exception";
+          }
+          return;
+        }
         if (finished[b].fetch_add(1) + 1 == batches[b].trials) {
           complete_batch(b);
         }
       },
       chunk);
+  if (cancelled.load()) throw TrialBatchError(failed_batch, failure);
 }
 
 TrialSet run_trials(const Graph& g, const ProtocolSpec& spec, Vertex source,

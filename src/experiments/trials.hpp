@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "experiments/specs.hpp"
@@ -36,14 +38,22 @@ struct TrialSet {
   // `rounds` for protocols without a separate one, 0 for protocols with no
   // agent notion at all (multi-rumor, async).
   std::vector<double> agent_rounds;
+  // Final informed-entity counts: the containment measure when a
+  // transmission model with interventions stops the rumor short.
+  std::vector<double> informed;
   std::size_t incomplete = 0;  // trials that hit the round cutoff
   // Per-trial informed curves; populated only when the protocol spec
-  // traces informed_curve.
+  // traces informed_curve. The stifled curves ride along whenever the
+  // spec's transmission model stifles (empty per-trial vectors otherwise).
   std::vector<std::vector<std::uint32_t>> informed_curves;
+  std::vector<std::vector<std::uint32_t>> stifled_curves;
 
   [[nodiscard]] Summary summary() const { return Summary::of(rounds); }
   [[nodiscard]] Summary agent_summary() const {
     return Summary::of(agent_rounds);
+  }
+  [[nodiscard]] Summary informed_summary() const {
+    return Summary::of(informed);
   }
 };
 
@@ -75,6 +85,33 @@ struct TrialBatch {
   std::size_t trials = 0;
   std::uint64_t master_seed = 0;
   TrialSet* out = nullptr;
+  // Expected relative cost for BatchOrder::longest_first (the n·trials
+  // heuristic run_scenarios fills in); 0 falls back to `trials`.
+  std::size_t cost_hint = 0;
+};
+
+// How the scheduler orders batches in the claim queue. Results and report
+// order are IDENTICAL either way (sample i of batch b depends only on
+// (master_seed, i), and on_batch_done always fires in batch order); only
+// wall-clock tails differ.
+enum class BatchOrder {
+  file,           // claim trials in submission order (the default)
+  longest_first,  // start the highest cost_hint batches first: a long-tail
+                  // scenario late in the file no longer finishes last
+};
+
+// Thrown by run_trial_batches when a trial throws: carries which batch
+// failed so the caller can name the scenario. Remaining trials are
+// abandoned (already-emitted on_batch_done batches stay emitted; no
+// further batches are reported).
+class TrialBatchError : public std::runtime_error {
+ public:
+  TrialBatchError(std::size_t batch, const std::string& message)
+      : std::runtime_error(message), batch_index_(batch) {}
+  [[nodiscard]] std::size_t batch_index() const { return batch_index_; }
+
+ private:
+  std::size_t batch_index_;
 };
 
 // Drains every batch's trials through ONE parallel-for over the
@@ -82,7 +119,8 @@ struct TrialBatch {
 // interleave freely across workers, there is no barrier between batches,
 // and per-worker TrialArena reuse keeps steady-state allocations at zero.
 // Sample i of batch b is still derive_seed(b.master_seed, i) — identical
-// to running the batches one at a time, for any worker count.
+// to running the batches one at a time, for any worker count and any
+// BatchOrder.
 //
 // `on_batch_done(b)` fires once per batch, in BATCH ORDER (batch b is
 // reported only after batches 0..b-1 were reported), as completions allow
@@ -92,6 +130,6 @@ struct TrialBatch {
 void run_trial_batches(
     const std::vector<TrialBatch>& batches,
     const std::function<void(std::size_t)>& on_batch_done = {},
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, BatchOrder order = BatchOrder::file);
 
 }  // namespace rumor

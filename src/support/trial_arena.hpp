@@ -22,6 +22,25 @@
 
 namespace rumor {
 
+// Transmission-model fields (core/transmission) materialized per (graph,
+// parameters) binding: the per-vertex receive probabilities, the CSR-slot
+// aligned per-edge copies, and the blocked set. Cached by graph uid +
+// parameters so steady-state trials on one graph rebuild nothing; vectors
+// keep their capacity across rebinds, so rebinding allocates only at a new
+// high-water mark.
+struct TransmissionScratch {
+  std::uint64_t graph_uid = 0;  // 0 = empty cache
+  double tp = 1.0;
+  double exponent = 0.0;
+  double block_fraction = 0.0;
+  bool degree_scaled = false;
+  std::vector<float> vertex_success;   // n entries
+  std::vector<float> edge_success;     // 2m entries, CSR-slot aligned
+  std::vector<std::uint8_t> blocked;   // n entries (1 = quarantined)
+  std::uint32_t blocked_count = 0;
+  std::vector<std::uint32_t> order;    // degree-sort scratch for blocking
+};
+
 struct TrialArena {
   // Per-vertex / per-agent inform rounds (default = kNeverInformed).
   EpochArray<std::uint32_t> vertex_inform_round;
@@ -59,6 +78,9 @@ struct TrialArena {
   std::vector<std::uint64_t> agent_rumors_before;
   std::vector<std::uint32_t> rumor_have_count;
   std::vector<std::uint64_t> rumor_completion;
+
+  // Transmission-model field cache (see core/transmission).
+  TransmissionScratch transmission;
 
   // Cache for expensive per-graph placement structures (the stationary
   // alias sampler). Keyed by Graph::uid() so a rebuilt graph at a recycled

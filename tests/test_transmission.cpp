@@ -1,0 +1,521 @@
+// Transmission-model layer tests: the tp=1/no-intervention fast path
+// reproduces the pre-transmission trial samples byte-identically for every
+// registered simulator (pinned golden samples), the grammar keys round-trip
+// and reject what the simulators cannot honor, heterogeneous probabilities
+// and interventions behave as specified, the longest-first scheduler order
+// changes wall-clock only, and a throwing trial surfaces as a named
+// scenario failure instead of a bare abort.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/transmission.hpp"
+#include "experiments/scenario.hpp"
+#include "graph/generators.hpp"
+#include "support/spec_text.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trial_arena.hpp"
+
+namespace rumor {
+namespace {
+
+// ---- tp=1 equivalence vs. seed-state results (acceptance criterion) ----
+//
+// Captured from the pre-transmission build (PR 4 head) on circulant(48, 2),
+// source 0, 6 trials, master seed 20260730: run_trials samples for every
+// registered simulator's default spec. The default transmission model is
+// trivial, so the refactored contact sites must reproduce these exactly —
+// any extra RNG draw or reordered branch shows up as a changed sample.
+
+struct GoldenSamples {
+  const char* name;
+  std::vector<double> rounds;
+  std::vector<double> agent_rounds;
+};
+
+const std::vector<GoldenSamples>& golden_samples() {
+  static const std::vector<GoldenSamples> golden = {
+      {"push", {30, 28, 27, 29, 29, 24}, {30, 28, 27, 29, 29, 24}},
+      {"push-pull", {17, 18, 19, 19, 20, 23}, {17, 18, 19, 19, 20, 23}},
+      {"visit-exchange",
+       {30, 31, 31, 34, 26, 34},
+       {27, 29, 30, 26, 22, 26}},
+      {"meet-exchange", {32, 36, 30, 26, 35, 36}, {32, 36, 30, 26, 35, 36}},
+      {"hybrid", {15, 17, 19, 15, 16, 17}, {15, 17, 19, 15, 16, 17}},
+      {"frog", {32, 27, 20, 23, 25, 19}, {32, 27, 20, 23, 25, 19}},
+      {"dynamic-agent", {30, 31, 31, 34, 26, 34}, {30, 31, 31, 34, 26, 34}},
+      {"multi-push-pull", {18, 19, 21, 21, 19, 19}, {0, 0, 0, 0, 0, 0}},
+      {"multi-visit-exchange",
+       {30, 31, 31, 34, 26, 34},
+       {0, 0, 0, 0, 0, 0}},
+      {"async",
+       {12.75, 13.3125, 15.104166666666666, 10.125, 12.166666666666666,
+        18.770833333333332},
+       {0, 0, 0, 0, 0, 0}},
+  };
+  return golden;
+}
+
+TEST(TransmissionEquivalence, DefaultSpecsReproduceSeedStateSamples) {
+  const Graph g = gen::circulant(48, 2);
+  for (const GoldenSamples& golden : golden_samples()) {
+    const SimulatorEntry* entry =
+        SimulatorRegistry::instance().find(golden.name);
+    ASSERT_NE(entry, nullptr) << golden.name;
+    const TrialSet set =
+        run_trials(g, default_spec(entry->id), 0, 6, 20260730ULL);
+    EXPECT_EQ(set.rounds, golden.rounds) << golden.name;
+    EXPECT_EQ(set.agent_rounds, golden.agent_rounds) << golden.name;
+    EXPECT_EQ(set.incomplete, 0u) << golden.name;
+  }
+}
+
+TEST(TransmissionEquivalence, ExplicitTpOneIsTheTrivialModel) {
+  // `tp=1` parses, round-trips away (it IS the default), and produces the
+  // same samples — the grammar cannot accidentally fork the fast path.
+  const Graph g = gen::circulant(48, 2);
+  for (const GoldenSamples& golden : golden_samples()) {
+    const std::string text = std::string(golden.name) + "(tp=1)";
+    const auto spec = ProtocolSpec::parse(text);
+    ASSERT_TRUE(spec) << text;
+    EXPECT_EQ(spec->name(), golden.name);  // default emits no keys
+    const TrialSet set = run_trials(g, *spec, 0, 6, 20260730ULL);
+    EXPECT_EQ(set.rounds, golden.rounds) << text;
+  }
+}
+
+TEST(TransmissionEquivalence, AllOnesGeneralFieldMatchesUniformTrajectory) {
+  // tp=deg^0 builds a non-trivial model whose field is identically 1: the
+  // General instantiation must then consume the RNG exactly like Uniform
+  // (attempt() skips the draw at p = 1), reproducing the golden samples.
+  const Graph g = gen::circulant(48, 2);
+  for (const char* name : {"push", "push-pull", "visit-exchange", "frog"}) {
+    const auto spec =
+        ProtocolSpec::parse(std::string(name) + "(tp=deg^0)");
+    ASSERT_TRUE(spec) << name;
+    const SimulatorEntry* entry = SimulatorRegistry::instance().find(name);
+    ASSERT_NE(entry, nullptr);
+    const TrialSet general = run_trials(g, *spec, 0, 6, 20260730ULL);
+    const TrialSet uniform =
+        run_trials(g, default_spec(entry->id), 0, 6, 20260730ULL);
+    EXPECT_EQ(general.rounds, uniform.rounds) << name;
+  }
+}
+
+TEST(TransmissionEquivalence, HugeStifleWindowMatchesUniformTrajectory) {
+  // A stifle window longer than any trial is behaviorally inert at tp=1:
+  // same informs, same draws, same samples — but through the General path.
+  // stifle=2^32-1 additionally guards the 64-bit age arithmetic (a uint32
+  // sum would wrap and stifle everything instantly).
+  const Graph g = gen::circulant(48, 2);
+  const TrialSet uniform = run_trials(
+      g, default_spec(Protocol::push), 0, 6, 20260730ULL);
+  for (const char* text : {"push(stifle=100000)", "push(stifle=4294967295)"}) {
+    const auto spec = ProtocolSpec::parse(text);
+    ASSERT_TRUE(spec) << text;
+    const TrialSet general = run_trials(g, *spec, 0, 6, 20260730ULL);
+    EXPECT_EQ(general.rounds, uniform.rounds) << text;
+    EXPECT_EQ(general.incomplete, 0u) << text;
+  }
+}
+
+// ---- Grammar round-trip -----------------------------------------------
+
+TEST(TransmissionGrammar, CanonicalTextRoundTrips) {
+  // Each line is already in canonical key order: parse → name() is the
+  // identity, and re-parsing reproduces the spec bit for bit.
+  const std::vector<std::string> lines = {
+      "push(tp=0.5)",
+      "push(tp=deg^-0.5)",
+      "push(stifle=3)",
+      "push(loss=0.1,tp=0.25,stifle=2,block=0.1,block@t=5)",
+      "push-pull(tp=0.25,stifle=2,block=0.1,block@t=5)",
+      "push-pull(tp=deg^-1,curve=on)",
+      "visit-exchange(alpha=0.5,tp=deg^-1,stifle=4)",
+      "meet-exchange(tp=0.5,block=0.2)",
+      "hybrid(tp=deg^-0.5,block=0.25,block@t=3)",
+      "frog(frogs=2,tp=0.5,stifle=6)",
+      "dynamic-agent(churn=0.1,tp=0.5,stifle=3)",
+      "multi-push-pull(rumors=3,tp=0.5)",
+      "multi-visit-exchange(alpha=0.5,tp=0.5)",
+      "async(tp=0.5)",
+  };
+  for (const std::string& line : lines) {
+    std::string error;
+    const auto spec = ProtocolSpec::parse(line, &error);
+    ASSERT_TRUE(spec) << line << ": " << error;
+    EXPECT_EQ(spec->name(), line);
+    const auto reparsed = ProtocolSpec::parse(spec->name(), &error);
+    ASSERT_TRUE(reparsed) << spec->name() << ": " << error;
+    EXPECT_EQ(*reparsed, *spec) << line;
+  }
+}
+
+TEST(TransmissionGrammar, RejectsWhatSimulatorsCannotHonor) {
+  // Bad values, and intervention keys on simulators whose bookkeeping
+  // cannot honor them (multi-rumor's packed masks, async's tick clock):
+  // rejected at parse time, never silently ignored.
+  for (const char* line : {
+           "push(tp=0)", "push(tp=1.5)", "push(tp=-0.5)", "push(tp=deg^9)",
+           "push(tp=deg^)", "push(block=1)", "push(block=-0.1)",
+           "push(block@t=0)", "push(stifle=bad)",
+           "multi-push-pull(stifle=3)", "multi-visit-exchange(block=0.1)",
+           "async(stifle=2)", "async(block@t=4)",
+       }) {
+    EXPECT_FALSE(ProtocolSpec::parse(line)) << line;
+  }
+}
+
+TEST(TransmissionGrammar, SweepsExpandOverTpAndStifle) {
+  std::string error;
+  const auto specs = expand_scenario_line(
+      "complete(n=32) push(tp={0.25,0.5,1},stifle=1..4) trials=2 label=p",
+      &error);
+  ASSERT_TRUE(specs) << error;
+  ASSERT_EQ(specs->size(), 9u);  // 3 tp values x 3 stifle points (1,2,4)
+  EXPECT_EQ((*specs)[0].protocol.name(), "push(tp=0.25,stifle=1)");
+  EXPECT_EQ((*specs)[0].label, "p/0.25/1");
+  EXPECT_EQ((*specs)[8].protocol.name(), "push(stifle=4)");  // tp=1 default
+  EXPECT_EQ((*specs)[8].label, "p/1/4");
+}
+
+// ---- Heterogeneous probabilities --------------------------------------
+
+TEST(TransmissionBehavior, LowerTpSlowsBroadcastDeterministically) {
+  const Graph g = gen::complete(64);
+  const auto half = ProtocolSpec::parse("push(tp=0.5)");
+  ASSERT_TRUE(half);
+  const TrialSet fast =
+      run_trials(g, default_spec(Protocol::push), 0, 12, 7);
+  const TrialSet slow = run_trials(g, *half, 0, 12, 7);
+  EXPECT_EQ(slow.incomplete, 0u);  // tp < 1 delays, never kills
+  EXPECT_GT(slow.summary().mean, fast.summary().mean);
+  // Determinism: heterogeneous samples are still a pure function of
+  // (master seed, index).
+  const TrialSet again = run_trials(g, *half, 0, 12, 7);
+  EXPECT_EQ(slow.rounds, again.rounds);
+}
+
+TEST(TransmissionBehavior, HeterogeneousArenaAndOwnedTrialsAgree) {
+  Rng gen_rng(5);
+  const Graph g = gen::random_regular(64, 5, gen_rng);
+  TrialArena arena;  // deliberately shared and dirty across specs
+  for (const char* text :
+       {"push(tp=0.5)", "push(tp=deg^-0.5,stifle=8)",
+        "push-pull(tp=0.5,block=0.1,block@t=2)",
+        "visit-exchange(tp=deg^-0.5)", "meet-exchange(tp=0.5,stifle=12)",
+        "hybrid(tp=0.5)", "frog(frogs=2,tp=0.5)",
+        "dynamic-agent(churn=0.05,tp=0.5)", "multi-push-pull(tp=0.5)",
+        "multi-visit-exchange(tp=0.5)", "async(tp=0.5)"}) {
+    const auto spec = ProtocolSpec::parse(text);
+    ASSERT_TRUE(spec) << text;
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const TrialResult lent = run_protocol(g, *spec, 0, seed, &arena);
+      const TrialResult owned = run_protocol(g, *spec, 0, seed, nullptr);
+      EXPECT_EQ(lent.rounds, owned.rounds) << text << " seed " << seed;
+      EXPECT_EQ(lent.informed, owned.informed) << text << " seed " << seed;
+      EXPECT_EQ(lent.completed, owned.completed) << text << " seed " << seed;
+    }
+  }
+}
+
+// ---- Interventions ----------------------------------------------------
+
+TEST(TransmissionBehavior, StiflingExtinguishesAndStopsEarly) {
+  // stifle=1 on a cycle: every spreader gets one call, so the rumor dies
+  // within a few vertices — the run must stop at extinction, orders of
+  // magnitude before the default cutoff, and report the containment.
+  const Graph g = gen::cycle(64);
+  const auto spec = ProtocolSpec::parse("push(stifle=1)");
+  ASSERT_TRUE(spec);
+  const TrialSet set = run_trials(g, *spec, 0, 16, 9);
+  EXPECT_EQ(set.incomplete, 16u);  // nothing completes
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_LT(set.rounds[i], 100.0) << i;     // extinction, not cutoff
+    EXPECT_LT(set.informed[i], 64.0) << i;    // contained
+    EXPECT_GE(set.informed[i], 1.0) << i;     // source always informed
+    // The run ends within the stifle window of the last inform.
+    EXPECT_LE(set.rounds[i], set.informed[i] + 1.0) << i;
+  }
+}
+
+TEST(TransmissionBehavior, StifledCurveDerivesFromInformedCurve) {
+  const Graph g = gen::complete(48);
+  const auto spec = ProtocolSpec::parse("push(stifle=2,curve=on)");
+  ASSERT_TRUE(spec);
+  TrialArena arena;
+  const TrialResult r = run_protocol(g, *spec, 0, 3, &arena);
+  ASSERT_FALSE(r.informed_curve.empty());
+  ASSERT_EQ(r.stifled_curve.size(), r.informed_curve.size());
+  for (std::size_t t = 0; t < r.stifled_curve.size(); ++t) {
+    const std::uint32_t expected =
+        t >= 3 ? r.informed_curve[t - 3] : 0u;
+    EXPECT_EQ(r.stifled_curve[t], expected) << "round " << t;
+  }
+  // And the trial runner carries the curves into the TrialSet.
+  const TrialSet set = run_trials(g, *spec, 0, 4, 3);
+  ASSERT_EQ(set.stifled_curves.size(), 4u);
+  EXPECT_FALSE(set.stifled_curves[0].empty());
+  EXPECT_EQ(set.informed[0],
+            static_cast<double>(set.informed_curves[0].back()));
+}
+
+TEST(TransmissionBehavior, BlockingContainsAtTheUnblockedTarget) {
+  // complete(64) with the top 25% blocked (uniform degrees → ids 0..15 by
+  // the tie rule). From an unblocked source the rumor reaches exactly the
+  // 48 unblocked vertices, then the run halts at containment.
+  const Graph g = gen::complete(64);
+  const auto spec = ProtocolSpec::parse("push(block=0.25)");
+  ASSERT_TRUE(spec);
+  const TrialSet set = run_trials(g, *spec, 63, 8, 5);
+  EXPECT_EQ(set.incomplete, 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(set.informed[i], 48.0) << i;
+    EXPECT_LT(set.rounds[i], 1000.0) << i;  // containment halt, not cutoff
+  }
+}
+
+TEST(TransmissionBehavior, BlockingTheStarCenterQuarantinesTheRumor) {
+  // block=0.02 on star(63): ceil rounds to one vertex — the center, the
+  // highest-degree vertex (targeted immunization). A leaf source then has
+  // no route at all; the caller list empties and the run halts immediately
+  // instead of spinning to the cutoff.
+  const Graph g = gen::star(63);
+  const auto spec = ProtocolSpec::parse("push(block=0.02)");
+  ASSERT_TRUE(spec);
+  const TrialSet set = run_trials(g, *spec, 1, 4, 11);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(set.informed[i], 1.0) << i;
+    EXPECT_LE(set.rounds[i], 3.0) << i;
+  }
+
+  // The same blocked set delays nothing for the walk protocols' coverage
+  // of unblocked vertices: agents walk THROUGH the quarantined center and
+  // carry the rumor around it.
+  const auto visitx = ProtocolSpec::parse("visit-exchange(block=0.02)");
+  ASSERT_TRUE(visitx);
+  const TrialSet walks = run_trials(g, *visitx, 1, 4, 11);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(walks.informed[i], 63.0) << i;  // every leaf + source
+  }
+}
+
+TEST(TransmissionBehavior, CompletedRunsReportFullInformedCount) {
+  const Graph g = gen::complete(32);
+  const TrialSet set =
+      run_trials(g, default_spec(Protocol::push), 0, 6, 2);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(set.informed[i], 32.0);
+  EXPECT_EQ(set.informed_summary().mean, 32.0);
+}
+
+// ---- Scenario-level integration ---------------------------------------
+
+TEST(TransmissionScenario, HeterogeneousSweepRunsEndToEnd) {
+  std::istringstream in(
+      "star(leaves=256) push(tp={0.5,1}) source=1 trials=4 label=p\n"
+      "star(leaves=256) push(stifle=2) source=1 trials=4 label=stifled\n");
+  std::string error;
+  const auto specs = parse_scenario_stream(in, &error);
+  ASSERT_TRUE(specs) << error;
+  ASSERT_EQ(specs->size(), 3u);
+  const auto results = run_scenarios(*specs, &error);
+  ASSERT_TRUE(results) << error;
+  // tp=0.5 at least as slow as tp=1 on the star (deterministic seeds).
+  EXPECT_GE((*results)[0].set.summary().mean,
+            (*results)[1].set.summary().mean);
+  // The stifled scenario dies out: star broadcast needs the center to keep
+  // calling for Θ(n log n) rounds, two rounds of spreading cannot finish.
+  EXPECT_EQ((*results)[2].set.incomplete, 4u);
+  EXPECT_LT((*results)[2].set.informed_summary().mean, 257.0);
+}
+
+// ---- Longest-first scheduler order (satellite) -------------------------
+
+// A test-only simulator registered through the public extension mechanism:
+// deterministic and benign by default, records its master seeds in
+// execution order (for claim-order assertions), and throws on demand (for
+// failure-propagation assertions, loss=0.25 as the tripwire).
+std::mutex g_chaos_mutex;
+std::vector<std::uint64_t> g_chaos_seeds;
+
+constexpr double kChaosThrowLoss = 0.25;
+
+TrialResult chaos_run(const Graph&, const ProtocolOptions& options,
+                      Vertex, std::uint64_t seed, TrialArena*) {
+  if (std::get<PushOptions>(options).loss_probability == kChaosThrowLoss) {
+    throw std::runtime_error("chaos trial failure");
+  }
+  {
+    std::lock_guard lock(g_chaos_mutex);
+    g_chaos_seeds.push_back(seed);
+  }
+  TrialResult result;
+  result.rounds = 1.0 + static_cast<double>(seed % 3);
+  result.agent_rounds = result.rounds;
+  result.informed = 1.0;
+  result.completed = true;
+  return result;
+}
+
+void chaos_format(const ProtocolOptions& options,
+                  const ProtocolOptions& defaults,
+                  spec_text::KeyValWriter& out) {
+  const auto& opt = std::get<PushOptions>(options);
+  if (opt.loss_probability !=
+      std::get<PushOptions>(defaults).loss_probability) {
+    out.add("loss", opt.loss_probability);
+  }
+}
+
+bool chaos_set(ProtocolOptions& options, std::string_view key,
+               std::string_view value) {
+  if (key != "loss") return false;
+  const auto v = spec_text::parse_double(value);
+  if (!v) return false;
+  std::get<PushOptions>(options).loss_probability = *v;
+  return true;
+}
+
+TraceOptions* chaos_trace(ProtocolOptions&) { return nullptr; }
+
+const SimulatorEntry& ensure_chaos_simulator() {
+  static const SimulatorEntry* entry = [] {
+    SimulatorEntry e;
+    e.id = static_cast<Protocol>(0x7E57);
+    e.name = "test-chaos";
+    e.summary = "test-only simulator (execution-order probe / throw switch)";
+    e.defaults = PushOptions{};
+    e.run = chaos_run;
+    e.format_options = chaos_format;
+    e.set_option = chaos_set;
+    e.trace = chaos_trace;
+    SimulatorRegistry::instance().add(std::move(e));
+    return SimulatorRegistry::instance().find("test-chaos");
+  }();
+  return *entry;
+}
+
+TEST(TrialSchedulerOrder, LongestFirstStartsTheCostliestBatch) {
+  const SimulatorEntry& entry = ensure_chaos_simulator();
+  const ProtocolSpec spec = default_spec(entry.id);
+  Rng rng(1);
+  const Graph g = gen::complete(8);
+  std::vector<TrialSet> sets(3);
+  std::vector<TrialBatch> batches(3);
+  // File order: cheap, mid, costly — distinct seed bases identify batches.
+  batches[0] = {&g, nullptr, &spec, 0, 2, 1000, &sets[0], /*cost_hint=*/10};
+  batches[1] = {&g, nullptr, &spec, 0, 2, 2000, &sets[1], /*cost_hint=*/20};
+  batches[2] = {&g, nullptr, &spec, 0, 2, 3000, &sets[2], /*cost_hint=*/90};
+  ThreadPool pool(1);  // serial claims make the order observable
+
+  {
+    std::lock_guard lock(g_chaos_mutex);
+    g_chaos_seeds.clear();
+  }
+  run_trial_batches(batches, {}, &pool, BatchOrder::longest_first);
+  std::vector<std::uint64_t> longest_order;
+  {
+    std::lock_guard lock(g_chaos_mutex);
+    longest_order = g_chaos_seeds;
+  }
+  ASSERT_EQ(longest_order.size(), 6u);
+  // Costliest batch (seed base 3000) claimed first, cheapest last.
+  EXPECT_EQ(longest_order[0], derive_seed(3000, 0));
+  EXPECT_EQ(longest_order[1], derive_seed(3000, 1));
+  EXPECT_EQ(longest_order[4], derive_seed(1000, 0));
+
+  // Results are identical to file order, for any worker count.
+  std::vector<TrialSet> file_sets(3);
+  std::vector<TrialBatch> file_batches = batches;
+  for (std::size_t b = 0; b < 3; ++b) file_batches[b].out = &file_sets[b];
+  ThreadPool pool4(4);
+  run_trial_batches(file_batches, {}, &pool4, BatchOrder::file);
+  for (std::size_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(file_sets[b].rounds, sets[b].rounds) << b;
+  }
+}
+
+TEST(TrialSchedulerOrder, EmissionStaysInFileOrderUnderLongestFirst) {
+  const SimulatorEntry& entry = ensure_chaos_simulator();
+  const ProtocolSpec spec = default_spec(entry.id);
+  Rng rng(1);
+  const Graph g = gen::complete(8);
+  std::vector<TrialSet> sets(3);
+  std::vector<TrialBatch> batches(3);
+  batches[0] = {&g, nullptr, &spec, 0, 2, 1, &sets[0], /*cost_hint=*/1};
+  batches[1] = {&g, nullptr, &spec, 0, 2, 2, &sets[1], /*cost_hint=*/50};
+  batches[2] = {&g, nullptr, &spec, 0, 2, 3, &sets[2], /*cost_hint=*/99};
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(workers);
+    std::vector<std::size_t> emitted;
+    run_trial_batches(
+        batches, [&](std::size_t b) { emitted.push_back(b); }, &pool,
+        BatchOrder::longest_first);
+    EXPECT_EQ(emitted, (std::vector<std::size_t>{0, 1, 2}))
+        << workers << " workers";
+  }
+}
+
+TEST(TrialSchedulerOrder, RunScenariosLongestFirstMatchesFileOrder) {
+  std::istringstream in(
+      "complete(n=16) push trials=3 label=a\n"
+      "complete(n=64) push trials=3 label=b\n"
+      "star(leaves=128) push source=1 trials=3 label=c\n");
+  std::string error;
+  const auto specs = parse_scenario_stream(in, &error);
+  ASSERT_TRUE(specs) << error;
+  const auto file_results = run_scenarios(*specs, &error);
+  ASSERT_TRUE(file_results) << error;
+  ScenarioRunOptions options;
+  options.order = BatchOrder::longest_first;
+  const auto longest_results = run_scenarios(*specs, &error, options);
+  ASSERT_TRUE(longest_results) << error;
+  for (std::size_t i = 0; i < specs->size(); ++i) {
+    EXPECT_EQ((*longest_results)[i].set.rounds,
+              (*file_results)[i].set.rounds)
+        << i;
+  }
+}
+
+// ---- Trial failure propagation (satellite bugfix) ----------------------
+
+TEST(TrialFailure, RunTrialBatchesThrowsTypedErrorNamingTheBatch) {
+  const SimulatorEntry& entry = ensure_chaos_simulator();
+  ProtocolSpec good = default_spec(entry.id);
+  ProtocolSpec bad = default_spec(entry.id);
+  std::get<PushOptions>(bad.options).loss_probability = kChaosThrowLoss;
+  Rng rng(1);
+  const Graph g = gen::complete(8);
+  std::vector<TrialSet> sets(2);
+  std::vector<TrialBatch> batches(2);
+  batches[0] = {&g, nullptr, &good, 0, 2, 7, &sets[0]};
+  batches[1] = {&g, nullptr, &bad, 0, 2, 8, &sets[1]};
+  ThreadPool pool(2);
+  try {
+    run_trial_batches(batches, {}, &pool);
+    FAIL() << "expected TrialBatchError";
+  } catch (const TrialBatchError& e) {
+    EXPECT_EQ(e.batch_index(), 1u);
+    EXPECT_STREQ(e.what(), "chaos trial failure");
+  }
+}
+
+TEST(TrialFailure, RunScenariosNamesTheFailingScenario) {
+  ensure_chaos_simulator();
+  std::istringstream in(
+      "complete(n=8) test-chaos trials=2 label=fine\n"
+      "complete(n=8) test-chaos(loss=0.25) trials=2 label=boom\n");
+  std::string error;
+  const auto specs = parse_scenario_stream(in, &error);
+  ASSERT_TRUE(specs) << error;
+  EXPECT_FALSE(run_scenarios(*specs, &error));
+  EXPECT_NE(error.find("test-chaos(loss=0.25)"), std::string::npos) << error;
+  EXPECT_NE(error.find("chaos trial failure"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace rumor

@@ -137,7 +137,9 @@ void expect_same(const RunResult& a, const RunResult& b) {
   EXPECT_EQ(a.rounds, b.rounds);
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.agent_rounds, b.agent_rounds);
+  EXPECT_EQ(a.informed, b.informed);
   EXPECT_EQ(a.informed_curve, b.informed_curve);
+  EXPECT_EQ(a.stifled_curve, b.stifled_curve);
   EXPECT_EQ(a.vertex_inform_round, b.vertex_inform_round);
   EXPECT_EQ(a.agent_inform_round, b.agent_inform_round);
   EXPECT_EQ(a.edge_traffic, b.edge_traffic);
@@ -314,6 +316,49 @@ TEST(TrialArena, SteadyStateFrogTrialsAllocateNothing) {
   const Graph g = gen::circulant(256, 8);
   TrialArena arena;
   expect_zero_alloc_steady_state(g, "frog(frogs=2)", arena);
+}
+
+// Satellite: the transmission-model field path. The per-vertex receive
+// field, the CSR-aligned per-edge field, and the blocked set are cached by
+// (graph uid, parameters) in the arena's TransmissionScratch, so repeated
+// heterogeneous trials rebuild and allocate nothing.
+TEST(TrialArena, HeterogeneousTransmissionSteadyStateAllocatesNothing) {
+  const Graph g = gen::circulant(256, 8);
+  TrialArena arena;
+  for (const char* spec :
+       {"push(tp=deg^-0.5)", "push(tp=0.5,stifle=16)",
+        "push-pull(tp=0.5,block=0.1)", "visit-exchange(tp=deg^-0.5)",
+        "meet-exchange(tp=0.5)", "hybrid(tp=0.5,stifle=16)",
+        "frog(frogs=2,tp=0.5)", "dynamic-agent(churn=0.05,tp=0.5)",
+        "multi-push-pull(rumors=4,tp=0.5)",
+        "multi-visit-exchange(rumors=4,tp=0.5)", "async(tp=0.5)"}) {
+    expect_zero_alloc_steady_state(g, spec, arena);
+  }
+}
+
+TEST(TrialArena, PerEdgeFieldStepPathAllocatesNothing) {
+  // The CSR-slot-aligned per-edge field is what the edge-traffic traced
+  // contact sites read (attempt_slot); stepping with a warm arena — no
+  // result materialization — must be allocation-free.
+  const Graph g = gen::circulant(256, 8);
+  TrialArena arena;
+  const auto spec = ProtocolSpec::parse("push(tp=deg^-0.5,edge_traffic=on)");
+  ASSERT_TRUE(spec);
+  const PushOptions& options = std::get<PushOptions>(spec->options);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {  // warm the buffers
+    PushProcess process(g, 0, seed, options, &arena);
+    for (int s = 0; s < 8; ++s) process.step();
+  }
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  std::uint64_t acc = 0;
+  for (std::uint64_t seed = 4; seed < 12; ++seed) {
+    PushProcess process(g, 0, seed, options, &arena);
+    for (int s = 0; s < 8; ++s) process.step();
+    acc += process.informed_count();
+  }
+  g_count_allocs.store(false);
+  EXPECT_EQ(g_alloc_count.load(), 0u) << "(informed acc " << acc << ")";
 }
 
 TEST(TrialArena, SteadyStateMultiRumorTrialsAllocateNothing) {
