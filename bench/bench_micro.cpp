@@ -286,6 +286,39 @@ void BM_PushTransmissionHeterogeneous(benchmark::State& state) {
 }
 BENCHMARK(BM_PushTransmissionHeterogeneous)->Arg(1 << 10)->Arg(1 << 14);
 
+// Walk-layer twin of the series above: visit-exchange on the Fig 1a star,
+// the graph where the paper separates push from visit-exchange. Uniform is
+// the default spec (tp=1 trivial model, zero per-visit transmission work);
+// Heterogeneous is a constant tp=0.5 field — on the star deg^-0.5 would
+// collapse the leaf probabilities to near-zero and turn every trial into a
+// round-cutoff crawl, so the flat field is the honest walk-side measure of
+// per-delivery skip-sampling overhead. Same gate shape as the push pair:
+// compare_bench.py bounds the Uniform/Heterogeneous trials/sec ratio drift
+// and caps the baseline ratio.
+void walk_transmission_bench(benchmark::State& state, const char* spec_text) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = gen::star(n);
+  const auto spec = ProtocolSpec::parse(spec_text);
+  TrialArena arena;
+  std::uint64_t seed = 0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += run_protocol(g, *spec, 0, ++seed, &arena).rounds;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_WalkTransmissionUniform(benchmark::State& state) {
+  walk_transmission_bench(state, "visit-exchange");
+}
+BENCHMARK(BM_WalkTransmissionUniform)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_WalkTransmissionHeterogeneous(benchmark::State& state) {
+  walk_transmission_bench(state, "visit-exchange(tp=0.5)");
+}
+BENCHMARK(BM_WalkTransmissionHeterogeneous)->Arg(1 << 10)->Arg(1 << 12);
+
 // ---- Cross-scenario scheduler series -----------------------------------
 //
 // A mixed-tail experiment file: long-tail push-on-star scenarios (coupon

@@ -19,10 +19,13 @@ Exit codes: 0 ok, 1 regression, 2 usage/data error.
 
 Refreshing the baseline (same-machine, quiet load; repetitions matter —
 the script compares median-of-N, which is what keeps noisy runners from
-flaking the gate):
+flaking the gate — and random interleaving spreads each benchmark's
+repetitions across the whole run, so a multi-second host-load phase
+perturbs every series equally instead of landing on one ratio side):
     RUMOR_RESULTS_DIR=/tmp ./build/bench_micro \
         --benchmark_filter='WalkKernel|TrialArena|RunProtocol|Scheduler|Transmission' \
-        --benchmark_min_time=0.4 --benchmark_repetitions=5
+        --benchmark_min_time=0.4 --benchmark_repetitions=5 \
+        --benchmark_enable_random_interleaving
     cp /tmp/BENCH_micro.json bench/baselines/BENCH_micro.json
 CI skips the comparison when the PR carries the `bench-baseline-reset`
 label (see .github/workflows/ci.yml).
@@ -86,22 +89,48 @@ def load_rates(path):
 #                             0.35 threshold absorbs core-count variation
 #                             on top of timing noise; a regression here
 #                             means the global queue itself got slower.
-#   TransmissionUniform/TransmissionHeterogeneous
+#   PushTransmissionUniform/PushTransmissionHeterogeneous
+#   WalkTransmissionUniform/WalkTransmissionHeterogeneous
 #                           — the homogeneous fast-path contract of the
-#                             transmission-model layer: the default tp=1
-#                             push trial (compile-time Uniform
-#                             instantiation, byte-identical to the
-#                             pre-transmission engine) vs the degree-
-#                             scaled General path on the same graph and
-#                             seeds. A drop means the trivial-model path
-#                             picked up per-contact overhead.
+#                             transmission-model layer, for the push layer
+#                             (circulant) and the walk layer (Fig 1a
+#                             star): the default tp=1 trial (compile-time
+#                             Uniform instantiation, byte-identical to the
+#                             pre-transmission engine) vs the
+#                             heterogeneous path (geometric skip sampling
+#                             / per-vertex field draws) on the same graph
+#                             and seeds. A drop means the trivial-model
+#                             path picked up per-contact overhead.
 RATIO_SERIES = (
     ("Batched", "Scalar", 0.15),
     ("Registry", "Direct", 0.15),
     ("SteadyState", "FreshAlloc", 0.20),
     ("Interleaved", "Barrier", 0.35),
-    ("TransmissionUniform", "TransmissionHeterogeneous", 0.15),
+    ("PushTransmissionUniform", "PushTransmissionHeterogeneous", 0.15),
+    ("WalkTransmissionUniform", "WalkTransmissionHeterogeneous", 0.15),
 )
+
+# Absolute caps on the Uniform/Heterogeneous ratio itself: the
+# heterogeneous-transmission speed contract says skip sampling + counter
+# RNG keep degree-scaled push within ~1.3x of the draw-free uniform path
+# (median-of-7 on the shared 1-core reference host reads 1.32–1.34; the
+# residual over the uniform path is the process law itself — the
+# heterogeneous chain makes ~2x the per-call events, each with a
+# data-dependent branch and a geometric gap draw at ~2.3 ns — so the cap
+# is set at 1.35 to gate deterministically on what the hardware
+# reproducibly shows, not on the noise floor). The committed baseline
+# (captured on a quiet machine, median of 5+ repetitions) is gated
+# STRICTLY at the cap — a baseline refresh that bakes in a slower
+# heterogeneous path fails here deterministically. The fresh run is gated
+# at cap * (1 + CAP_NOISE): single CI runs on shared 1-core machines
+# swing ±20% between boost and sustained clock phases, so the fresh check
+# only catches real structural regressions (e.g. the heterogeneous path
+# falling back to per-contact draws, which reads ~3x); chasing the last
+# 25% is the drift gate's job above.
+CAP_SERIES = (
+    ("PushTransmissionUniform", "PushTransmissionHeterogeneous", 1.35),
+)
+CAP_NOISE = 0.25
 
 
 def speedup_pairs(rates):
@@ -115,6 +144,27 @@ def speedup_pairs(rates):
             if other in rates and rates[other] > 0:
                 pairs[name] = (rate / rates[other], threshold)
     return pairs
+
+
+def cap_failures(rates, slack, label):
+    """Rows whose Uniform/Heterogeneous ratio exceeds its cap * (1+slack)."""
+    rows = []
+    failed = False
+    for name, rate in rates.items():
+        for numer, denom, cap in CAP_SERIES:
+            if numer not in name:
+                continue
+            other = name.replace(numer, denom)
+            if other not in rates or rates[other] <= 0:
+                continue
+            ratio = rate / rates[other]
+            bound = cap * (1.0 + slack)
+            ok = ratio <= bound
+            verdict = "ok" if ok else f"ABOVE CAP {bound:.2f}x"
+            rows.append(f"{name + ' [' + label + ']':58} "
+                        f"{ratio:8.2f}x {bound:8.2f}x  {verdict}")
+            failed |= not ok
+    return rows, failed
 
 
 def main():
@@ -154,6 +204,16 @@ def main():
     for name in missing:
         print(f"{name:58} {'':>9} {'':>9}  MISSING from fresh run")
         failed = True
+
+    base_caps, base_cap_failed = cap_failures(base, 0.0, "baseline")
+    fresh_caps, fresh_cap_failed = cap_failures(fresh, CAP_NOISE, "fresh")
+    if base_caps or fresh_caps:
+        print()
+        print(f"{'heterogeneous-transmission cap':58} {'ratio':>9} "
+              f"{'bound':>9}  verdict")
+        for row in base_caps + fresh_caps:
+            print(row)
+        failed |= base_cap_failed or fresh_cap_failed
 
     if args.absolute:
         abs_threshold = 0.15 if args.threshold is None else args.threshold

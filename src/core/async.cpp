@@ -13,7 +13,7 @@ namespace {
 template <class Mode>
 AsyncResult run_async_impl(const Graph& g, Vertex source, std::uint64_t seed,
                            const AsyncOptions& options,
-                           const TransmissionModel& model, StampSet& informed) {
+                           TransmissionModel& model, StampSet& informed) {
   const Vertex n = g.num_vertices();
   const std::uint64_t cutoff =
       options.max_ticks != 0
@@ -35,11 +35,11 @@ AsyncResult run_async_impl(const Graph& g, Vertex source, std::uint64_t seed,
     const bool u_informed = informed.contains(u);
     const bool v_informed = informed.contains(v);
     if (u_informed && !v_informed) {
-      if (!model.attempt<Mode>(u, v, rng)) continue;
+      if (!model.attempt<Mode>(u, v)) continue;
       informed.insert(v);
       ++informed_count;
     } else if (!u_informed && v_informed && options.pull_enabled) {
-      if (!model.attempt<Mode>(v, u, rng)) continue;
+      if (!model.attempt<Mode>(v, u)) continue;
       informed.insert(u);
       ++informed_count;
     }
@@ -66,7 +66,7 @@ AsyncResult run_async_push_pull(const Graph& g, Vertex source,
     arena = owned_arena.get();
   }
   TransmissionModel model;
-  model.bind(g, options.transmission, *arena);
+  model.bind(g, options.transmission, *arena, seed);
   if (model.trivial()) {
     return run_async_impl<transmission::Uniform>(g, source, seed, options,
                                                  model, arena->vertex_marks);

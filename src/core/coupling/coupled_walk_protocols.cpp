@@ -22,6 +22,12 @@ CoupledWalkProtocols::CoupledWalkProtocols(const Graph& g, Vertex source,
       meetx_informed_before_(agents_.count()),
       meetx_here_(g.num_vertices()),
       visitx_informed_before_(agents_.count()) {
+  if (!options.transmission.trivial()) {
+    throw CouplingOptionsError(
+        "coupled walk protocols require trivial transmission (tp=1, no "
+        "stifle/block): the shared-trajectory coupling of Theorem 23 has no "
+        "per-protocol success draws to honor a contact rule with");
+  }
   RUMOR_REQUIRE(source < g.num_vertices());
 
   // Round 0 for both protocols: agents standing on the source.

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "core/walk_options.hpp"
 #include "graph/graph.hpp"
@@ -19,6 +21,19 @@
 #include "walk/agents.hpp"
 
 namespace rumor {
+
+// Thrown when coupling machinery is handed options it cannot honor. The
+// Theorem 23 subset argument leans on every contact succeeding: under
+// heterogeneous transmission or interventions the two protocol views would
+// need their OWN success draws, which breaks the shared-randomness coupling
+// (and would silently void the invariant the property tests check). Typed
+// so option-validation failures are distinguishable from trial failures at
+// the experiment boundary.
+class CouplingOptionsError : public std::invalid_argument {
+ public:
+  explicit CouplingOptionsError(const std::string& message)
+      : std::invalid_argument(message) {}
+};
 
 struct CoupledWalkResult {
   Round meetx_rounds = 0;         // T_meetx
@@ -32,6 +47,9 @@ struct CoupledWalkResult {
 
 class CoupledWalkProtocols {
  public:
+  // Throws CouplingOptionsError if options.transmission is non-trivial
+  // (tp < 1, degree-scaled, stifling, or blocking) — the coupling argument
+  // only holds for always-successful homogeneous transmission.
   CoupledWalkProtocols(const Graph& g, Vertex source, std::uint64_t seed,
                        WalkOptions options = {});
 

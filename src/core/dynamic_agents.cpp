@@ -37,7 +37,7 @@ DynamicVisitExchangeProcess::DynamicVisitExchangeProcess(
   RUMOR_REQUIRE(source < g.num_vertices());
   RUMOR_REQUIRE(options.churn >= 0.0 && options.churn < 1.0);
   RUMOR_REQUIRE(options.loss_fraction >= 0.0 && options.loss_fraction <= 1.0);
-  model_.bind(g, options_.walk.transmission, *arena_);
+  model_.bind(g, options_.walk.transmission, *arena_, seed);
   target_ = g.num_vertices();
   const std::size_t count = agents_.count();
   alive_count_ = count;
@@ -144,7 +144,7 @@ void DynamicVisitExchangeProcess::step_impl() {
     if constexpr (kGeneral) {
       if (!model_.can_transmit<Mode>(arena_->agent_inform_round.get(a), v,
                                      round_) ||
-          !model_.attempt<Mode>(v, v, rng_)) {
+          !model_.attempt<Mode>(v, v)) {
         continue;
       }
     }
@@ -165,7 +165,7 @@ void DynamicVisitExchangeProcess::step_impl() {
     if constexpr (kGeneral) {
       if (!model_.can_transmit<Mode>(arena_->vertex_inform_round.get(v), v,
                                      round_) ||
-          !model_.attempt<Mode>(v, v, rng_)) {
+          !model_.attempt<Mode>(v, v)) {
         continue;
       }
     }

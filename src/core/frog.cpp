@@ -19,7 +19,7 @@ FrogProcess::FrogProcess(const Graph& g, Vertex source, std::uint64_t seed,
                   options.frogs_per_vertex) {
   RUMOR_REQUIRE(source < g.num_vertices());
   RUMOR_REQUIRE(options.frogs_per_vertex >= 1);
-  model_.bind(g, options_.transmission, *arena_);
+  model_.bind(g, options_.transmission, *arena_, seed);
   target_awake_ = frog_count_;
   positions_->resize(frog_count_);
   for (std::size_t f = 0; f < frog_count_; ++f) {
@@ -89,7 +89,7 @@ void FrogProcess::step_impl() {
     if constexpr (kGeneral) {
       if (arena_->vertex_inform_round.touched(v) ||
           !model_.can_transmit<Mode>(wake_round(f), v, round_) ||
-          !model_.attempt<Mode>(v, v, rng_)) {
+          !model_.attempt<Mode>(v, v)) {
         continue;
       }
     }

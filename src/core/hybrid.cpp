@@ -20,7 +20,7 @@ HybridProcess::HybridProcess(const Graph& g, Vertex source,
       agents_(g, resolve_agent_count(g, options), options.placement, rng_,
               resolve_anchor(options, source), arena_) {
   RUMOR_REQUIRE(source < g.num_vertices());
-  model_.bind(g, options_.transmission, *arena_);
+  model_.bind(g, options_.transmission, *arena_, seed);
   target_ = g.num_vertices();
   const std::size_t count = agents_.count();
   arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
@@ -118,7 +118,7 @@ void HybridProcess::step_impl() {
     if constexpr (kGeneral) {
       if (!model_.can_transmit<Mode>(arena_->agent_inform_round.get(a), v,
                                      round_) ||
-          !model_.attempt<Mode>(v, v, rng_)) {
+          !model_.attempt<Mode>(v, v)) {
         continue;
       }
     }
@@ -161,7 +161,7 @@ void HybridProcess::step_impl() {
     if constexpr (kGeneral) {
       if (model_.blocked<Mode>(v, round_) ||
           arena_->vertex_inform_round.touched(v) ||
-          !model_.attempt<Mode>(u, v, rng_)) {
+          !model_.attempt<Mode>(u, v)) {
         continue;
       }
       inform_vertex(v);
@@ -178,7 +178,7 @@ void HybridProcess::step_impl() {
     if constexpr (kGeneral) {
       if (!model_.can_transmit<Mode>(arena_->vertex_inform_round.get(v), v,
                                      round_) ||
-          !model_.attempt<Mode>(v, w, rng_)) {
+          !model_.attempt<Mode>(v, w)) {
         continue;
       }
     }
@@ -194,7 +194,7 @@ void HybridProcess::step_impl() {
     if constexpr (kGeneral) {
       if (!model_.can_transmit<Mode>(arena_->vertex_inform_round.get(v), v,
                                      round_) ||
-          !model_.attempt<Mode>(v, v, rng_)) {
+          !model_.attempt<Mode>(v, v)) {
         continue;
       }
     }

@@ -22,7 +22,7 @@ MeetExchangeProcess::MeetExchangeProcess(const Graph& g, Vertex source,
               resolve_anchor(options, source), arena_),
       source_(source) {
   RUMOR_REQUIRE(source < g.num_vertices());
-  model_.bind(g, options_.transmission, *arena_);
+  model_.bind(g, options_.transmission, *arena_, seed);
   const std::size_t count = agents_.count();
   arena_->agent_inform_round.reset(count, kNeverInformed);
   order_.reset(*arena_, count);
@@ -102,13 +102,13 @@ void MeetExchangeProcess::step_impl() {
     const Vertex v = agents_.position(a);
     if (arena_->vertex_marks.contains(v)) {
       if constexpr (kGeneral) {
-        if (!model_.attempt<Mode>(v, v, rng_)) continue;
+        if (!model_.attempt<Mode>(v, v)) continue;
       }
       inform_agent_at(idx);
     } else if (source_active_ && v == source_) {
       if constexpr (kGeneral) {
         if (!model_.can_transmit<Mode>(0, source_, round_) ||
-            !model_.attempt<Mode>(source_, v, rng_)) {
+            !model_.attempt<Mode>(source_, v)) {
           continue;
         }
       }

@@ -72,7 +72,7 @@ MultiRumorPushPull::MultiRumorPushPull(const Graph& g,
       arena_(arena != nullptr ? arena : owned_arena_.get()),
       remaining_(rumors.size()) {
   validate(g, rumors_);
-  model_.bind(g, transmission, *arena_);
+  model_.bind(g, transmission, *arena_, seed);
   // Every vertex calls a random neighbor every round (the definition), so
   // the per-round loop may use the unchecked neighbor draw.
   RUMOR_REQUIRE(g.min_degree() > 0);
@@ -130,14 +130,14 @@ void MultiRumorPushPull::step_impl() {
     // Symmetric exchange of everything held before the round; each rumor
     // transfer succeeds independently with the receiver's probability.
     const RumorMask to_v =
-        model_.filter_mask<Mode>(held_before[u] & ~held[v], v, rng_);
+        model_.filter_mask<Mode>(held_before[u] & ~held[v], v);
     if (to_v != 0) {
       held[v] |= to_v;
       account_new_bits(to_v, arena_->rumor_have_count, n,
                        arena_->rumor_completion, round_, remaining_);
     }
     const RumorMask to_u =
-        model_.filter_mask<Mode>(held_before[v] & ~held[u], u, rng_);
+        model_.filter_mask<Mode>(held_before[v] & ~held[u], u);
     if (to_u != 0) {
       held[u] |= to_u;
       account_new_bits(to_u, arena_->rumor_have_count, n,
@@ -181,7 +181,7 @@ MultiRumorVisitExchange::MultiRumorVisitExchange(
               arena_),
       remaining_(rumors.size()) {
   validate(g, rumors_);
-  model_.bind(g, options_.transmission, *arena_);
+  model_.bind(g, options_.transmission, *arena_, seed);
   arena_->vertex_rumors.assign(g.num_vertices(), 0);
   arena_->agent_rumors.assign(agents_.count(), 0);
   arena_->agent_rumors_before.assign(agents_.count(), 0);
@@ -245,7 +245,7 @@ void MultiRumorVisitExchange::step_impl() {
   for (Agent a = 0; a < count; ++a) {
     const Vertex v = agents_.position(a);
     const RumorMask fresh =
-        model_.filter_mask<Mode>(agent_held_before[a] & ~held[v], v, rng_);
+        model_.filter_mask<Mode>(agent_held_before[a] & ~held[v], v);
     if (fresh != 0) {
       held[v] |= fresh;
       account_new_bits(fresh, arena_->rumor_have_count, n,
@@ -260,7 +260,7 @@ void MultiRumorVisitExchange::step_impl() {
     const Vertex v = agents_.position(a);
     if constexpr (kGeneral) {
       agent_held[a] |=
-          model_.filter_mask<Mode>(held[v] & ~agent_held[a], v, rng_);
+          model_.filter_mask<Mode>(held[v] & ~agent_held[a], v);
     } else {
       agent_held[a] |= held[v];
     }

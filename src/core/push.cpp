@@ -5,6 +5,18 @@
 
 namespace rumor {
 
+namespace {
+// Calendar ring size: wakes within the next 63 rounds live in the ring
+// (bucket = wake & 63); anything further sits in the far chain (head index
+// kWakeBuckets) and is matured back into the ring every 64 rounds. Must be
+// a power of two.
+constexpr std::uint64_t kWakeBuckets = 64;
+// Flat slots per ring bucket. A bucket's wakes are walked with plain
+// sequential loads; only bursts beyond the capacity fall back to the
+// intrusive spill chain (pointer-chased, like the far chain).
+constexpr std::uint32_t kBucketCap = 32;
+}  // namespace
+
 PushProcess::PushProcess(const Graph& g, Vertex source, std::uint64_t seed,
                          PushOptions options, TrialArena* arena)
     : graph_(&g),
@@ -17,13 +29,28 @@ PushProcess::PushProcess(const Graph& g, Vertex source, std::uint64_t seed,
   RUMOR_REQUIRE(source < g.num_vertices());
   RUMOR_REQUIRE(options.loss_probability >= 0.0 &&
                 options.loss_probability < 1.0);
-  model_.bind(g, options_.transmission, *arena_,
+  model_.bind(g, options_.transmission, *arena_, seed,
               /*need_edge_field=*/options_.trace.edge_traffic);
+  // The calendar path models exactly the untraced loss-free process (a
+  // failed call is then unobservable), and needs a single constant success
+  // probability for the geometric gaps.
+  skip_ = model_.sample_mode() == SampleMode::skip_uniform &&
+          !options_.trace.edge_traffic && options_.loss_probability == 0.0;
   target_ = g.num_vertices();
   arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
   arena_->informed_nbr_count.reset(g.num_vertices(), 0);
   arena_->active.clear();
   arena_->active.reserve(g.num_vertices());  // high-water once, then free
+  if (skip_) {
+    // Chain links and slots are only ever read through a head or an
+    // occupancy count, so stale per-vertex entries from a previous trial
+    // need no clearing.
+    arena_->wake_slots.resize(kWakeBuckets * kBucketCap);
+    arena_->wake_counts.assign(kWakeBuckets, 0);
+    arena_->wake_heads.assign(kWakeBuckets + 1, kNoVertex);
+    arena_->wake_next.resize(g.num_vertices());
+    arena_->wake_round.resize(g.num_vertices());
+  }
   if (options_.trace.informed_curve) arena_->curve.clear();
   if (options_.trace.edge_traffic) {
     arena_->edge_traffic.assign(g.num_edges(), 0);
@@ -37,10 +64,48 @@ void PushProcess::inform(Vertex v) {
   arena_->vertex_inform_round.set(v, static_cast<std::uint32_t>(round_));
   ++informed_count_;
   last_inform_round_ = round_;
-  arena_->active.push_back(v);
+  if (skip_) {
+    // First successful call of the new spreader: its calls start next
+    // round, so the wake is round + 1 + (failed calls before the success).
+    // A spreader born saturated is never scheduled at all — every one of
+    // its calls would land on an informed vertex, so its entire future
+    // (gaps included) is unobservable.
+    if (arena_->informed_nbr_count.get(v) < graph_->degree_unchecked(v)) {
+      schedule(v, round_ + 1 + model_.next_gap());
+    }
+  } else {
+    arena_->active.push_back(v);
+  }
   for (Vertex w : graph_->neighbors_unchecked(v)) {
     arena_->informed_nbr_count.add(w, 1);
   }
+}
+
+void PushProcess::link(Vertex v, std::uint64_t wake) {
+  // Ring entries encode their wake round in the bucket index alone; the
+  // per-vertex wake_round slot is written only for far-chain entries
+  // (maturation is the only reader), which keeps the common-case insert to
+  // two stores.
+  if (wake - round_ < kWakeBuckets) {
+    const std::uint64_t b = wake & (kWakeBuckets - 1);
+    const std::uint32_t c = arena_->wake_counts[b];
+    if (c < kBucketCap) {
+      arena_->wake_slots[b * kBucketCap + c] = v;
+      arena_->wake_counts[b] = c + 1;
+      return;
+    }
+    arena_->wake_next[v] = arena_->wake_heads[b];  // burst spill
+    arena_->wake_heads[b] = v;
+    return;
+  }
+  arena_->wake_round[v] = wake;
+  arena_->wake_next[v] = arena_->wake_heads[kWakeBuckets];
+  arena_->wake_heads[kWakeBuckets] = v;
+}
+
+void PushProcess::schedule(Vertex v, std::uint64_t wake) {
+  ++pending_;
+  link(v, wake);
 }
 
 void PushProcess::activate_blocking() {
@@ -65,9 +130,116 @@ void PushProcess::activate_blocking() {
 void PushProcess::step() {
   if (model_.trivial()) {
     step_impl<transmission::Uniform>();
+  } else if (skip_) {
+    step_skip();
   } else {
     step_impl<transmission::General>();
   }
+}
+
+// One calendar round. Equivalent in law to step_impl<General> with a
+// constant field p: a caller's per-round coin flips are replaced by the
+// geometric gap to its next success, and the uniform neighbor pick happens
+// at the success (the success coin is independent of which neighbor was
+// drawn, so drawing success-first is the same joint distribution — and the
+// neighbor picks of failed calls are unobservable in an untraced loss-free
+// run). Saturated / stifled / quarantined callers retire lazily at their
+// wake: all three conditions are permanent once true.
+void PushProcess::step_skip() {
+  auto* heads = arena_->wake_heads.data();
+  auto* next = arena_->wake_next.data();
+  const bool restricted = model_.stifle() != 0 || model_.blocking();
+  // Traced or intervention-constrained runs keep the one-round-per-call
+  // contract: the informed curve needs a sample after every round, and the
+  // stifling/blocking halting rules (extinction windows, activation
+  // rounds, containment targets) are re-evaluated by halted() between
+  // rounds. The plain heterogeneous-tp workload has neither, so it drains
+  // the calendar in a batch — views hoisted once, rounds consumed until a
+  // halt condition — turning the dominant per-round cost (view hoists plus
+  // a full halted() pass; on a ballistic-spread graph rounds outnumber
+  // events per round by a wide margin) into a single bucket probe.
+  // Trajectories are identical: the batch breaks on exactly the conditions
+  // halted() checks for this configuration (done, cutoff, drained
+  // calendar), the last processed round is still exactly cutoff_, and
+  // empty buckets consume no RNG.
+  const bool single = restricted || options_.trace.informed_curve;
+  // Per-vertex state reads go through raw-pointer views — the views stay
+  // valid across inform() (it writes through the same stable buffers).
+  const CsrView csr = graph_->csr();
+  const auto sat = arena_->informed_nbr_count.view();
+  const auto informed = arena_->vertex_inform_round.view();
+  const auto process = [&](const Vertex u) {
+    const std::uint32_t row = csr.offsets[u];
+    const std::uint32_t deg = csr.offsets[u + 1] - row;
+    if (sat.get(u) >= deg) {
+      return;  // saturated: no future call can change anything
+    }
+    if (restricted && !model_.can_transmit<transmission::General>(
+                          informed.get(u), u, round_)) {
+      return;  // stifled or quarantined: permanent from this wake on
+    }
+    const Vertex v =
+        csr.neighbors[row + static_cast<std::uint32_t>(rng_.below(deg))];
+    if (!model_.blocked<transmission::General>(v, round_) &&
+        !informed.touched(v)) {
+      inform(v);
+      // Informing v bumped u's own informed-neighbor count; retire u here
+      // if that was its last uninformed neighbor instead of burning a
+      // wake (and a gap draw) to rediscover it later.
+      if (sat.get(u) >= deg) return;
+    }
+    schedule(u, round_ + 1 + model_.next_gap());
+  };
+  do {
+    ++round_;
+    if (restricted && model_.blocking() && round_ == model_.block_round()) {
+      activate_blocking();
+    }
+    if ((round_ & (kWakeBuckets - 1)) == 0) {
+      // Mature far-future wakes: every wake in the next 64 rounds moves to
+      // its ring bucket (possibly this round's, which is detached below
+      // after maturation). Any event parked far always crosses a multiple
+      // of 64 before its wake, so nothing is ever processed late.
+      std::uint32_t cur = heads[kWakeBuckets];
+      heads[kWakeBuckets] = kNoVertex;
+      while (cur != kNoVertex) {
+        const std::uint32_t after = next[cur];
+        link(cur, arena_->wake_round[cur]);
+        cur = after;
+      }
+    }
+    // Detach this round's bucket first: reschedules land in other buckets
+    // (wake - round in [1, 63]) or the far chain, never back here.
+    const std::uint64_t b = round_ & (kWakeBuckets - 1);
+    const std::uint32_t cnt = arena_->wake_counts[b];
+    std::uint32_t spill = heads[b];
+    if ((cnt | (spill != kNoVertex ? 1u : 0u)) == 0) {
+      continue;  // empty round: nothing wakes, nothing is observable
+    }
+    const std::uint32_t* slots = arena_->wake_slots.data() + b * kBucketCap;
+    arena_->wake_counts[b] = 0;
+    heads[b] = kNoVertex;
+    pending_ -= cnt;
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      if (i + 2 < cnt) {
+        // Two-slot lookahead: the adjacency row and saturation counter are
+        // random-access loads that miss once the per-vertex state outgrows
+        // L2 (the slot array itself streams).
+        const Vertex ahead = slots[i + 2];
+        __builtin_prefetch(csr.offsets + ahead, /*rw=*/0, /*locality=*/3);
+        sat.prefetch(ahead);
+      }
+      process(slots[i]);
+    }
+    while (spill != kNoVertex) {
+      const Vertex u = spill;
+      spill = next[u];
+      --pending_;
+      process(u);
+    }
+  } while (!single && pending_ != 0 && informed_count_ < target_ &&
+           round_ < cutoff_);
+  if (options_.trace.informed_curve) arena_->curve.push_back(informed_count_);
 }
 
 template <class Mode>
@@ -124,8 +296,8 @@ void PushProcess::step_impl() {
         continue;
       }
       const bool delivered = options_.trace.edge_traffic
-                                 ? model_.attempt_slot<Mode>(u, slot, rng_)
-                                 : model_.attempt<Mode>(u, v, rng_);
+                                 ? model_.attempt_slot<Mode>(u, slot)
+                                 : model_.attempt<Mode>(u, v);
       if (delivered) inform(v);
     } else {
       if (!arena_->vertex_inform_round.touched(v)) inform(v);
@@ -140,8 +312,11 @@ bool PushProcess::halted() const {
   if (model_.trivial()) return false;
   if (informed_count_ >= target_) return true;  // blocking containment
   // No callers left (all saturated, stifled, or quarantined): push has no
-  // pull side, so the state can never change again.
-  if (round_ > 0 && arena_->active.empty()) return true;
+  // pull side, so the state can never change again. On the calendar path
+  // the caller set is the outstanding wake events.
+  if (round_ > 0 && (skip_ ? pending_ == 0 : arena_->active.empty())) {
+    return true;
+  }
   return model_.extinct(round_, last_inform_round_);
 }
 

@@ -75,6 +75,16 @@ class PushProcess {
   void inform(Vertex v);
   template <class Mode>
   void step_impl();
+  // Geometric skip-sampling round (sample_mode == skip_uniform, untraced,
+  // loss-free): instead of one Bernoulli(p) coin per caller per round, each
+  // caller sits in a calendar queue keyed by the round of its next
+  // *successful* call, so a round costs O(successes), not O(callers).
+  void step_skip();
+  void schedule(Vertex v, std::uint64_t wake);
+  // Inserts v into the calendar (ring slot array, spill chain, or far
+  // chain) without touching the pending count; maturation re-links through
+  // this, schedule() adds the accounting.
+  void link(Vertex v, std::uint64_t wake);
   void activate_blocking();
   // True when the run loop must stop before the cutoff: completion,
   // blocking containment, or stifling extinction.
@@ -90,6 +100,8 @@ class PushProcess {
   // Containment target under blocking: vertices that can ever be informed.
   std::uint32_t target_;
   Round last_inform_round_ = 0;
+  bool skip_ = false;          // calendar path active this trial
+  std::uint64_t pending_ = 0;  // wake events outstanding (ring + far)
   std::unique_ptr<TrialArena> owned_arena_;
   TrialArena* arena_;
 };

@@ -18,7 +18,7 @@ PushPullProcess::PushPullProcess(const Graph& g, Vertex source,
   RUMOR_REQUIRE(source < g.num_vertices());
   RUMOR_REQUIRE(options.loss_probability >= 0.0 &&
                 options.loss_probability < 1.0);
-  model_.bind(g, options_.transmission, *arena_,
+  model_.bind(g, options_.transmission, *arena_, seed,
               /*need_edge_field=*/options_.trace.edge_traffic);
   target_ = g.num_vertices();
   arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
@@ -124,8 +124,8 @@ void PushPullProcess::step_impl() {
         // The callee-side delivery reads the per-edge field through the
         // caller's slot; the pull direction reads the per-vertex field.
         const bool delivered =
-            target == v ? model_.attempt_slot<Mode>(u, slot, rng_)
-                        : model_.attempt<Mode>(v, u, rng_);
+            target == v ? model_.attempt_slot<Mode>(u, slot)
+                        : model_.attempt<Mode>(v, u);
         if (!delivered) continue;
       }
       inform(target);
@@ -174,7 +174,7 @@ void PushPullProcess::step_impl() {
       if constexpr (kGeneral) {
         if (model_.blocked<Mode>(v, round_) ||
             arena_->vertex_inform_round.touched(v) ||
-            !model_.attempt<Mode>(u, v, rng_)) {
+            !model_.attempt<Mode>(u, v)) {
           continue;
         }
         inform(v);
@@ -194,7 +194,7 @@ void PushPullProcess::step_impl() {
       if constexpr (kGeneral) {
         if (!model_.can_transmit<Mode>(arena_->vertex_inform_round.get(v), v,
                                        round_) ||
-            !model_.attempt<Mode>(v, w, rng_)) {
+            !model_.attempt<Mode>(v, w)) {
           continue;
         }
       }

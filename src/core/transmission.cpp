@@ -150,6 +150,13 @@ void rebuild_fields(const Graph& g, const TransmissionOptions& options,
       s.vertex_success[v] = static_cast<float>(std::clamp(p, 0.0, 1.0));
     }
   }
+  s.field_min = 1.0f;
+  s.field_max = 0.0f;
+  for (Vertex v = 0; v < n; ++v) {
+    s.field_min = std::min(s.field_min, s.vertex_success[v]);
+    s.field_max = std::max(s.field_max, s.vertex_success[v]);
+  }
+  if (n == 0) s.field_min = s.field_max = 1.0f;
   s.edge_success.clear();
   if (need_edge_field) fill_edge_field(g, s);
 
@@ -184,15 +191,19 @@ void rebuild_fields(const Graph& g, const TransmissionOptions& options,
 
 void TransmissionModel::bind(const Graph& g,
                              const TransmissionOptions& options,
-                             TrialArena& arena, bool need_edge_field) {
+                             TrialArena& arena, std::uint64_t seed,
+                             bool need_edge_field) {
   trivial_ = options.trivial();
+  sample_mode_ = SampleMode::trivial;
   stifle_ = options.stifle;
   block_round_ = options.block_round;
+  uniform_p_ = 1.0f;
+  gap_scale_ = 0.0f;
   vertex_success_ = nullptr;
   edge_success_ = nullptr;
   blocked_ = nullptr;
   offsets_ = nullptr;
-  if (trivial_) return;
+  if (trivial_) return;  // golden path: no fields, no streams, no draws
 
   TransmissionScratch& s = arena.transmission;
   const bool cache_hit =
@@ -215,6 +226,34 @@ void TransmissionModel::bind(const Graph& g,
   if (need_edge_field) edge_success_ = s.edge_success.data();
   blocked_ = s.blocked_count > 0 ? s.blocked.data() : nullptr;
   offsets_ = g.csr().offsets;
+
+  // Mode pick from the materialized field, not the option flags: a
+  // degree-scaled spec on a regular graph produces a constant field and
+  // earns the skip fast path; a constant 1.0 field (tp=1 + interventions)
+  // must stay draw-free, so it routes to batched where attempt() folds to
+  // "always succeed" per entry.
+  const bool constant_sub_one =
+      s.field_min == s.field_max && s.field_max < 1.0f && s.field_max > 0.0f;
+  sample_mode_ =
+      constant_sub_one ? SampleMode::skip_uniform : SampleMode::batched;
+  if (constant_sub_one) {
+    uniform_p_ = s.field_max;
+    gap_scale_ = 1.0f / fast_log2f(1.0f - uniform_p_);
+  }
+  attempt_stream_.reseed(seed, 0);
+  gap_stream_.reseed(seed, 1);
+  gap_pos_ = kGapBatch;
+}
+
+void TransmissionModel::refill_gaps() {
+  // Whole Philox blocks in, one SIMD pass out per block (the uniforms are
+  // centered on (w >> 8) + 0.5 to keep log finite at both ends without a
+  // branch). The word sequence is the plain sequential stream-1 order;
+  // the dispatched kernel is bit-identical on every ISA.
+  static_assert(kGapBatch % PhiloxStream::kBufWords == 0);
+  philox_fill_gaps(gap_stream_, kGapBatch, gap_scale_, kGapCap,
+                   gaps_.data());
+  gap_pos_ = 0;
 }
 
 std::vector<std::uint32_t> derive_stifled_curve(

@@ -25,6 +25,7 @@
 // once per round, not once per contact.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <type_traits>
@@ -32,6 +33,7 @@
 
 #include "core/protocol.hpp"
 #include "graph/graph.hpp"
+#include "support/philox.hpp"
 #include "support/rng.hpp"
 #include "support/trial_arena.hpp"
 
@@ -107,21 +109,49 @@ void format_transmission_intervention_options(
 // One-line key summary for `rumor_run --list`.
 [[nodiscard]] std::vector<std::string> transmission_key_signatures();
 
+// How a bound model draws its success uniforms, picked once per bind from
+// the materialized field:
+//   * trivial      — tp=1, no interventions: no draws at all (the Uniform
+//                    mode tag; byte-identical golden path);
+//   * skip_uniform — the field is a single constant p in (0, 1): contact
+//                    sites may replace per-contact coin flips with
+//                    geometric skip sampling (next_gap() = failures before
+//                    the next success). Degree-scaled options land here too
+//                    when the graph is regular — the field is what decides,
+//                    not the option flags;
+//   * batched      — non-constant field (or a constant 0/1 field with
+//                    interventions): per-contact draws against the field,
+//                    served from the block-buffered SIMD Philox stream.
+enum class SampleMode : std::uint8_t { trivial, skip_uniform, batched };
+
 // The bound model a simulator holds for one trial. Binding a non-trivial
 // model materializes the per-vertex receive field, the CSR-slot-aligned
 // per-edge field, and the blocked set into the arena's TransmissionScratch;
 // the build is cached by (graph uid, parameters), so steady-state trials on
 // the same graph rebuild nothing and allocate nothing.
+//
+// Randomness: a non-trivial bind seeds two counter-based Philox streams
+// (stream 0: per-contact success draws, stream 1: geometric gaps) from the
+// per-trial seed, so every success draw is a pure function of
+// (master_seed, trial) regardless of what the simulator's own xoshiro
+// stream did in between — and the trivial path seeds nothing and draws
+// nothing.
 class TransmissionModel {
  public:
   TransmissionModel() = default;
-  // `need_edge_field` materializes the 2m-entry per-edge field too — only
-  // the edge-traffic traced contact sites read it (attempt_slot), so
-  // untraced binds skip the O(m) build and its memory entirely.
+  // `seed` is the per-trial seed (the same derive_seed(master, trial) value
+  // the simulator's Rng was constructed with). `need_edge_field`
+  // materializes the 2m-entry per-edge field too — only the edge-traffic
+  // traced contact sites read it (attempt_slot), so untraced binds skip the
+  // O(m) build and its memory entirely.
   void bind(const Graph& g, const TransmissionOptions& options,
-            TrialArena& arena, bool need_edge_field = false);
+            TrialArena& arena, std::uint64_t seed,
+            bool need_edge_field = false);
 
   [[nodiscard]] bool trivial() const { return trivial_; }
+  [[nodiscard]] SampleMode sample_mode() const { return sample_mode_; }
+  // The constant field value; valid iff sample_mode() == skip_uniform.
+  [[nodiscard]] float uniform_success() const { return uniform_p_; }
   [[nodiscard]] std::uint32_t stifle() const { return stifle_; }
   [[nodiscard]] bool blocking() const { return blocked_ != nullptr; }
   [[nodiscard]] Round block_round() const { return block_round_; }
@@ -145,18 +175,19 @@ class TransmissionModel {
 
   // Success draw for a contact delivering the rumor to (an entity at)
   // vertex v; u is the transmitting side's vertex. Uniform: always true,
-  // no RNG consumed. General: one uniform01 draw against the per-vertex
-  // receive field (skipped when the field entry is 1, so tp=1-with-
-  // interventions configurations stay draw-free too).
+  // no RNG consumed. General: one uniform draw from the model's own Philox
+  // stream against the per-vertex receive field (skipped when the field
+  // entry is 1, so tp=1-with-interventions configurations stay draw-free
+  // too).
   template <class Mode>
-  [[nodiscard]] bool attempt(Vertex u, Vertex v, Rng& rng) const {
+  [[nodiscard]] bool attempt(Vertex u, Vertex v) {
     (void)u;
     if constexpr (std::is_same_v<Mode, transmission::Uniform>) {
       return true;
     } else {
       const float p = vertex_success_[v];
       if (p >= 1.0f) return true;
-      return rng.uniform01() < static_cast<double>(p);
+      return attempt_stream_.next_unit_float() < p;
     }
   }
 
@@ -164,22 +195,20 @@ class TransmissionModel {
   // transmitter's adjacency slot — for contact sites that already hold the
   // slot (edge-traffic tracing paths).
   template <class Mode>
-  [[nodiscard]] bool attempt_slot(Vertex u, std::uint32_t slot,
-                                  Rng& rng) const {
+  [[nodiscard]] bool attempt_slot(Vertex u, std::uint32_t slot) {
     if constexpr (std::is_same_v<Mode, transmission::Uniform>) {
       return true;
     } else {
       const float p = edge_success_[offsets_[u] + slot];
       if (p >= 1.0f) return true;
-      return rng.uniform01() < static_cast<double>(p);
+      return attempt_stream_.next_unit_float() < p;
     }
   }
 
   // Filters a multi-rumor mask: each set bit survives an independent
   // attempt() toward receiver v, lowest bit drawn first.
   template <class Mode>
-  [[nodiscard]] std::uint64_t filter_mask(std::uint64_t mask, Vertex v,
-                                          Rng& rng) const {
+  [[nodiscard]] std::uint64_t filter_mask(std::uint64_t mask, Vertex v) {
     if constexpr (std::is_same_v<Mode, transmission::Uniform>) {
       return mask;
     } else {
@@ -188,11 +217,23 @@ class TransmissionModel {
       while (rest != 0) {
         const std::uint64_t bit = rest & (0 - rest);
         rest &= rest - 1;
-        if (attempt<Mode>(v, v, rng)) kept |= bit;
+        if (attempt<Mode>(v, v)) kept |= bit;
       }
       return kept;
     }
   }
+
+  // Geometric skip sampling (sample_mode() == skip_uniform only): the
+  // number of failed Bernoulli(p) contacts before the next success,
+  // floor(log(U) / log(1-p)), batch-computed 64 at a time so the log and
+  // the compare vectorize. Capped at kGapCap — a gap no finite run ever
+  // reaches, standing in for "never" when U lands in the top ulp.
+  [[nodiscard]] std::uint32_t next_gap() {
+    if (gap_pos_ == kGapBatch) refill_gaps();
+    return gaps_[gap_pos_++];
+  }
+
+  static constexpr std::uint32_t kGapCap = 1u << 30;
 
   // True iff vertex v is quarantined at round `now` (blocked vertices
   // neither receive nor transmit once blocking has activated).
@@ -238,13 +279,24 @@ class TransmissionModel {
   }
 
  private:
+  static constexpr std::uint32_t kGapBatch = 64;
+
+  void refill_gaps();
+
   bool trivial_ = true;
+  SampleMode sample_mode_ = SampleMode::trivial;
   std::uint32_t stifle_ = 0;
   Round block_round_ = 1;
+  float uniform_p_ = 1.0f;   // constant field value (skip_uniform mode)
+  float gap_scale_ = 0.0f;   // 1 / log2(1 - uniform_p_)
   const float* vertex_success_ = nullptr;  // n entries
   const float* edge_success_ = nullptr;    // 2m entries, CSR-slot aligned
   const std::uint8_t* blocked_ = nullptr;  // n entries; nullptr = none
   const std::uint32_t* offsets_ = nullptr;
+  PhiloxStream attempt_stream_;  // stream 0: per-contact success draws
+  PhiloxStream gap_stream_;      // stream 1: geometric gap uniforms
+  std::uint32_t gap_pos_ = kGapBatch;
+  alignas(64) std::array<std::uint32_t, kGapBatch> gaps_;
 };
 
 // The per-round stifled-entity counts derivable from an informed curve:

@@ -21,7 +21,7 @@ VisitExchangeProcess::VisitExchangeProcess(const Graph& g, Vertex source,
       agents_(g, resolve_agent_count(g, options), options.placement, rng_,
               resolve_anchor(options, source), arena_) {
   RUMOR_REQUIRE(source < g.num_vertices());
-  model_.bind(g, options_.transmission, *arena_);
+  model_.bind(g, options_.transmission, *arena_, seed);
   target_ = g.num_vertices();
   const std::size_t count = agents_.count();
   arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
@@ -106,7 +106,7 @@ void VisitExchangeProcess::step_impl() {
     if constexpr (kGeneral) {
       if (!model_.can_transmit<Mode>(arena_->agent_inform_round.get(a), v,
                                      round_) ||
-          !model_.attempt<Mode>(v, v, rng_)) {
+          !model_.attempt<Mode>(v, v)) {
         continue;
       }
     }
@@ -123,7 +123,7 @@ void VisitExchangeProcess::step_impl() {
     if constexpr (kGeneral) {
       if (!model_.can_transmit<Mode>(arena_->vertex_inform_round.get(v), v,
                                      round_) ||
-          !model_.attempt<Mode>(v, v, rng_)) {
+          !model_.attempt<Mode>(v, v)) {
         continue;
       }
     }

@@ -147,6 +147,8 @@ bool set_agent_walk_option(WalkOptions& options, std::string_view key,
       options.engine = StepEngine::batched;
     } else if (value == "scalar") {
       options.engine = StepEngine::scalar_checked;
+    } else if (value == "counter") {
+      options.engine = StepEngine::counter;
     } else {
       return false;
     }
@@ -189,8 +191,10 @@ void format_agent_walk_options(const WalkOptions& options,
     out.add("max_rounds", static_cast<std::uint64_t>(options.max_rounds));
   }
   if (options.engine != defaults.engine) {
-    out.add("engine",
-            options.engine == StepEngine::batched ? "batched" : "scalar");
+    out.add("engine", options.engine == StepEngine::batched ? "batched"
+                      : options.engine == StepEngine::counter
+                          ? "counter"
+                          : "scalar");
   }
   format_transmission_probability_options(options.transmission,
                                           defaults.transmission, out);

@@ -35,7 +35,9 @@ struct WalkOptions {
   LazyMode lazy = LazyMode::never;
   Round max_rounds = 0;  // 0 = default_round_cutoff(n)
   // Stepping-loop implementation; scalar_checked is the differential
-  // baseline (identical trajectories by construction).
+  // baseline (identical trajectories by construction), counter draws the
+  // step words from an addressable Philox stream instead of the serial
+  // xoshiro stream (deterministic per seed, distinct trajectories).
   StepEngine engine = StepEngine::batched;
   // Contact rule (success probabilities + interventions); the default is
   // the paper's always-successful homogeneous transmission.
@@ -72,7 +74,7 @@ struct WalkOptions {
 // (visit-exchange, meet-exchange, hybrid, dynamic-agent, multi-rumor).
 // Keys: alpha, agents, placement (stationary|one_per_vertex|uniform|
 // at_vertex), anchor (vertex id or "source"), lazy (never|always|auto),
-// max_rounds, engine (batched|scalar), tp, curve, inform_rounds,
+// max_rounds, engine (batched|scalar|counter), tp, curve, inform_rounds,
 // edge_traffic, plus the intervention keys (stifle, block, block@t).
 // set_walk_option returns false for an unknown key or unparsable value;
 // format_walk_options appends only keys that differ from `defaults`, so the

@@ -66,6 +66,40 @@ class EpochArray {
     return updated;
   }
 
+  // Hints the cache lines behind slot i into cache ahead of a get() —
+  // for pointer-chasing consumers (push's wake calendar) whose next slot
+  // is known one iteration early.
+  void prefetch(std::size_t i) const {
+    __builtin_prefetch(stamps_.data() + i, /*rw=*/0, /*locality=*/3);
+    __builtin_prefetch(values_.data() + i, /*rw=*/0, /*locality=*/3);
+  }
+
+  // Raw-pointer read view for hot loops: hoists the array/epoch
+  // indirections out of per-element reads. Reads made through a view
+  // observe set()/add() writes (the buffers are stable for the life of a
+  // trial); the view dangles after the next reset() that grows the array.
+  struct View {
+    const std::uint32_t* stamps;
+    const T* values;
+    std::uint32_t epoch;
+    T def;
+
+    [[nodiscard]] T get(std::size_t i) const {
+      return stamps[i] == epoch ? values[i] : def;
+    }
+    [[nodiscard]] bool touched(std::size_t i) const {
+      return stamps[i] == epoch;
+    }
+    void prefetch(std::size_t i) const {
+      __builtin_prefetch(stamps + i, /*rw=*/0, /*locality=*/3);
+      __builtin_prefetch(values + i, /*rw=*/0, /*locality=*/3);
+    }
+  };
+
+  [[nodiscard]] View view() const {
+    return View{stamps_.data(), values_.data(), epoch_, default_};
+  }
+
   // Materializes the logical contents (allocates; trace-export only).
   [[nodiscard]] std::vector<T> to_vector() const {
     std::vector<T> out(size_);

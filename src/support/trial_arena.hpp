@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "support/epoch_array.hpp"
@@ -36,6 +37,10 @@ struct TransmissionScratch {
   bool degree_scaled = false;
   std::vector<float> vertex_success;   // n entries
   std::vector<float> edge_success;     // 2m entries, CSR-slot aligned
+  // Field extrema, recorded at build time: a constant sub-1 field
+  // (min == max < 1) is what licenses the geometric skip-sampling mode.
+  float field_min = 1.0f;
+  float field_max = 1.0f;
   std::vector<std::uint8_t> blocked;   // n entries (1 = quarantined)
   std::uint32_t blocked_count = 0;
   std::vector<std::uint32_t> order;    // degree-sort scratch for blocking
@@ -67,6 +72,19 @@ struct TrialArena {
   std::vector<std::uint32_t> agent_positions;
   std::vector<std::uint32_t> active;    // push/push-pull caller list
   std::vector<std::uint32_t> frontier;  // push-pull puller list
+  // Calendar buckets for push's geometric skip-sampling path: a 64-round
+  // wake ring plus a far-future overflow chain, matured back into the ring
+  // every 64 rounds. Each ring bucket is a small flat slot array (walked
+  // with plain sequential loads at its round) backed by an intrusive
+  // linked-list spill for bursts; the far chain is list-only. Every caller
+  // has at most one outstanding wake, so the lists thread through
+  // per-vertex arrays — per-trial reset writes the 65 heads plus 64
+  // counts, and steady-state trials allocate nothing.
+  std::vector<std::uint32_t> wake_slots;  // 64 buckets x capacity, flat
+  std::vector<std::uint32_t> wake_counts;  // per-bucket slot occupancy
+  std::vector<std::uint32_t> wake_heads;  // 64 spill chains + 1 far head
+  std::vector<std::uint32_t> wake_next;   // per-vertex chain link
+  std::vector<std::uint64_t> wake_round;  // per-vertex wake round (far only)
   std::vector<std::uint32_t> curve;     // informed-curve trace
   std::vector<std::uint64_t> edge_traffic;  // per-edge trace counters
 

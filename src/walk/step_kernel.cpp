@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "support/philox.hpp"
+
 namespace rumor {
 
 namespace {
@@ -29,8 +31,8 @@ inline void prefetch(const void* p) {
 // Checked scalar reference: one agent at a time through the public Graph
 // API. Shares the draw helpers with the batched engine, so trajectories are
 // bit-identical across engines.
-template <bool kLazy, bool kTraced>
-void step_scalar(const Graph& g, std::span<Vertex> positions, Rng& rng,
+template <bool kLazy, bool kTraced, class WordSource>
+void step_scalar(const Graph& g, std::span<Vertex> positions, WordSource& rng,
                  std::uint64_t* traffic) {
   for (Vertex& p : positions) {
     const Vertex v = p;
@@ -39,7 +41,7 @@ void step_scalar(const Graph& g, std::span<Vertex> positions, Rng& rng,
     if constexpr (kLazy) {
       if (!fused_lazy_slot(rng, deg, slot)) continue;
     } else {
-      slot = static_cast<std::uint32_t>(rng.below(deg));
+      slot = word_below(rng, deg);
     }
     if constexpr (kTraced) ++traffic[g.edge_id(v, slot)];
     p = g.neighbor(v, slot);
@@ -48,9 +50,9 @@ void step_scalar(const Graph& g, std::span<Vertex> positions, Rng& rng,
 
 // Batched engine, irregular degrees: unchecked CSR, two-stage prefetch
 // pipeline, Lemire slot draw (identical to Rng::below).
-template <bool kLazy, bool kTraced>
-void step_batched(const CsrView csr, std::span<Vertex> positions, Rng& rng,
-                  std::uint64_t* traffic) {
+template <bool kLazy, bool kTraced, class WordSource>
+void step_batched(const CsrView csr, std::span<Vertex> positions,
+                  WordSource& rng, std::uint64_t* traffic) {
   const std::size_t count = positions.size();
   Vertex* pos = positions.data();
   for (std::size_t i = 0; i < count; ++i) {
@@ -69,7 +71,7 @@ void step_batched(const CsrView csr, std::span<Vertex> positions, Rng& rng,
     if constexpr (kLazy) {
       if (!fused_lazy_slot(rng, deg, slot)) continue;
     } else {
-      slot = static_cast<std::uint32_t>(rng.below(deg));
+      slot = word_below(rng, deg);
     }
     if constexpr (kTraced) ++traffic[csr.edge_ids[off + slot]];
     pos[i] = csr.neighbors[off + slot];
@@ -79,9 +81,9 @@ void step_batched(const CsrView csr, std::span<Vertex> positions, Rng& rng,
 // Batched engine, regular graphs: every row starts at v * deg, so the
 // offsets array is never touched — one random memory stream instead of
 // two, and the row prefetch needs no pipeline stage.
-template <bool kLazy, bool kTraced>
+template <bool kLazy, bool kTraced, class WordSource>
 void step_batched_regular(const CsrView csr, std::uint32_t deg,
-                          std::span<Vertex> positions, Rng& rng,
+                          std::span<Vertex> positions, WordSource& rng,
                           std::uint64_t* traffic) {
   const std::size_t count = positions.size();
   Vertex* pos = positions.data();
@@ -92,7 +94,7 @@ void step_batched_regular(const CsrView csr, std::uint32_t deg,
     if constexpr (kLazy) {
       if (!fused_lazy_slot(rng, deg, slot)) return;
     } else {
-      slot = static_cast<std::uint32_t>(rng.below(deg));
+      slot = word_below(rng, deg);
     }
     if constexpr (kTraced) ++traffic[csr.edge_ids[off + slot]];
     pos[i] = csr.neighbors[off + slot];
@@ -114,9 +116,9 @@ void step_batched_regular(const CsrView csr, std::uint32_t deg,
 // 64-bit word — no 128-bit multiply, no rejection branch, and bit-identical
 // to the general path. This is the mask/shift fast path for the
 // regular-graph bench families.
-template <bool kLazy, bool kTraced>
+template <bool kLazy, bool kTraced, class WordSource>
 void step_batched_regular_pow2(const CsrView csr, std::uint32_t deg,
-                               std::span<Vertex> positions, Rng& rng,
+                               std::span<Vertex> positions, WordSource& rng,
                                std::uint64_t* traffic) {
   const int log2deg = std::countr_zero(deg);
   const std::size_t count = positions.size();
@@ -172,12 +174,14 @@ void step_batched_regular_pow2(const CsrView csr, std::uint32_t deg,
   for (; i < count; ++i) body(i);
 }
 
-template <bool kLazy, bool kTraced>
-void dispatch(const Graph& g, std::span<Vertex> positions, Rng& rng,
-              std::uint64_t* traffic, StepEngine engine) {
-  if (engine == StepEngine::scalar_checked) {
-    step_scalar<kLazy, kTraced>(g, positions, rng, traffic);
-  } else if (g.is_regular() && g.degrees_all_pow2()) {
+// Structure-based batched dispatch, shared by the xoshiro and Philox word
+// sources: regular power-of-two degrees take the shift path, regular
+// degrees skip the offsets stream, everything else runs the two-stage
+// prefetch pipeline.
+template <bool kLazy, bool kTraced, class WordSource>
+void dispatch_batched(const Graph& g, std::span<Vertex> positions,
+                      WordSource& rng, std::uint64_t* traffic) {
+  if (g.is_regular() && g.degrees_all_pow2()) {
     step_batched_regular_pow2<kLazy, kTraced>(g.csr(), g.min_degree(),
                                               positions, rng, traffic);
   } else if (g.is_regular()) {
@@ -185,6 +189,26 @@ void dispatch(const Graph& g, std::span<Vertex> positions, Rng& rng,
                                          rng, traffic);
   } else {
     step_batched<kLazy, kTraced>(g.csr(), positions, rng, traffic);
+  }
+}
+
+template <bool kLazy, bool kTraced>
+void dispatch(const Graph& g, std::span<Vertex> positions, Rng& rng,
+              std::uint64_t* traffic, StepEngine engine) {
+  if (engine == StepEngine::scalar_checked) {
+    step_scalar<kLazy, kTraced>(g, positions, rng, traffic);
+  } else if (engine == StepEngine::counter) {
+    // Counter engine: ONE draw from the caller's serial stream keys a
+    // Philox stream for the whole call; every per-agent word then comes
+    // from the block-buffered SIMD refill. Trajectories stay a pure
+    // function of the trial seed and the round's randomness is fully
+    // addressable as (key, block index) — but they differ from the
+    // batched/scalar trajectories, which is why this is an opt-in engine,
+    // not a transparent fast path.
+    PhiloxStream words(rng(), /*stream=*/0);
+    dispatch_batched<kLazy, kTraced>(g, positions, words, traffic);
+  } else {
+    dispatch_batched<kLazy, kTraced>(g, positions, rng, traffic);
   }
 }
 

@@ -33,15 +33,25 @@
 
 namespace rumor {
 
-// Which implementation of the stepping loop to run. Identical trajectories
-// by construction; scalar_checked exists for differential testing and as
-// the microbenchmark baseline.
-enum class StepEngine : std::uint8_t { batched, scalar_checked };
+// Which implementation of the stepping loop to run. batched and
+// scalar_checked produce identical trajectories by construction
+// (scalar_checked exists for differential testing and as the
+// microbenchmark baseline). counter replaces the serial xoshiro word
+// stream with a block-buffered Philox stream keyed by ONE xoshiro draw per
+// step_walks call: trajectories are still a pure function of the trial
+// seed (and differ from the batched/scalar ones), but the per-agent draw
+// words become addressable — the whole round's randomness is (key, block
+// index), generated 64 words at a time through the SIMD refill.
+enum class StepEngine : std::uint8_t { batched, scalar_checked, counter };
 
 // Lazy-step draw shared by every stepping path: one 64-bit draw yields the
 // stay/move coin (bit 63, matching Rng::coin) and the neighbor slot
 // (low 63 bits, unbiased via Lemire rejection). Returns false to stay put.
-[[nodiscard]] inline bool fused_lazy_slot(Rng& rng, std::uint32_t deg,
+// Templated on the word source so the xoshiro engines and the Philox
+// counter engine consume bit-identical draw *semantics* from their
+// respective streams.
+template <class WordSource>
+[[nodiscard]] inline bool fused_lazy_slot(WordSource& rng, std::uint32_t deg,
                                           std::uint32_t& slot) {
   constexpr std::uint64_t kMask63 = (std::uint64_t{1} << 63) - 1;
   std::uint64_t x = rng();
@@ -60,6 +70,26 @@ enum class StepEngine : std::uint8_t { batched, scalar_checked };
   }
   slot = static_cast<std::uint32_t>(m >> 63);
   return true;
+}
+
+// Non-lazy slot draw for generic word sources: the full-width Lemire
+// rejection sampler, bit-identical to Rng::below on the same word stream.
+template <class WordSource>
+[[nodiscard]] inline std::uint32_t word_below(WordSource& rng,
+                                              std::uint32_t bound) {
+  __extension__ using u128 = unsigned __int128;
+  std::uint64_t x = rng();
+  u128 m = static_cast<u128>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - std::uint64_t{bound}) % bound;
+    while (low < threshold) {
+      x = rng();
+      m = static_cast<u128>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 64);
 }
 
 // Advances every position one walk step in place (ascending index — the

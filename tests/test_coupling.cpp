@@ -227,5 +227,45 @@ TEST(NaturalCoupling, StepwiseSubsetHolds) {
   }
 }
 
+// Guard regression: the coupling machinery must reject non-trivial
+// transmission options with the typed error rather than silently running a
+// simulation whose subset invariant no longer has a proof behind it. Every
+// way TransmissionOptions can become non-trivial is exercised; the trivial
+// default must keep constructing.
+TEST(NaturalCoupling, RejectsNonTrivialTransmission) {
+  const Graph g = gen::complete(16);
+
+  WalkOptions het;
+  het.transmission.tp = 0.5;
+  EXPECT_THROW(CoupledWalkProtocols(g, 0, 1, het), CouplingOptionsError);
+  EXPECT_THROW((void)run_coupled_walk_protocols(g, 0, 1, het),
+               CouplingOptionsError);
+
+  WalkOptions deg;
+  deg.transmission.degree_scaled = true;
+  deg.transmission.tp_exponent = -0.5;
+  EXPECT_THROW(CoupledWalkProtocols(g, 0, 1, deg), CouplingOptionsError);
+
+  WalkOptions stifle;
+  stifle.transmission.stifle = 3;
+  EXPECT_THROW(CoupledWalkProtocols(g, 0, 1, stifle), CouplingOptionsError);
+
+  WalkOptions block;
+  block.transmission.block_fraction = 0.1;
+  EXPECT_THROW(CoupledWalkProtocols(g, 0, 1, block), CouplingOptionsError);
+
+  // The typed error is also a std::invalid_argument, so generic option
+  // validation at the experiment boundary can catch it uniformly.
+  try {
+    CoupledWalkProtocols coupled(g, 0, 1, het);
+    FAIL() << "expected CouplingOptionsError";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("trivial transmission"),
+              std::string::npos);
+  }
+
+  EXPECT_NO_THROW(CoupledWalkProtocols(g, 0, 1, WalkOptions{}));
+}
+
 }  // namespace
 }  // namespace rumor

@@ -78,6 +78,34 @@ TEST(RegistryTrials, SamplesAreAPureFunctionOfMasterSeedAndIndex) {
   }
 }
 
+// Same promise under heterogeneous transmission: the skip-sampling /
+// batched-draw paths pull from counter-based Philox streams reseeded per
+// trial, so sample i must still be a pure function of (master seed, i) for
+// every simulator that accepts a contact rule.
+TEST(RegistryTrials, HeterogeneousSamplesAreAPureFunctionOfSeedAndIndex) {
+  const Graph g = gen::circulant(48, 2);
+  constexpr std::size_t kTrials = 8;
+  constexpr std::uint64_t kMaster = 424242ULL;
+  for (const SimulatorEntry& entry : SimulatorRegistry::instance().all()) {
+    const auto spec =
+        ProtocolSpec::parse(std::string(entry.name) + "(tp=deg^-0.5)");
+    if (!spec) continue;  // simulator takes no contact rule
+    const TrialSet pooled = run_trials(g, *spec, 0, kTrials, kMaster);
+    ASSERT_EQ(pooled.rounds.size(), kTrials);
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      TrialArena fresh_arena;
+      const TrialResult serial =
+          run_protocol(g, *spec, 0, derive_seed(kMaster, i), &fresh_arena);
+      EXPECT_EQ(pooled.rounds[i], serial.rounds)
+          << entry.name << " trial " << i;
+      EXPECT_EQ(pooled.agent_rounds[i], serial.agent_rounds)
+          << entry.name << " trial " << i;
+    }
+    const TrialSet again = run_trials(g, *spec, 0, kTrials, kMaster);
+    EXPECT_EQ(pooled.rounds, again.rounds) << entry.name;
+  }
+}
+
 TEST(RegistryTrials, FreshGraphSamplesAreAPureFunctionOfSeedAndIndex) {
   const GraphSpec gspec{Family::random_regular, 64, 6};
   const ProtocolSpec spec = default_spec(Protocol::push_pull);

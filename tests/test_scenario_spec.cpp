@@ -127,6 +127,8 @@ TEST(ProtocolSpecText, NonDefaultOptionsRoundTrip) {
       "visit-exchange(alpha=0.25,lazy=always)",
       "visit-exchange(agents=128,placement=one_per_vertex)",
       "visit-exchange(placement=at_vertex,anchor=7,engine=scalar)",
+      "visit-exchange(engine=counter)",
+      "meet-exchange(engine=counter,alpha=0.5)",
       "meet-exchange(lazy=never,max_rounds=4000)",
       "hybrid(alpha=2,curve=on)",
       "frog(frogs=3,lazy=half,max_rounds=900)",

@@ -1,7 +1,8 @@
 // Batched walk-kernel tests: engine equivalence (batched vs. checked
 // scalar, bit-identical trajectories), the power-of-two fast path, the
-// fused lazy draw, and traced-vs-untraced RNG determinism (the
-// visit/meet-exchange divergence fix).
+// fused lazy draw, traced-vs-untraced RNG determinism (the
+// visit/meet-exchange divergence fix), and the Philox counter engine
+// (deterministic, uniform, one serial draw per call).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -245,6 +246,102 @@ TEST(StepKernel, TracingDoesNotChangeMeetExchangeTrajectory) {
       EXPECT_EQ(rp.rounds, rt.rounds) << "seed=" << seed;
       EXPECT_EQ(rp.completed, rt.completed);
     }
+  }
+}
+
+// ---- counter engine ---------------------------------------------------
+
+// The Philox counter engine is a different (but equally valid) trajectory
+// per seed: it must be a pure function of the serial RNG state, land only
+// on neighbors, and consume exactly ONE serial draw per call (the stream
+// key), independent of agent count — that is the whole point of the
+// addressable stream.
+TEST(StepKernel, CounterEngineIsDeterministicAndValid) {
+  for (const Graph& g : test_graphs()) {
+    for (Laziness lazy : {Laziness::none, Laziness::half}) {
+      Rng rng_a(21), rng_b(21);
+      std::vector<Vertex> pos_a(g.num_vertices());
+      for (Vertex v = 0; v < g.num_vertices(); ++v) pos_a[v] = v;
+      std::vector<Vertex> pos_b = pos_a;
+      for (int round = 0; round < 10; ++round) {
+        std::vector<Vertex> before = pos_a;
+        step_walks(g, pos_a, rng_a, lazy, nullptr, StepEngine::counter);
+        step_walks(g, pos_b, rng_b, lazy, nullptr, StepEngine::counter);
+        EXPECT_EQ(pos_a, pos_b);
+        for (Vertex v = 0; v < g.num_vertices(); ++v) {
+          if (lazy == Laziness::half && pos_a[v] == before[v]) continue;
+          EXPECT_TRUE(g.has_edge(before[v], pos_a[v]));
+        }
+      }
+      // Same serial stream consumption on both replicas.
+      EXPECT_EQ(rng_a(), rng_b());
+    }
+  }
+}
+
+TEST(StepKernel, CounterEngineConsumesOneSerialDrawPerCall) {
+  const Graph g = gen::circulant(96, 8);
+  Rng rng_used(31), rng_ref(31);
+  std::vector<Vertex> pos(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) pos[v] = v;
+  step_walks(g, pos, rng_used, Laziness::half, nullptr, StepEngine::counter);
+  (void)rng_ref();  // exactly the key draw
+  EXPECT_EQ(rng_used(), rng_ref());
+}
+
+// Traced counter runs must not perturb the trajectory (the word stream is
+// consumed identically with or without the traffic pointer).
+TEST(StepKernel, CounterEngineTracingDoesNotChangeTrajectory) {
+  for (const Graph& g : test_graphs()) {
+    Rng rng_a(41), rng_b(41);
+    std::vector<Vertex> pos_a(g.num_vertices());
+    for (Vertex v = 0; v < g.num_vertices(); ++v) pos_a[v] = v;
+    std::vector<Vertex> pos_b = pos_a;
+    std::vector<std::uint64_t> traffic(g.num_edges(), 0);
+    for (int round = 0; round < 10; ++round) {
+      step_walks(g, pos_a, rng_a, Laziness::half, traffic.data(),
+                 StepEngine::counter);
+      step_walks(g, pos_b, rng_b, Laziness::half, nullptr,
+                 StepEngine::counter);
+    }
+    EXPECT_EQ(pos_a, pos_b);
+  }
+}
+
+// The counter engine still samples neighbors uniformly (hypercube degree 8,
+// pow2 shift path over Philox words).
+TEST(StepKernel, CounterEngineIsUniform) {
+  const Graph g = gen::hypercube(8);
+  const Vertex start = 17;
+  const int draws = 32000;
+  std::vector<int> hits(g.num_vertices(), 0);
+  Rng rng(51);
+  std::vector<Vertex> pos(1);
+  for (int i = 0; i < draws; ++i) {
+    pos[0] = start;
+    step_walks(g, pos, rng, Laziness::none, nullptr, StepEngine::counter);
+    ++hits[pos[0]];
+  }
+  const double expected = draws / 8.0;
+  for (Vertex w : g.neighbors(start)) {
+    EXPECT_NEAR(hits[w], expected, 5 * std::sqrt(expected)) << "w=" << w;
+  }
+}
+
+// Whole-protocol determinism through the scenario grammar: engine=counter
+// runs are reproducible per seed and structurally sane.
+TEST(StepKernel, VisitExchangeCounterEngineDeterministic) {
+  const Graph g = gen::circulant(96, 8);
+  WalkOptions opts;
+  opts.engine = StepEngine::counter;
+  opts.trace.informed_curve = true;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const RunResult ra = run_visit_exchange(g, 0, seed, opts);
+    const RunResult rb = run_visit_exchange(g, 0, seed, opts);
+    EXPECT_EQ(ra.rounds, rb.rounds);
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_EQ(ra.informed_curve, rb.informed_curve);
+    EXPECT_TRUE(ra.completed);
   }
 }
 

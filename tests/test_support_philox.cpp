@@ -1,0 +1,266 @@
+// Counter-based RNG tests: Random123 known-answer vectors, the
+// cross-platform pin of the addressable philox_draw outputs, stream
+// addressability (buffered stream words == direct block computations, which
+// also proves the SIMD refill matches the scalar round function),
+// independence across the (trial, round, slot) coordinate axes, the
+// deterministic fast_log2f, and the statistical smoke checks.
+//
+// The *Statistical tests are gated out of the Debug CI job (ctest -E
+// PhiloxStatistical) — they draw hundreds of thousands of words and only
+// need to run once per platform, in Release.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "support/philox.hpp"
+
+namespace rumor {
+namespace {
+
+// The three Random123 reference rows (also static_asserted at compile time
+// in philox.cpp; repeated here so a toolchain that elides the asserts still
+// exercises them and failures show up as test diffs, not build errors).
+TEST(Philox, MatchesRandom123KnownAnswerVectors) {
+  EXPECT_EQ(philox4x32({0u, 0u, 0u, 0u}, 0u, 0u),
+            (std::array<std::uint32_t, 4>{0x6627E8D5u, 0xE169C58Du,
+                                          0xBC57AC4Cu, 0x9B00DBD8u}));
+  EXPECT_EQ(
+      philox4x32({0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu, 0xFFFFFFFFu},
+                 0xFFFFFFFFu, 0xFFFFFFFFu),
+      (std::array<std::uint32_t, 4>{0x408F276Du, 0x41C83B0Eu, 0xA20BC7C6u,
+                                    0x6D5451FDu}));
+  EXPECT_EQ(
+      philox4x32({0x243F6A88u, 0x85A308D3u, 0x13198A2Eu, 0x03707344u},
+                 0xA4093822u, 0x299F31D0u),
+      (std::array<std::uint32_t, 4>{0xD16CFE09u, 0x94FDCCEBu, 0x5001E420u,
+                                    0x24126EA1u}));
+}
+
+// Cross-platform pin of the addressable draw: the first 64 outputs of
+// philox_draw over an 8x8 (round, slot) grid for a fixed (master, trial).
+// Any platform or refactor that changes ANY of these words has changed the
+// meaning of every stored heterogeneous trajectory.
+TEST(Philox, First64AddressableDrawsArePinned) {
+  constexpr std::uint64_t kMaster = 0xDEADBEEFCAFEF00Dull;
+  constexpr std::uint64_t kTrial = 7;
+  constexpr std::uint64_t kExpected[64] = {
+      0x1894556C2B87A0E0ull, 0xCDBEE787DAF158D2ull, 0x869643C1CBFCBAFAull,
+      0x4A90DA5B6261440Cull, 0xC86F8B0CFD504B4Eull, 0x370A57B657518472ull,
+      0x16B9DA9A87331013ull, 0x8541FE285471AE40ull, 0x08A6E99126830485ull,
+      0x6B9513E3AF1D768Full, 0x5D066E1B61357005ull, 0x4159B51A81B8D3B3ull,
+      0xDB7E592702EB30D8ull, 0x7450BA76646B383Cull, 0xEB8C762DC799EDC1ull,
+      0x02ABE38EE66DD027ull, 0x9C63981721B2B7F5ull, 0x6C705DEFCF82A9A8ull,
+      0xF4B942DB0C6C130Cull, 0x68B4E29128E19FFBull, 0x2F1DE2A4A812E973ull,
+      0xD7B1E5706DAFCB4Aull, 0x8EEC5AA7841438D5ull, 0x82F1F0D61DCBEDA2ull,
+      0xE4FA86B41EE47DB6ull, 0xD884C6A6EE783C22ull, 0x0AF4D61A347AD8B3ull,
+      0x930CF4355FB1BAA3ull, 0xAB9A05B73DB3423Full, 0xDE62769C79B2E5B8ull,
+      0xB275B25479DD6916ull, 0xAA16498A55B28FD3ull, 0x8601B9565F277137ull,
+      0x6C249EA6130EC161ull, 0x27512E1B0D5C514Cull, 0xC65609F46D75ED2Dull,
+      0x1EA3103D6868E119ull, 0x2B7FD8035D44A7C2ull, 0x619C5B3A8A8B3927ull,
+      0x6DF4B6BFEE1ECE31ull, 0x79F558A9BFF22F02ull, 0x53FFA707FE61BDE0ull,
+      0x91E61E711FE9A4E5ull, 0x21DFAB5064B2EB8Full, 0xD8EBDDC5A436D407ull,
+      0xC06DB70FAE0D7C60ull, 0xF9BC67C24CC1AC7Full, 0xE90DEB3882821A19ull,
+      0x360EEB62E06E96C8ull, 0xD7F1DEF2BD627184ull, 0x2345C668DB6EEC87ull,
+      0x98445A5A2BF8439Cull, 0xCCC880FF04BB6E24ull, 0xC96A50416F0A9298ull,
+      0x535F93FF3C341CFBull, 0xC49FCC14F586A04Bull, 0x3300AEBE78A8E4D3ull,
+      0xB20636EF3D58F9C0ull, 0x21BDCB36C939ADFFull, 0x69049DBFD0713BB4ull,
+      0x781027478228E112ull, 0xF892DBD0018DA779ull, 0x7985319FF426D97Bull,
+      0xA9503DCC49E78B29ull,
+  };
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    for (std::uint64_t slot = 0; slot < 8; ++slot) {
+      EXPECT_EQ(philox_draw(kMaster, kTrial, round, slot),
+                kExpected[round * 8 + slot])
+          << "round=" << round << " slot=" << slot;
+    }
+  }
+  // And it is usable at compile time (the whole point of a pure function).
+  static_assert(philox_draw(0xDEADBEEFCAFEF00Dull, 7, 0, 0) ==
+                0x1894556C2B87A0E0ull);
+}
+
+// Stream addressability: word i of PhiloxStream(seed, stream) must equal
+// the direct block computation philox4x32({blk_lo, blk_hi, stream, 0},
+// key)[i % 4] with blk = i / 4. This is simultaneously the proof that the
+// SSE2 refill (SoA rounds + AoS transpose) is bit-identical to the scalar
+// round function, across refill boundaries.
+TEST(Philox, StreamWordsMatchDirectBlockComputation) {
+  constexpr std::uint64_t kSeed = 0x5EED5EED5EED5EEDull;
+  for (std::uint32_t stream : {0u, 1u, 77u}) {
+    PhiloxStream s(kSeed, stream);
+    const std::uint64_t key = philox_key(kSeed);
+    const auto k0 = static_cast<std::uint32_t>(key);
+    const auto k1 = static_cast<std::uint32_t>(key >> 32);
+    // 3 * kBufWords words: crosses two refill boundaries.
+    for (std::uint64_t i = 0; i < 3 * PhiloxStream::kBufWords; ++i) {
+      const std::uint64_t blk = i / 4;
+      const auto out = philox4x32({static_cast<std::uint32_t>(blk),
+                                   static_cast<std::uint32_t>(blk >> 32),
+                                   stream, 0u},
+                                  k0, k1);
+      ASSERT_EQ(s.next_u32(), out[i % 4])
+          << "stream=" << stream << " word=" << i;
+    }
+  }
+}
+
+TEST(Philox, ReseedReproducesTheStream) {
+  PhiloxStream a(123, 4);
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 100; ++i) first.push_back(a.next_u32());
+  a.reseed(123, 4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), first[i]);
+}
+
+TEST(Philox, NextBlockAdvancesToFreshWords) {
+  PhiloxStream a(9, 0);
+  PhiloxStream b(9, 0);
+  (void)a.next_u32();  // partially consume the first buffer
+  const std::uint32_t* blk_a = a.next_block();
+  const std::uint32_t* ref = b.next_block();  // buffer 0
+  const std::uint32_t* blk_b = b.next_block();  // buffer 1
+  (void)ref;
+  for (std::size_t i = 0; i < PhiloxStream::kBufWords; ++i) {
+    EXPECT_EQ(blk_a[i], blk_b[i]);  // both are buffer 1: block-aligned skip
+  }
+}
+
+// Independence across the logical coordinate axes: draws at distinct
+// (trial, round, slot) coordinates — and across distinct stream ids on one
+// seed — are distinct 64-bit values. For a 64-bit-output random function,
+// ANY collision in a few thousand draws is evidence of a wiring bug
+// (reused counter plane, dropped axis), not chance (p < 1e-11).
+TEST(Philox, CoordinateAxesYieldDistinctDraws) {
+  constexpr std::uint64_t kMaster = 31337;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    for (std::uint64_t round = 0; round < 16; ++round) {
+      for (std::uint64_t slot = 0; slot < 16; ++slot) {
+        EXPECT_TRUE(
+            seen.insert(philox_draw(kMaster, trial, round, slot)).second)
+            << trial << "," << round << "," << slot;
+      }
+    }
+  }
+  // Distinct stream ids on the same seed are disjoint counter planes.
+  PhiloxStream s0(kMaster, 0), s1(kMaster, 1);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_TRUE(seen.insert(s0.next_u64()).second);
+    EXPECT_TRUE(seen.insert(s1.next_u64()).second);
+  }
+}
+
+// fast_log2f powers the geometric gap computation; its contract is
+// |error| < 2e-6 against the exact log2 and exactness on powers of two.
+TEST(Philox, FastLog2MatchesStdLog2) {
+  EXPECT_EQ(fast_log2f(1.0f), 0.0f);
+  EXPECT_EQ(fast_log2f(2.0f), 1.0f);
+  EXPECT_EQ(fast_log2f(0.5f), -1.0f);
+  EXPECT_EQ(fast_log2f(0x1.0p-24f), -24.0f);
+  PhiloxStream s(5, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const float u = s.next_unit_float();
+    if (u == 0.0f) continue;
+    const double exact = std::log2(static_cast<double>(u));
+    EXPECT_NEAR(fast_log2f(u), exact, 2e-6) << "u=" << u;
+  }
+  // The skip-sampler's centered uniforms never hit 0 or 1 exactly.
+  const float lo = (0.0f + 0.5f) * 0x1.0p-24f;
+  const float hi = (16777215.0f + 0.5f) * 0x1.0p-24f;
+  EXPECT_NEAR(fast_log2f(lo), std::log2(static_cast<double>(lo)), 2e-6);
+  EXPECT_NEAR(fast_log2f(hi), std::log2(static_cast<double>(hi)), 2e-6);
+}
+
+// The batch gap kernel runtime-dispatches to lane-parallel variants; the
+// contract is that whatever ISA path the host takes, the output equals
+// the scalar reference word for word, and the reference itself is exactly
+// the documented formula: floor(fast_log2f(centered u) * scale), clamped.
+TEST(Philox, GapKernelMatchesScalarReferenceAndFormula) {
+  constexpr std::uint32_t kCount = 4 * PhiloxStream::kBufWords;
+  constexpr std::uint32_t kCap = 1u << 30;
+  const float scale = 1.0f / fast_log2f(1.0f - 0.25f);
+  alignas(64) std::array<std::uint32_t, kCount> dispatched;
+  PhiloxStream s(987654321, 1);
+  philox_fill_gaps(s, kCount, scale, kCap, dispatched.data());
+
+  // Replay the same stream words through the scalar reference and the
+  // formula spelled out by hand.
+  PhiloxStream replay(987654321, 1);
+  for (std::uint32_t base = 0; base < kCount;
+       base += PhiloxStream::kBufWords) {
+    const std::uint32_t* words = replay.next_block();
+    std::array<std::uint32_t, PhiloxStream::kBufWords> reference;
+    philox_fill_gaps_reference(words, PhiloxStream::kBufWords, scale, kCap,
+                               reference.data());
+    for (std::uint32_t i = 0; i < PhiloxStream::kBufWords; ++i) {
+      ASSERT_EQ(dispatched[base + i], reference[i]) << "word " << base + i;
+      const float u =
+          (static_cast<float>(words[i] >> 8) + 0.5f) * 0x1.0p-24f;
+      const float gap = fast_log2f(u) * scale;
+      const std::uint32_t expected =
+          gap >= static_cast<float>(kCap) ? kCap
+                                          : static_cast<std::uint32_t>(gap);
+      ASSERT_EQ(dispatched[base + i], expected) << "word " << base + i;
+    }
+  }
+}
+
+// ---- statistical smoke (Release CI only; excluded from Debug) ---------
+
+// 256-bin chi-square over the top byte of 2^18 words: df = 255, so the
+// statistic is ~N(255, sqrt(510)); 400 is ~6.4 sigma — a once-per-epoch
+// false-positive rate, while catching any systematic bin bias.
+TEST(PhiloxStatistical, ChiSquareEquidistribution) {
+  constexpr int kBins = 256;
+  constexpr int kDraws = 1 << 18;
+  for (std::uint32_t stream : {0u, 1u}) {
+    PhiloxStream s(0xC0FFEEull, stream);
+    std::vector<int> bins(kBins, 0);
+    for (int i = 0; i < kDraws; ++i) ++bins[s.next_u32() >> 24];
+    const double expected = static_cast<double>(kDraws) / kBins;
+    double chi2 = 0.0;
+    for (int b = 0; b < kBins; ++b) {
+      const double d = bins[b] - expected;
+      chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 400.0) << "stream=" << stream;
+    EXPECT_GT(chi2, 150.0) << "stream=" << stream;  // too-perfect is a bug
+  }
+}
+
+// Bit balance across all 32 positions, 2^18 words: each bit count is
+// ~N(2^17, 2^8.5); +/- 6 sigma bounds.
+TEST(PhiloxStatistical, BitBalance) {
+  constexpr int kDraws = 1 << 18;
+  PhiloxStream s(0xBA1A2CEull, 0);
+  std::vector<int> ones(32, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    std::uint32_t w = s.next_u32();
+    for (int b = 0; b < 32; ++b) ones[b] += (w >> b) & 1u;
+  }
+  const double mean = kDraws / 2.0;
+  const double sigma = std::sqrt(kDraws / 4.0);
+  for (int b = 0; b < 32; ++b) {
+    EXPECT_NEAR(ones[b], mean, 6 * sigma) << "bit " << b;
+  }
+}
+
+// Streams on the same seed are uncorrelated: the XOR of paired words has
+// balanced popcount (mean 16, sigma 2.83 per word; averaged over 2^16
+// words the mean is pinned within +/- 6 * 2.83 / 256).
+TEST(PhiloxStatistical, StreamPairwiseDecorrelation) {
+  constexpr int kDraws = 1 << 16;
+  PhiloxStream s0(4242, 0), s1(4242, 1);
+  double total = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    total += std::popcount(s0.next_u32() ^ s1.next_u32());
+  }
+  const double mean = total / kDraws;
+  EXPECT_NEAR(mean, 16.0, 6 * 2.8284 / std::sqrt(double{kDraws}));
+}
+
+}  // namespace
+}  // namespace rumor

@@ -88,6 +88,127 @@ TEST(TransmissionEquivalence, ExplicitTpOneIsTheTrivialModel) {
   }
 }
 
+// ---- Heterogeneous golden samples -------------------------------------
+//
+// Captured from the counter-RNG build (this PR's head): the skip-sampling
+// and batched-draw paths pull their randomness from per-trial Philox
+// streams, so these samples are a cross-platform contract — any change to
+// the stream addressing, the gap computation (fast_log2f), or the draw
+// order re-pins them. Two regimes are covered: a constant sub-one field on
+// the regular circulant (the geometric skip path) and a degree-scaled
+// field on the skewed tree (the batched per-vertex path).
+
+const std::vector<GoldenSamples>& het_skip_golden_samples() {
+  // circulant(48, 2): degree 4 everywhere, so tp=0.5 is a constant field
+  // and every simulator takes the skip-sampling mode where it applies.
+  static const std::vector<GoldenSamples> golden = {
+      {"push(tp=0.5)", {60, 55, 40, 52, 59, 60}, {60, 55, 40, 52, 59, 60}},
+      {"push-pull(tp=0.5)",
+       {29, 28, 35, 27, 29, 37},
+       {29, 28, 35, 27, 29, 37}},
+      {"visit-exchange(tp=0.5)",
+       {34, 39, 35, 39, 43, 44},
+       {31, 37, 35, 36, 43, 43}},
+      {"meet-exchange(tp=0.5)",
+       {42, 48, 54, 38, 38, 45},
+       {42, 48, 54, 38, 38, 45}},
+      {"hybrid(tp=0.5)", {20, 20, 28, 21, 23, 21}, {20, 20, 28, 21, 23, 21}},
+      {"frog(tp=0.5)", {36, 37, 36, 28, 28, 38}, {36, 37, 36, 28, 28, 38}},
+      {"dynamic-agent(tp=0.5)",
+       {39, 41, 46, 40, 43, 43},
+       {39, 41, 46, 40, 43, 43}},
+      {"multi-push-pull(tp=0.5)",
+       {30, 30, 37, 29, 34, 38},
+       {0, 0, 0, 0, 0, 0}},
+      {"multi-visit-exchange(tp=0.5)",
+       {40, 41, 36, 39, 46, 45},
+       {0, 0, 0, 0, 0, 0}},
+      {"async(tp=0.5)",
+       {21.1875, 29.479166666666668, 26.020833333333332, 22.666666666666668,
+        22.958333333333332, 33.083333333333336},
+       {0, 0, 0, 0, 0, 0}},
+  };
+  return golden;
+}
+
+const std::vector<GoldenSamples>& het_batched_golden_samples() {
+  // heavy_binary_tree(31): mixed degrees, so tp=deg^-0.5 is a genuinely
+  // non-constant field and the contact sites draw per-entry.
+  static const std::vector<GoldenSamples> golden = {
+      {"push(tp=deg^-0.5)", {25, 40, 27, 23, 22, 37}, {25, 40, 27, 23, 22, 37}},
+      {"push-pull(tp=deg^-0.5)",
+       {16, 15, 18, 14, 13, 17},
+       {16, 15, 18, 14, 13, 17}},
+      {"visit-exchange(tp=deg^-0.5)",
+       {59, 37, 34, 29, 72, 40},
+       {49, 36, 30, 29, 67, 37}},
+      {"meet-exchange(tp=deg^-0.5)",
+       {64, 47, 34, 42, 73, 46},
+       {64, 47, 34, 42, 73, 46}},
+      {"hybrid(tp=deg^-0.5)",
+       {11, 13, 11, 12, 19, 14},
+       {11, 13, 11, 12, 19, 14}},
+      {"frog(tp=deg^-0.5)",
+       {35, 27, 31, 19, 22, 71},
+       {35, 27, 31, 19, 22, 71}},
+      {"dynamic-agent(tp=deg^-0.5)",
+       {61, 42, 47, 51, 73, 35},
+       {61, 42, 47, 51, 73, 35}},
+      {"multi-push-pull(tp=deg^-0.5)",
+       {16, 13, 18, 16, 18, 16},
+       {0, 0, 0, 0, 0, 0}},
+      {"multi-visit-exchange(tp=deg^-0.5)",
+       {51, 45, 39, 51, 59, 44},
+       {0, 0, 0, 0, 0, 0}},
+      {"async(tp=deg^-0.5)",
+       {11.806451612903226, 10.193548387096774, 19.64516129032258,
+        9.741935483870968, 14.96774193548387, 19.483870967741936},
+       {0, 0, 0, 0, 0, 0}},
+  };
+  return golden;
+}
+
+TEST(TransmissionEquivalence, HeterogeneousSkipPathReproducesGoldenSamples) {
+  const Graph g = gen::circulant(48, 2);
+  for (const GoldenSamples& golden : het_skip_golden_samples()) {
+    const auto spec = ProtocolSpec::parse(golden.name);
+    ASSERT_TRUE(spec) << golden.name;
+    const TrialSet set = run_trials(g, *spec, 0, 6, 20260730ULL);
+    EXPECT_EQ(set.rounds, golden.rounds) << golden.name;
+    EXPECT_EQ(set.agent_rounds, golden.agent_rounds) << golden.name;
+    EXPECT_EQ(set.incomplete, 0u) << golden.name;
+  }
+}
+
+TEST(TransmissionEquivalence, HeterogeneousBatchedPathReproducesGoldenSamples) {
+  const Graph g = gen::heavy_binary_tree(31);
+  for (const GoldenSamples& golden : het_batched_golden_samples()) {
+    const auto spec = ProtocolSpec::parse(golden.name);
+    ASSERT_TRUE(spec) << golden.name;
+    const TrialSet set = run_trials(g, *spec, 0, 6, 20260730ULL);
+    EXPECT_EQ(set.rounds, golden.rounds) << golden.name;
+    EXPECT_EQ(set.agent_rounds, golden.agent_rounds) << golden.name;
+    EXPECT_EQ(set.incomplete, 0u) << golden.name;
+  }
+}
+
+// On a regular graph tp=deg^-0.5 materializes to the SAME constant field
+// as the equivalent plain tp, so both spec texts must simulate the exact
+// same trajectories (the mode pick is field-driven, not flag-driven).
+TEST(TransmissionEquivalence, DegreeScaledConstantFieldMatchesPlainTp) {
+  const Graph g = gen::circulant(48, 2);  // degree 4: deg^-0.5 == 0.5
+  for (const char* name : {"push", "push-pull", "visit-exchange", "frog"}) {
+    const auto plain = ProtocolSpec::parse(std::string(name) + "(tp=0.5)");
+    const auto scaled =
+        ProtocolSpec::parse(std::string(name) + "(tp=deg^-0.5)");
+    ASSERT_TRUE(plain && scaled) << name;
+    const TrialSet a = run_trials(g, *plain, 0, 6, 20260730ULL);
+    const TrialSet b = run_trials(g, *scaled, 0, 6, 20260730ULL);
+    EXPECT_EQ(a.rounds, b.rounds) << name;
+    EXPECT_EQ(a.agent_rounds, b.agent_rounds) << name;
+  }
+}
+
 TEST(TransmissionEquivalence, AllOnesGeneralFieldMatchesUniformTrajectory) {
   // tp=deg^0 builds a non-trivial model whose field is identically 1: the
   // General instantiation must then consume the RNG exactly like Uniform
