@@ -23,6 +23,8 @@
 #include "core/visit_exchange.hpp"
 #include "experiments/trials.hpp"
 #include "graph/generators.hpp"
+#include "graph/implicit.hpp"
+#include "support/assert.hpp"
 #include "support/thread_pool.hpp"
 #include "walk/agents.hpp"
 #include "walk/step_kernel.hpp"
@@ -318,6 +320,49 @@ void BM_WalkTransmissionHeterogeneous(benchmark::State& state) {
   walk_transmission_bench(state, "visit-exchange(tp=0.5)");
 }
 BENCHMARK(BM_WalkTransmissionHeterogeneous)->Arg(1 << 10)->Arg(1 << 12);
+
+// ---- Graph-backend series ----------------------------------------------
+//
+// Implicit (arithmetic adjacency) vs owned (materialized CSR) push trials
+// on the same torus: trajectories are bit-identical — the implicit
+// accessors reproduce the sorted CSR neighbor order slot-for-slot — so
+// the Implicit/Owned trials/sec ratio is pure dispatch overhead (one
+// backend branch plus the closed-form arithmetic per accessor against an
+// array load). compare_bench.py gates the ratio: a drop means the
+// implicit dispatch grew per-access work, which would silently tax every
+// large-n implicit scenario.
+
+void graph_backend_bench(benchmark::State& state, bool implicit_backend) {
+  const auto rows = static_cast<Vertex>(state.range(0));
+  const Graph g = [&] {
+    if (implicit_backend) {
+      ImplicitDesc desc;
+      RUMOR_REQUIRE(
+          make_implicit_desc(ImplicitKind::torus, rows, rows, desc));
+      return Graph::make_implicit(desc);
+    }
+    return gen::torus2d(rows, rows);
+  }();
+  const auto spec = ProtocolSpec::parse("push");
+  TrialArena arena;
+  std::uint64_t seed = 0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += run_protocol(g, *spec, 0, ++seed, &arena).rounds;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_GraphBackendImplicitPush(benchmark::State& state) {
+  graph_backend_bench(state, /*implicit_backend=*/true);
+}
+BENCHMARK(BM_GraphBackendImplicitPush)->Arg(1 << 5)->Arg(1 << 7);
+
+void BM_GraphBackendOwnedPush(benchmark::State& state) {
+  graph_backend_bench(state, /*implicit_backend=*/false);
+}
+BENCHMARK(BM_GraphBackendOwnedPush)->Arg(1 << 5)->Arg(1 << 7);
 
 // ---- Cross-scenario scheduler series -----------------------------------
 //

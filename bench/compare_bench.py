@@ -23,7 +23,7 @@ flaking the gate — and random interleaving spreads each benchmark's
 repetitions across the whole run, so a multi-second host-load phase
 perturbs every series equally instead of landing on one ratio side):
     RUMOR_RESULTS_DIR=/tmp ./build/bench_micro \
-        --benchmark_filter='WalkKernel|TrialArena|RunProtocol|Scheduler|Transmission' \
+        --benchmark_filter='WalkKernel|TrialArena|RunProtocol|Scheduler|Transmission|GraphBackend' \
         --benchmark_min_time=0.4 --benchmark_repetitions=5 \
         --benchmark_enable_random_interleaving
     cp /tmp/BENCH_micro.json bench/baselines/BENCH_micro.json
@@ -101,6 +101,15 @@ def load_rates(path):
 #                             / per-vertex field draws) on the same graph
 #                             and seeds. A drop means the trivial-model
 #                             path picked up per-contact overhead.
+#   GraphBackendImplicit/GraphBackendOwned
+#                           — the implicit-adjacency dispatch contract:
+#                             push trials on the same torus through the
+#                             arithmetic backend vs the materialized CSR
+#                             (bit-identical trajectories, so the ratio is
+#                             pure per-accessor dispatch cost). A drop
+#                             means the closed forms or the backend branch
+#                             picked up per-access work, taxing every
+#                             large-n implicit scenario.
 RATIO_SERIES = (
     ("Batched", "Scalar", 0.15),
     ("Registry", "Direct", 0.15),
@@ -108,6 +117,7 @@ RATIO_SERIES = (
     ("Interleaved", "Barrier", 0.35),
     ("PushTransmissionUniform", "PushTransmissionHeterogeneous", 0.15),
     ("WalkTransmissionUniform", "WalkTransmissionHeterogeneous", 0.15),
+    ("GraphBackendImplicit", "GraphBackendOwned", 0.20),
 )
 
 # Absolute caps on the Uniform/Heterogeneous ratio itself: the

@@ -20,9 +20,13 @@
 //   --csv=PATH   additionally write the CSV report to PATH (the sink is
 //                opened and validated BEFORE any trial runs)
 //   --progress   per-scenario completion lines on stderr
-//   --dry-run    parse and echo canonical expanded spec lines, run nothing
-//   --list       list registered simulators, graph families, and the
-//                shared transmission/intervention keys, then exit
+//   --dry-run    parse and echo canonical expanded spec lines — each with
+//                a trailing "# backend=... n=... m=... mem=..." estimate
+//                comment (stripped on re-read, so the output stays valid
+//                scenario input) — and run nothing
+//   --list       list registered simulators, graph families, graph storage
+//                backends, and the shared transmission/intervention keys,
+//                then exit
 //
 // Exit codes: 0 success, 1 a trial failed mid-run (the failing scenario is
 // named on stderr, and a streamed --csv gains a trailing "# truncated"
@@ -51,6 +55,25 @@ namespace {
 
 using namespace rumor;
 
+// "0 B", "12.3 KiB", "2.0 GiB" — estimates, so one decimal is plenty.
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--trials=N] [--seed=S] [--jobs=N] "
@@ -70,6 +93,17 @@ void list_registry() {
   for (const std::string& signature : graph_family_signatures()) {
     std::printf("  %s\n", signature.c_str());
   }
+  std::printf(
+      "\ngraph storage backends (backend= key; default auto):\n"
+      "  star, cycle, complete, grid, torus, circulant synthesize adjacency\n"
+      "  arithmetically (implicit backend, O(1) memory at any n); "
+      "backend=owned\n"
+      "  forces the materialized CSR. Identical structure and seeded\n"
+      "  trajectories either way.\n"
+      "  file:<path>  SNAP-style edge list ('#' comments, blank lines,\n"
+      "  duplicate/reversed edges deduped; self loops rejected); parsed "
+      "once,\n"
+      "  cached as <path>.rcsr and memory-mapped on later runs.\n");
   std::printf(
       "\ntransmission model & interventions (protocol options; multi-rumor "
       "and async\naccept tp only):\n");
@@ -173,7 +207,23 @@ int main(int argc, char** argv) {
 
   if (cli->dry_run) {
     for (const ScenarioSpec& spec : *specs) {
-      std::printf("%s\n", spec.name().c_str());
+      std::string why;
+      const auto probe = spec.graph.probe(&why);
+      if (!probe) {
+        // A parseable line with impossible parameters still echoes (this
+        // is a dry run), but carries the reason a real run would exit 2.
+        std::printf("%s  # invalid: %s\n", spec.name().c_str(), why.c_str());
+        continue;
+      }
+      // The estimate rides in a '#' comment, so the dry-run output remains
+      // valid scenario-file input.
+      std::printf("%s  # backend=%s n=%llu m%s=%llu mem=%s\n",
+                  spec.name().c_str(),
+                  graph_backend_name(probe->backend),
+                  static_cast<unsigned long long>(probe->n),
+                  probe->m_estimated ? "~" : "",
+                  static_cast<unsigned long long>(probe->m),
+                  format_bytes(probe->graph_bytes).c_str());
     }
     return 0;
   }

@@ -30,7 +30,8 @@ OddEvenResult run_odd_even_coupling(const Graph& g, Vertex source,
       inform_round[v] = static_cast<std::uint32_t>(round);
       ++informed;
       active.push_back(v);
-      for (Vertex w : g.neighbors(v)) ++informed_nbr[w];
+      const std::uint32_t dv = g.degree(v);
+      for (std::uint32_t i = 0; i < dv; ++i) ++informed_nbr[g.neighbor(v, i)];
     };
     inform(source);
     while (informed < n && round < cutoff) {

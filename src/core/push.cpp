@@ -1,6 +1,7 @@
 #include "core/push.hpp"
 
 #include "core/registry.hpp"
+#include "graph/access.hpp"
 #include "support/spec_text.hpp"
 
 namespace rumor {
@@ -76,8 +77,9 @@ void PushProcess::inform(Vertex v) {
   } else {
     arena_->active.push_back(v);
   }
-  for (Vertex w : graph_->neighbors_unchecked(v)) {
-    arena_->informed_nbr_count.add(w, 1);
+  const std::uint32_t deg = graph_->degree_unchecked(v);
+  for (std::uint32_t i = 0; i < deg; ++i) {
+    arena_->informed_nbr_count.add(graph_->neighbor_unchecked(v, i), 1);
   }
 }
 
@@ -118,8 +120,9 @@ void PushProcess::activate_blocking() {
   const Vertex n = graph_->num_vertices();
   for (Vertex v = 0; v < n; ++v) {
     if (blocked[v] != 0 && !arena_->vertex_inform_round.touched(v)) {
-      for (Vertex w : graph_->neighbors_unchecked(v)) {
-        arena_->informed_nbr_count.add(w, 1);
+      const std::uint32_t deg = graph_->degree_unchecked(v);
+      for (std::uint32_t i = 0; i < deg; ++i) {
+        arena_->informed_nbr_count.add(graph_->neighbor_unchecked(v, i), 1);
       }
     }
   }
@@ -131,7 +134,7 @@ void PushProcess::step() {
   if (model_.trivial()) {
     step_impl<transmission::Uniform>();
   } else if (skip_) {
-    step_skip();
+    with_graph_access(*graph_, [&](const auto& acc) { step_skip(acc); });
   } else {
     step_impl<transmission::General>();
   }
@@ -145,7 +148,8 @@ void PushProcess::step() {
 // neighbor picks of failed calls are unobservable in an untraced loss-free
 // run). Saturated / stifled / quarantined callers retire lazily at their
 // wake: all three conditions are permanent once true.
-void PushProcess::step_skip() {
+template <class Access>
+void PushProcess::step_skip(const Access& acc) {
   auto* heads = arena_->wake_heads.data();
   auto* next = arena_->wake_next.data();
   const bool restricted = model_.stifle() != 0 || model_.blocking();
@@ -165,12 +169,13 @@ void PushProcess::step_skip() {
   const bool single = restricted || options_.trace.informed_curve;
   // Per-vertex state reads go through raw-pointer views — the views stay
   // valid across inform() (it writes through the same stable buffers).
-  const CsrView csr = graph_->csr();
+  // Adjacency goes through the access policy resolved by the caller: raw
+  // CSR loads on materialized backends, closed-form arithmetic on implicit.
   const auto sat = arena_->informed_nbr_count.view();
   const auto informed = arena_->vertex_inform_round.view();
   const auto process = [&](const Vertex u) {
-    const std::uint32_t row = csr.offsets[u];
-    const std::uint32_t deg = csr.offsets[u + 1] - row;
+    const GraphRow row = acc.row(u);
+    const std::uint32_t deg = row.deg;
     if (sat.get(u) >= deg) {
       return;  // saturated: no future call can change anything
     }
@@ -179,7 +184,7 @@ void PushProcess::step_skip() {
       return;  // stifled or quarantined: permanent from this wake on
     }
     const Vertex v =
-        csr.neighbors[row + static_cast<std::uint32_t>(rng_.below(deg))];
+        acc.pick(row, static_cast<std::uint32_t>(rng_.below(deg)));
     if (!model_.blocked<transmission::General>(v, round_) &&
         !informed.touched(v)) {
       inform(v);
@@ -224,9 +229,10 @@ void PushProcess::step_skip() {
       if (i + 2 < cnt) {
         // Two-slot lookahead: the adjacency row and saturation counter are
         // random-access loads that miss once the per-vertex state outgrows
-        // L2 (the slot array itself streams).
+        // L2 (the slot array itself streams). The implicit policy's
+        // prefetch is a no-op — there is no adjacency memory to warm.
         const Vertex ahead = slots[i + 2];
-        __builtin_prefetch(csr.offsets + ahead, /*rw=*/0, /*locality=*/3);
+        acc.prefetch_degree(ahead);
         sat.prefetch(ahead);
       }
       process(slots[i]);

@@ -79,7 +79,11 @@ class PushProcess {
   // loss-free): instead of one Bernoulli(p) coin per caller per round, each
   // caller sits in a calendar queue keyed by the round of its next
   // *successful* call, so a round costs O(successes), not O(callers).
-  void step_skip();
+  // Templated on the graph access policy (CsrAccess/ImplicitAccess, picked
+  // once per step by with_graph_access) so the event loop runs raw CSR
+  // loads or closed-form arithmetic with no per-event backend branch.
+  template <class Access>
+  void step_skip(const Access& acc);
   void schedule(Vertex v, std::uint64_t wake);
   // Inserts v into the calendar (ring slot array, spill chain, or far
   // chain) without touching the pending count; maturation re-links through

@@ -46,7 +46,9 @@ void PushPullProcess::inform(Vertex v) {
   ++informed_count_;
   last_inform_round_ = round_;
   arena_->active.push_back(v);
-  for (Vertex w : graph_->neighbors_unchecked(v)) {
+  const std::uint32_t deg = graph_->degree_unchecked(v);
+  for (std::uint32_t i = 0; i < deg; ++i) {
+    const Vertex w = graph_->neighbor_unchecked(v, i);
     arena_->informed_nbr_count.add(w, 1);
     if (!arena_->vertex_inform_round.touched(w) &&
         !arena_->vertex_marks.contains(w)) {
@@ -72,8 +74,9 @@ void PushPullProcess::activate_blocking() {
   const Vertex n = graph_->num_vertices();
   for (Vertex v = 0; v < n; ++v) {
     if (blocked[v] != 0 && !arena_->vertex_inform_round.touched(v)) {
-      for (Vertex w : graph_->neighbors_unchecked(v)) {
-        arena_->informed_nbr_count.add(w, 1);
+      const std::uint32_t deg = graph_->degree_unchecked(v);
+      for (std::uint32_t i = 0; i < deg; ++i) {
+        arena_->informed_nbr_count.add(graph_->neighbor_unchecked(v, i), 1);
       }
     }
   }

@@ -124,10 +124,30 @@ namespace {
 
 // The per-edge field is the per-vertex field scattered to CSR slots; only
 // the edge-traffic traced contact sites read it, so it is filled on demand.
+// On the implicit backend there is no CSR to scatter along, so the slot
+// layout (and the offsets array attempt_slot indexes through) is
+// materialized from the closed-form adjacency — the one place a traced
+// run pays O(m) memory for an implicit graph.
 void fill_edge_field(const Graph& g, TransmissionScratch& s) {
-  const CsrView csr = g.csr();
   const std::size_t slots = 2 * g.num_edges();
   s.edge_success.resize(slots);
+  if (g.is_implicit()) {
+    const Vertex n = g.num_vertices();
+    s.implicit_offsets.resize(static_cast<std::size_t>(n) + 1);
+    std::uint32_t off = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      s.implicit_offsets[v] = off;
+      const std::uint32_t deg = g.degree_unchecked(v);
+      for (std::uint32_t i = 0; i < deg; ++i) {
+        s.edge_success[off + i] =
+            s.vertex_success[g.neighbor_unchecked(v, i)];
+      }
+      off += deg;
+    }
+    s.implicit_offsets[n] = off;
+    return;
+  }
+  const CsrView csr = g.csr();
   for (std::size_t i = 0; i < slots; ++i) {
     s.edge_success[i] = s.vertex_success[csr.neighbors[i]];
   }
@@ -136,11 +156,10 @@ void fill_edge_field(const Graph& g, TransmissionScratch& s) {
 void rebuild_fields(const Graph& g, const TransmissionOptions& options,
                     TransmissionScratch& s, bool need_edge_field) {
   const Vertex n = g.num_vertices();
-  const CsrView csr = g.csr();
   s.vertex_success.assign(n, static_cast<float>(options.tp));
   if (options.degree_scaled) {
     for (Vertex v = 0; v < n; ++v) {
-      const std::uint32_t deg = csr.offsets[v + 1] - csr.offsets[v];
+      const std::uint32_t deg = g.degree_unchecked(v);
       // Degree-0 vertices are never contacted; keep them at tp so the
       // field stays well-defined for negative exponents.
       const double p =
@@ -174,10 +193,8 @@ void rebuild_fields(const Graph& g, const TransmissionOptions& options,
       std::iota(order.begin(), order.end(), 0u);
       std::partial_sort(order.begin(), order.begin() + count, order.end(),
                         [&](std::uint32_t a, std::uint32_t b) {
-                          const std::uint32_t da =
-                              csr.offsets[a + 1] - csr.offsets[a];
-                          const std::uint32_t db =
-                              csr.offsets[b + 1] - csr.offsets[b];
+                          const std::uint32_t da = g.degree_unchecked(a);
+                          const std::uint32_t db = g.degree_unchecked(b);
                           if (da != db) return da > db;
                           return a < b;
                         });
@@ -225,7 +242,12 @@ void TransmissionModel::bind(const Graph& g,
   vertex_success_ = s.vertex_success.data();
   if (need_edge_field) edge_success_ = s.edge_success.data();
   blocked_ = s.blocked_count > 0 ? s.blocked.data() : nullptr;
-  offsets_ = g.csr().offsets;
+  // attempt_slot's slot->entry indexing; only traced binds read it. The
+  // implicit backend has no CSR, so the offsets materialized alongside the
+  // edge field stand in (and untraced implicit binds leave it null).
+  offsets_ = g.is_implicit()
+                 ? (need_edge_field ? s.implicit_offsets.data() : nullptr)
+                 : g.csr().offsets;
 
   // Mode pick from the materialized field, not the option flags: a
   // degree-scaled spec on a regular graph produces a constant field and

@@ -324,26 +324,55 @@ std::optional<std::vector<ScenarioSpec>> load_scenario_file(
 
 namespace {
 
-// Builds the scenario's graph and validates the plan against it. Graph
-// sizes are fixed by the spec, so these checks cover every fresh draw too
-// (the per-draw RUMOR_REQUIRE in the runner stays as backstop).
-std::optional<Graph> prepare_scenario(const ScenarioSpec& spec,
-                                      ScenarioResult& result,
-                                      std::string* error) {
+// One scenario vetted for execution: sizes for the report row, plus the
+// graph when (and only when) validation had to build it — random non-fresh
+// specs, whose single draw IS part of the result. Deterministic specs
+// validate analytically (GraphSpec::probe) and are built lazily by the
+// trial scheduler; fresh specs redraw per trial and never appear here.
+struct PreparedScenario {
+  std::optional<Graph> graph;
+  bool lazy = false;
+};
+
+// Validates the scenario and fills the result's size columns WITHOUT
+// building deterministic graphs: probe() answers n/m from the closed forms
+// (or the file cache header), so validating a 10^8-vertex sweep costs
+// arithmetic, not allocation. Sizes are fixed by the spec, so the source
+// check covers every fresh draw too (the per-draw RUMOR_REQUIRE in the
+// runner stays as backstop).
+bool prepare_scenario(const ScenarioSpec& spec, ScenarioResult& result,
+                      PreparedScenario& prep, std::string* error) {
   result.spec = spec;
-  // The graph draw uses a seed stream disjoint from the trial seeds (and,
-  // for fresh mode, matches trial 0's draw), so a scenario is reproducible
-  // from its text alone.
-  Rng graph_rng(derive_seed(spec.plan.seed ^ kGraphSeedSalt, 0));
-  Graph g = spec.graph.make(graph_rng);
-  result.n = g.num_vertices();
-  result.edges = g.num_edges();
+  if (spec.graph.is_random()) {
+    // The graph draw uses a seed stream disjoint from the trial seeds (and,
+    // for fresh mode, matches trial 0's draw), so a scenario is
+    // reproducible from its text alone.
+    Rng graph_rng(derive_seed(spec.plan.seed ^ kGraphSeedSalt, 0));
+    Graph g = spec.graph.make(graph_rng);
+    result.n = g.num_vertices();
+    result.edges = g.num_edges();
+    // Fresh-graph scenarios redraw per trial; dropping the validation
+    // draw immediately keeps it from pinning memory for the whole run.
+    if (!spec.plan.fresh_graph) prep.graph = std::move(g);
+  } else {
+    std::string why;
+    const auto probe = spec.graph.probe(&why);
+    if (!probe) {
+      set_error(error,
+                "scenario \"" + spec.name() + "\": " + spec.graph.name() +
+                    ": " + why);
+      return false;
+    }
+    result.n = probe->n;
+    result.edges = static_cast<std::size_t>(probe->m);
+    prep.lazy = true;
+  }
   if (spec.plan.source >= result.n) {
     set_error(error, "scenario \"" + spec.name() + "\": source=" +
                          std::to_string(spec.plan.source) +
                          " is out of range for " + spec.graph.name() +
                          " (n=" + std::to_string(result.n) + ")");
-    return std::nullopt;
+    return false;
   }
   if (const WalkOptions* walk = spec.protocol.walk_if();
       walk != nullptr && walk->placement == Placement::at_vertex &&
@@ -353,9 +382,9 @@ std::optional<Graph> prepare_scenario(const ScenarioSpec& spec,
                          std::to_string(walk->placement_anchor) +
                          " is out of range for " + spec.graph.name() +
                          " (n=" + std::to_string(result.n) + ")");
-    return std::nullopt;
+    return false;
   }
-  return g;
+  return true;
 }
 
 }  // namespace
@@ -371,7 +400,8 @@ bool validate_scenarios(const std::vector<ScenarioSpec>& specs,
                         std::string* error) {
   for (const ScenarioSpec& spec : specs) {
     ScenarioResult scratch;
-    if (!prepare_scenario(spec, scratch, error)) return false;
+    PreparedScenario prep;
+    if (!prepare_scenario(spec, scratch, prep, error)) return false;
   }
   return true;
 }
@@ -379,17 +409,18 @@ bool validate_scenarios(const std::vector<ScenarioSpec>& specs,
 std::optional<std::vector<ScenarioResult>> run_scenarios(
     const std::vector<ScenarioSpec>& specs, std::string* error,
     const ScenarioRunOptions& options) {
-  // Phase 1 — validate every scenario and build every graph before any
-  // trial runs: a bad line at the bottom of the file fails fast instead
-  // of after hours of simulation. Fresh-graph scenarios redraw per trial,
-  // so their validation graph is dropped immediately instead of pinning
-  // the whole series' memory for the run.
+  // Phase 1 — validate every scenario before any trial runs: a bad line at
+  // the bottom of the file fails fast instead of after hours of
+  // simulation. Deterministic graphs are validated analytically and built
+  // lazily by the scheduler (when their first trial is claimed, released
+  // when their trials drain); only random non-fresh scenarios build here,
+  // because their one draw is part of the result.
   std::vector<ScenarioResult> results(specs.size());
-  std::vector<std::optional<Graph>> graphs(specs.size());
+  std::vector<PreparedScenario> prepared(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    graphs[i] = prepare_scenario(specs[i], results[i], error);
-    if (!graphs[i]) return std::nullopt;
-    if (specs[i].plan.fresh_graph) graphs[i].reset();
+    if (!prepare_scenario(specs[i], results[i], prepared[i], error)) {
+      return std::nullopt;
+    }
   }
   // Phase 2 — one global (scenario, trial) queue across the whole file.
   std::vector<TrialBatch> batches(specs.size());
@@ -397,8 +428,10 @@ std::optional<std::vector<ScenarioResult>> run_scenarios(
     TrialBatch& batch = batches[i];
     if (specs[i].plan.fresh_graph) {
       batch.fresh_spec = &specs[i].graph;
+    } else if (prepared[i].lazy) {
+      batch.lazy_spec = &specs[i].graph;
     } else {
-      batch.graph = &*graphs[i];
+      batch.graph = &*prepared[i].graph;
     }
     batch.protocol = &specs[i].protocol;
     batch.source = specs[i].plan.source;

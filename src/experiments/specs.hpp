@@ -42,6 +42,30 @@ enum class Family {
   barbell,           // a = clique size
   star_of_cliques,   // a = cliques, b = clique size
   binary_tree,       // a = n
+  file,              // path = SNAP edge list ("file:<path>" in the grammar)
+};
+
+// Storage-backend request in a graph spec (`backend=` key). `automatic`
+// resolves to the implicit backend for the families with closed-form
+// adjacency (star, cycle, complete, grid, torus, circulant) — identical
+// structure and trajectories, O(1) memory — and owned CSR otherwise.
+// `owned` forces materialization (reference behavior, equivalence tests);
+// `implicit` demands the closed forms and is a parse error elsewhere.
+enum class GraphBackendChoice : std::uint8_t { automatic, owned, implicit };
+
+// Analytic size/shape report for a spec — what make() would build, without
+// building it. Drives up-front scenario validation, the lazy scheduler's
+// source checks, and the --dry-run memory estimates.
+struct GraphProbe {
+  Vertex n = 0;
+  std::uint64_t m = 0;
+  // True when m is an expectation, not exact (erdos_renyi).
+  bool m_estimated = false;
+  GraphBackend backend = GraphBackend::owned;
+  // Private adjacency bytes one built instance holds: exact CSR footprint
+  // for owned, 0 for implicit, the (shared, page-cache) mapped file size
+  // for the file backend.
+  std::uint64_t graph_bytes = 0;
 };
 
 struct GraphSpec {
@@ -49,12 +73,27 @@ struct GraphSpec {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   double p = 0.0;
+  std::string path;  // Family::file only
+  GraphBackendChoice backend = GraphBackendChoice::automatic;
 
-  // Builds the graph; rng is consumed only by random families.
+  // Builds the graph; rng is consumed only by random families. File graphs
+  // may throw GraphFileError (callers validate via probe() first).
   [[nodiscard]] Graph make(Rng& rng) const;
 
+  // Backend make() will produce, after resolving `automatic`.
+  [[nodiscard]] GraphBackend resolved_backend() const;
+
+  // Validates the parameters (the same preconditions make() enforces) and
+  // reports the analytic sizes + backend. For file specs this stats the
+  // source and parses it once if no fresh cache exists — the typed error
+  // path that lets scenario validation reject a bad path before any trial.
+  [[nodiscard]] std::optional<GraphProbe> probe(
+      std::string* error = nullptr) const;
+
   // Canonical text form, e.g. "star(leaves=1024)" or
-  // "erdos_renyi(n=32,p=0.3)". parse(name()) reproduces the spec.
+  // "erdos_renyi(n=32,p=0.3)" or "file:data/edges.txt"; a non-default
+  // backend choice is emitted as a backend= key. parse(name()) reproduces
+  // the spec.
   [[nodiscard]] std::string name() const;
   static std::optional<GraphSpec> parse(std::string_view text,
                                         std::string* error = nullptr);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <optional>
 
 #include "support/thread_pool.hpp"
 #include "support/trial_arena.hpp"
@@ -34,8 +35,34 @@ void record_trial(TrialSet& set, std::size_t i, TrialResult&& outcome,
   if (!outcome.completed) incomplete.fetch_add(1);
 }
 
+// Build-on-first-claim slot for a lazy batch: the graph materializes when
+// some worker claims the batch's first trial and is released when its last
+// trial completes, bounding a many-scenario file's graph memory to the
+// batches actively being worked on. The graph seed derivation matches the
+// eager path (trial 0's fresh draw), so laziness cannot change a result.
+struct LazyGraphSlot {
+  std::mutex mutex;
+  std::optional<Graph> graph;
+
+  const Graph& acquire(const TrialBatch& batch) {
+    std::lock_guard lock(mutex);
+    if (!graph) {
+      Rng graph_rng(derive_seed(batch.master_seed ^ kGraphSeedSalt, 0));
+      graph.emplace(batch.lazy_spec->make(graph_rng));
+      RUMOR_REQUIRE(batch.source < graph->num_vertices());
+    }
+    return *graph;
+  }
+
+  void release() {
+    std::lock_guard lock(mutex);
+    graph.reset();
+  }
+};
+
 void run_one_trial(const TrialBatch& batch, std::size_t i,
-                   std::atomic<std::size_t>& incomplete, bool want_curves) {
+                   std::atomic<std::size_t>& incomplete, bool want_curves,
+                   LazyGraphSlot& lazy) {
   if (batch.fresh_spec != nullptr) {
     Rng graph_rng(derive_seed(batch.master_seed ^ kGraphSeedSalt, i));
     const Graph g = batch.fresh_spec->make(graph_rng);
@@ -48,8 +75,13 @@ void run_one_trial(const TrialBatch& batch, std::size_t i,
                               &arena_for_thread()),
                  incomplete, want_curves);
   } else {
+    // The lazy graph stays alive until the batch's LAST trial completes
+    // (release() runs after every record_trial), so this reference cannot
+    // dangle mid-trial.
+    const Graph& g =
+        batch.lazy_spec != nullptr ? lazy.acquire(batch) : *batch.graph;
     record_trial(*batch.out, i,
-                 run_protocol(*batch.graph, *batch.protocol, batch.source,
+                 run_protocol(g, *batch.protocol, batch.source,
                               derive_seed(batch.master_seed, i),
                               &arena_for_thread()),
                  incomplete, want_curves);
@@ -69,7 +101,15 @@ void run_trial_batches(const std::vector<TrialBatch>& batches,
     const TrialBatch& batch = batches[b];
     RUMOR_REQUIRE(batch.trials > 0);
     RUMOR_REQUIRE(batch.out != nullptr && batch.protocol != nullptr);
-    RUMOR_REQUIRE((batch.graph != nullptr) != (batch.fresh_spec != nullptr));
+    RUMOR_REQUIRE((batch.graph != nullptr) + (batch.fresh_spec != nullptr) +
+                      (batch.lazy_spec != nullptr) ==
+                  1);
+    if (batch.lazy_spec != nullptr) {
+      // Laziness needs a reproducible build: a random draw at claim time
+      // would depend on scheduling. Random specs use fresh_spec (per-trial
+      // redraw) or an eagerly built `graph`.
+      RUMOR_REQUIRE(!batch.lazy_spec->is_random());
+    }
     if (batch.graph != nullptr) {
       RUMOR_REQUIRE(batch.source < batch.graph->num_vertices());
     }
@@ -114,6 +154,7 @@ void run_trial_batches(const std::vector<TrialBatch>& batches,
 
   std::vector<std::atomic<std::size_t>> incomplete(n);
   std::vector<std::atomic<std::size_t>> finished(n);
+  std::vector<LazyGraphSlot> lazy(n);
   // In-order emission state: done[b] flips when batch b's last trial
   // lands; next_emit advances over the done prefix so on_batch_done sees
   // batches in file order no matter which finishes first.
@@ -155,7 +196,7 @@ void run_trial_batches(const std::vector<TrialBatch>& batches,
         const std::size_t b = exec[p];
         try {
           run_one_trial(batches[b], flat - offsets[p], incomplete[b],
-                        want_curves[b]);
+                        want_curves[b], lazy[b]);
         } catch (const std::exception& e) {
           std::lock_guard lock(emit_mutex);
           if (!cancelled.exchange(true)) {
@@ -172,6 +213,7 @@ void run_trial_batches(const std::vector<TrialBatch>& batches,
           return;
         }
         if (finished[b].fetch_add(1) + 1 == batches[b].trials) {
+          lazy[b].release();  // batch drained: drop its lazy-built graph
           complete_batch(b);
         }
       },

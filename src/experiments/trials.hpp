@@ -74,12 +74,17 @@ struct TrialSet {
                                               std::uint64_t master_seed);
 
 // One scenario's block of trials in the global work queue. Exactly one of
-// `graph` (fixed-graph mode) and `fresh_spec` (redraw per trial) is set;
-// `out` is the caller-owned result slot the scheduler sizes and fills.
-// Every referenced object must outlive the run_trial_batches call.
+// `graph` (fixed-graph mode), `fresh_spec` (redraw per trial), and
+// `lazy_spec` (deterministic spec, built by the scheduler when the batch's
+// first trial is claimed and released when its trials drain — a
+// many-scenario file holds at most the graphs actively being worked on,
+// not the whole file's) is set; `out` is the caller-owned result slot the
+// scheduler sizes and fills. Every referenced object must outlive the
+// run_trial_batches call.
 struct TrialBatch {
   const Graph* graph = nullptr;
   const GraphSpec* fresh_spec = nullptr;
+  const GraphSpec* lazy_spec = nullptr;
   const ProtocolSpec* protocol = nullptr;
   Vertex source = 0;
   std::size_t trials = 0;

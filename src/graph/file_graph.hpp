@@ -1,0 +1,57 @@
+// Edge-list file graphs with a versioned, memory-mapped CSR cache.
+//
+// `graph=file:path` scenarios load a SNAP-style whitespace edge list:
+//   * lines are "<u> <v>" with arbitrary (non-dense) 64-bit vertex ids;
+//   * '#' starts a comment (full-line or trailing); blank lines are skipped;
+//   * duplicate edges — in either orientation — are deduplicated;
+//   * self loops are a parse error (reported with the line number);
+//   * vertex ids are compacted to dense [0, n) in ascending original-id
+//     order, so results are reproducible from the file alone.
+//
+// Parsing and CSR construction happen once: the first load writes a binary
+// cache beside the source (`<path>.rcsr`, format documented in
+// docs/scenarios.md) holding the finished CSR arrays plus the structural
+// summary (degree range, connectivity, bipartiteness). Later runs validate
+// the cache against the source's size + mtime and memory-map it read-only —
+// the Graph then borrows the mapped arrays (GraphBackend::mapped), so a
+// 10^8-edge snapshot costs page-cache, not private RSS, and shares across
+// processes.
+//
+// Errors throw GraphFileError (never abort): a bad path or malformed file
+// must surface through scenario validation's typed error path before any
+// trial runs.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace rumor {
+
+class GraphFileError : public std::runtime_error {
+ public:
+  explicit GraphFileError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// Cache file placed beside the source: "<path>.rcsr".
+[[nodiscard]] std::string file_graph_cache_path(const std::string& path);
+
+// Loads `path`, building or refreshing the cache as needed, and returns a
+// mapped-backend Graph. Throws GraphFileError on any I/O or parse problem.
+[[nodiscard]] Graph load_file_graph(const std::string& path);
+
+// Size/shape summary for validation and memory estimates. Ensuring the
+// numbers exist may parse the source once (building the cache as a side
+// effect); a valid cache answers from its 64-byte header.
+struct FileGraphInfo {
+  Vertex n = 0;
+  std::uint64_t m = 0;
+  std::uint64_t cache_bytes = 0;  // size of the mmap'd cache file
+  bool cache_was_fresh = false;   // true when an existing cache answered
+};
+[[nodiscard]] FileGraphInfo probe_file_graph(const std::string& path);
+
+}  // namespace rumor

@@ -13,6 +13,32 @@ struct Graph::PropertyState {
   GraphProperties props;
 };
 
+namespace {
+
+// Backing store for the owned backend; shared by copies via payload_.
+struct OwnedCsr {
+  std::vector<std::uint32_t> offsets;                 // n+1 entries
+  std::vector<Vertex> neighbors;                      // 2m, sorted per vertex
+  std::vector<EdgeId> edge_ids;                       // 2m
+  std::vector<std::pair<Vertex, Vertex>> edge_list;   // m entries, u < v
+};
+
+}  // namespace
+
+void Graph::assign_uid() {
+  static std::atomic<std::uint64_t> next_uid{1};
+  uid_ = next_uid.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Graph::prefill_properties(const GraphProperties& props) {
+  property_state_ = std::make_shared<PropertyState>();
+  PropertyState& state = *property_state_;
+  std::call_once(state.once, [&] {
+    state.props = props;
+    state.ready.store(true, std::memory_order_release);
+  });
+}
+
 Graph::Graph(Vertex num_vertices,
              std::span<const std::pair<Vertex, Vertex>> edges)
     : n_(num_vertices),
@@ -24,59 +50,64 @@ Graph::Graph(Vertex num_vertices,
   RUMOR_REQUIRE(num_vertices > 0 || edges.empty());
   RUMOR_REQUIRE(edges.size() < std::numeric_limits<EdgeId>::max() / 2);
 
-  edge_list_.reserve(m_);
-  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  auto owned = std::make_shared<OwnedCsr>();
+  owned->edge_list.reserve(m_);
+  owned->offsets.assign(static_cast<std::size_t>(n_) + 1, 0);
+  auto& offsets = owned->offsets;
+  auto& edge_list = owned->edge_list;
 
   for (const auto& [u, v] : edges) {
     RUMOR_REQUIRE(u < n_ && v < n_);
     RUMOR_REQUIRE(u != v);  // no self loops
-    edge_list_.emplace_back(std::min(u, v), std::max(u, v));
-    ++offsets_[u + 1];
-    ++offsets_[v + 1];
+    edge_list.emplace_back(std::min(u, v), std::max(u, v));
+    ++offsets[u + 1];
+    ++offsets[v + 1];
   }
 
   // Canonical edge order: sort endpoint pairs; also detects duplicates.
-  std::sort(edge_list_.begin(), edge_list_.end());
-  for (std::size_t e = 1; e < edge_list_.size(); ++e) {
-    RUMOR_REQUIRE(edge_list_[e] != edge_list_[e - 1]);  // no multi-edges
+  std::sort(edge_list.begin(), edge_list.end());
+  for (std::size_t e = 1; e < edge_list.size(); ++e) {
+    RUMOR_REQUIRE(edge_list[e] != edge_list[e - 1]);  // no multi-edges
   }
 
-  for (std::size_t v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
+  for (std::size_t v = 0; v < n_; ++v) offsets[v + 1] += offsets[v];
 
-  neighbors_.resize(2 * m_);
-  edge_ids_.resize(2 * m_);
-  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (std::size_t e = 0; e < edge_list_.size(); ++e) {
-    const auto [u, v] = edge_list_[e];
-    neighbors_[cursor[u]] = v;
-    edge_ids_[cursor[u]] = static_cast<EdgeId>(e);
+  owned->neighbors.resize(2 * m_);
+  owned->edge_ids.resize(2 * m_);
+  auto& neighbors = owned->neighbors;
+  auto& edge_ids = owned->edge_ids;
+  std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t e = 0; e < edge_list.size(); ++e) {
+    const auto [u, v] = edge_list[e];
+    neighbors[cursor[u]] = v;
+    edge_ids[cursor[u]] = static_cast<EdgeId>(e);
     ++cursor[u];
-    neighbors_[cursor[v]] = u;
-    edge_ids_[cursor[v]] = static_cast<EdgeId>(e);
+    neighbors[cursor[v]] = u;
+    edge_ids[cursor[v]] = static_cast<EdgeId>(e);
     ++cursor[v];
   }
 
-  // With edge_list_ sorted by (u, v) and u < v, each vertex w receives its
+  // With edge_list sorted by (u, v) and u < v, each vertex w receives its
   // back-neighbors (all < w) before its forward-neighbors (all > w), each
   // group ascending — so lists are already sorted and this insertion sort
   // runs in linear time. It is kept as a guard so the sortedness invariant
   // holds even if the fill order above changes.
   for (Vertex v = 0; v < n_; ++v) {
-    const std::uint32_t lo = offsets_[v];
-    const std::uint32_t hi = offsets_[v + 1];
+    const std::uint32_t lo = offsets[v];
+    const std::uint32_t hi = offsets[v + 1];
     // insertion sort on the (neighbor, edge id) pairs; lists are nearly
     // sorted already, and this avoids a temporary pair buffer.
     for (std::uint32_t i = lo + 1; i < hi; ++i) {
-      Vertex nv = neighbors_[i];
-      EdgeId ne = edge_ids_[i];
+      Vertex nv = neighbors[i];
+      EdgeId ne = edge_ids[i];
       std::uint32_t j = i;
-      while (j > lo && neighbors_[j - 1] > nv) {
-        neighbors_[j] = neighbors_[j - 1];
-        edge_ids_[j] = edge_ids_[j - 1];
+      while (j > lo && neighbors[j - 1] > nv) {
+        neighbors[j] = neighbors[j - 1];
+        edge_ids[j] = edge_ids[j - 1];
         --j;
       }
-      neighbors_[j] = nv;
-      edge_ids_[j] = ne;
+      neighbors[j] = nv;
+      edge_ids[j] = ne;
     }
   }
 
@@ -84,14 +115,92 @@ Graph::Graph(Vertex num_vertices,
   max_degree_ = 0;
   degrees_all_pow2_ = n_ > 0;
   for (Vertex v = 0; v < n_; ++v) {
-    const std::uint32_t d = degree(v);
+    const std::uint32_t d = offsets[v + 1] - offsets[v];
     min_degree_ = std::min(min_degree_, d);
     max_degree_ = std::max(max_degree_, d);
     degrees_all_pow2_ = degrees_all_pow2_ && d > 0 && (d & (d - 1)) == 0;
   }
 
-  static std::atomic<std::uint64_t> next_uid{1};
-  uid_ = next_uid.fetch_add(1, std::memory_order_relaxed);
+  offsets_p_ = offsets.data();
+  neighbors_p_ = neighbors.data();
+  edge_ids_p_ = edge_ids.data();
+  edge_list_p_ = edge_list.data();
+  payload_ = std::move(owned);
+  assign_uid();
+}
+
+Graph Graph::make_implicit(const ImplicitDesc& desc) {
+  RUMOR_REQUIRE(desc.kind != ImplicitKind::none);
+  RUMOR_REQUIRE(desc.n > 0);
+  Graph g;
+  g.backend_ = GraphBackend::implicit;
+  g.implicit_ = desc;
+  g.n_ = desc.n;
+  g.m_ = desc.m;
+  g.min_degree_ = desc.min_degree;
+  g.max_degree_ = desc.max_degree;
+  g.degrees_all_pow2_ = desc.degrees_all_pow2;
+  GraphProperties props;
+  props.connected = desc.connected;
+  props.bipartite = desc.bipartite;
+  props.regular = desc.min_degree == desc.max_degree;
+  props.degrees_all_pow2 = desc.degrees_all_pow2;
+  g.prefill_properties(props);
+  g.assign_uid();
+  return g;
+}
+
+Graph Graph::from_external(ExternalCsr ext) {
+  RUMOR_REQUIRE(ext.offsets != nullptr && ext.neighbors != nullptr &&
+                ext.edge_ids != nullptr && ext.fwd_offsets != nullptr);
+  RUMOR_REQUIRE(ext.m < std::numeric_limits<EdgeId>::max() / 2);
+  Graph g;
+  g.backend_ = GraphBackend::mapped;
+  g.n_ = ext.n;
+  g.m_ = ext.m;
+  g.offsets_p_ = ext.offsets;
+  g.neighbors_p_ = ext.neighbors;
+  g.edge_ids_p_ = ext.edge_ids;
+  g.fwd_offsets_p_ = ext.fwd_offsets;
+  g.min_degree_ = ext.min_degree;
+  g.max_degree_ = ext.max_degree;
+  g.degrees_all_pow2_ = ext.degrees_all_pow2;
+  g.payload_ = std::move(ext.keep_alive);
+  g.prefill_properties(ext.props);
+  g.assign_uid();
+  return g;
+}
+
+std::pair<Vertex, Vertex> Graph::edge_endpoints(EdgeId e) const {
+  RUMOR_CHECK(e < m_);
+  switch (backend_) {
+    case GraphBackend::owned:
+      return edge_list_p_[e];
+    case GraphBackend::implicit:
+      return implicit_edge_endpoints(implicit_, e);
+    case GraphBackend::mapped: {
+      // Owner u: the unique vertex with fwd_offsets[u] <= e <
+      // fwd_offsets[u+1]; its forward neighbors sit after its
+      // back-neighbors in the sorted row.
+      Vertex lo = 0;
+      Vertex hi = n_ - 1;
+      while (lo < hi) {
+        const Vertex mid = lo + (hi - lo) / 2;
+        if (fwd_offsets_p_[mid + 1] > e) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      const std::uint32_t deg = offsets_p_[lo + 1] - offsets_p_[lo];
+      const std::uint32_t fwd = fwd_offsets_p_[lo + 1] - fwd_offsets_p_[lo];
+      const std::uint32_t back = deg - fwd;
+      const Vertex v =
+          neighbors_p_[offsets_p_[lo] + back + (e - fwd_offsets_p_[lo])];
+      return {lo, v};
+    }
+  }
+  return {0u, 0u};
 }
 
 const GraphProperties& Graph::properties() const {
@@ -104,7 +213,8 @@ const GraphProperties& Graph::properties() const {
     // One BFS pass computes connectivity (all vertices reached from vertex
     // 0) and bipartiteness (2-coloring across every component) together.
     // 2 = uncolored; the scratch is allocated once per graph, never per
-    // trial.
+    // trial. Only owned graphs land here — implicit and mapped backends
+    // prefill the state at construction.
     std::vector<std::uint8_t> color(n_, 2);
     std::vector<Vertex> queue;
     queue.reserve(n_);
@@ -117,7 +227,9 @@ const GraphProperties& Graph::properties() const {
       std::size_t head = 0;
       while (head < queue.size()) {
         const Vertex u = queue[head++];
-        for (Vertex v : neighbors_unchecked(u)) {
+        const std::uint32_t deg = degree_unchecked(u);
+        for (std::uint32_t i = 0; i < deg; ++i) {
+          const Vertex v = neighbor_unchecked(u, i);
           if (color[v] == 2) {
             color[v] = color[u] ^ 1;
             queue.push_back(v);
@@ -144,8 +256,21 @@ bool Graph::properties_cached() const {
 
 bool Graph::has_edge(Vertex u, Vertex v) const {
   RUMOR_REQUIRE(u < n_ && v < n_);
-  const auto nbrs = neighbors(u);
-  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+  // Binary search the sorted neighbor list of u; neighbor_unchecked makes
+  // this backend-generic (implicit lists are synthesized, still sorted).
+  std::uint32_t lo = 0;
+  std::uint32_t hi = degree_unchecked(u);
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const Vertex w = neighbor_unchecked(u, mid);
+    if (w == v) return true;
+    if (w < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
 }
 
 }  // namespace rumor

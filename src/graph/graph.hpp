@@ -1,13 +1,26 @@
-// Immutable undirected graph in compressed-sparse-row form.
+// Immutable undirected graph behind one accessor API, three storage backends.
 //
 // This is the substrate every protocol runs on. Design points:
 //  * Vertices are dense uint32 ids [0, n).
-//  * Adjacency is CSR: offsets_[v] .. offsets_[v+1] index into neighbors_.
-//    Neighbor lists are sorted, which makes structural tests exact and
-//    deterministic.
+//  * Three backends (see GraphBackend):
+//      - owned: in-RAM CSR arrays, built from an edge list (the original
+//        behavior; GraphBuilder and the generators produce these).
+//      - implicit: star/cycle/complete/grid/torus/circulant synthesize
+//        degree/neighbor/edge-id arithmetically from an ImplicitDesc —
+//        O(1) memory at any n (see graph/implicit.hpp).
+//      - mapped: CSR arrays borrowed from an external owner, typically a
+//        memory-mapped cache file (see graph/file_graph.hpp); a shared
+//        keep-alive handle pins the mapping.
+//    Copies are cheap: owned and mapped storage is shared, never deep-copied.
+//  * Adjacency enumerates in sorted order on every backend: neighbor lists
+//    ascending, which makes structural tests exact and deterministic, and —
+//    because the implicit closed forms reproduce the same order — keeps
+//    seeded trajectories byte-identical across backends.
 //  * Every directed adjacency slot carries the id of its undirected edge
-//    (edge_ids_), so simulators can count per-edge traffic in O(1) —
-//    needed for the paper's "locally fair bandwidth" experiments (E11).
+//    (edge ids dense in [0, m), equal to the lexicographic rank of the
+//    (min, max) endpoint pair), so simulators can count per-edge traffic in
+//    O(1) — needed for the paper's "locally fair bandwidth" experiments
+//    (E11).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/implicit.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
@@ -27,9 +41,25 @@ using EdgeId = std::uint32_t;
 
 constexpr Vertex kNoVertex = 0xFFFFFFFFu;
 
+enum class GraphBackend : std::uint8_t {
+  owned,     // in-RAM CSR vectors
+  implicit,  // arithmetic adjacency, no arrays
+  mapped,    // borrowed CSR arrays (mmap'd cache file)
+};
+
+[[nodiscard]] constexpr const char* graph_backend_name(GraphBackend b) {
+  switch (b) {
+    case GraphBackend::owned: return "owned-csr";
+    case GraphBackend::implicit: return "implicit";
+    case GraphBackend::mapped: return "mmap-csr";
+  }
+  return "?";
+}
+
 // Structural flags derived from a whole-graph traversal, memoized per graph
 // (see Graph::properties()). Deriving options from these — notably
 // LazyMode::auto_bipartite — costs O(1) per trial instead of a BFS.
+// Implicit and mapped graphs arrive with the answers precomputed.
 struct GraphProperties {
   bool connected = false;  // empty graph counts as NOT connected
   bool bipartite = false;  // empty graph is vacuously two-colorable
@@ -39,7 +69,8 @@ struct GraphProperties {
 
 // Borrowed raw view of a graph's CSR arrays for batched kernels that have
 // already validated their inputs at the process boundary. Lifetime is tied
-// to the owning Graph.
+// to the owning Graph. Only materialized backends (owned, mapped) have one;
+// implicit graphs dispatch through graph/access.hpp instead.
 struct CsrView {
   const std::uint32_t* offsets;  // n + 1 entries
   const Vertex* neighbors;       // 2m entries, sorted per vertex
@@ -47,53 +78,86 @@ struct CsrView {
   Vertex n;
 };
 
+// Payload handed to Graph::from_external by the mapped backend: borrowed
+// CSR arrays plus the precomputed structural summary the cache stores, and
+// a keep-alive handle that owns the arrays (the mapping).
+struct ExternalCsr {
+  const std::uint32_t* offsets = nullptr;      // n + 1
+  const Vertex* neighbors = nullptr;           // 2m, sorted per vertex
+  const EdgeId* edge_ids = nullptr;            // 2m
+  const std::uint32_t* fwd_offsets = nullptr;  // n + 1: # edges with min < u
+  Vertex n = 0;
+  std::uint64_t m = 0;
+  std::uint32_t min_degree = 0;
+  std::uint32_t max_degree = 0;
+  bool degrees_all_pow2 = false;
+  GraphProperties props;
+  std::shared_ptr<const void> keep_alive;
+};
+
 class Graph {
  public:
-  // Constructs from an undirected edge list. Requires: no self loops, no
-  // duplicate edges (in either orientation), endpoints < num_vertices.
-  // Prefer GraphBuilder, which validates and reports good errors.
+  // Constructs an owned-CSR graph from an undirected edge list. Requires:
+  // no self loops, no duplicate edges (in either orientation), endpoints <
+  // num_vertices. Prefer GraphBuilder, which validates and reports good
+  // errors.
   Graph(Vertex num_vertices, std::span<const std::pair<Vertex, Vertex>> edges);
+
+  // Implicit backend: adjacency synthesized from the family closed forms.
+  // `desc` must come from make_implicit_desc (kind != none).
+  [[nodiscard]] static Graph make_implicit(const ImplicitDesc& desc);
+
+  // Mapped backend: adjacency borrowed from `ext` (typically an mmap'd
+  // cache file pinned by ext.keep_alive).
+  [[nodiscard]] static Graph from_external(ExternalCsr ext);
+
+  [[nodiscard]] GraphBackend backend() const { return backend_; }
+  [[nodiscard]] bool is_implicit() const {
+    return backend_ == GraphBackend::implicit;
+  }
+  // Valid only when is_implicit(); kernels dispatch on it via
+  // graph/access.hpp.
+  [[nodiscard]] const ImplicitDesc& implicit_desc() const { return implicit_; }
 
   [[nodiscard]] Vertex num_vertices() const { return n_; }
   [[nodiscard]] std::size_t num_edges() const { return m_; }
 
   [[nodiscard]] std::uint32_t degree(Vertex v) const {
     RUMOR_CHECK(v < n_);
-    return offsets_[v + 1] - offsets_[v];
+    return degree_unchecked(v);
   }
 
-  // Sorted neighbor list of v.
+  // Sorted neighbor list of v. Materialized backends only — implicit
+  // graphs have no array to span; enumerate via neighbor(v, i) instead.
   [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const {
     RUMOR_CHECK(v < n_);
-    return {neighbors_.data() + offsets_[v],
-            neighbors_.data() + offsets_[v + 1]};
+    RUMOR_CHECK(offsets_p_ != nullptr);
+    return {neighbors_p_ + offsets_p_[v], neighbors_p_ + offsets_p_[v + 1]};
   }
 
-  // i-th neighbor of v (i < degree(v)).
+  // i-th neighbor of v (i < degree(v)); lists enumerate ascending.
   [[nodiscard]] Vertex neighbor(Vertex v, std::uint32_t i) const {
     RUMOR_CHECK(i < degree(v));
-    return neighbors_[offsets_[v] + i];
+    return neighbor_unchecked(v, i);
   }
 
   // Undirected edge id of the i-th adjacency slot of v; ids are dense in
   // [0, num_edges()).
   [[nodiscard]] EdgeId edge_id(Vertex v, std::uint32_t i) const {
     RUMOR_CHECK(i < degree(v));
-    return edge_ids_[offsets_[v] + i];
+    return edge_id_unchecked(v, i);
   }
 
-  // Endpoints (u, v) with u < v of an undirected edge id.
-  [[nodiscard]] std::pair<Vertex, Vertex> edge_endpoints(EdgeId e) const {
-    RUMOR_CHECK(e < m_);
-    return edge_list_[e];
-  }
+  // Endpoints (u, v) with u < v of an undirected edge id. O(1) for owned
+  // graphs, O(log n) for implicit and mapped (offset binary search).
+  [[nodiscard]] std::pair<Vertex, Vertex> edge_endpoints(EdgeId e) const;
 
   // Uniform random neighbor of v; requires degree(v) > 0. This is the single
   // primitive all four protocols are built from.
   [[nodiscard]] Vertex random_neighbor(Vertex v, Rng& rng) const {
     const std::uint32_t deg = degree(v);
     RUMOR_CHECK(deg > 0);
-    return neighbors_[offsets_[v] + rng.below(deg)];
+    return neighbor_unchecked(v, static_cast<std::uint32_t>(rng.below(deg)));
   }
 
   // As above but also reports the adjacency slot chosen (for edge tracing).
@@ -102,7 +166,7 @@ class Graph {
     const std::uint32_t deg = degree(v);
     RUMOR_CHECK(deg > 0);
     const auto slot = static_cast<std::uint32_t>(rng.below(deg));
-    return {neighbors_[offsets_[v] + slot], slot};
+    return {neighbor_unchecked(v, slot), slot};
   }
 
   // ---- Unchecked hot-path kernels -------------------------------------
@@ -111,41 +175,61 @@ class Graph {
   // RUMOR_CHECK bounds branches, for inner loops that have validated their
   // arguments once at the process boundary (every vertex a simulator holds
   // is < n by construction). The checked accessors remain the public API;
-  // these exist so per-step costs are loads and arithmetic only. Each
-  // random_* variant consumes the RNG exactly like its checked twin, so
-  // switching paths cannot change a seeded trajectory.
+  // these exist so per-step costs are loads and arithmetic only. The
+  // backend test is a single perfectly predicted branch; kernels that want
+  // it hoisted out of the loop entirely dispatch an access policy once per
+  // round via graph/access.hpp. Each random_* variant consumes the RNG
+  // exactly like its checked twin, so switching paths (or backends) cannot
+  // change a seeded trajectory.
 
   [[nodiscard]] std::uint32_t degree_unchecked(Vertex v) const {
-    return offsets_[v + 1] - offsets_[v];
+    if (backend_ == GraphBackend::implicit) {
+      return implicit_degree(implicit_, v);
+    }
+    return offsets_p_[v + 1] - offsets_p_[v];
   }
 
+  // Materialized backends only, like neighbors().
   [[nodiscard]] std::span<const Vertex> neighbors_unchecked(Vertex v) const {
-    return {neighbors_.data() + offsets_[v],
-            neighbors_.data() + offsets_[v + 1]};
+    return {neighbors_p_ + offsets_p_[v], neighbors_p_ + offsets_p_[v + 1]};
   }
 
   [[nodiscard]] Vertex neighbor_unchecked(Vertex v, std::uint32_t i) const {
-    return neighbors_[offsets_[v] + i];
+    if (backend_ == GraphBackend::implicit) {
+      return implicit_neighbor(implicit_, v, i);
+    }
+    return neighbors_p_[offsets_p_[v] + i];
   }
 
   [[nodiscard]] EdgeId edge_id_unchecked(Vertex v, std::uint32_t i) const {
-    return edge_ids_[offsets_[v] + i];
+    if (backend_ == GraphBackend::implicit) {
+      return implicit_edge_id(implicit_, v, i);
+    }
+    return edge_ids_p_[offsets_p_[v] + i];
   }
 
   [[nodiscard]] Vertex random_neighbor_unchecked(Vertex v, Rng& rng) const {
-    return neighbors_[offsets_[v] + rng.below(degree_unchecked(v))];
+    if (backend_ == GraphBackend::implicit) {
+      return implicit_neighbor(
+          implicit_, v,
+          static_cast<std::uint32_t>(rng.below(implicit_degree(implicit_, v))));
+    }
+    const std::uint32_t lo = offsets_p_[v];
+    return neighbors_p_[lo + rng.below(offsets_p_[v + 1] - lo)];
   }
 
   [[nodiscard]] std::pair<Vertex, std::uint32_t> random_neighbor_slot_unchecked(
       Vertex v, Rng& rng) const {
     const auto slot =
         static_cast<std::uint32_t>(rng.below(degree_unchecked(v)));
-    return {neighbors_[offsets_[v] + slot], slot};
+    return {neighbor_unchecked(v, slot), slot};
   }
 
-  // Raw CSR arrays for the batched walk kernel.
+  // Raw CSR arrays for the batched walk kernel. Materialized backends only;
+  // implicit graphs take the access-policy path (graph/access.hpp).
   [[nodiscard]] CsrView csr() const {
-    return {offsets_.data(), neighbors_.data(), edge_ids_.data(), n_};
+    RUMOR_CHECK(offsets_p_ != nullptr);
+    return {offsets_p_, neighbors_p_, edge_ids_p_, n_};
   }
 
   // True iff every degree is a (positive) power of two — the regular-graph
@@ -168,8 +252,9 @@ class Graph {
   [[nodiscard]] std::uint32_t max_degree() const { return max_degree_; }
   [[nodiscard]] bool is_regular() const { return min_degree_ == max_degree_; }
 
-  // Memoized structural properties. The first call runs one BFS 2-coloring
-  // (computing connectivity and bipartiteness together); every later call is
+  // Memoized structural properties. For owned graphs the first call runs
+  // one BFS 2-coloring (computing connectivity and bipartiteness together);
+  // implicit and mapped graphs are born with the answers, so every call is
   // O(1) and allocation-free — this is what makes per-trial option
   // resolution (LazyMode::auto_bipartite) free in the hot path. Thread-safe
   // (call_once); copies of a Graph share the cache.
@@ -182,16 +267,29 @@ class Graph {
  private:
   struct PropertyState;  // once_flag + the computed GraphProperties
 
+  Graph() = default;  // backends fill the fields via the static factories
+
+  void assign_uid();
+  void prefill_properties(const GraphProperties& props);
+
+  GraphBackend backend_ = GraphBackend::owned;
+  ImplicitDesc implicit_{};  // kind == none unless backend_ == implicit
   Vertex n_ = 0;
-  std::size_t m_ = 0;
-  std::vector<std::uint32_t> offsets_;              // n+1 entries
-  std::vector<Vertex> neighbors_;                   // 2m entries, sorted per vertex
-  std::vector<EdgeId> edge_ids_;                    // 2m entries
-  std::vector<std::pair<Vertex, Vertex>> edge_list_;  // m entries, u < v
+  std::uint64_t m_ = 0;
+  // Borrowed views into payload_ (owned backend) or an external mapping
+  // pinned by payload_ (mapped backend); all null for implicit.
+  const std::uint32_t* offsets_p_ = nullptr;             // n+1 entries
+  const Vertex* neighbors_p_ = nullptr;                  // 2m, sorted
+  const EdgeId* edge_ids_p_ = nullptr;                   // 2m
+  const std::pair<Vertex, Vertex>* edge_list_p_ = nullptr;  // owned: m, u < v
+  const std::uint32_t* fwd_offsets_p_ = nullptr;         // mapped: n+1
   std::uint32_t min_degree_ = 0;
   std::uint32_t max_degree_ = 0;
   bool degrees_all_pow2_ = false;
   std::uint64_t uid_ = 0;
+  // Owns the arrays the pointers above borrow; shared (not deep-copied) so
+  // copies of an immutable graph alias one storage block.
+  std::shared_ptr<const void> payload_;
   // Shared (not deep-copied) so copies of an immutable graph reuse one
   // computation; pointer identity never leaks into results.
   std::shared_ptr<PropertyState> property_state_;

@@ -25,7 +25,9 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex source) {
   while (!queue.empty()) {
     const Vertex u = queue.front();
     queue.pop();
-    for (Vertex v : g.neighbors(u)) {
+    const std::uint32_t du = g.degree(u);
+    for (std::uint32_t i = 0; i < du; ++i) {
+      const Vertex v = g.neighbor(u, i);
       if (dist[v] == kUnreached) {
         dist[v] = dist[u] + 1;
         queue.push(v);

@@ -37,6 +37,11 @@ struct TransmissionScratch {
   bool degree_scaled = false;
   std::vector<float> vertex_success;   // n entries
   std::vector<float> edge_success;     // 2m entries, CSR-slot aligned
+  // Implicit-backend graphs have no CSR offsets array; when a traced bind
+  // needs the slot-aligned edge field, the degree prefix sums are
+  // materialized here (n + 1 entries) so attempt_slot keeps its one-load
+  // indexing on every backend.
+  std::vector<std::uint32_t> implicit_offsets;
   // Field extrema, recorded at build time: a constant sub-1 field
   // (min == max < 1) is what licenses the geometric skip-sampling mode.
   float field_min = 1.0f;

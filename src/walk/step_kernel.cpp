@@ -174,14 +174,41 @@ void step_batched_regular_pow2(const CsrView csr, std::uint32_t deg,
   for (; i < count; ++i) body(i);
 }
 
+// Batched engine, implicit backend: degree, neighbor, and edge id are
+// closed-form arithmetic, so there is no memory stream to prefetch — the
+// loop is draw-dominated. The draw helpers are shared with every other
+// path (and the pow2 shift path is bit-identical to them by construction),
+// so the trajectory for a seed is the same one the materialized backend
+// would produce.
+template <bool kLazy, bool kTraced, class WordSource>
+void step_implicit(const ImplicitDesc& d, std::span<Vertex> positions,
+                   WordSource& rng, std::uint64_t* traffic) {
+  const std::size_t count = positions.size();
+  Vertex* pos = positions.data();
+  for (std::size_t i = 0; i < count; ++i) {
+    const Vertex v = pos[i];
+    const std::uint32_t deg = implicit_degree(d, v);
+    std::uint32_t slot;
+    if constexpr (kLazy) {
+      if (!fused_lazy_slot(rng, deg, slot)) continue;
+    } else {
+      slot = word_below(rng, deg);
+    }
+    if constexpr (kTraced) ++traffic[implicit_edge_id(d, v, slot)];
+    pos[i] = implicit_neighbor(d, v, slot);
+  }
+}
+
 // Structure-based batched dispatch, shared by the xoshiro and Philox word
-// sources: regular power-of-two degrees take the shift path, regular
-// degrees skip the offsets stream, everything else runs the two-stage
-// prefetch pipeline.
+// sources: the implicit backend takes the arithmetic loop, regular
+// power-of-two degrees take the shift path, regular degrees skip the
+// offsets stream, everything else runs the two-stage prefetch pipeline.
 template <bool kLazy, bool kTraced, class WordSource>
 void dispatch_batched(const Graph& g, std::span<Vertex> positions,
                       WordSource& rng, std::uint64_t* traffic) {
-  if (g.is_regular() && g.degrees_all_pow2()) {
+  if (g.is_implicit()) {
+    step_implicit<kLazy, kTraced>(g.implicit_desc(), positions, rng, traffic);
+  } else if (g.is_regular() && g.degrees_all_pow2()) {
     step_batched_regular_pow2<kLazy, kTraced>(g.csr(), g.min_degree(),
                                               positions, rng, traffic);
   } else if (g.is_regular()) {

@@ -1,0 +1,30 @@
+// Shared handles to the test binary's instrumented global allocator.
+//
+// The replacement operator new/delete live in test_trial_arena.cpp (a
+// binary gets exactly one set); these counters let any test file in the
+// same binary measure a window of heap activity. Counting is off by
+// default so the rest of the suite is unaffected.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace rumor::test_alloc {
+
+extern std::atomic<bool> g_count;
+extern std::atomic<std::size_t> g_allocations;
+extern std::atomic<std::size_t> g_bytes;
+
+// RAII window: zero the counters, count for the scope.
+struct CountScope {
+  CountScope() {
+    g_allocations.store(0);
+    g_bytes.store(0);
+    g_count.store(true);
+  }
+  ~CountScope() { g_count.store(false); }
+  CountScope(const CountScope&) = delete;
+  CountScope& operator=(const CountScope&) = delete;
+};
+
+}  // namespace rumor::test_alloc

@@ -273,10 +273,24 @@ TEST(TrialScheduler, MatchesPerScenarioPathAndIsWorkerCountInvariant) {
   auto make_batches = [&](std::vector<TrialSet>& sets) {
     sets.assign(3, TrialSet{});
     std::vector<TrialBatch> batches(3);
-    batches[0] = {&star, nullptr, &push_spec, 1, 7, kSeed, &sets[0]};
-    batches[1] = {&circ, nullptr, &visit_spec, 0, 5, kSeed + 1, &sets[1]};
-    batches[2] = {nullptr, &fresh_spec, &push_spec, 0, 4, kSeed + 2,
-                  &sets[2]};
+    batches[0] = TrialBatch{.graph = &star,
+                            .protocol = &push_spec,
+                            .source = 1,
+                            .trials = 7,
+                            .master_seed = kSeed,
+                            .out = &sets[0]};
+    batches[1] = TrialBatch{.graph = &circ,
+                            .protocol = &visit_spec,
+                            .source = 0,
+                            .trials = 5,
+                            .master_seed = kSeed + 1,
+                            .out = &sets[1]};
+    batches[2] = TrialBatch{.fresh_spec = &fresh_spec,
+                            .protocol = &push_spec,
+                            .source = 0,
+                            .trials = 4,
+                            .master_seed = kSeed + 2,
+                            .out = &sets[2]};
     return batches;
   };
 
@@ -317,9 +331,24 @@ TEST(TrialScheduler, CompletionCallbacksArriveInBatchOrder) {
   const ProtocolSpec push_spec = default_spec(Protocol::push);
   std::vector<TrialSet> sets(3);
   std::vector<TrialBatch> batches(3);
-  batches[0] = {&big, nullptr, &push_spec, 1, 6, 11, &sets[0]};
-  batches[1] = {&small, nullptr, &push_spec, 0, 6, 12, &sets[1]};
-  batches[2] = {&small, nullptr, &push_spec, 0, 2, 13, &sets[2]};
+  batches[0] = TrialBatch{.graph = &big,
+                          .protocol = &push_spec,
+                          .source = 1,
+                          .trials = 6,
+                          .master_seed = 11,
+                          .out = &sets[0]};
+  batches[1] = TrialBatch{.graph = &small,
+                          .protocol = &push_spec,
+                          .source = 0,
+                          .trials = 6,
+                          .master_seed = 12,
+                          .out = &sets[1]};
+  batches[2] = TrialBatch{.graph = &small,
+                          .protocol = &push_spec,
+                          .source = 0,
+                          .trials = 2,
+                          .master_seed = 13,
+                          .out = &sets[2]};
   for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
     ThreadPool pool(workers);
     std::vector<std::size_t> order;

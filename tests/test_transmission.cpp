@@ -528,9 +528,9 @@ TEST(TrialSchedulerOrder, LongestFirstStartsTheCostliestBatch) {
   std::vector<TrialSet> sets(3);
   std::vector<TrialBatch> batches(3);
   // File order: cheap, mid, costly — distinct seed bases identify batches.
-  batches[0] = {&g, nullptr, &spec, 0, 2, 1000, &sets[0], /*cost_hint=*/10};
-  batches[1] = {&g, nullptr, &spec, 0, 2, 2000, &sets[1], /*cost_hint=*/20};
-  batches[2] = {&g, nullptr, &spec, 0, 2, 3000, &sets[2], /*cost_hint=*/90};
+  batches[0] = TrialBatch{.graph = &g, .protocol = &spec, .source = 0, .trials = 2, .master_seed = 1000, .out = &sets[0], .cost_hint = 10};
+  batches[1] = TrialBatch{.graph = &g, .protocol = &spec, .source = 0, .trials = 2, .master_seed = 2000, .out = &sets[1], .cost_hint = 20};
+  batches[2] = TrialBatch{.graph = &g, .protocol = &spec, .source = 0, .trials = 2, .master_seed = 3000, .out = &sets[2], .cost_hint = 90};
   ThreadPool pool(1);  // serial claims make the order observable
 
   {
@@ -567,9 +567,9 @@ TEST(TrialSchedulerOrder, EmissionStaysInFileOrderUnderLongestFirst) {
   const Graph g = gen::complete(8);
   std::vector<TrialSet> sets(3);
   std::vector<TrialBatch> batches(3);
-  batches[0] = {&g, nullptr, &spec, 0, 2, 1, &sets[0], /*cost_hint=*/1};
-  batches[1] = {&g, nullptr, &spec, 0, 2, 2, &sets[1], /*cost_hint=*/50};
-  batches[2] = {&g, nullptr, &spec, 0, 2, 3, &sets[2], /*cost_hint=*/99};
+  batches[0] = TrialBatch{.graph = &g, .protocol = &spec, .source = 0, .trials = 2, .master_seed = 1, .out = &sets[0], .cost_hint = 1};
+  batches[1] = TrialBatch{.graph = &g, .protocol = &spec, .source = 0, .trials = 2, .master_seed = 2, .out = &sets[1], .cost_hint = 50};
+  batches[2] = TrialBatch{.graph = &g, .protocol = &spec, .source = 0, .trials = 2, .master_seed = 3, .out = &sets[2], .cost_hint = 99};
   for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
     ThreadPool pool(workers);
     std::vector<std::size_t> emitted;
@@ -613,8 +613,8 @@ TEST(TrialFailure, RunTrialBatchesThrowsTypedErrorNamingTheBatch) {
   const Graph g = gen::complete(8);
   std::vector<TrialSet> sets(2);
   std::vector<TrialBatch> batches(2);
-  batches[0] = {&g, nullptr, &good, 0, 2, 7, &sets[0]};
-  batches[1] = {&g, nullptr, &bad, 0, 2, 8, &sets[1]};
+  batches[0] = TrialBatch{.graph = &g, .protocol = &good, .source = 0, .trials = 2, .master_seed = 7, .out = &sets[0]};
+  batches[1] = TrialBatch{.graph = &g, .protocol = &bad, .source = 0, .trials = 2, .master_seed = 8, .out = &sets[1]};
   ThreadPool pool(2);
   try {
     run_trial_batches(batches, {}, &pool);

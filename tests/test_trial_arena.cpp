@@ -25,15 +25,22 @@
 // ---- Instrumented global allocator -----------------------------------
 //
 // Linking these replacements into the test binary lets individual tests
-// count heap allocations in a window. Counting is off by default so the
-// rest of the suite is unaffected.
-namespace {
-std::atomic<bool> g_count_allocs{false};
-std::atomic<std::size_t> g_alloc_count{0};
+// count heap allocations in a window (counters shared across test files
+// via alloc_probe.hpp). Counting is off by default so the rest of the
+// suite is unaffected.
+#include "alloc_probe.hpp"
 
+namespace rumor::test_alloc {
+std::atomic<bool> g_count{false};
+std::atomic<std::size_t> g_allocations{0};
+std::atomic<std::size_t> g_bytes{0};
+}  // namespace rumor::test_alloc
+
+namespace {
 void* counted_alloc(std::size_t size) {
-  if (g_count_allocs.load(std::memory_order_relaxed)) {
-    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (rumor::test_alloc::g_count.load(std::memory_order_relaxed)) {
+    rumor::test_alloc::g_allocations.fetch_add(1, std::memory_order_relaxed);
+    rumor::test_alloc::g_bytes.fetch_add(size, std::memory_order_relaxed);
   }
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc();
@@ -265,15 +272,15 @@ void expect_zero_alloc_steady_state(const Graph& g, const char* spec_text,
   for (std::uint64_t seed = 0; seed < 8; ++seed) {
     (void)run_protocol(g, *spec, source, derive_seed(4242, seed), &arena);
   }
-  g_alloc_count.store(0);
-  g_count_allocs.store(true);
+  test_alloc::g_allocations.store(0);
+  test_alloc::g_count.store(true);
   double acc = 0.0;
   for (std::uint64_t seed = 8; seed < 40; ++seed) {
     acc +=
         run_protocol(g, *spec, source, derive_seed(4242, seed), &arena).rounds;
   }
-  g_count_allocs.store(false);
-  EXPECT_EQ(g_alloc_count.load(), 0u)
+  test_alloc::g_count.store(false);
+  EXPECT_EQ(test_alloc::g_allocations.load(), 0u)
       << "protocol=" << spec_text << " (rounds acc " << acc << ")";
 }
 
@@ -349,16 +356,16 @@ TEST(TrialArena, PerEdgeFieldStepPathAllocatesNothing) {
     PushProcess process(g, 0, seed, options, &arena);
     for (int s = 0; s < 8; ++s) process.step();
   }
-  g_alloc_count.store(0);
-  g_count_allocs.store(true);
+  test_alloc::g_allocations.store(0);
+  test_alloc::g_count.store(true);
   std::uint64_t acc = 0;
   for (std::uint64_t seed = 4; seed < 12; ++seed) {
     PushProcess process(g, 0, seed, options, &arena);
     for (int s = 0; s < 8; ++s) process.step();
     acc += process.informed_count();
   }
-  g_count_allocs.store(false);
-  EXPECT_EQ(g_alloc_count.load(), 0u) << "(informed acc " << acc << ")";
+  test_alloc::g_count.store(false);
+  EXPECT_EQ(test_alloc::g_allocations.load(), 0u) << "(informed acc " << acc << ")";
 }
 
 TEST(TrialArena, SteadyStateMultiRumorTrialsAllocateNothing) {
@@ -370,8 +377,8 @@ TEST(TrialArena, SteadyStateMultiRumorTrialsAllocateNothing) {
     MultiRumorPushPull(g, rumors, seed, 0, &arena).run_into(result);
     MultiRumorVisitExchange(g, rumors, seed, {}, &arena).run_into(result);
   }
-  g_alloc_count.store(0);
-  g_count_allocs.store(true);
+  test_alloc::g_allocations.store(0);
+  test_alloc::g_count.store(true);
   Round acc = 0;
   for (std::uint64_t seed = 8; seed < 24; ++seed) {
     MultiRumorPushPull pp(g, rumors, seed, 0, &arena);
@@ -381,8 +388,8 @@ TEST(TrialArena, SteadyStateMultiRumorTrialsAllocateNothing) {
     vx.run_into(result);
     acc += result.rounds;
   }
-  g_count_allocs.store(false);
-  EXPECT_EQ(g_alloc_count.load(), 0u) << "(rounds acc " << acc << ")";
+  test_alloc::g_count.store(false);
+  EXPECT_EQ(test_alloc::g_allocations.load(), 0u) << "(rounds acc " << acc << ")";
 }
 
 // ---- Graph property cache --------------------------------------------
@@ -395,13 +402,13 @@ TEST(GraphPropertiesCache, ComputedOnceAndAllocationFreeAfterward) {
   EXPECT_TRUE(g.properties_cached());
   // ...and every later resolution is a pure cache hit: no allocations, no
   // BFS scratch.
-  g_alloc_count.store(0);
-  g_count_allocs.store(true);
+  test_alloc::g_allocations.store(0);
+  test_alloc::g_count.store(true);
   for (int i = 0; i < 1000; ++i) {
     ASSERT_EQ(resolve_laziness(g, LazyMode::auto_bipartite), Laziness::half);
   }
-  g_count_allocs.store(false);
-  EXPECT_EQ(g_alloc_count.load(), 0u);
+  test_alloc::g_count.store(false);
+  EXPECT_EQ(test_alloc::g_allocations.load(), 0u);
 }
 
 TEST(GraphPropertiesCache, SharedAcrossCopies) {
@@ -423,11 +430,11 @@ TEST(TrialArena, RunTrialsSteadyStateAllocationsIndependentOfTrialCount) {
   (void)run_trials(g, spec, 0, 64, 7);  // warm worker arena + buffers
 
   auto count_for = [&](std::size_t trials) {
-    g_alloc_count.store(0);
-    g_count_allocs.store(true);
+    test_alloc::g_allocations.store(0);
+    test_alloc::g_count.store(true);
     (void)run_trials(g, spec, 0, trials, 7);
-    g_count_allocs.store(false);
-    return g_alloc_count.load();
+    test_alloc::g_count.store(false);
+    return test_alloc::g_allocations.load();
   };
   const std::size_t small = count_for(8);
   const std::size_t large = count_for(64);
