@@ -1,6 +1,11 @@
-// rumor_run: execute a scenario file through the unified scenario API.
+// rumor_run: execute a scenario file through the unified scenario API —
+// one-shot, as a long-lived service, or as a client of one.
 //
-//   rumor_run [options] <scenario-file|->
+//   rumor_run [options] <scenario-file|->      one-shot run
+//   rumor_run --serve=<addr> [options]         scenario service daemon
+//   rumor_run submit --to=<addr> <file|->      send a job to a daemon
+//   rumor_run watch  --to=<addr> <job>         stream a job's results (CSV)
+//   rumor_run stats  --to=<addr>               daemon queue statistics
 //
 // A scenario file holds one ScenarioSpec per line (see docs/scenarios.md),
 // and any numeric value may be a sweep — a range or a value list — that
@@ -28,19 +33,32 @@
 //                backends, and the shared transmission/intervention keys,
 //                then exit
 //
-// Exit codes: 0 success, 1 a trial failed mid-run (the failing scenario is
-// named on stderr, and a streamed --csv gains a trailing "# truncated"
-// comment), 2 usage/parse/validation errors.
+// Serve-mode options (with --serve=<addr>, repeatable; addr is unix:<path>,
+// <host>:<port>, or <port>):
+//   --journal=PATH  job/result journal (default serve.journal); a restart
+//                   on the same journal resumes unfinished jobs
+//   --budget=N      per-client pending-trial budget before SUBMIT → BUSY
+//   --jobs=N        compute worker threads
+//
+// Exit codes (full table in docs/serve.md): 0 success, 1 a trial failed
+// mid-run or the run was interrupted by SIGINT/SIGTERM (the failing
+// scenario is named on stderr, and a streamed --csv gains a trailing
+// "# truncated" comment) — for the client subcommands, a job that ended
+// cancelled/failed or a refused/lost connection; 2 usage/parse/validation
+// errors. SIGINT/SIGTERM stop a one-shot run gracefully: no new trial
+// starts, in-flight trials finish, streamed rows stay valid.
 //
 // The whole file drains through ONE global (scenario, trial) work queue:
 // trials from different scenarios interleave across the pool, report rows
 // stream as scenarios complete (deterministic file order), and the sample
 // vectors depend only on (seed, trial index) — never on --jobs or
 // scheduling, so --jobs=1 and --jobs=N emit byte-identical reports.
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,12 +66,30 @@
 #include "core/registry.hpp"
 #include "experiments/report.hpp"
 #include "experiments/scenario.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "support/spec_text.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
 
 using namespace rumor;
+
+// Flipped by SIGINT/SIGTERM: the one-shot runner stops claiming trials and
+// the serve daemon shuts down cleanly. SA_RESETHAND restores the default
+// disposition, so a second signal kills the process the ordinary way.
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void install_stop_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 // "0 B", "12.3 KiB", "2.0 GiB" — estimates, so one decimal is plenty.
 std::string format_bytes(std::uint64_t bytes) {
@@ -78,8 +114,17 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--trials=N] [--seed=S] [--jobs=N] "
                "[--order=file|longest-first] [--csv=PATH] [--progress] "
-               "[--dry-run] [--list] <scenario-file|->\n",
-               argv0);
+               "[--dry-run] [--list] <scenario-file|->\n"
+               "       %s --serve=ADDR [--serve=ADDR]... [--journal=PATH] "
+               "[--budget=N] [--jobs=N]\n"
+               "       %s submit --to=ADDR [--client=NAME] "
+               "<scenario-file|->\n"
+               "       %s watch --to=ADDR [--client=NAME] [--csv=PATH] "
+               "[--progress] <job>\n"
+               "       %s stats --to=ADDR\n"
+               "addresses: unix:<path>, <host>:<port>, or <port> "
+               "(127.0.0.1)\n",
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -126,6 +171,10 @@ struct CliOptions {
   bool dry_run = false;
   bool list = false;
   std::string input;
+  // Serve mode (set when at least one --serve=ADDR was given).
+  std::vector<serve::Address> serve;
+  std::string journal = "serve.journal";
+  std::optional<std::size_t> budget;
 };
 
 std::optional<CliOptions> parse_cli(int argc, char** argv) {
@@ -162,6 +211,21 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
     } else if (arg.starts_with("--csv=")) {
       cli.csv_path = std::string(arg.substr(6));
       if (cli.csv_path.empty()) return std::nullopt;
+    } else if (arg.starts_with("--serve=")) {
+      std::string why;
+      const auto addr = serve::parse_address(arg.substr(8), &why);
+      if (!addr) {
+        std::fprintf(stderr, "--serve: %s\n", why.c_str());
+        return std::nullopt;
+      }
+      cli.serve.push_back(*addr);
+    } else if (arg.starts_with("--journal=")) {
+      cli.journal = std::string(arg.substr(10));
+      if (cli.journal.empty()) return std::nullopt;
+    } else if (arg.starts_with("--budget=")) {
+      const auto v = spec_text::parse_u64(arg.substr(9));
+      if (!v || *v == 0) return std::nullopt;
+      cli.budget = static_cast<std::size_t>(*v);
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       return std::nullopt;
     } else if (cli.input.empty()) {
@@ -173,14 +237,208 @@ std::optional<CliOptions> parse_cli(int argc, char** argv) {
   return cli;
 }
 
+// ---- serve daemon --------------------------------------------------------
+
+int serve_main(const CliOptions& cli) {
+  // A watcher disconnecting mid-stream must not SIGPIPE the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+  install_stop_handlers();
+  serve::ServerOptions options;
+  options.listen = cli.serve;
+  options.journal_path = cli.journal;
+  if (cli.jobs) options.workers = *cli.jobs;
+  if (cli.budget) options.client_budget = *cli.budget;
+  serve::Server server;
+  std::string error;
+  if (!server.start(options, &error)) {
+    std::fprintf(stderr, "rumor_serve: %s\n", error.c_str());
+    return 2;
+  }
+  for (const serve::Address& addr : server.addresses()) {
+    std::fprintf(stderr, "rumor_serve: listening on %s\n",
+                 addr.text().c_str());
+  }
+  std::fprintf(stderr, "rumor_serve: journal %s\n", cli.journal.c_str());
+  server.run(g_stop);
+  std::fprintf(stderr, "rumor_serve: shut down cleanly\n");
+  return 0;
+}
+
+// ---- client subcommands --------------------------------------------------
+
+struct ClientCli {
+  std::optional<serve::Address> to;
+  std::string client = "cli";
+  std::string csv_path;
+  bool progress = false;
+  std::string input;  // submit: scenario file; watch: job id
+};
+
+std::optional<ClientCli> parse_client_cli(int argc, char** argv) {
+  ClientCli cli;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.starts_with("--to=")) {
+      std::string why;
+      const auto addr = serve::parse_address(arg.substr(5), &why);
+      if (!addr) {
+        std::fprintf(stderr, "--to: %s\n", why.c_str());
+        return std::nullopt;
+      }
+      cli.to = *addr;
+    } else if (arg.starts_with("--client=")) {
+      cli.client = std::string(arg.substr(9));
+      if (cli.client.empty()) return std::nullopt;
+    } else if (arg.starts_with("--csv=")) {
+      cli.csv_path = std::string(arg.substr(6));
+      if (cli.csv_path.empty()) return std::nullopt;
+    } else if (arg == "--progress") {
+      cli.progress = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return std::nullopt;
+    } else if (cli.input.empty()) {
+      cli.input = std::string(arg);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!cli.to) {
+    std::fprintf(stderr, "missing --to=ADDR\n");
+    return std::nullopt;
+  }
+  return cli;
+}
+
+int submit_main(const ClientCli& cli) {
+  if (cli.input.empty()) {
+    std::fprintf(stderr, "submit: missing scenario file\n");
+    return 2;
+  }
+  std::string text;
+  if (cli.input == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    std::ifstream file(cli.input);
+    if (!file) {
+      std::fprintf(stderr, "cannot read %s\n", cli.input.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    text = buf.str();
+  }
+  serve::Client client;
+  std::string error;
+  if (!client.connect(*cli.to, cli.client, &error)) {
+    std::fprintf(stderr, "submit: %s\n", error.c_str());
+    return 1;
+  }
+  const auto job = client.submit(text, &error);
+  if (!job) {
+    std::fprintf(stderr, "submit: %s\n", error.c_str());
+    // Server-side rejections of the submission itself are spec errors
+    // (exit 2, like one-shot validation); BUSY/transport problems are
+    // runtime conditions (exit 1) — retry later.
+    return error.rfind("ERR", 0) == 0 ? 2 : 1;
+  }
+  std::printf("job %llu\n", static_cast<unsigned long long>(*job));
+  return 0;
+}
+
+int watch_main(const ClientCli& cli) {
+  if (cli.input.empty()) {
+    std::fprintf(stderr, "watch: missing job id\n");
+    return 2;
+  }
+  const auto job = spec_text::parse_u64(cli.input);
+  if (!job || *job == 0) {
+    std::fprintf(stderr, "watch: bad job id %s\n", cli.input.c_str());
+    return 2;
+  }
+  serve::Client client;
+  std::string error;
+  if (!client.connect(*cli.to, cli.client, &error)) {
+    std::fprintf(stderr, "watch: %s\n", error.c_str());
+    return 1;
+  }
+  std::function<void(const serve::TrialUpdate&)> on_trial;
+  if (cli.progress) {
+    on_trial = [](const serve::TrialUpdate& update) {
+      std::fprintf(stderr, "progress: scenario %u trial %u done%s\n",
+                   update.scenario, update.trial,
+                   update.completed ? "" : " (cutoff)");
+    };
+  }
+  const auto result = client.watch(*job, &error, on_trial);
+  if (!result) {
+    std::fprintf(stderr, "watch: %s\n", error.c_str());
+    return 1;
+  }
+  // The collected rows are byte-identical to a one-shot --csv of the same
+  // scenarios, so `watch --to=... N > out.csv` replaces a local run.
+  std::ofstream csv_file;
+  std::ostream* out = &std::cout;
+  if (!cli.csv_path.empty()) {
+    csv_file.open(cli.csv_path);
+    if (!csv_file) {
+      std::fprintf(stderr, "cannot write %s\n", cli.csv_path.c_str());
+      return 2;
+    }
+    out = &csv_file;
+  }
+  *out << scenario_csv_header_line() << "\n";
+  for (const std::string& row : result->rows) *out << row << "\n";
+  out->flush();
+  if (result->state != "done") {
+    std::fprintf(stderr, "watch: job %llu ended %s\n",
+                 static_cast<unsigned long long>(*job),
+                 result->state.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int stats_main(const ClientCli& cli) {
+  serve::Client client;
+  std::string error;
+  if (!client.connect(*cli.to, cli.client, &error)) {
+    std::fprintf(stderr, "stats: %s\n", error.c_str());
+    return 1;
+  }
+  const auto lines = client.stats(&error);
+  if (!lines) {
+    std::fprintf(stderr, "stats: %s\n", error.c_str());
+    return 1;
+  }
+  for (const std::string& line : *lines) std::printf("%s\n", line.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1) {
+    const std::string_view command = argv[1];
+    if (command == "submit" || command == "watch" || command == "stats") {
+      std::signal(SIGPIPE, SIG_IGN);
+      const auto client_cli = parse_client_cli(argc, argv);
+      if (!client_cli) return usage(argv[0]);
+      if (command == "submit") return submit_main(*client_cli);
+      if (command == "watch") return watch_main(*client_cli);
+      return stats_main(*client_cli);
+    }
+  }
   const auto cli = parse_cli(argc, argv);
   if (!cli) return usage(argv[0]);
   if (cli->list) {
     list_registry();
     return 0;
+  }
+  if (!cli->serve.empty()) {
+    if (!cli->input.empty()) return usage(argv[0]);
+    return serve_main(*cli);
   }
   if (cli->input.empty()) return usage(argv[0]);
   if (cli->jobs) set_global_pool_workers(*cli->jobs);
@@ -250,20 +508,30 @@ int main(int argc, char** argv) {
   }
 
   // Rows stream in file order as scenarios complete; the trials
-  // themselves interleave across the whole file's work queue.
+  // themselves interleave across the whole file's work queue. SIGINT and
+  // SIGTERM flip g_stop: claimed trials finish, no new one starts, and the
+  // truncated-report path below runs (exit 1).
+  install_stop_handlers();
   ScenarioTableStream table(*specs, std::cout);
   const std::size_t total = specs->size();
   std::size_t rows_streamed = 0;
+  TrialCounters counters;
   ScenarioRunOptions options;
   options.order = cli->order;
+  options.stop = &g_stop;
+  options.counters = &counters;
   options.on_result = [&](const ScenarioResult& r, std::size_t index) {
     table.row(r);
     if (csv) csv->row(r);
     ++rows_streamed;
     if (cli->progress) {
-      std::fprintf(stderr, "progress: %zu/%zu %s done (trials=%zu)\n",
+      const TrialQueueSnapshot q = counters.snapshot();
+      std::fprintf(stderr,
+                   "progress: %zu/%zu %s done (trials=%zu) "
+                   "[queue: %zu/%zu trials done, %zu in flight]\n",
                    index + 1, total, r.spec.display_label().c_str(),
-                   r.set.rounds.size());
+                   r.set.rounds.size(), q.trials_done, q.trials_total,
+                   q.in_flight());
     }
   };
   const auto results = run_scenarios(*specs, &error, options);
@@ -288,7 +556,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error writing %s\n", cli->csv_path.c_str());
       return 1;
     }
-    std::printf("csv: %s\n", cli->csv_path.c_str());
+    // On stderr, like every other status line: piping the stdout table
+    // into a file or another tool must never pick up bookkeeping.
+    std::fprintf(stderr, "csv: %s\n", cli->csv_path.c_str());
   }
   return 0;
 }

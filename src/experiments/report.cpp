@@ -148,4 +148,25 @@ void ScenarioCsvStream::row(const ScenarioResult& r) {
   csv_.row(scenario_csv_cells(r));
 }
 
+namespace {
+
+std::string join_csv(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) line += ',';
+    line += CsvWriter::escape(cells[i]);
+  }
+  return line;
+}
+
+}  // namespace
+
+std::string scenario_csv_header_line() {
+  return join_csv(scenario_csv_header());
+}
+
+std::string scenario_csv_line(const ScenarioResult& r) {
+  return join_csv(scenario_csv_cells(r));
+}
+
 }  // namespace rumor

@@ -55,4 +55,11 @@ class ScenarioCsvStream {
   CsvWriter csv_;
 };
 
+// The scenario CSV header and one formatted data row as single lines
+// WITHOUT the trailing newline — the serve daemon streams these over the
+// wire so a client-collected CSV is byte-identical to write_scenario_csv
+// output (same cells, same RFC 4180 escaping).
+[[nodiscard]] std::string scenario_csv_header_line();
+[[nodiscard]] std::string scenario_csv_line(const ScenarioResult& r);
+
 }  // namespace rumor

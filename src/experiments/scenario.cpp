@@ -322,18 +322,6 @@ std::optional<std::vector<ScenarioSpec>> load_scenario_file(
   return parse_scenario_stream(in, error);
 }
 
-namespace {
-
-// One scenario vetted for execution: sizes for the report row, plus the
-// graph when (and only when) validation had to build it — random non-fresh
-// specs, whose single draw IS part of the result. Deterministic specs
-// validate analytically (GraphSpec::probe) and are built lazily by the
-// trial scheduler; fresh specs redraw per trial and never appear here.
-struct PreparedScenario {
-  std::optional<Graph> graph;
-  bool lazy = false;
-};
-
 // Validates the scenario and fills the result's size columns WITHOUT
 // building deterministic graphs: probe() answers n/m from the closed forms
 // (or the file cache header), so validating a 10^8-vertex sweep costs
@@ -386,8 +374,6 @@ bool prepare_scenario(const ScenarioSpec& spec, ScenarioResult& result,
   }
   return true;
 }
-
-}  // namespace
 
 std::optional<ScenarioResult> run_scenario(const ScenarioSpec& spec,
                                            std::string* error) {
@@ -443,12 +429,24 @@ std::optional<std::vector<ScenarioResult>> run_scenarios(
                       specs[i].plan.trials;
     batch.out = &results[i].set;
   }
-  std::function<void(std::size_t)> on_batch_done;
+  TrialRunOptions run_options;
+  run_options.order = options.order;
+  run_options.stop = options.stop;
+  run_options.counters = options.counters;
   if (options.on_result) {
-    on_batch_done = [&](std::size_t i) { options.on_result(results[i], i); };
+    run_options.on_batch_done = [&](std::size_t i) {
+      options.on_result(results[i], i);
+    };
   }
   try {
-    run_trial_batches(batches, on_batch_done, nullptr, options.order);
+    const TrialRunOutcome outcome = run_trial_batches(batches, run_options);
+    if (outcome.stopped) {
+      // An interrupt is not a trial failure, but the result set is just as
+      // partial: report it the same way so callers mark their artifacts
+      // truncated instead of presenting an incomplete sweep as complete.
+      set_error(error, "interrupted: stopped before all trials completed");
+      return std::nullopt;
+    }
   } catch (const TrialBatchError& e) {
     // Name the failing scenario: scenario files are user input, and "which
     // line died" is the difference between a fixable report and a bare

@@ -108,6 +108,26 @@ std::optional<std::vector<ScenarioSpec>> load_scenario_file(
 [[nodiscard]] bool validate_scenarios(const std::vector<ScenarioSpec>& specs,
                                       std::string* error = nullptr);
 
+// One scenario vetted for execution: sizes for the report row, plus the
+// graph when (and only when) validation had to build it — random non-fresh
+// specs, whose single draw IS part of the result. Deterministic specs
+// validate analytically (GraphSpec::probe) and are built lazily by the
+// trial scheduler; fresh specs redraw per trial and never hold a graph
+// here.
+struct PreparedScenario {
+  std::optional<Graph> graph;
+  bool lazy = false;
+};
+
+// Validates one scenario and fills the result's spec/size columns WITHOUT
+// building deterministic graphs (probe() answers n/m from the closed
+// forms). Shared by run_scenarios and the serve daemon's SUBMIT intake, so
+// a scenario is accepted or rejected identically in both paths.
+[[nodiscard]] bool prepare_scenario(const ScenarioSpec& spec,
+                                    ScenarioResult& result,
+                                    PreparedScenario& prep,
+                                    std::string* error = nullptr);
+
 struct ScenarioRunOptions {
   // Fired once per scenario, in FILE ORDER, as completions allow (the
   // streaming-report hook): by the time it sees index i, results[0..i]
@@ -119,6 +139,12 @@ struct ScenarioRunOptions {
   // on many-scenario files; results and report order are identical either
   // way.
   BatchOrder order = BatchOrder::file;
+  // Graceful-stop flag (the CLI's SIGINT/SIGTERM handler): once true, no
+  // further trial is claimed and run_scenarios reports "interrupted"
+  // through *error (already-emitted on_result rows stay emitted).
+  const std::atomic<bool>* stop = nullptr;
+  // Live queue-depth counters shared with --progress reporting.
+  TrialCounters* counters = nullptr;
 };
 
 // Executes all scenarios through ONE global (scenario, trial) work queue:

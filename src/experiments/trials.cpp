@@ -1,9 +1,6 @@
 #include "experiments/trials.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
-#include <optional>
 
 #include "support/thread_pool.hpp"
 #include "support/trial_arena.hpp"
@@ -23,8 +20,8 @@ TrialArena& arena_for_thread() {
   return arena;
 }
 
-void record_trial(TrialSet& set, std::size_t i, TrialResult&& outcome,
-                  std::atomic<std::size_t>& incomplete, bool want_curves) {
+bool record_trial(TrialSet& set, std::size_t i, TrialResult&& outcome,
+                  bool want_curves) {
   set.rounds[i] = outcome.rounds;
   set.agent_rounds[i] = outcome.agent_rounds;
   set.informed[i] = outcome.informed;
@@ -32,108 +29,102 @@ void record_trial(TrialSet& set, std::size_t i, TrialResult&& outcome,
     set.informed_curves[i] = std::move(outcome.informed_curve);
     set.stifled_curves[i] = std::move(outcome.stifled_curve);
   }
-  if (!outcome.completed) incomplete.fetch_add(1);
+  return outcome.completed;
 }
 
-// Build-on-first-claim slot for a lazy batch: the graph materializes when
-// some worker claims the batch's first trial and is released when its last
-// trial completes, bounding a many-scenario file's graph memory to the
-// batches actively being worked on. The graph seed derivation matches the
-// eager path (trial 0's fresh draw), so laziness cannot change a result.
-struct LazyGraphSlot {
-  std::mutex mutex;
-  std::optional<Graph> graph;
+bool batch_wants_curves(const TrialBatch& batch) {
+  const TraceOptions* trace = batch.protocol->trace();
+  return trace != nullptr && trace->informed_curve;
+}
 
-  const Graph& acquire(const TrialBatch& batch) {
-    std::lock_guard lock(mutex);
-    if (!graph) {
-      Rng graph_rng(derive_seed(batch.master_seed ^ kGraphSeedSalt, 0));
-      graph.emplace(batch.lazy_spec->make(graph_rng));
-      RUMOR_REQUIRE(batch.source < graph->num_vertices());
-    }
-    return *graph;
+}  // namespace
+
+const Graph& LazyGraphSlot::acquire(const TrialBatch& batch) {
+  std::lock_guard lock(mutex_);
+  if (!graph_) {
+    Rng graph_rng(derive_seed(batch.master_seed ^ kGraphSeedSalt, 0));
+    graph_.emplace(batch.lazy_spec->make(graph_rng));
+    RUMOR_REQUIRE(batch.source < graph_->num_vertices());
   }
+  return *graph_;
+}
 
-  void release() {
-    std::lock_guard lock(mutex);
-    graph.reset();
+void LazyGraphSlot::release() {
+  std::lock_guard lock(mutex_);
+  graph_.reset();
+}
+
+bool prepare_trial_set(const TrialBatch& batch) {
+  RUMOR_REQUIRE(batch.trials > 0);
+  RUMOR_REQUIRE(batch.out != nullptr && batch.protocol != nullptr);
+  RUMOR_REQUIRE((batch.graph != nullptr) + (batch.fresh_spec != nullptr) +
+                    (batch.lazy_spec != nullptr) ==
+                1);
+  if (batch.lazy_spec != nullptr) {
+    // Laziness needs a reproducible build: a random draw at claim time
+    // would depend on scheduling. Random specs use fresh_spec (per-trial
+    // redraw) or an eagerly built `graph`.
+    RUMOR_REQUIRE(!batch.lazy_spec->is_random());
   }
-};
+  if (batch.graph != nullptr) {
+    RUMOR_REQUIRE(batch.source < batch.graph->num_vertices());
+  }
+  TrialSet& set = *batch.out;
+  set.rounds.assign(batch.trials, 0.0);
+  set.agent_rounds.assign(batch.trials, 0.0);
+  set.informed.assign(batch.trials, 0.0);
+  set.incomplete = 0;
+  set.informed_curves.clear();
+  set.stifled_curves.clear();
+  const bool want_curves = batch_wants_curves(batch);
+  if (want_curves) {
+    set.informed_curves.resize(batch.trials);
+    set.stifled_curves.resize(batch.trials);
+  }
+  return want_curves;
+}
 
-void run_one_trial(const TrialBatch& batch, std::size_t i,
-                   std::atomic<std::size_t>& incomplete, bool want_curves,
-                   LazyGraphSlot& lazy) {
+bool run_batch_trial(const TrialBatch& batch, std::size_t i,
+                     LazyGraphSlot* lazy) {
+  const bool want_curves = batch_wants_curves(batch);
   if (batch.fresh_spec != nullptr) {
     Rng graph_rng(derive_seed(batch.master_seed ^ kGraphSeedSalt, i));
     const Graph g = batch.fresh_spec->make(graph_rng);
     // Every draw must cover the source; aborting with a clear message
     // beats the out-of-bounds UB a silent mismatch would cause.
     RUMOR_REQUIRE(batch.source < g.num_vertices());
-    record_trial(*batch.out, i,
-                 run_protocol(g, *batch.protocol, batch.source,
-                              derive_seed(batch.master_seed, i),
-                              &arena_for_thread()),
-                 incomplete, want_curves);
-  } else {
-    // The lazy graph stays alive until the batch's LAST trial completes
-    // (release() runs after every record_trial), so this reference cannot
-    // dangle mid-trial.
-    const Graph& g =
-        batch.lazy_spec != nullptr ? lazy.acquire(batch) : *batch.graph;
-    record_trial(*batch.out, i,
-                 run_protocol(g, *batch.protocol, batch.source,
-                              derive_seed(batch.master_seed, i),
-                              &arena_for_thread()),
-                 incomplete, want_curves);
+    return record_trial(*batch.out, i,
+                        run_protocol(g, *batch.protocol, batch.source,
+                                     derive_seed(batch.master_seed, i),
+                                     &arena_for_thread()),
+                        want_curves);
   }
+  // The lazy graph stays alive until the batch's LAST trial completes
+  // (the scheduler releases after every trial records), so this reference
+  // cannot dangle mid-trial.
+  RUMOR_REQUIRE((batch.lazy_spec != nullptr) == (lazy != nullptr));
+  const Graph& g = lazy != nullptr ? lazy->acquire(batch) : *batch.graph;
+  return record_trial(*batch.out, i,
+                      run_protocol(g, *batch.protocol, batch.source,
+                                   derive_seed(batch.master_seed, i),
+                                   &arena_for_thread()),
+                      want_curves);
 }
 
-}  // namespace
-
-void run_trial_batches(const std::vector<TrialBatch>& batches,
-                       const std::function<void(std::size_t)>& on_batch_done,
-                       ThreadPool* pool, BatchOrder order) {
-  if (batches.empty()) return;
+TrialRunOutcome run_trial_batches(const std::vector<TrialBatch>& batches,
+                                  const TrialRunOptions& options) {
+  TrialRunOutcome outcome;
+  if (batches.empty()) return outcome;
   const std::size_t n = batches.size();
   // Validate + size every result slot up front.
-  std::vector<bool> want_curves(n, false);
-  for (std::size_t b = 0; b < n; ++b) {
-    const TrialBatch& batch = batches[b];
-    RUMOR_REQUIRE(batch.trials > 0);
-    RUMOR_REQUIRE(batch.out != nullptr && batch.protocol != nullptr);
-    RUMOR_REQUIRE((batch.graph != nullptr) + (batch.fresh_spec != nullptr) +
-                      (batch.lazy_spec != nullptr) ==
-                  1);
-    if (batch.lazy_spec != nullptr) {
-      // Laziness needs a reproducible build: a random draw at claim time
-      // would depend on scheduling. Random specs use fresh_spec (per-trial
-      // redraw) or an eagerly built `graph`.
-      RUMOR_REQUIRE(!batch.lazy_spec->is_random());
-    }
-    if (batch.graph != nullptr) {
-      RUMOR_REQUIRE(batch.source < batch.graph->num_vertices());
-    }
-    TrialSet& set = *batch.out;
-    set.rounds.assign(batch.trials, 0.0);
-    set.agent_rounds.assign(batch.trials, 0.0);
-    set.informed.assign(batch.trials, 0.0);
-    set.incomplete = 0;
-    set.informed_curves.clear();
-    set.stifled_curves.clear();
-    const TraceOptions* trace = batch.protocol->trace();
-    want_curves[b] = trace != nullptr && trace->informed_curve;
-    if (want_curves[b]) {
-      set.informed_curves.resize(batch.trials);
-      set.stifled_curves.resize(batch.trials);
-    }
-  }
+  for (const TrialBatch& batch : batches) prepare_trial_set(batch);
 
   // Claim order: the identity (file order), or highest expected cost
   // first. Only the order in which workers START trials changes — sample
   // values and emission order are claim-order independent.
   std::vector<std::size_t> exec(n);
   for (std::size_t b = 0; b < n; ++b) exec[b] = b;
-  if (order == BatchOrder::longest_first) {
+  if (options.order == BatchOrder::longest_first) {
     std::stable_sort(exec.begin(), exec.end(),
                      [&](std::size_t a, std::size_t b) {
                        const std::size_t ca = batches[a].cost_hint != 0
@@ -151,10 +142,12 @@ void run_trial_batches(const std::vector<TrialBatch>& batches,
     offsets[p + 1] = offsets[p] + batches[exec[p]].trials;
   }
   const std::size_t total = offsets.back();
+  if (options.counters != nullptr) options.counters->add(total, n);
 
   std::vector<std::atomic<std::size_t>> incomplete(n);
   std::vector<std::atomic<std::size_t>> finished(n);
   std::vector<LazyGraphSlot> lazy(n);
+  std::atomic<std::size_t> trials_run{0};
   // In-order emission state: done[b] flips when batch b's last trial
   // lands; next_emit advances over the done prefix so on_batch_done sees
   // batches in file order no matter which finishes first.
@@ -163,19 +156,24 @@ void run_trial_batches(const std::vector<TrialBatch>& batches,
   std::size_t next_emit = 0;
   // First-failure capture: one trial throwing cancels the remaining work
   // (already-running trials finish; nothing further is claimed or
-  // emitted) and surfaces as TrialBatchError after the pool drains.
+  // emitted) and surfaces as TrialBatchError after the pool drains. The
+  // caller's stop flag shares the claim gate but returns normally with
+  // stopped=true instead.
   std::atomic<bool> cancelled{false};
+  std::atomic<bool> stopped{false};
   std::size_t failed_batch = 0;
   std::string failure;
 
   auto complete_batch = [&](std::size_t b) {
     batches[b].out->incomplete = incomplete[b].load();
-    if (!on_batch_done) return;
+    if (options.counters != nullptr) options.counters->on_batch_done();
+    if (!options.on_batch_done) return;
     std::lock_guard lock(emit_mutex);
     if (cancelled.load(std::memory_order_relaxed)) return;
+    if (stopped.load(std::memory_order_relaxed)) return;
     done[b] = true;
     while (next_emit < n && done[next_emit]) {
-      on_batch_done(next_emit);
+      options.on_batch_done(next_emit);
       ++next_emit;
     }
   };
@@ -185,18 +183,28 @@ void run_trial_batches(const std::vector<TrialBatch>& batches,
   // worker never gets stuck holding a chunk of long-tail trials while the
   // rest of the pool idles.
   const std::size_t chunk = n > 1 ? 1 : 0;
-  if (pool == nullptr) pool = &global_pool();
+  ThreadPool* pool = options.pool != nullptr ? options.pool : &global_pool();
   pool->parallel_for_indexed(
       total,
       [&](std::size_t /*worker*/, std::size_t flat) {
         if (cancelled.load(std::memory_order_relaxed)) return;
+        if (options.stop != nullptr &&
+            options.stop->load(std::memory_order_relaxed)) {
+          stopped.store(true, std::memory_order_relaxed);
+          return;
+        }
         const std::size_t p = static_cast<std::size_t>(
             std::upper_bound(offsets.begin(), offsets.end(), flat) -
             offsets.begin() - 1);
         const std::size_t b = exec[p];
+        const std::size_t i = flat - offsets[p];
+        if (options.counters != nullptr) options.counters->on_claim();
         try {
-          run_one_trial(batches[b], flat - offsets[p], incomplete[b],
-                        want_curves[b], lazy[b]);
+          if (!run_batch_trial(batches[b], i,
+                               batches[b].lazy_spec != nullptr ? &lazy[b]
+                                                               : nullptr)) {
+            incomplete[b].fetch_add(1);
+          }
         } catch (const std::exception& e) {
           std::lock_guard lock(emit_mutex);
           if (!cancelled.exchange(true)) {
@@ -212,6 +220,9 @@ void run_trial_batches(const std::vector<TrialBatch>& batches,
           }
           return;
         }
+        trials_run.fetch_add(1, std::memory_order_relaxed);
+        if (options.counters != nullptr) options.counters->on_trial_done();
+        if (options.on_trial_done) options.on_trial_done(b, i);
         if (finished[b].fetch_add(1) + 1 == batches[b].trials) {
           lazy[b].release();  // batch drained: drop its lazy-built graph
           complete_batch(b);
@@ -219,6 +230,19 @@ void run_trial_batches(const std::vector<TrialBatch>& batches,
       },
       chunk);
   if (cancelled.load()) throw TrialBatchError(failed_batch, failure);
+  outcome.stopped = stopped.load();
+  outcome.trials_run = trials_run.load();
+  return outcome;
+}
+
+void run_trial_batches(const std::vector<TrialBatch>& batches,
+                       const std::function<void(std::size_t)>& on_batch_done,
+                       ThreadPool* pool, BatchOrder order) {
+  TrialRunOptions options;
+  options.on_batch_done = on_batch_done;
+  options.pool = pool;
+  options.order = order;
+  run_trial_batches(batches, options);
 }
 
 TrialSet run_trials(const Graph& g, const ProtocolSpec& spec, Vertex source,

@@ -11,8 +11,11 @@
 // per-scenario barrier while quick scenarios wait their turn.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -119,6 +122,135 @@ class TrialBatchError : public std::runtime_error {
   std::size_t batch_index_;
 };
 
+// Point-in-time view of a draining trial queue. The invariant
+// trials_done <= trials_claimed <= trials_total holds in every snapshot
+// (enforced by TrialCounters' load ordering); at drain all three are
+// equal and batches_done == batches_total.
+struct TrialQueueSnapshot {
+  std::size_t trials_total = 0;
+  std::size_t trials_claimed = 0;  // handed to a worker (includes done)
+  std::size_t trials_done = 0;
+  std::size_t batches_total = 0;
+  std::size_t batches_done = 0;
+  [[nodiscard]] std::size_t in_flight() const {
+    return trials_claimed - trials_done;
+  }
+  [[nodiscard]] std::size_t queued() const {
+    return trials_total - trials_claimed;
+  }
+};
+
+// Shared queue-depth/in-flight counters: run_trial_batches (and the serve
+// scheduler, which drains the same per-trial executor) bump these as
+// trials are claimed and retired; any thread may snapshot() concurrently —
+// the CLI's --progress lines and the serve daemon's STATS reply both do.
+//
+// The snapshot loads done BEFORE claimed and claimed BEFORE total, and the
+// writers order their increments the opposite way (a trial is counted
+// claimed before it runs; a batch's trials are counted into total before
+// any is claimable), so every snapshot satisfies done <= claimed <= total
+// even mid-drain. Totals may grow between snapshots (the serve queue
+// accepts jobs while draining) or shrink when a cancellation drops
+// never-claimed trials.
+class TrialCounters {
+ public:
+  void add(std::size_t trials, std::size_t batches) {
+    trials_total_.fetch_add(trials, std::memory_order_relaxed);
+    batches_total_.fetch_add(batches, std::memory_order_relaxed);
+  }
+  // Cancellation: removes trials that will never be claimed (the batch
+  // still counts as done when it retires).
+  void drop_trials(std::size_t trials) {
+    trials_total_.fetch_sub(trials, std::memory_order_relaxed);
+  }
+  // Cancellation of a whole batch mid-drain: it will never retire through
+  // on_batch_done, so its slot leaves the total.
+  void drop_batches(std::size_t batches) {
+    batches_total_.fetch_sub(batches, std::memory_order_relaxed);
+  }
+  void on_claim() { trials_claimed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_trial_done() {
+    trials_done_.fetch_add(1, std::memory_order_release);
+  }
+  void on_batch_done() {
+    batches_done_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] TrialQueueSnapshot snapshot() const {
+    TrialQueueSnapshot s;
+    s.batches_done = batches_done_.load(std::memory_order_relaxed);
+    s.trials_done = trials_done_.load(std::memory_order_acquire);
+    s.trials_claimed = trials_claimed_.load(std::memory_order_relaxed);
+    s.trials_total = trials_total_.load(std::memory_order_relaxed);
+    s.batches_total = batches_total_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::size_t> trials_total_{0};
+  std::atomic<std::size_t> trials_claimed_{0};
+  std::atomic<std::size_t> trials_done_{0};
+  std::atomic<std::size_t> batches_total_{0};
+  std::atomic<std::size_t> batches_done_{0};
+};
+
+// Build-on-first-claim slot for a lazy batch: the graph materializes when
+// some worker claims the batch's first trial and is released (by the
+// scheduler, when the batch drains) so a many-scenario queue holds at most
+// the graphs actively being worked on. The graph seed derivation matches
+// the eager path, so laziness cannot change a result.
+class LazyGraphSlot {
+ public:
+  const Graph& acquire(const TrialBatch& batch);
+  void release();
+
+ private:
+  std::mutex mutex_;
+  std::optional<Graph> graph_;
+};
+
+// Validates `batch` (same preconditions run_trial_batches enforces) and
+// sizes every vector of *batch.out for batch.trials slots. Returns whether
+// the protocol traces per-trial curves. The serve scheduler calls this
+// once per accepted batch; run_trial_batches performs it internally.
+bool prepare_trial_set(const TrialBatch& batch);
+
+// Runs trial `i` of a prepared batch EXACTLY as run_trial_batches would —
+// same (master_seed, i) seed derivation, same per-thread TrialArena reuse,
+// same fresh/lazy/fixed graph resolution — and records the outcome into
+// batch.out slot i. Returns whether the trial completed (false = hit the
+// round cutoff; the caller aggregates TrialSet::incomplete). `lazy` is
+// required iff batch.lazy_spec is set. This is the single-claim building
+// block the serve fair-share scheduler drains through, so service results
+// are byte-identical to a one-shot run by construction.
+bool run_batch_trial(const TrialBatch& batch, std::size_t i,
+                     LazyGraphSlot* lazy = nullptr);
+
+struct TrialRunOptions {
+  // Fired once per batch, in BATCH ORDER (batch b is reported only after
+  // batches 0..b-1), as completions allow — the streaming-report hook.
+  // Runs on a worker thread under the scheduler's emission lock.
+  std::function<void(std::size_t)> on_batch_done;
+  ThreadPool* pool = nullptr;  // nullptr = global_pool()
+  BatchOrder order = BatchOrder::file;
+  // Graceful-stop flag, polled before every claim: once observed true, no
+  // further trial starts (in-flight trials finish and are recorded), no
+  // further batch is emitted, and the run returns with stopped=true
+  // instead of throwing — the SIGINT path.
+  const std::atomic<bool>* stop = nullptr;
+  // Queue-depth introspection (see TrialCounters); the run add()s its
+  // totals on entry and bumps claim/done live.
+  TrialCounters* counters = nullptr;
+  // Fired after every recorded trial (worker thread, unordered):
+  // (batch index, trial index).
+  std::function<void(std::size_t, std::size_t)> on_trial_done;
+};
+
+struct TrialRunOutcome {
+  bool stopped = false;        // the stop flag cut the run short
+  std::size_t trials_run = 0;  // trials actually executed and recorded
+};
+
 // Drains every batch's trials through ONE parallel-for over the
 // concatenated (batch, trial) index space: trials from different batches
 // interleave freely across workers, there is no barrier between batches,
@@ -136,5 +268,10 @@ void run_trial_batches(
     const std::vector<TrialBatch>& batches,
     const std::function<void(std::size_t)>& on_batch_done = {},
     ThreadPool* pool = nullptr, BatchOrder order = BatchOrder::file);
+
+// As above, with the full option set (stop flag, queue counters, per-trial
+// hook). The no-options overload is equivalent to default TrialRunOptions.
+TrialRunOutcome run_trial_batches(const std::vector<TrialBatch>& batches,
+                                  const TrialRunOptions& options);
 
 }  // namespace rumor

@@ -1,0 +1,260 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace rumor::serve {
+
+namespace {
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+// Counts the LF-terminated lines SUBMIT must announce. A trailing chunk
+// without a newline still counts as one line (the server frames on the
+// announced count, and we send text with a final newline appended).
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  bool pending = false;
+  for (const char c : text) {
+    pending = true;
+    if (c == '\n') {
+      lines += 1;
+      pending = false;
+    }
+  }
+  return lines + (pending ? 1 : 0);
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  in_.clear();
+}
+
+bool Client::connect(const Address& addr, const std::string& client_name,
+                     std::string* error) {
+  close();
+  if (addr.kind == Address::Kind::unix_socket) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      set_error(error, "socket: " + std::string(strerror(errno)));
+      return false;
+    }
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, addr.path.c_str(), sizeof(sa.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      set_error(error, addr.path + ": connect: " + strerror(errno));
+      close();
+      return false;
+    }
+  } else {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      set_error(error, "socket: " + std::string(strerror(errno)));
+      return false;
+    }
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(addr.port);
+    if (::inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) != 1) {
+      set_error(error, addr.host + ": not a numeric IPv4 address");
+      close();
+      return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+      set_error(error, addr.text() + ": connect: " + strerror(errno));
+      close();
+      return false;
+    }
+  }
+  if (!send_text("HELLO " + client_name + "\n", error)) return false;
+  const auto reply = read_line(error);
+  if (!reply) return false;
+  if (reply->rfind("OK rumor_serve v", 0) != 0) {
+    set_error(error, "unexpected HELLO reply: " + *reply);
+    close();
+    return false;
+  }
+  const std::string version = reply->substr(std::strlen("OK rumor_serve v"));
+  if (version != std::to_string(kProtocolVersion)) {
+    set_error(error, "protocol version mismatch: server v" + version +
+                         ", client v" + std::to_string(kProtocolVersion));
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::send_text(const std::string& text, std::string* error) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    // MSG_NOSIGNAL: a died server yields an error return, not SIGPIPE.
+    const ssize_t n = ::send(fd_, text.data() + sent, text.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, "write: " + std::string(strerror(errno)));
+      close();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> Client::read_line(std::string* error) {
+  for (;;) {
+    const std::size_t nl = in_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = in_.substr(0, nl);
+      in_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char buf[4096];
+    const ssize_t got = ::read(fd_, buf, sizeof buf);
+    if (got > 0) {
+      in_.append(buf, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    set_error(error, got == 0 ? "server closed the connection"
+                              : "read: " + std::string(strerror(errno)));
+    close();
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint64_t> Client::submit(const std::string& scenario_text,
+                                            std::string* error) {
+  const std::size_t lines = count_lines(scenario_text);
+  if (lines == 0) {
+    set_error(error, "submission is empty");
+    return std::nullopt;
+  }
+  std::string wire = "SUBMIT " + std::to_string(lines) + "\n";
+  wire += scenario_text;
+  if (wire.back() != '\n') wire += '\n';
+  if (!send_text(wire, error)) return std::nullopt;
+  const auto reply = read_line(error);
+  if (!reply) return std::nullopt;
+  if (reply->rfind("OK ", 0) == 0) {
+    std::istringstream in(reply->substr(3));
+    std::uint64_t id = 0;
+    if (in >> id && id != 0) return id;
+    set_error(error, "malformed accept reply: " + *reply);
+    return std::nullopt;
+  }
+  if (reply->rfind("BUSY", 0) == 0) {
+    set_error(error, "busy: " + *reply);
+    return std::nullopt;
+  }
+  set_error(error, *reply);
+  return std::nullopt;
+}
+
+std::optional<WatchResult> Client::watch(
+    std::uint64_t job, std::string* error,
+    const std::function<void(const TrialUpdate&)>& on_trial) {
+  if (!send_text("RESULTS " + std::to_string(job) + "\n", error)) {
+    return std::nullopt;
+  }
+  auto reply = read_line(error);
+  if (!reply) return std::nullopt;
+  if (reply->rfind("OK ", 0) != 0) {
+    set_error(error, *reply);
+    return std::nullopt;
+  }
+  WatchResult result;
+  for (;;) {
+    auto line = read_line(error);
+    if (!line) return std::nullopt;
+    std::istringstream in(*line);
+    std::string verb;
+    in >> verb;
+    if (verb == "TRIAL") {
+      TrialUpdate update;
+      int completed = 1;
+      if (in >> update.scenario >> update.trial >> update.rounds >>
+          update.agent_rounds >> update.informed >> completed) {
+        update.completed = completed != 0;
+        if (on_trial) on_trial(update);
+      }
+    } else if (verb == "ROW") {
+      std::size_t index = 0;
+      if (!(in >> index)) continue;
+      // The row is everything after "ROW <index> " — CSV, may hold spaces.
+      const std::string prefix = "ROW " + std::to_string(index) + " ";
+      if (result.rows.size() <= index) result.rows.resize(index + 1);
+      result.rows[index] = line->substr(prefix.size());
+    } else if (verb == "END") {
+      std::uint64_t id = 0;
+      in >> id;
+      std::string state;
+      std::getline(in, state);
+      const std::size_t start = state.find_first_not_of(' ');
+      result.state =
+          start == std::string::npos ? "" : state.substr(start);
+      return result;
+    }
+    // Unknown verbs are skipped: a v1 client survives additive streams.
+  }
+}
+
+std::optional<std::string> Client::status(std::uint64_t job,
+                                          std::string* error) {
+  if (!send_text("STATUS " + std::to_string(job) + "\n", error)) {
+    return std::nullopt;
+  }
+  const auto reply = read_line(error);
+  if (!reply) return std::nullopt;
+  if (reply->rfind("OK ", 0) != 0) {
+    set_error(error, *reply);
+    return std::nullopt;
+  }
+  return reply->substr(3);
+}
+
+bool Client::cancel(std::uint64_t job, std::string* error) {
+  if (!send_text("CANCEL " + std::to_string(job) + "\n", error)) {
+    return false;
+  }
+  const auto reply = read_line(error);
+  if (!reply) return false;
+  if (reply->rfind("OK ", 0) != 0) {
+    set_error(error, *reply);
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<std::string>> Client::stats(std::string* error) {
+  if (!send_text("STATS\n", error)) return std::nullopt;
+  std::vector<std::string> lines;
+  for (;;) {
+    auto line = read_line(error);
+    if (!line) return std::nullopt;
+    if (*line == ".") return lines;
+    if (lines.empty() && line->rfind("ERR", 0) == 0) {
+      set_error(error, *line);
+      return std::nullopt;
+    }
+    lines.push_back(std::move(*line));
+  }
+}
+
+}  // namespace rumor::serve

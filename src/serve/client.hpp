@@ -1,0 +1,82 @@
+// Blocking client for the rumor_serve protocol: one connection, simple
+// request/reply calls plus a watch() loop that collects a job's streamed
+// results. Used by the `rumor_run submit/watch/stats` subcommands and the
+// serve tests; deliberately synchronous — concurrency lives in the server.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace rumor::serve {
+
+// One trial line streamed by RESULTS.
+struct TrialUpdate {
+  std::uint32_t scenario = 0;
+  std::uint32_t trial = 0;
+  double rounds = 0.0;
+  double agent_rounds = 0.0;
+  double informed = 0.0;
+  bool completed = true;
+};
+
+// Everything watch() collected: terminal state ("done", "cancelled",
+// "failed <why>") and the scenario CSV rows indexed as the server emitted
+// them (rows[i] is scenario i's row — identical bytes to write_scenario_csv).
+struct WatchResult {
+  std::string state;
+  std::vector<std::string> rows;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects and HELLOs as `client_name`. False (with *error) on refusal,
+  // version mismatch, or socket failure.
+  [[nodiscard]] bool connect(const Address& addr,
+                             const std::string& client_name,
+                             std::string* error);
+
+  // SUBMITs scenario text (whole .scn file contents). On acceptance
+  // returns the job id; on BUSY/ERR returns nullopt with the server's
+  // reply in *error (prefixed "busy: " for backpressure rejections).
+  [[nodiscard]] std::optional<std::uint64_t> submit(
+      const std::string& scenario_text, std::string* error);
+
+  // RESULTS <job>: consumes the stream until END. `on_trial` (optional)
+  // fires per TRIAL line as it arrives.
+  [[nodiscard]] std::optional<WatchResult> watch(
+      std::uint64_t job, std::string* error,
+      const std::function<void(const TrialUpdate&)>& on_trial = {});
+
+  // STATUS <job>: the raw "OK ..." status line (sans "OK ").
+  [[nodiscard]] std::optional<std::string> status(std::uint64_t job,
+                                                  std::string* error);
+
+  // CANCEL <job>.
+  [[nodiscard]] bool cancel(std::uint64_t job, std::string* error);
+
+  // STATS: every line of the reply up to (excluding) the "." terminator.
+  [[nodiscard]] std::optional<std::vector<std::string>> stats(
+      std::string* error);
+
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+ private:
+  [[nodiscard]] bool send_text(const std::string& text, std::string* error);
+  [[nodiscard]] std::optional<std::string> read_line(std::string* error);
+
+  int fd_ = -1;
+  std::string in_;  // buffered, not-yet-consumed received bytes
+};
+
+}  // namespace rumor::serve

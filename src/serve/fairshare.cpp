@@ -1,0 +1,142 @@
+#include "serve/fairshare.hpp"
+
+#include <algorithm>
+
+namespace rumor::serve {
+
+std::size_t FairShareQueue::client_index_locked(const std::string& name) {
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    if (clients_[i].name == name) return i;
+  }
+  clients_.push_back(Client{name, {}, 0, 0});
+  return clients_.size() - 1;
+}
+
+bool FairShareQueue::would_exceed(const std::string& client,
+                                  std::size_t trials) const {
+  std::lock_guard lock(mutex_);
+  std::size_t current = 0;
+  for (const Client& c : clients_) {
+    if (c.name == client) current = c.pending;
+  }
+  return current + trials > budget_;
+}
+
+void FairShareQueue::add_job(
+    const std::string& client, std::uint64_t job,
+    const std::vector<std::vector<std::uint32_t>>& pending) {
+  std::lock_guard lock(mutex_);
+  const std::size_t ci = client_index_locked(client);
+  JobQueue queue;
+  queue.id = job;
+  queue.client_index = ci;
+  for (std::uint32_t s = 0; s < pending.size(); ++s) {
+    for (const std::uint32_t t : pending[s]) {
+      queue.queued.push_back(Claim{job, s, t});
+    }
+  }
+  if (queue.queued.empty()) return;  // fully journaled job: nothing to run
+  owner_[job] = ci;
+  clients_[ci].pending += queue.queued.size();
+  clients_[ci].jobs.push_back(job);
+  jobs_.emplace(job, std::move(queue));
+  cv_.notify_all();
+}
+
+std::size_t FairShareQueue::cancel_job(std::uint64_t job) {
+  std::lock_guard lock(mutex_);
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) return 0;
+  const std::size_t dropped = it->second.queued.size();
+  Client& client = clients_[it->second.client_index];
+  client.pending -= dropped;
+  auto& queue = client.jobs;
+  queue.erase(std::remove(queue.begin(), queue.end(), job), queue.end());
+  jobs_.erase(it);
+  return dropped;
+}
+
+std::optional<Claim> FairShareQueue::claim_locked() {
+  if (clients_.empty()) return std::nullopt;
+  // Round-robin: offer the claim to each client once, starting after the
+  // last served one; the first with queued work takes it.
+  for (std::size_t step = 0; step < clients_.size(); ++step) {
+    const std::size_t ci = (rotation_ + step) % clients_.size();
+    Client& client = clients_[ci];
+    while (!client.jobs.empty()) {
+      const auto it = jobs_.find(client.jobs.front());
+      if (it == jobs_.end() || it->second.queued.empty()) {
+        // Fully claimed (still in flight) or cancelled: retire the entry.
+        if (it != jobs_.end()) jobs_.erase(it);
+        client.jobs.pop_front();
+        continue;
+      }
+      const Claim claim = it->second.queued.front();
+      it->second.queued.pop_front();
+      if (it->second.queued.empty()) {
+        jobs_.erase(it);
+        client.jobs.pop_front();
+      }
+      client.claimed += 1;
+      rotation_ = (ci + 1) % clients_.size();
+      return claim;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Claim> FairShareQueue::wait_claim() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    // closed_ wins over queued work: shutdown must release the workers
+    // promptly, not after they drain whatever is still queued.
+    if (closed_) return std::nullopt;
+    if (auto claim = claim_locked()) return claim;
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Claim> FairShareQueue::try_claim() {
+  std::lock_guard lock(mutex_);
+  if (closed_) return std::nullopt;
+  return claim_locked();
+}
+
+void FairShareQueue::complete(const Claim& claim) {
+  std::lock_guard lock(mutex_);
+  // The job's claim queue is dropped once its last trial is handed out,
+  // so budget accounting resolves through the persistent owner map.
+  const auto it = owner_.find(claim.job);
+  if (it != owner_.end()) clients_[it->second].pending -= 1;
+}
+
+void FairShareQueue::close() {
+  std::lock_guard lock(mutex_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+std::size_t FairShareQueue::pending(const std::string& client) const {
+  std::lock_guard lock(mutex_);
+  for (const Client& c : clients_) {
+    if (c.name == client) return c.pending;
+  }
+  return 0;
+}
+
+std::vector<ClientShare> FairShareQueue::shares() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ClientShare> out;
+  out.reserve(clients_.size());
+  for (const Client& c : clients_) {
+    ClientShare share;
+    share.client = c.name;
+    share.pending = c.pending;
+    share.claimed = c.claimed;
+    share.jobs = c.jobs.size();
+    out.push_back(std::move(share));
+  }
+  return out;
+}
+
+}  // namespace rumor::serve

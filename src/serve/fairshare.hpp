@@ -1,0 +1,112 @@
+// Fair-share (job, scenario, trial) intake queue for the serve daemon.
+//
+// Every accepted job belongs to a named client. Workers claim one trial
+// at a time; claims rotate round-robin across the clients that currently
+// have runnable work, so a client with a 10-trial smoke test makes
+// forward progress at the same per-trial rate as a client draining a
+// 10,000-trial sweep — neither submitter can starve the other. Within one
+// client, jobs drain in submission order; within one job, trials drain in
+// (scenario, trial) order. Because trial values are pure functions of
+// (master seed, trial index), claim order affects latency only, never
+// results.
+//
+// Backpressure: a client's *pending* trials (queued + in-flight, across
+// all its live jobs) may not exceed the per-client budget. would_exceed()
+// is the SUBMIT-time check — the server replies BUSY and enqueues
+// nothing. add_job() itself is unconditional, because journal resume must
+// reload whatever was accepted before the crash.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rumor::serve {
+
+struct Claim {
+  std::uint64_t job = 0;
+  std::uint32_t scenario = 0;
+  std::uint32_t trial = 0;
+
+  friend bool operator==(const Claim&, const Claim&) = default;
+};
+
+// One client's row in the STATS reply.
+struct ClientShare {
+  std::string client;
+  std::size_t pending = 0;  // queued + in-flight trials, all live jobs
+  std::size_t claimed = 0;  // cumulative trials handed to workers
+  std::size_t jobs = 0;     // jobs with work still queued
+};
+
+class FairShareQueue {
+ public:
+  explicit FairShareQueue(std::size_t client_budget)
+      : budget_(client_budget) {}
+
+  // True when accepting `trials` more pending trials would push `client`
+  // past the per-client budget (the BUSY condition).
+  [[nodiscard]] bool would_exceed(const std::string& client,
+                                  std::size_t trials) const;
+
+  // Enqueues one job: pending[s] lists the trial indices of scenario s
+  // still to run (resume passes the not-yet-journaled subset). Trials are
+  // claimed scenario-major in the given order.
+  void add_job(const std::string& client, std::uint64_t job,
+               const std::vector<std::vector<std::uint32_t>>& pending);
+
+  // Drops the job's never-claimed trials; returns how many were dropped
+  // (in-flight trials finish normally).
+  std::size_t cancel_job(std::uint64_t job);
+
+  // Blocks until a claim is available or close() was called (nullopt).
+  [[nodiscard]] std::optional<Claim> wait_claim();
+  // Non-blocking variant (tests / opportunistic draining).
+  [[nodiscard]] std::optional<Claim> try_claim();
+
+  // Retires a claim handed out by wait_claim/try_claim: releases its
+  // budget slot whether the trial succeeded or threw.
+  void complete(const Claim& claim);
+
+  // Wakes every blocked wait_claim with nullopt; further claims fail.
+  void close();
+
+  [[nodiscard]] std::size_t pending(const std::string& client) const;
+  [[nodiscard]] std::vector<ClientShare> shares() const;
+  [[nodiscard]] std::size_t budget() const { return budget_; }
+
+ private:
+  struct JobQueue {
+    std::uint64_t id = 0;
+    std::size_t client_index = 0;
+    std::deque<Claim> queued;  // scenario-major claim order
+  };
+  struct Client {
+    std::string name;
+    std::deque<std::uint64_t> jobs;  // submission order, front = current
+    std::size_t pending = 0;         // queued + in-flight trials
+    std::size_t claimed = 0;         // cumulative
+  };
+
+  std::optional<Claim> claim_locked();
+  std::size_t client_index_locked(const std::string& name);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t budget_;
+  bool closed_ = false;
+  std::vector<Client> clients_;
+  std::size_t rotation_ = 0;  // next client offered a claim
+  std::unordered_map<std::uint64_t, JobQueue> jobs_;
+  // job id -> clients_ index, for the in-flight budget release after the
+  // job's claim queue itself is retired. Job ids are never reused, so
+  // entries simply accumulate (bounded by accepted jobs).
+  std::unordered_map<std::uint64_t, std::size_t> owner_;
+};
+
+}  // namespace rumor::serve

@@ -1,0 +1,377 @@
+#include "serve/journal.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace rumor::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'S', 'R', 'V', 'J', 'R', 'N', 'L'};
+constexpr std::size_t kHeaderSize = sizeof(kMagic) + 2 * sizeof(std::uint32_t);
+
+constexpr std::uint32_t kRecJob = 1;
+constexpr std::uint32_t kRecTrial = 2;
+constexpr std::uint32_t kRecCancel = 3;
+constexpr std::uint32_t kRecFailure = 4;
+
+// A single scenario line is bounded by the spec grammar; a multi-GiB
+// length field can only be corruption — reject it instead of allocating.
+constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+// ---- Little-endian encode/decode over std::string ----------------------
+
+template <typename T>
+void put(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  // The repo targets little-endian hosts throughout (the .rcsr graph
+  // cache makes the same assumption); memcpy keeps this free of UB.
+  out.append(reinterpret_cast<const char*>(bytes), sizeof(T));
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+struct Reader {
+  const char* p;
+  const char* end;
+
+  template <typename T>
+  bool get(T* value) {
+    if (static_cast<std::size_t>(end - p) < sizeof(T)) return false;
+    std::memcpy(value, p, sizeof(T));
+    p += sizeof(T);
+    return true;
+  }
+  bool get_str(std::string* s, std::uint32_t max = kMaxPayload) {
+    std::uint32_t len = 0;
+    if (!get(&len) || len > max) return false;
+    if (static_cast<std::size_t>(end - p) < len) return false;
+    s->assign(p, len);
+    p += len;
+    return true;
+  }
+  [[nodiscard]] bool done() const { return p == end; }
+};
+
+JournalJob* find_job(JournalState& state, std::uint64_t id) {
+  for (JournalJob& job : state.jobs) {
+    if (job.id == id) return &job;
+  }
+  return nullptr;
+}
+
+std::string encode_job(const JournalJob& job) {
+  std::string payload;
+  put<std::uint64_t>(payload, job.id);
+  put_str(payload, job.client);
+  put<std::uint32_t>(payload, static_cast<std::uint32_t>(job.lines.size()));
+  for (const std::string& line : job.lines) put_str(payload, line);
+  return payload;
+}
+
+std::string encode_trial(std::uint64_t job, const TrialRecord& rec) {
+  std::string payload;
+  put<std::uint64_t>(payload, job);
+  put<std::uint32_t>(payload, rec.scenario);
+  put<std::uint32_t>(payload, rec.trial);
+  put<double>(payload, rec.rounds);
+  put<double>(payload, rec.agent_rounds);
+  put<double>(payload, rec.informed);
+  put<std::uint8_t>(payload, rec.completed ? 1 : 0);
+  return payload;
+}
+
+std::string encode_record(std::uint32_t type, const std::string& payload) {
+  std::string framed;
+  put<std::uint32_t>(framed, type);
+  put<std::uint32_t>(framed, static_cast<std::uint32_t>(payload.size()));
+  framed.append(payload);
+  put<std::uint32_t>(framed, crc32_ieee(framed.data(), framed.size()));
+  return framed;
+}
+
+std::string journal_header() {
+  std::string header(kMagic, sizeof(kMagic));
+  put<std::uint32_t>(header, kJournalVersion);
+  put<std::uint32_t>(header, 0);
+  return header;
+}
+
+// Applies one decoded record payload to the replay state; false = the
+// payload does not decode (treated like a CRC failure: replay stops).
+bool apply_record(JournalState& state, std::uint32_t type,
+                  const char* payload, std::size_t size) {
+  Reader r{payload, payload + size};
+  switch (type) {
+    case kRecJob: {
+      JournalJob job;
+      std::uint32_t lines = 0;
+      if (!r.get(&job.id) || !r.get_str(&job.client) || !r.get(&lines)) {
+        return false;
+      }
+      job.lines.reserve(lines);
+      for (std::uint32_t i = 0; i < lines; ++i) {
+        std::string line;
+        if (!r.get_str(&line)) return false;
+        job.lines.push_back(std::move(line));
+      }
+      if (!r.done() || job.id == 0) return false;
+      if (find_job(state, job.id) != nullptr) return false;  // duplicate id
+      if (job.id >= state.next_job_id) state.next_job_id = job.id + 1;
+      state.jobs.push_back(std::move(job));
+      return true;
+    }
+    case kRecTrial: {
+      std::uint64_t id = 0;
+      TrialRecord rec;
+      std::uint8_t completed = 0;
+      if (!r.get(&id) || !r.get(&rec.scenario) || !r.get(&rec.trial) ||
+          !r.get(&rec.rounds) || !r.get(&rec.agent_rounds) ||
+          !r.get(&rec.informed) || !r.get(&completed) || !r.done()) {
+        return false;
+      }
+      rec.completed = completed != 0;
+      JournalJob* job = find_job(state, id);
+      if (job == nullptr) return false;  // result for a job never accepted
+      job->trials.push_back(rec);
+      return true;
+    }
+    case kRecCancel: {
+      std::uint64_t id = 0;
+      if (!r.get(&id) || !r.done()) return false;
+      JournalJob* job = find_job(state, id);
+      if (job == nullptr) return false;
+      job->cancelled = true;
+      return true;
+    }
+    case kRecFailure: {
+      std::uint64_t id = 0;
+      std::string message;
+      if (!r.get(&id) || !r.get_str(&message) || !r.done()) return false;
+      JournalJob* job = find_job(state, id);
+      if (job == nullptr) return false;
+      job->failure = message.empty() ? "failed" : message;
+      return true;
+    }
+    default:
+      return false;  // unknown type: written by a future version — stop
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32_ieee(const void* data, std::size_t size,
+                         std::uint32_t seed) {
+  // Table-free bitwise form: the journal appends are I/O-bound, so four
+  // shifts per byte beat carrying a 1 KiB table around.
+  std::uint32_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc ^= p[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (crc & 1u ? ~0u : 0u));
+    }
+  }
+  return ~crc;
+}
+
+bool replay_journal_bytes(const std::string& bytes, JournalState* state,
+                          std::string* error) {
+  *state = JournalState{};
+  if (bytes.size() < kHeaderSize) {
+    set_error(error, "journal shorter than its header");
+    return false;
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    set_error(error, "not a rumor_serve journal (bad magic)");
+    return false;
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
+  if (version != kJournalVersion) {
+    set_error(error, "journal version " + std::to_string(version) +
+                         " (this build reads version " +
+                         std::to_string(kJournalVersion) + ")");
+    return false;
+  }
+  std::size_t pos = kHeaderSize;
+  std::size_t record_index = 0;
+  auto truncated = [&](const std::string& why) {
+    state->clean = false;
+    state->warning = "record " + std::to_string(record_index) + " at byte " +
+                     std::to_string(pos) + ": " + why +
+                     "; replayed the valid prefix";
+  };
+  while (pos < bytes.size()) {
+    constexpr std::size_t kFrame = 3 * sizeof(std::uint32_t);
+    if (bytes.size() - pos < kFrame) {
+      truncated("torn tail");
+      break;
+    }
+    std::uint32_t type = 0;
+    std::uint32_t length = 0;
+    std::memcpy(&type, bytes.data() + pos, sizeof(type));
+    std::memcpy(&length, bytes.data() + pos + 4, sizeof(length));
+    if (length > kMaxPayload || bytes.size() - pos - kFrame < length) {
+      truncated("torn or oversized record");
+      break;
+    }
+    std::uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, bytes.data() + pos + 8 + length,
+                sizeof(stored_crc));
+    if (crc32_ieee(bytes.data() + pos, 8 + length) != stored_crc) {
+      truncated("CRC mismatch");
+      break;
+    }
+    if (!apply_record(*state, type, bytes.data() + pos + 8, length)) {
+      truncated("undecodable record (type " + std::to_string(type) + ")");
+      break;
+    }
+    pos += kFrame + length;
+    ++record_index;
+  }
+  return true;
+}
+
+Journal::~Journal() { close(); }
+
+void Journal::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool Journal::open(const std::string& path, JournalState* state,
+                   std::string* error) {
+  close();
+  path_ = path;
+  *state = JournalState{};
+  std::string bytes;
+  if (std::FILE* in = std::fopen(path.c_str(), "rb")) {
+    char buf[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof buf, in)) > 0) {
+      bytes.append(buf, got);
+    }
+    std::fclose(in);
+  }
+  if (!bytes.empty() && !replay_journal_bytes(bytes, state, error)) {
+    return false;
+  }
+  // A recovered (unclean) journal is compacted before appending: writing
+  // past a torn tail would orphan every later record behind the break.
+  if (!state->clean) return checkpoint(*state, error);
+  file_ = std::fopen(path.c_str(), bytes.empty() ? "wb" : "ab");
+  if (file_ == nullptr) {
+    set_error(error, path + ": cannot open journal for appending");
+    return false;
+  }
+  if (bytes.empty()) {
+    const std::string header = journal_header();
+    std::fwrite(header.data(), 1, header.size(), file_);
+    std::fflush(file_);
+  }
+  return true;
+}
+
+void Journal::append_record(std::uint32_t type, const std::string& payload) {
+  RUMOR_REQUIRE(file_ != nullptr);
+  const std::string framed = encode_record(type, payload);
+  std::fwrite(framed.data(), 1, framed.size(), file_);
+  // fflush pushes the record into the kernel page cache: enough to
+  // survive SIGKILL of the server (the crash model the resume contract
+  // covers). Power-loss durability comes from checkpoint()'s fsync.
+  std::fflush(file_);
+}
+
+void Journal::append_job(const JournalJob& job) {
+  append_record(kRecJob, encode_job(job));
+}
+
+void Journal::append_trial(std::uint64_t job, const TrialRecord& rec) {
+  append_record(kRecTrial, encode_trial(job, rec));
+}
+
+void Journal::append_cancel(std::uint64_t job) {
+  std::string payload;
+  put<std::uint64_t>(payload, job);
+  append_record(kRecCancel, payload);
+}
+
+void Journal::append_failure(std::uint64_t job, const std::string& message) {
+  std::string payload;
+  put<std::uint64_t>(payload, job);
+  put_str(payload, message);
+  append_record(kRecFailure, payload);
+}
+
+bool Journal::checkpoint(const JournalState& state, std::string* error) {
+  close();
+  // Write to a temp name, fsync, rename into place: a crash mid-compaction
+  // leaves the old journal untouched (rename on one filesystem is atomic).
+  const std::string tmp = path_ + ".tmp." + std::to_string(::getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    set_error(error, tmp + ": cannot open checkpoint for writing");
+    return false;
+  }
+  std::string bytes = journal_header();
+  for (const JournalJob& job : state.jobs) {
+    bytes += encode_record(kRecJob, encode_job(job));
+    // Cancelled jobs will never be resumed: their trial records are the
+    // garbage compaction exists to drop.
+    if (!job.cancelled) {
+      for (const TrialRecord& rec : job.trials) {
+        bytes += encode_record(kRecTrial, encode_trial(job.id, rec));
+      }
+    }
+    if (job.cancelled) {
+      std::string payload;
+      put<std::uint64_t>(payload, job.id);
+      bytes += encode_record(kRecCancel, payload);
+    }
+    if (!job.failure.empty()) {
+      std::string payload;
+      put<std::uint64_t>(payload, job.id);
+      put_str(payload, job.failure);
+      bytes += encode_record(kRecFailure, payload);
+    }
+  }
+  const bool wrote = std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                     bytes.size();
+  const bool flushed = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  if (std::fclose(f) != 0 || !wrote || !flushed) {
+    std::remove(tmp.c_str());
+    set_error(error, tmp + ": short checkpoint write");
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    set_error(error, path_ + ": cannot rename checkpoint into place");
+    return false;
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    set_error(error, path_ + ": cannot reopen journal after checkpoint");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rumor::serve

@@ -1,0 +1,114 @@
+// Crash-safe job/result journal for the rumor_serve daemon.
+//
+// Binary, append-only, little-endian. Layout:
+//
+//   header   8-byte magic "RSRVJRNL" + u32 version + u32 reserved(0)
+//   record*  u32 type | u32 payload_len | payload | u32 crc32
+//
+// The CRC covers type + payload_len + payload, so a torn tail (the server
+// was SIGKILL'd mid-append) or a flipped bit is detected per record.
+// Replay stops at the first invalid record and keeps everything before it
+// — correctness never depends on the journal being complete, because
+// trial seeding is deterministic: a missing trial record just means that
+// trial re-runs on resume and produces the identical values.
+//
+// Record types:
+//   1 job accepted   u64 id | str client | u32 n | n × str scenario-line
+//                    (canonical expanded spec lines; parse(name())
+//                    round-trips, so resume rebuilds the exact scenarios)
+//   2 trial done     u64 id | u32 scenario | u32 trial | f64 rounds |
+//                    f64 agent_rounds | f64 informed | u8 completed
+//   3 job cancelled  u64 id
+//   4 job failed     u64 id | str message
+//
+// `str` = u32 length + bytes. Appends go through fwrite+fflush — the
+// bytes reach the kernel page cache, which survives SIGKILL (only power
+// loss defeats it; checkpoint() fsyncs for that). checkpoint() compacts:
+// the replayed state is rewritten to a temp file and atomically renamed
+// over the journal, dropping corrupt tails and cancelled jobs' trials.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rumor::serve {
+
+constexpr std::uint32_t kJournalVersion = 1;
+
+// CRC-32 (IEEE 802.3, reflected). Exposed for the corruption tests.
+[[nodiscard]] std::uint32_t crc32_ieee(const void* data, std::size_t size,
+                                       std::uint32_t seed = 0);
+
+struct TrialRecord {
+  std::uint32_t scenario = 0;
+  std::uint32_t trial = 0;
+  double rounds = 0.0;
+  double agent_rounds = 0.0;
+  double informed = 0.0;
+  bool completed = true;
+};
+
+struct JournalJob {
+  std::uint64_t id = 0;
+  std::string client;
+  std::vector<std::string> lines;  // canonical expanded scenario lines
+  bool cancelled = false;
+  std::string failure;  // non-empty = the job died on a trial error
+  std::vector<TrialRecord> trials;  // completed trials, journal order
+};
+
+struct JournalState {
+  std::vector<JournalJob> jobs;
+  std::uint64_t next_job_id = 1;
+  // False when replay dropped a torn/corrupt tail; `warning` says where.
+  bool clean = true;
+  std::string warning;
+};
+
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // Opens (creating if absent) the journal and replays it into *state.
+  // Returns false only on unrecoverable problems — unreadable file, bad
+  // magic, version mismatch; a truncated or CRC-corrupt tail is recovered
+  // (replay keeps the valid prefix, state->clean = false). On success the
+  // journal is positioned for appending.
+  [[nodiscard]] bool open(const std::string& path, JournalState* state,
+                          std::string* error);
+
+  // Appends one record and flushes it to the kernel (SIGKILL-safe).
+  void append_job(const JournalJob& job);
+  void append_trial(std::uint64_t job, const TrialRecord& rec);
+  void append_cancel(std::uint64_t job);
+  void append_failure(std::uint64_t job, const std::string& message);
+
+  // Compaction: rewrites the journal to exactly `state` (header + one job
+  // record + its trial records per job, cancelled/failed markers last)
+  // via temp + fsync + atomic rename, then reopens for appending.
+  [[nodiscard]] bool checkpoint(const JournalState& state,
+                                std::string* error);
+
+  void close();
+  [[nodiscard]] bool is_open() const { return file_ != nullptr; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void append_record(std::uint32_t type, const std::string& payload);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+// Pure replay of a journal byte buffer (open() uses it; the robustness
+// tests feed it hand-corrupted buffers directly).
+[[nodiscard]] bool replay_journal_bytes(const std::string& bytes,
+                                        JournalState* state,
+                                        std::string* error);
+
+}  // namespace rumor::serve

@@ -1,0 +1,149 @@
+#include "serve/protocol.hpp"
+
+#include <vector>
+
+#include "support/spec_text.hpp"
+
+namespace rumor::serve {
+
+namespace {
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+std::vector<std::string_view> split_words(std::string_view line) {
+  std::vector<std::string_view> words;
+  while (!line.empty()) {
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string_view::npos) break;
+    line.remove_prefix(start);
+    const std::size_t end = line.find_first_of(" \t");
+    words.push_back(line.substr(0, end));
+    if (end == std::string_view::npos) break;
+    line.remove_prefix(end);
+  }
+  return words;
+}
+
+}  // namespace
+
+std::string Address::text() const {
+  if (kind == Kind::unix_socket) return "unix:" + path;
+  return host + ":" + std::to_string(port);
+}
+
+std::optional<Address> parse_address(std::string_view text,
+                                     std::string* error) {
+  Address addr;
+  if (text.starts_with("unix:")) {
+    addr.kind = Address::Kind::unix_socket;
+    addr.path = std::string(text.substr(5));
+    if (addr.path.empty()) {
+      set_error(error, "unix address needs a path (unix:<path>)");
+      return std::nullopt;
+    }
+    // sockaddr_un.sun_path is a fixed ~108-byte field; reject what bind()
+    // would silently truncate.
+    if (addr.path.size() >= 100) {
+      set_error(error, "unix socket path too long (max 99 bytes)");
+      return std::nullopt;
+    }
+    return addr;
+  }
+  addr.kind = Address::Kind::tcp;
+  const std::size_t colon = text.rfind(':');
+  std::string_view port_text = text;
+  if (colon != std::string_view::npos) {
+    addr.host = std::string(text.substr(0, colon));
+    port_text = text.substr(colon + 1);
+  } else {
+    addr.host = "127.0.0.1";
+  }
+  if (addr.host.empty()) addr.host = "127.0.0.1";
+  const auto port = spec_text::parse_u64(port_text);
+  if (!port || *port == 0 || *port > 65535) {
+    set_error(error, "bad TCP port \"" + std::string(port_text) +
+                         "\" (want unix:<path>, <host>:<port>, or <port>)");
+    return std::nullopt;
+  }
+  addr.port = static_cast<std::uint16_t>(*port);
+  return addr;
+}
+
+std::optional<Request> parse_request(std::string_view line,
+                                     std::string* error) {
+  const std::vector<std::string_view> words = split_words(line);
+  if (words.empty()) {
+    set_error(error, "empty command");
+    return std::nullopt;
+  }
+  Request req;
+  const std::string_view verb = words[0];
+  auto want_args = [&](std::size_t n) {
+    if (words.size() == n + 1) return true;
+    set_error(error, std::string(verb) + " takes " + std::to_string(n) +
+                         " argument" + (n == 1 ? "" : "s"));
+    return false;
+  };
+  auto parse_job = [&]() -> bool {
+    const auto id = spec_text::parse_u64(words[1]);
+    if (!id || *id == 0) {
+      set_error(error, "bad job id \"" + std::string(words[1]) + "\"");
+      return false;
+    }
+    req.job = *id;
+    return true;
+  };
+  if (verb == "HELLO") {
+    if (!want_args(1)) return std::nullopt;
+    req.kind = Request::Kind::hello;
+    req.name = std::string(words[1]);
+    return req;
+  }
+  if (verb == "SUBMIT") {
+    if (!want_args(1)) return std::nullopt;
+    const auto n = spec_text::parse_u64(words[1]);
+    if (!n || *n == 0 || *n > kMaxSubmitLines) {
+      set_error(error, "SUBMIT line count must be 1.." +
+                           std::to_string(kMaxSubmitLines));
+      return std::nullopt;
+    }
+    req.kind = Request::Kind::submit;
+    req.lines = static_cast<std::size_t>(*n);
+    return req;
+  }
+  if (verb == "STATUS" || verb == "CANCEL" || verb == "RESULTS") {
+    if (!want_args(1) || !parse_job()) return std::nullopt;
+    req.kind = verb == "STATUS"   ? Request::Kind::status
+               : verb == "CANCEL" ? Request::Kind::cancel
+                                  : Request::Kind::results;
+    return req;
+  }
+  if (verb == "STATS") {
+    if (!want_args(0)) return std::nullopt;
+    req.kind = Request::Kind::stats;
+    return req;
+  }
+  if (verb == "QUIT") {
+    if (!want_args(0)) return std::nullopt;
+    req.kind = Request::Kind::quit;
+    return req;
+  }
+  set_error(error, "unknown command \"" + std::string(verb) + "\"");
+  return std::nullopt;
+}
+
+std::string sanitize_reply_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    out.push_back(c == '\n' || c == '\r' ? ' ' : c);
+  }
+  const std::size_t first = out.find_first_not_of(' ');
+  if (first == std::string::npos) return std::string();
+  const std::size_t last = out.find_last_not_of(' ');
+  return out.substr(first, last - first + 1);
+}
+
+}  // namespace rumor::serve

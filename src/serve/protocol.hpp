@@ -1,0 +1,70 @@
+// Wire protocol of the rumor_serve daemon: address grammar + the
+// line-oriented command set (see docs/serve.md for the full grammar).
+//
+// Requests are single LF-terminated lines; SUBMIT is followed by a fixed,
+// pre-announced number of scenario-text lines so the server never has to
+// guess where a submission ends. Replies are single lines ("OK ...",
+// "ERR <code> ...", "BUSY ...") except STATS (lines until a lone ".") and
+// RESULTS (a stream of TRIAL/ROW lines closed by "END <job> <state>").
+//
+// Everything here is pure parsing/formatting — no sockets — so the
+// grammar is unit-testable without a running daemon.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rumor::serve {
+
+// Protocol revision announced in the HELLO reply and checked by clients.
+constexpr int kProtocolVersion = 1;
+
+// Upper bound on the scenario-text lines one SUBMIT may carry: a typo'd
+// header count cannot make the server buffer an unbounded body.
+constexpr std::size_t kMaxSubmitLines = 4096;
+
+// Listen/connect address. Text forms:
+//   unix:<path>    Unix-domain stream socket
+//   <host>:<port>  TCP (numeric host; no resolver dependency)
+//   <port>         TCP on 127.0.0.1
+struct Address {
+  enum class Kind : std::uint8_t { unix_socket, tcp };
+  Kind kind = Kind::tcp;
+  std::string path;  // unix_socket
+  std::string host;  // tcp
+  std::uint16_t port = 0;
+
+  // Canonical text form (parse_address round-trips it).
+  [[nodiscard]] std::string text() const;
+};
+
+[[nodiscard]] std::optional<Address> parse_address(
+    std::string_view text, std::string* error = nullptr);
+
+// One parsed client command line.
+struct Request {
+  enum class Kind : std::uint8_t {
+    hello,    // HELLO <client-name>
+    submit,   // SUBMIT <n-lines>   (n scenario-text lines follow)
+    status,   // STATUS <job>
+    cancel,   // CANCEL <job>
+    results,  // RESULTS <job>
+    stats,    // STATS
+    quit,     // QUIT
+  };
+  Kind kind = Kind::stats;
+  std::string name;       // hello
+  std::uint64_t job = 0;  // status/cancel/results
+  std::size_t lines = 0;  // submit
+};
+
+[[nodiscard]] std::optional<Request> parse_request(
+    std::string_view line, std::string* error = nullptr);
+
+// Collapses CR/LF (and leading/trailing space) out of a message so it can
+// ride inside a single reply line without breaking the framing.
+[[nodiscard]] std::string sanitize_reply_text(std::string_view text);
+
+}  // namespace rumor::serve

@@ -1,0 +1,74 @@
+// rumor_serve: the long-lived scenario service behind `rumor_run --serve`.
+//
+// One process, two planes:
+//
+//   * an I/O plane — a poll(2) event loop on the main thread owning every
+//     socket (Unix + TCP listeners, client connections), the journal, and
+//     all job bookkeeping. Single-threaded by construction, so job state
+//     needs no locking beyond the worker handoff below.
+//   * a compute plane — N worker threads claiming one (job, scenario,
+//     trial) at a time from the FairShareQueue and executing it through
+//     run_batch_trial, the exact executor run_trial_batches drains, so a
+//     served job's samples are byte-identical to a one-shot `rumor_run`
+//     of the same scenario lines.
+//
+// Workers hand finished trials back through a mutex-guarded event vector
+// plus a self-pipe byte that wakes poll(); the main thread journals the
+// trial, streams TRIAL/ROW lines to subscribed watchers, and retires
+// scenarios/jobs in file order. A SIGKILL at any instant loses at most
+// the events not yet journaled — on restart, replay marks the journaled
+// trials done and the missing ones simply re-run to identical values
+// (deterministic (master_seed, trial) seeding).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace rumor::serve {
+
+struct ServerOptions {
+  std::vector<Address> listen;  // at least one address required
+  std::string journal_path = "serve.journal";
+  std::size_t workers = 0;  // compute threads; 0 = hardware concurrency
+  // Per-client pending-trial budget (queued + in-flight, across the
+  // client's live jobs); SUBMITs that would exceed it get BUSY.
+  std::size_t client_budget = 65536;
+};
+
+class Server {
+ public:
+  Server();
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds every listen address, opens + replays the journal (unfinished
+  // jobs are re-queued, finished ones kept for RESULTS re-streaming),
+  // compacts it, and spawns the compute workers. False on any failure.
+  [[nodiscard]] bool start(const ServerOptions& options, std::string* error);
+
+  // The poll loop. Returns when `stop` flips true (the caller's signal
+  // handler): stops claiming, drains in-flight trials, journals them,
+  // checkpoints, and closes every socket.
+  void run(const std::atomic<bool>& stop);
+
+  // Crash simulation for the resume tests: tears the server down WITHOUT
+  // journaling pending events or checkpointing — the journal is left
+  // exactly as the last append wrote it, as a SIGKILL would.
+  void abandon();
+
+  // Bound addresses, with ephemeral TCP ports resolved (tests bind
+  // port 0 and connect to what this reports).
+  [[nodiscard]] std::vector<Address> addresses() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rumor::serve

@@ -1,0 +1,147 @@
+// FairShareQueue semantics: round-robin rotation across clients, FIFO jobs
+// within a client, scenario-major trial order within a job, pending-budget
+// backpressure with in-flight accounting, and cancellation dropping only
+// the never-claimed remainder. All deterministic — no threads except the
+// close() wakeup test.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "serve/fairshare.hpp"
+
+namespace rumor::serve {
+namespace {
+
+std::vector<std::vector<std::uint32_t>> trials(
+    std::initializer_list<std::uint32_t> per_scenario) {
+  std::vector<std::vector<std::uint32_t>> pending;
+  for (const std::uint32_t count : per_scenario) {
+    std::vector<std::uint32_t> scenario;
+    for (std::uint32_t t = 0; t < count; ++t) scenario.push_back(t);
+    pending.push_back(std::move(scenario));
+  }
+  return pending;
+}
+
+TEST(ServeFairShare, RoundRobinAlternatesBetweenClients) {
+  FairShareQueue queue(1000);
+  queue.add_job("alice", 1, trials({4}));
+  queue.add_job("bob", 2, trials({4}));
+  // A 4-trial job per client: claims must strictly alternate, so neither
+  // client waits for the other's whole job (the no-starvation property).
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 8; ++i) {
+    const auto claim = queue.try_claim();
+    ASSERT_TRUE(claim);
+    order.push_back(claim->job);
+    queue.complete(*claim);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 1, 2, 1, 2, 1, 2}));
+  EXPECT_FALSE(queue.try_claim());
+}
+
+TEST(ServeFairShare, LateJoinerGetsItsShareImmediately) {
+  FairShareQueue queue(1000);
+  queue.add_job("alice", 1, trials({6}));
+  auto first = queue.try_claim();
+  ASSERT_TRUE(first);
+  EXPECT_EQ(first->job, 1u);
+  queue.add_job("bob", 2, trials({2}));
+  // bob joined after alice started draining: claims alternate from here on,
+  // so his 2-trial job finishes within 4 claims while alice's 6-trial job
+  // is still going — a late joiner is never queued behind a whole job.
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 4; ++i) {
+    const auto claim = queue.try_claim();
+    ASSERT_TRUE(claim);
+    order.push_back(claim->job);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 1, 2}));
+}
+
+TEST(ServeFairShare, WithinClientJobsAreFifoAndScenarioMajor) {
+  FairShareQueue queue(1000);
+  queue.add_job("alice", 1, trials({2, 2}));
+  queue.add_job("alice", 2, trials({1}));
+  std::vector<Claim> order;
+  while (const auto claim = queue.try_claim()) order.push_back(*claim);
+  ASSERT_EQ(order.size(), 5u);
+  // Job 1 drains fully first (scenario 0 then scenario 1), then job 2.
+  EXPECT_EQ(order[0], (Claim{1, 0, 0}));
+  EXPECT_EQ(order[1], (Claim{1, 0, 1}));
+  EXPECT_EQ(order[2], (Claim{1, 1, 0}));
+  EXPECT_EQ(order[3], (Claim{1, 1, 1}));
+  EXPECT_EQ(order[4], (Claim{2, 0, 0}));
+}
+
+TEST(ServeFairShare, BudgetCountsQueuedAndInFlightUntilComplete) {
+  FairShareQueue queue(4);
+  EXPECT_FALSE(queue.would_exceed("alice", 4));
+  EXPECT_TRUE(queue.would_exceed("alice", 5));
+  queue.add_job("alice", 1, trials({3}));
+  EXPECT_EQ(queue.pending("alice"), 3u);
+  EXPECT_TRUE(queue.would_exceed("alice", 2));   // 3 + 2 > 4
+  EXPECT_FALSE(queue.would_exceed("alice", 1));  // 3 + 1 == 4
+  // Budgets are per client: bob's headroom is untouched by alice's job.
+  EXPECT_FALSE(queue.would_exceed("bob", 4));
+  // Claiming does NOT release budget — the trial is in flight, the
+  // client's work is still in the system.
+  std::vector<Claim> claims;
+  while (const auto claim = queue.try_claim()) claims.push_back(*claim);
+  ASSERT_EQ(claims.size(), 3u);
+  EXPECT_EQ(queue.pending("alice"), 3u);
+  EXPECT_TRUE(queue.would_exceed("alice", 2));
+  // complete() is what frees the slots, even after the job's claim queue
+  // itself was retired.
+  queue.complete(claims[0]);
+  queue.complete(claims[1]);
+  EXPECT_EQ(queue.pending("alice"), 1u);
+  EXPECT_FALSE(queue.would_exceed("alice", 3));
+}
+
+TEST(ServeFairShare, CancelDropsOnlyTheNeverClaimedTrials) {
+  FairShareQueue queue(100);
+  queue.add_job("alice", 1, trials({4}));
+  const auto in_flight = queue.try_claim();
+  ASSERT_TRUE(in_flight);
+  EXPECT_EQ(queue.cancel_job(1), 3u);  // 4 queued - 1 claimed
+  EXPECT_EQ(queue.pending("alice"), 1u);  // the in-flight one
+  EXPECT_FALSE(queue.try_claim());
+  queue.complete(*in_flight);
+  EXPECT_EQ(queue.pending("alice"), 0u);
+  EXPECT_EQ(queue.cancel_job(1), 0u);  // idempotent
+  EXPECT_EQ(queue.cancel_job(99), 0u);  // unknown job
+}
+
+TEST(ServeFairShare, SharesReportPerClientAccounting) {
+  FairShareQueue queue(100);
+  queue.add_job("alice", 1, trials({2}));
+  queue.add_job("bob", 2, trials({3}));
+  const auto claim = queue.try_claim();
+  ASSERT_TRUE(claim);
+  const auto shares = queue.shares();
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_EQ(shares[0].client, "alice");
+  EXPECT_EQ(shares[0].pending, 2u);
+  EXPECT_EQ(shares[0].claimed, 1u);
+  EXPECT_EQ(shares[1].client, "bob");
+  EXPECT_EQ(shares[1].pending, 3u);
+  EXPECT_EQ(shares[1].claimed, 0u);
+}
+
+TEST(ServeFairShare, CloseWakesBlockedWaiters) {
+  FairShareQueue queue(100);
+  std::thread waiter([&queue] {
+    // Blocks until close(): a claim must not be invented.
+    EXPECT_FALSE(queue.wait_claim());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  waiter.join();
+  // After close, even queued work is no longer handed out.
+  queue.add_job("alice", 1, trials({1}));
+  EXPECT_FALSE(queue.wait_claim());
+}
+
+}  // namespace
+}  // namespace rumor::serve

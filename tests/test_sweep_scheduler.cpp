@@ -403,5 +403,108 @@ TEST(TrialScheduler, RunScenariosStreamsResultsInFileOrder) {
   EXPECT_EQ(streamed.str(), batch.str());
 }
 
+TEST(TrialScheduler, QueueCountersAreConsistentAtEveryObservationAndAtDrain) {
+  const Graph g = gen::complete(64);
+  const ProtocolSpec push_spec = default_spec(Protocol::push);
+  std::vector<TrialSet> sets(2);
+  std::vector<TrialBatch> batches(2);
+  batches[0] = TrialBatch{.graph = &g,
+                          .protocol = &push_spec,
+                          .source = 0,
+                          .trials = 9,
+                          .master_seed = 21,
+                          .out = &sets[0]};
+  batches[1] = TrialBatch{.graph = &g,
+                          .protocol = &push_spec,
+                          .source = 0,
+                          .trials = 7,
+                          .master_seed = 22,
+                          .out = &sets[1]};
+  ThreadPool pool(4);
+  TrialCounters counters;
+  TrialRunOptions options;
+  options.pool = &pool;
+  options.counters = &counters;
+  // Snapshot on every trial completion, concurrently with the claims: the
+  // invariant done <= claimed <= total must hold at every observation.
+  options.on_trial_done = [&](std::size_t, std::size_t) {
+    const TrialQueueSnapshot snap = counters.snapshot();
+    EXPECT_LE(snap.trials_done, snap.trials_claimed);
+    EXPECT_LE(snap.trials_claimed, snap.trials_total);
+    EXPECT_LE(snap.batches_done, snap.batches_total);
+    EXPECT_EQ(snap.trials_total, 16u);
+  };
+  const TrialRunOutcome outcome = run_trial_batches(batches, options);
+  EXPECT_FALSE(outcome.stopped);
+  EXPECT_EQ(outcome.trials_run, 16u);
+  // Pinned drain state: everything claimed, everything done, every batch
+  // retired — the exact numbers --progress and serve STATS report.
+  const TrialQueueSnapshot end = counters.snapshot();
+  EXPECT_EQ(end.trials_total, 16u);
+  EXPECT_EQ(end.trials_claimed, 16u);
+  EXPECT_EQ(end.trials_done, 16u);
+  EXPECT_EQ(end.in_flight(), 0u);
+  EXPECT_EQ(end.queued(), 0u);
+  EXPECT_EQ(end.batches_total, 2u);
+  EXPECT_EQ(end.batches_done, 2u);
+}
+
+TEST(TrialScheduler, StopFlagPreventsNewClaimsAndReportsStopped) {
+  const Graph g = gen::complete(64);
+  const ProtocolSpec push_spec = default_spec(Protocol::push);
+  std::vector<TrialSet> sets(1);
+  std::vector<TrialBatch> batches(1);
+  batches[0] = TrialBatch{.graph = &g,
+                          .protocol = &push_spec,
+                          .source = 0,
+                          .trials = 40,
+                          .master_seed = 31,
+                          .out = &sets[0]};
+  // Pre-set stop: nothing runs, nothing is emitted.
+  {
+    ThreadPool pool(2);
+    std::atomic<bool> stop{true};
+    bool emitted = false;
+    TrialRunOptions options;
+    options.pool = &pool;
+    options.stop = &stop;
+    options.on_batch_done = [&](std::size_t) { emitted = true; };
+    const TrialRunOutcome outcome = run_trial_batches(batches, options);
+    EXPECT_TRUE(outcome.stopped);
+    EXPECT_EQ(outcome.trials_run, 0u);
+    EXPECT_FALSE(emitted);
+  }
+  // Stop flipped mid-run (from the per-trial hook, like a signal handler
+  // would): the run ends early but every recorded trial stays recorded.
+  {
+    ThreadPool pool(1);
+    std::atomic<bool> stop{false};
+    TrialRunOptions options;
+    options.pool = &pool;
+    options.stop = &stop;
+    options.on_trial_done = [&](std::size_t, std::size_t) {
+      stop.store(true);
+    };
+    const TrialRunOutcome outcome = run_trial_batches(batches, options);
+    EXPECT_TRUE(outcome.stopped);
+    EXPECT_GE(outcome.trials_run, 1u);
+    EXPECT_LT(outcome.trials_run, 40u);
+  }
+  // run_scenarios surfaces the stop as a typed "interrupted" error — the
+  // CLI's SIGINT path (exit 1 + "# truncated" CSV trailer) keys off it.
+  {
+    std::istringstream in("complete(n=64) push trials=8\n");
+    std::string error;
+    const auto specs = parse_scenario_stream(in, &error);
+    ASSERT_TRUE(specs) << error;
+    std::atomic<bool> stop{true};
+    ScenarioRunOptions options;
+    options.stop = &stop;
+    const auto results = run_scenarios(*specs, &error, options);
+    EXPECT_FALSE(results);
+    EXPECT_NE(error.find("interrupted"), std::string::npos) << error;
+  }
+}
+
 }  // namespace
 }  // namespace rumor
