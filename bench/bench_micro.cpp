@@ -424,6 +424,86 @@ void BM_SchedulerInterleaved(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerInterleaved)->UseRealTime();
 
+// ---- Frontier-sharded round series -------------------------------------
+//
+// One trial on the whole pool: the 10^7-leaf implicit star (O(1) graph
+// memory, so the benchmark measures kernels, not allocation). The 1/K
+// pairs run the SAME sharded engine — identical trajectories by
+// construction — at width 1 vs. width 4 on a fixed 4-worker pool, so the
+// K/1 ratio isolates what the range fan-out buys. Like the scheduler
+// series the ratio is ~1.0 on a single core (fan-out costs nothing but
+// buys nothing) and >=2.5 with 4 real cores; compare_bench.py gates it
+// with the widened cross-machine threshold.
+//
+// BM_ShardedPush: a trial's dominant cost on the star is the hub's
+// informed-neighbor bump (10^7 counter adds inside inform()), the
+// parallel-bump path for deg >= 2^16. BM_ShardedWalk: one sharded kernel
+// pass over 10^7 walkers, per-slot Philox draws.
+
+constexpr std::uint64_t kHugeStarLeaves = 10'000'000;
+constexpr Round kShardedPushRounds = 4;
+
+const Graph& huge_star() {
+  static const Graph g = [] {
+    ImplicitDesc desc;
+    std::string why;
+    RUMOR_REQUIRE(
+        make_implicit_desc(ImplicitKind::star, kHugeStarLeaves, 0, desc, &why));
+    return Graph::make_implicit(desc);
+  }();
+  return g;
+}
+
+void sharded_push_bench(benchmark::State& state, std::uint32_t shards) {
+  const Graph& g = huge_star();
+  ThreadPool pool(4);
+  ThreadPool* prev = set_shard_pool(&pool);
+  PushOptions opt;
+  opt.shards = shards;
+  opt.max_rounds = kShardedPushRounds;
+  TrialArena arena;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    PushProcess p(g, 0, seed++, opt, &arena);
+    benchmark::DoNotOptimize(p.run().informed);
+  }
+  set_shard_pool(prev);
+  state.SetItemsProcessed(state.iterations() * kShardedPushRounds);
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kShardedPushRounds,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ShardedPush1(benchmark::State& state) { sharded_push_bench(state, 1); }
+BENCHMARK(BM_ShardedPush1)->UseRealTime();
+
+void BM_ShardedPushK(benchmark::State& state) { sharded_push_bench(state, 4); }
+BENCHMARK(BM_ShardedPushK)->UseRealTime();
+
+void sharded_walk_bench(benchmark::State& state, std::uint32_t shards) {
+  const Graph& g = huge_star();
+  const auto n = g.num_vertices();
+  ThreadPool pool(4);
+  ThreadPool* prev = set_shard_pool(&pool);
+  std::vector<Vertex> positions(n);
+  for (Vertex v = 0; v < n; ++v) positions[v] = v;
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    step_walks_sharded(g, positions, /*trial_seed=*/7, ++round,
+                       Laziness::none, shards);
+  }
+  set_shard_pool(prev);
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["steps_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n, benchmark::Counter::kIsRate);
+}
+
+void BM_ShardedWalk1(benchmark::State& state) { sharded_walk_bench(state, 1); }
+BENCHMARK(BM_ShardedWalk1)->UseRealTime();
+
+void BM_ShardedWalkK(benchmark::State& state) { sharded_walk_bench(state, 4); }
+BENCHMARK(BM_ShardedWalkK)->UseRealTime();
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -23,7 +23,7 @@ flaking the gate — and random interleaving spreads each benchmark's
 repetitions across the whole run, so a multi-second host-load phase
 perturbs every series equally instead of landing on one ratio side):
     RUMOR_RESULTS_DIR=/tmp ./build/bench_micro \
-        --benchmark_filter='WalkKernel|TrialArena|RunProtocol|Scheduler|Transmission|GraphBackend' \
+        --benchmark_filter='WalkKernel|TrialArena|RunProtocol|Scheduler|Transmission|GraphBackend|Sharded' \
         --benchmark_min_time=0.4 --benchmark_repetitions=5 \
         --benchmark_enable_random_interleaving
     cp /tmp/BENCH_micro.json bench/baselines/BENCH_micro.json
@@ -110,6 +110,17 @@ def load_rates(path):
 #                             means the closed forms or the backend branch
 #                             picked up per-access work, taxing every
 #                             large-n implicit scenario.
+#   ShardedPushK/ShardedPush1, ShardedWalkK/ShardedWalk1
+#                           — the frontier-sharded round contract: one
+#                             trial on the 10^7 implicit star at width 4
+#                             vs width 1 on a fixed 4-worker pool, SAME
+#                             engine and trajectories (docs/perf.md). Like
+#                             Interleaved/Barrier the ratio is ~1.0 on a
+#                             1-core host (fan-out neither costs nor buys)
+#                             and >=2.5 with 4 real cores, so the widened
+#                             0.35 threshold absorbs core-count variation;
+#                             a regression means the range fan-out itself
+#                             got slower relative to the inline path.
 RATIO_SERIES = (
     ("Batched", "Scalar", 0.15),
     ("Registry", "Direct", 0.15),
@@ -118,6 +129,8 @@ RATIO_SERIES = (
     ("PushTransmissionUniform", "PushTransmissionHeterogeneous", 0.15),
     ("WalkTransmissionUniform", "WalkTransmissionHeterogeneous", 0.15),
     ("GraphBackendImplicit", "GraphBackendOwned", 0.20),
+    ("ShardedPushK", "ShardedPush1", 0.35),
+    ("ShardedWalkK", "ShardedWalk1", 0.35),
 )
 
 # Absolute caps on the Uniform/Heterogeneous ratio itself: the

@@ -64,6 +64,7 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "core/sharding.hpp"
 #include "experiments/report.hpp"
 #include "experiments/scenario.hpp"
 #include "serve/client.hpp"
@@ -149,6 +150,16 @@ void list_registry() {
       "  duplicate/reversed edges deduped; self loops rejected); parsed "
       "once,\n"
       "  cached as <path>.rcsr and memory-mapped on later runs.\n");
+  std::printf(
+      "\nfrontier-sharded rounds (push, push-pull, visit-exchange):\n"
+      "  shards=auto|N  auto: shard iff n >= %llu; N >= 1: always shard,\n"
+      "  N partitions. One trial then fans its round across the pool when\n"
+      "  queued trials can't fill it. The sharded engine draws from an\n"
+      "  addressable per-slot Philox plane, so its trajectories differ\n"
+      "  from the serial legacy engine but are identical for every shard\n"
+      "  count and worker count. Incompatible with edge_traffic=on and a\n"
+      "  non-default engine= key.\n",
+      static_cast<unsigned long long>(kShardAutoThreshold));
   std::printf(
       "\ntransmission model & interventions (protocol options; multi-rumor "
       "and async\naccept tp only):\n");
@@ -474,14 +485,23 @@ int main(int argc, char** argv) {
         continue;
       }
       // The estimate rides in a '#' comment, so the dry-run output remains
-      // valid scenario-file input.
-      std::printf("%s  # backend=%s n=%llu m%s=%llu mem=%s\n",
+      // valid scenario-file input. Sharded scenarios also report the width
+      // this machine would run with (execution-only; results are
+      // width-independent).
+      std::string shard_note;
+      if (const std::uint32_t shards_opt = spec.protocol.shards();
+          sharding_enabled(shards_opt, probe->n)) {
+        shard_note =
+            " shards=" + std::to_string(resolve_shard_width(shards_opt));
+      }
+      std::printf("%s  # backend=%s n=%llu m%s=%llu mem=%s%s\n",
                   spec.name().c_str(),
                   graph_backend_name(probe->backend),
                   static_cast<unsigned long long>(probe->n),
                   probe->m_estimated ? "~" : "",
                   static_cast<unsigned long long>(probe->m),
-                  format_bytes(probe->graph_bytes).c_str());
+                  format_bytes(probe->graph_bytes).c_str(),
+                  shard_note.c_str());
     }
     return 0;
   }

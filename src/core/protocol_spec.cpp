@@ -121,6 +121,17 @@ const AsyncOptions& ProtocolSpec::async() const {
   return std::get<AsyncOptions>(options);
 }
 
+std::uint32_t ProtocolSpec::shards() const {
+  if (const auto* p = std::get_if<PushOptions>(&options)) return p->shards;
+  if (const auto* pp = std::get_if<PushPullOptions>(&options)) {
+    return pp->shards;
+  }
+  if (protocol == Protocol::visit_exchange) {
+    return std::get<WalkOptions>(options).shards;
+  }
+  return 0;
+}
+
 TraceOptions* ProtocolSpec::trace() {
   return SimulatorRegistry::instance().at(protocol).trace(options);
 }

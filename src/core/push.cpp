@@ -1,12 +1,21 @@
 #include "core/push.hpp"
 
 #include "core/registry.hpp"
+#include "core/sharding.hpp"
 #include "graph/access.hpp"
+#include "support/philox.hpp"
 #include "support/spec_text.hpp"
+#include "support/thread_pool.hpp"
+#include "walk/step_kernel.hpp"  // word_below: the shared Lemire slot draw
 
 namespace rumor {
 
 namespace {
+// Hub threshold for parallelizing inform()'s informed-neighbor bump in
+// sharded mode: below it the fan-out overhead beats the win. On the star,
+// THE dominant round cost is this one O(n) bump when the center informs —
+// parallelizing it is what BM_ShardedPush measures.
+constexpr std::uint32_t kShardBumpThreshold = 1u << 16;
 // Calendar ring size: wakes within the next 63 rounds live in the ring
 // (bucket = wake & 63); anything further sits in the far chain (head index
 // kWakeBuckets) and is matured back into the ring every 64 rounds. Must be
@@ -32,10 +41,21 @@ PushProcess::PushProcess(const Graph& g, Vertex source, std::uint64_t seed,
                 options.loss_probability < 1.0);
   model_.bind(g, options_.transmission, *arena_, seed,
               /*need_edge_field=*/options_.trace.edge_traffic);
+  // Engine choice is pure in (options, n) — see core/sharding. The sharded
+  // engine draws per-slot from the addressable plane, which the per-edge
+  // traced stream cannot express; the CLI rejects the combination with a
+  // message, this REQUIRE is the API-user backstop.
+  sharded_ = sharding_enabled(options_.shards, g.num_vertices());
+  if (sharded_) {
+    RUMOR_REQUIRE(!options_.trace.edge_traffic);
+    shard_width_ = resolve_shard_width(options_.shards);
+    seed_ = seed;
+  }
   // The calendar path models exactly the untraced loss-free process (a
   // failed call is then unobservable), and needs a single constant success
-  // probability for the geometric gaps.
-  skip_ = model_.sample_mode() == SampleMode::skip_uniform &&
+  // probability for the geometric gaps. The sharded engine replaces it
+  // wholesale (per-slot draws, not a serial calendar).
+  skip_ = !sharded_ && model_.sample_mode() == SampleMode::skip_uniform &&
           !options_.trace.edge_traffic && options_.loss_probability == 0.0;
   target_ = g.num_vertices();
   arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
@@ -78,6 +98,24 @@ void PushProcess::inform(Vertex v) {
     arena_->active.push_back(v);
   }
   const std::uint32_t deg = graph_->degree_unchecked(v);
+  if (sharded_ && deg >= kShardBumpThreshold) {
+    // Hub inform: the O(deg) neighbor bump dominates star-like rounds, and
+    // the neighbors of one vertex are distinct, so EpochArray::add on them
+    // from different shards touches disjoint slots — race-free. The bump
+    // order changes, but the counters are order-independent sums.
+    with_graph_access(*graph_, [&](const auto& acc) {
+      const GraphRow row = acc.row(v);
+      shard_pool().parallel_for_ranges(
+          deg, shard_width_,
+          [&](std::size_t /*shard*/, std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              arena_->informed_nbr_count.add(
+                  acc.pick(row, static_cast<std::uint32_t>(i)), 1);
+            }
+          });
+    });
+    return;
+  }
   for (std::uint32_t i = 0; i < deg; ++i) {
     arena_->informed_nbr_count.add(graph_->neighbor_unchecked(v, i), 1);
   }
@@ -131,7 +169,15 @@ void PushProcess::activate_blocking() {
 }
 
 void PushProcess::step() {
-  if (model_.trivial()) {
+  if (sharded_) {
+    with_graph_access(*graph_, [&](const auto& acc) {
+      if (model_.trivial()) {
+        step_sharded<transmission::Uniform>(acc);
+      } else {
+        step_sharded<transmission::General>(acc);
+      }
+    });
+  } else if (model_.trivial()) {
     step_impl<transmission::Uniform>();
   } else if (skip_) {
     with_graph_access(*graph_, [&](const auto& acc) { step_skip(acc); });
@@ -313,6 +359,121 @@ void PushProcess::step_impl() {
   if (options_.trace.informed_curve) arena_->curve.push_back(informed_count_);
 }
 
+// One frontier-sharded round. Law-equivalent to step_impl<Mode> — the only
+// behavioral difference is WHICH uniform variates decide each call: serial
+// draws them from one stream in execution order, sharded from per-slot
+// chains keyed by the caller's compacted frontier index. Both parallel
+// passes read exclusively round-start state (vertex_inform_round and
+// informed_nbr_count are not written between the round snapshot and the
+// merge), and every shard writes only its own scratch segment, so the
+// passes are race-free and the merge — visiting candidates in shard-major
+// = global slot order — is a pure function of the round-start state and
+// the plane. Partition count and worker count cannot move a single draw.
+//
+// A caller whose pick lands on a vertex another slot informs THIS round
+// still draws its loss/attempt words and is discarded at the merge; in the
+// serial engine that caller would see touched(v) and not draw. The words
+// are independent per-slot variates that decide nothing observable, so the
+// process law is identical (same argument as saturation retirement).
+template <class Mode, class Access>
+void PushProcess::step_sharded(const Access& acc) {
+  constexpr bool kGeneral = std::is_same_v<Mode, transmission::General>;
+  ++round_;
+  if constexpr (kGeneral) {
+    if (model_.blocking() && round_ == model_.block_round()) {
+      activate_blocking();
+    }
+  }
+
+  auto& active = arena_->active;
+  auto& scratch = arena_->shard_scratch;
+  const std::uint32_t width = shard_width_;
+  if (scratch.size() < width) scratch.resize(width);
+  // A shard's range never exceeds ceil(active/width) <= ceil(n/width), so
+  // reserving that bound (a no-op once grown; ~n total across shards, the
+  // same order as the other arena buffers) pins steady-state trials at
+  // zero allocations instead of leaving reallocation to the random
+  // high-water mark of each trial's frontier.
+  const std::size_t cap = graph_->num_vertices() / width + 1;
+  for (std::uint32_t s = 0; s < width; ++s) {
+    scratch[s].survivors.reserve(cap);
+    scratch[s].candidates.reserve(cap);
+  }
+
+  const auto sat = arena_->informed_nbr_count.view();
+  const auto informed = arena_->vertex_inform_round.view();
+
+  // Pass 1 (parallel): survivor filter over the round-start caller list —
+  // the sharded form of step_impl's retirement sweep. Shard s filters its
+  // range into its own segment; the ordered concat below rebuilds the
+  // compacted list exactly as the serial in-place compaction would. The
+  // clears run serially UP FRONT because parallel_for_ranges clamps the
+  // shard count to the item count: when the frontier is smaller than the
+  // width, the tail segments' callbacks never fire, and a clear inside
+  // the callback would leave stale entries from an earlier round for the
+  // concat to pick up.
+  for (std::uint32_t s = 0; s < width; ++s) scratch[s].survivors.clear();
+  shard_pool().parallel_for_ranges(
+      active.size(), width,
+      [&](std::size_t s, std::size_t begin, std::size_t end) {
+        auto& out = scratch[s].survivors;
+        for (std::size_t i = begin; i < end; ++i) {
+          const Vertex v = active[i];
+          if (sat.get(v) >= acc.degree(v)) continue;
+          if constexpr (kGeneral) {
+            if (!model_.can_transmit<Mode>(informed.get(v), v, round_)) {
+              continue;
+            }
+          }
+          out.push_back(v);
+        }
+      });
+  active.clear();
+  for (std::uint32_t s = 0; s < width; ++s) {
+    active.insert(active.end(), scratch[s].survivors.begin(),
+                  scratch[s].survivors.end());
+  }
+
+  // Pass 2 (parallel): every surviving caller draws its neighbor, loss,
+  // and success words from its own chain (slot = compacted index) and
+  // stages the vertex it would inform.
+  const ShardPlane plane(seed_, round_);
+  const double loss = options_.loss_probability;
+  for (std::uint32_t s = 0; s < width; ++s) scratch[s].candidates.clear();
+  shard_pool().parallel_for_ranges(
+      active.size(), width,
+      [&](std::size_t s, std::size_t begin, std::size_t end) {
+        auto& out = scratch[s].candidates;
+        for (std::size_t i = begin; i < end; ++i) {
+          const Vertex u = active[i];
+          SlotDraws draws(plane, kShardPhasePush,
+                          static_cast<std::uint32_t>(i));
+          const GraphRow row = acc.row(u);
+          const Vertex v = acc.pick(row, word_below(draws, row.deg));
+          if (loss > 0.0 && draws.next_unit_double() < loss) continue;
+          if constexpr (kGeneral) {
+            if (model_.blocked<Mode>(v, round_) || informed.touched(v)) {
+              continue;
+            }
+            if (!model_.attempt_from<Mode>(v, draws)) continue;
+          } else {
+            if (informed.touched(v)) continue;
+          }
+          out.push_back(v);
+        }
+      });
+
+  // Serial merge, shard-major = ascending slot order: the first delivered
+  // slot targeting v informs it, exactly as in the serial round.
+  for (std::uint32_t s = 0; s < width; ++s) {
+    for (const Vertex v : scratch[s].candidates) {
+      if (!arena_->vertex_inform_round.touched(v)) inform(v);
+    }
+  }
+
+  if (options_.trace.informed_curve) arena_->curve.push_back(informed_count_);
+}
+
 bool PushProcess::halted() const {
   if (done() || round_ >= cutoff_) return true;
   if (model_.trivial()) return false;
@@ -373,6 +534,7 @@ void push_entry_format(const ProtocolOptions& options,
   if (opt.max_rounds != def.max_rounds) {
     out.add("max_rounds", static_cast<std::uint64_t>(opt.max_rounds));
   }
+  format_shards_option(opt.shards, def.shards, out);
   format_transmission_options(opt.transmission, def.transmission, out);
   format_trace_options(opt.trace, def.trace, out);
 }
@@ -392,6 +554,7 @@ bool push_entry_set(ProtocolOptions& options, std::string_view key,
     opt.max_rounds = *v;
     return true;
   }
+  if (key == "shards") return set_shards_option(opt.shards, value);
   if (set_transmission_option(opt.transmission, key, value)) return true;
   return set_trace_option(opt.trace, key, value);
 }

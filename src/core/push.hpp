@@ -33,6 +33,11 @@ struct PushOptions {
   // with this probability (robustness ablation, cf. Elsässer–Sauerwald).
   double loss_probability = 0.0;
   Round max_rounds = 0;  // 0 = default_round_cutoff(n)
+  // Frontier-sharded round engine (core/sharding): 0 = serial legacy,
+  // kShardsAuto = on for huge graphs, N >= 1 = on with N partitions. The
+  // sharded trajectory depends only on whether the engine is ON, never on
+  // the partition count. Incompatible with trace.edge_traffic.
+  std::uint32_t shards = 0;
   // Contact rule: success probabilities + interventions (core/transmission).
   TransmissionOptions transmission;
   TraceOptions trace;
@@ -75,6 +80,13 @@ class PushProcess {
   void inform(Vertex v);
   template <class Mode>
   void step_impl();
+  // Frontier-sharded round (sharded_ == true): a parallel survivor filter
+  // and a parallel caller phase — both reading round-start state only,
+  // each slot drawing from its own addressable chain — bracketing a serial
+  // shard-major merge that performs the informs. See docs/perf.md for the
+  // determinism contract.
+  template <class Mode, class Access>
+  void step_sharded(const Access& acc);
   // Geometric skip-sampling round (sample_mode == skip_uniform, untraced,
   // loss-free): instead of one Bernoulli(p) coin per caller per round, each
   // caller sits in a calendar queue keyed by the round of its next
@@ -105,6 +117,9 @@ class PushProcess {
   std::uint32_t target_;
   Round last_inform_round_ = 0;
   bool skip_ = false;          // calendar path active this trial
+  bool sharded_ = false;       // frontier-sharded engine active this trial
+  std::uint32_t shard_width_ = 1;  // execution-only; never affects draws
+  std::uint64_t seed_ = 0;         // trial seed: keys the shard draw plane
   std::uint64_t pending_ = 0;  // wake events outstanding (ring + far)
   std::unique_ptr<TrialArena> owned_arena_;
   TrialArena* arena_;

@@ -1,7 +1,12 @@
 #include "core/push_pull.hpp"
 
 #include "core/registry.hpp"
+#include "core/sharding.hpp"
+#include "graph/access.hpp"
+#include "support/philox.hpp"
 #include "support/spec_text.hpp"
+#include "support/thread_pool.hpp"
+#include "walk/step_kernel.hpp"  // word_below: the shared Lemire slot draw
 
 namespace rumor {
 
@@ -20,6 +25,16 @@ PushPullProcess::PushPullProcess(const Graph& g, Vertex source,
                 options.loss_probability < 1.0);
   model_.bind(g, options_.transmission, *arena_, seed,
               /*need_edge_field=*/options_.trace.edge_traffic);
+  // The sharded engine covers the untraced fast path only: the
+  // exact-bandwidth traced round is defined by one serial call per vertex.
+  // The CLI rejects shards x edge_traffic with a message; this REQUIRE is
+  // the API-user backstop.
+  sharded_ = sharding_enabled(options_.shards, g.num_vertices());
+  if (sharded_) {
+    RUMOR_REQUIRE(!options_.trace.edge_traffic);
+    shard_width_ = resolve_shard_width(options_.shards);
+    seed_ = seed;
+  }
   target_ = g.num_vertices();
   arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
   arena_->informed_nbr_count.reset(g.num_vertices(), 0);
@@ -59,7 +74,15 @@ void PushPullProcess::inform(Vertex v) {
 }
 
 void PushPullProcess::step() {
-  if (model_.trivial()) {
+  if (sharded_) {
+    with_graph_access(*graph_, [&](const auto& acc) {
+      if (model_.trivial()) {
+        step_sharded<transmission::Uniform>(acc);
+      } else {
+        step_sharded<transmission::General>(acc);
+      }
+    });
+  } else if (model_.trivial()) {
     step_impl<transmission::Uniform>();
   } else {
     step_impl<transmission::General>();
@@ -208,6 +231,176 @@ void PushPullProcess::step_impl() {
   if (options_.trace.informed_curve) arena_->curve.push_back(informed_count_);
 }
 
+// One frontier-sharded round — law-equivalent to the untraced fast path of
+// step_impl<Mode>. Structure (P = parallel over balanced ranges on the
+// ambient shard pool, S = serial):
+//
+//   P filter callers (round-start state)     -> S ordered concat
+//   P filter pullers (round-start state)     -> S ordered concat
+//   P pusher draws   (round-start state)     -> S push merge (informs)
+//   P puller draws   (post-push-merge state) -> S pull merge (informs)
+//
+// Every parallel slot draws from its own addressable chain (phase
+// separates pushers from pullers), every shard writes only its own scratch
+// segment, and each merge visits candidates in shard-major = global slot
+// order, so the whole round is a pure function of the round-start state
+// and the draw plane — independent of partition and worker count. The
+// puller phase reading post-push state mirrors the serial ordering (pulls
+// run after pushes and skip vertices "pushed now"); it is deterministic
+// because the push merge it reads is itself partition-independent. As in
+// sharded push, a slot whose target was claimed earlier in slot order
+// still draws its words and is discarded at the merge — independent
+// variates that decide nothing observable, so the process law matches.
+template <class Mode, class Access>
+void PushPullProcess::step_sharded(const Access& acc) {
+  constexpr bool kGeneral = std::is_same_v<Mode, transmission::General>;
+  ++round_;
+  if constexpr (kGeneral) {
+    if (model_.blocking() && round_ == model_.block_round()) {
+      activate_blocking();
+    }
+  }
+
+  auto& active = arena_->active;
+  auto& frontier = arena_->frontier;
+  auto& scratch = arena_->shard_scratch;
+  const std::uint32_t width = shard_width_;
+  if (scratch.size() < width) scratch.resize(width);
+  // Reserve the analytic per-shard bound (<= ceil(n/width) items per
+  // range; ~n total) once, so steady-state trials stay allocation-free
+  // instead of reallocating at each trial's random high-water mark.
+  const std::size_t cap = graph_->num_vertices() / width + 1;
+  for (std::uint32_t s = 0; s < width; ++s) {
+    scratch[s].survivors.reserve(cap);
+    scratch[s].candidates.reserve(cap);
+  }
+
+  const auto sat = arena_->informed_nbr_count.view();
+  const auto informed = arena_->vertex_inform_round.view();
+
+  // Caller filter (the serial retirement sweep, shard-concatenated). Every
+  // pass clears ALL width segments serially up front: parallel_for_ranges
+  // clamps the shard count to the item count, so a clear inside the
+  // callback would skip the tail segments whenever the list is shorter
+  // than the width and leave stale entries for the concat/merge.
+  for (std::uint32_t s = 0; s < width; ++s) scratch[s].survivors.clear();
+  shard_pool().parallel_for_ranges(
+      active.size(), width,
+      [&](std::size_t s, std::size_t begin, std::size_t end) {
+        auto& out = scratch[s].survivors;
+        for (std::size_t i = begin; i < end; ++i) {
+          const Vertex v = active[i];
+          if (sat.get(v) >= acc.degree(v)) continue;
+          if constexpr (kGeneral) {
+            if (!model_.can_transmit<Mode>(informed.get(v), v, round_)) {
+              continue;
+            }
+          }
+          out.push_back(v);
+        }
+      });
+  active.clear();
+  for (std::uint32_t s = 0; s < width; ++s) {
+    active.insert(active.end(), scratch[s].survivors.begin(),
+                  scratch[s].survivors.end());
+  }
+
+  // Puller filter: still round-start state (runs before any inform).
+  for (std::uint32_t s = 0; s < width; ++s) scratch[s].survivors.clear();
+  shard_pool().parallel_for_ranges(
+      frontier.size(), width,
+      [&](std::size_t s, std::size_t begin, std::size_t end) {
+        auto& out = scratch[s].survivors;
+        for (std::size_t i = begin; i < end; ++i) {
+          const Vertex w = frontier[i];
+          if (informed.touched(w)) continue;
+          if constexpr (kGeneral) {
+            if (model_.blocked<Mode>(w, round_)) continue;
+          }
+          out.push_back(w);
+        }
+      });
+  frontier.clear();
+  for (std::uint32_t s = 0; s < width; ++s) {
+    frontier.insert(frontier.end(), scratch[s].survivors.begin(),
+                    scratch[s].survivors.end());
+  }
+  // The push merge's informs append NEW frontier vertices; as in the
+  // serial round, those pull starting NEXT round.
+  const std::size_t pullers = frontier.size();
+
+  const ShardPlane plane(seed_, round_);
+  const double loss = options_.loss_probability;
+
+  // Pusher phase: slot = compacted caller index.
+  for (std::uint32_t s = 0; s < width; ++s) scratch[s].candidates.clear();
+  shard_pool().parallel_for_ranges(
+      active.size(), width,
+      [&](std::size_t s, std::size_t begin, std::size_t end) {
+        auto& out = scratch[s].candidates;
+        for (std::size_t i = begin; i < end; ++i) {
+          const Vertex u = active[i];
+          SlotDraws draws(plane, kShardPhasePush,
+                          static_cast<std::uint32_t>(i));
+          const GraphRow row = acc.row(u);
+          const Vertex v = acc.pick(row, word_below(draws, row.deg));
+          if (loss > 0.0 && draws.next_unit_double() < loss) continue;
+          if constexpr (kGeneral) {
+            if (model_.blocked<Mode>(v, round_) || informed.touched(v)) {
+              continue;
+            }
+            if (!model_.attempt_from<Mode>(v, draws)) continue;
+          } else {
+            if (informed.touched(v)) continue;
+          }
+          out.push_back(v);
+        }
+      });
+  for (std::uint32_t s = 0; s < width; ++s) {
+    for (const Vertex v : scratch[s].candidates) {
+      if (!arena_->vertex_inform_round.touched(v)) inform(v);
+    }
+  }
+
+  // Puller phase: slot = filtered frontier index; reads the post-push
+  // state, as the serial pull loop does. Frontier entries are distinct
+  // (ever-in-frontier marks), so candidate pullers never collide; a puller
+  // informed by a push THIS round is skipped exactly like serial "pushed
+  // now". A vertex informed this round (r == round_) is not a valid pull
+  // source in either engine (informed_before_this_round).
+  for (std::uint32_t s = 0; s < width; ++s) scratch[s].candidates.clear();
+  shard_pool().parallel_for_ranges(
+      pullers, width, [&](std::size_t s, std::size_t begin, std::size_t end) {
+        auto& out = scratch[s].candidates;
+        for (std::size_t i = begin; i < end; ++i) {
+          const Vertex w = frontier[i];
+          if (arena_->vertex_inform_round.touched(w)) continue;  // pushed now
+          SlotDraws draws(plane, kShardPhasePull,
+                          static_cast<std::uint32_t>(i));
+          const GraphRow row = acc.row(w);
+          const Vertex v = acc.pick(row, word_below(draws, row.deg));
+          if (loss > 0.0 && draws.next_unit_double() < loss) continue;
+          if (!informed_before_this_round(v)) continue;
+          if constexpr (kGeneral) {
+            if (!model_.can_transmit<Mode>(
+                    arena_->vertex_inform_round.get(v), v, round_) ||
+                !model_.attempt_from<Mode>(v, draws)) {
+              continue;
+            }
+          }
+          out.push_back(w);
+        }
+      });
+  for (std::uint32_t s = 0; s < width; ++s) {
+    for (const Vertex w : scratch[s].candidates) {
+      RUMOR_CHECK(!arena_->vertex_inform_round.touched(w));
+      inform(w);
+    }
+  }
+
+  if (options_.trace.informed_curve) arena_->curve.push_back(informed_count_);
+}
+
 bool PushPullProcess::halted() const {
   if (done() || round_ >= cutoff_) return true;
   if (model_.trivial()) return false;
@@ -271,6 +464,7 @@ void push_pull_entry_format(const ProtocolOptions& options,
   if (opt.max_rounds != def.max_rounds) {
     out.add("max_rounds", static_cast<std::uint64_t>(opt.max_rounds));
   }
+  format_shards_option(opt.shards, def.shards, out);
   format_transmission_options(opt.transmission, def.transmission, out);
   format_trace_options(opt.trace, def.trace, out);
 }
@@ -290,6 +484,7 @@ bool push_pull_entry_set(ProtocolOptions& options, std::string_view key,
     opt.max_rounds = *v;
     return true;
   }
+  if (key == "shards") return set_shards_option(opt.shards, value);
   if (set_transmission_option(opt.transmission, key, value)) return true;
   return set_trace_option(opt.trace, key, value);
 }

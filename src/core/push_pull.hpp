@@ -29,6 +29,11 @@ namespace rumor {
 struct PushPullOptions {
   double loss_probability = 0.0;  // per-call drop probability
   Round max_rounds = 0;           // 0 = default_round_cutoff(n)
+  // Frontier-sharded round engine (core/sharding): 0 = serial legacy,
+  // kShardsAuto = on for huge graphs, N >= 1 = on with N partitions.
+  // Trajectory depends only on on/off, never on the partition count.
+  // Incompatible with trace.edge_traffic (the exact-bandwidth path).
+  std::uint32_t shards = 0;
   // Contact rule: success probabilities + interventions (core/transmission).
   TransmissionOptions transmission;
   TraceOptions trace;
@@ -69,6 +74,14 @@ class PushPullProcess {
   void inform(Vertex v);
   template <class Mode>
   void step_impl();
+  // Frontier-sharded round (sharded_ == true; untraced fast path only):
+  // parallel filters over callers and pullers, a parallel pusher phase, the
+  // serial push merge, then a parallel puller phase reading the post-push
+  // state (valid: the push merge result is partition-independent) and the
+  // serial pull merge. Each parallel slot draws from its own addressable
+  // chain; see docs/perf.md for the determinism contract.
+  template <class Mode, class Access>
+  void step_sharded(const Access& acc);
   void activate_blocking();
   [[nodiscard]] bool halted() const;
   [[nodiscard]] bool informed_before_this_round(Vertex v) const {
@@ -85,6 +98,9 @@ class PushPullProcess {
   std::uint32_t informed_count_ = 0;
   std::uint32_t target_;  // blocking containment target
   Round last_inform_round_ = 0;
+  bool sharded_ = false;           // frontier-sharded engine this trial
+  std::uint32_t shard_width_ = 1;  // execution-only; never affects draws
+  std::uint64_t seed_ = 0;         // trial seed: keys the shard draw plane
   std::unique_ptr<TrialArena> owned_arena_;
   TrialArena* arena_;
 };

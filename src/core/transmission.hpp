@@ -191,6 +191,21 @@ class TransmissionModel {
     }
   }
 
+  // As attempt(), but drawing from the CALLER's word source instead of the
+  // model's serial stream — the sharded-round form, where each frontier
+  // slot owns an addressable SlotDraws chain and the model must stay
+  // read-only across concurrent shards. Same draw-free tp=1 fast path.
+  template <class Mode, class WordSource>
+  [[nodiscard]] bool attempt_from(Vertex v, WordSource& words) const {
+    if constexpr (std::is_same_v<Mode, transmission::Uniform>) {
+      return true;
+    } else {
+      const float p = vertex_success_[v];
+      if (p >= 1.0f) return true;
+      return static_cast<float>(words.next_u32() >> 8) * 0x1.0p-24f < p;
+    }
+  }
+
   // As attempt(), but reads the CSR-aligned per-edge field through the
   // transmitter's adjacency slot — for contact sites that already hold the
   // slot (edge-traffic tracing paths).

@@ -1,7 +1,10 @@
 #include "core/visit_exchange.hpp"
 
 #include "core/registry.hpp"
-
+#include "core/sharding.hpp"
+#include "support/philox.hpp"
+#include "support/spec_text.hpp"
+#include "support/thread_pool.hpp"
 #include "walk/step_kernel.hpp"
 
 namespace rumor {
@@ -22,6 +25,17 @@ VisitExchangeProcess::VisitExchangeProcess(const Graph& g, Vertex source,
               resolve_anchor(options, source), arena_) {
   RUMOR_REQUIRE(source < g.num_vertices());
   model_.bind(g, options_.transmission, *arena_, seed);
+  // Sharded mode replaces the stepping engine wholesale (per-walker
+  // addressable draws) and cannot express the per-edge traced stream; the
+  // CLI rejects both combinations with a message, these REQUIREs are the
+  // API-user backstop.
+  sharded_ = sharding_enabled(options_.shards, g.num_vertices());
+  if (sharded_) {
+    RUMOR_REQUIRE(!options_.trace.edge_traffic);
+    RUMOR_REQUIRE(options_.engine == StepEngine::batched);
+    shard_width_ = resolve_shard_width(options_.shards);
+    seed_ = seed;
+  }
   target_ = g.num_vertices();
   const std::size_t count = agents_.count();
   arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
@@ -69,7 +83,13 @@ void VisitExchangeProcess::activate_blocking() {
 }
 
 void VisitExchangeProcess::step() {
-  if (model_.trivial()) {
+  if (sharded_) {
+    if (model_.trivial()) {
+      step_sharded<transmission::Uniform>();
+    } else {
+      step_sharded<transmission::General>();
+    }
+  } else if (model_.trivial()) {
     step_impl<transmission::Uniform>();
   } else {
     step_impl<transmission::General>();
@@ -138,6 +158,123 @@ void VisitExchangeProcess::step_impl() {
   }
 }
 
+// One frontier-sharded round — law-equivalent to step_impl<Mode>. The
+// sharded walk kernel steps every agent (per-walker addressable draws);
+// phases A and B then each run as a parallel candidate pass over balanced
+// order-index ranges followed by a serial shard-major merge:
+//
+//   Phase A (agents informed before this round inform their vertex) reads
+//   round-start vertex state; duplicate candidates for one vertex are
+//   resolved by the merge's global slot order, exactly as serial order
+//   would — an agent whose vertex was claimed by an earlier slot still
+//   drew its own words, which are independent variates deciding nothing
+//   observable (the sharded-push argument).
+//
+//   Phase B (agents standing on an informed vertex become informed) reads
+//   the POST-phase-A vertex state, as the serial loop does; that state is
+//   itself partition-independent. Candidates are order indices, distinct
+//   and ascending, so the merge's inform_agent_at(idx) calls only ever
+//   swap positions <= idx — positions above the current idx still hold
+//   their phase-time agents, and the informed-prefix CHECK holds because
+//   the i-th candidate's index is >= informed_at_start + i.
+template <class Mode>
+void VisitExchangeProcess::step_sharded() {
+  constexpr bool kGeneral = std::is_same_v<Mode, transmission::General>;
+  ++round_;
+  if constexpr (kGeneral) {
+    if (model_.blocking() && round_ == model_.block_round()) {
+      activate_blocking();
+    }
+  }
+
+  step_walks_sharded(*graph_, agents_.positions_mut(), seed_, round_,
+                     laziness_, shard_width_);
+
+  auto& scratch = arena_->shard_scratch;
+  const std::uint32_t width = shard_width_;
+  if (scratch.size() < width) scratch.resize(width);
+  const std::size_t count = agents_.count();
+  // Reserve the analytic per-shard bound (<= ceil(agents/width) items per
+  // range; ~|A| total) once, so steady-state trials stay allocation-free
+  // instead of reallocating at each trial's random high-water mark.
+  const std::size_t cap = count / width + 1;
+  for (std::uint32_t s = 0; s < width; ++s) {
+    scratch[s].candidates.reserve(cap);
+  }
+  const std::size_t informed_at_start = informed_agent_count_;
+  const ShardPlane plane(seed_, round_);
+  const auto vertex_informed = arena_->vertex_inform_round.view();
+
+  // Phase A candidates: the vertex each previously-informed agent delivers
+  // to this round (slot = order index). The clears run serially up front:
+  // parallel_for_ranges clamps the shard count to the item count, so a
+  // clear inside the callback would skip the tail segments whenever fewer
+  // items than width exist and leave stale candidates for the merge.
+  for (std::uint32_t s = 0; s < width; ++s) scratch[s].candidates.clear();
+  shard_pool().parallel_for_ranges(
+      informed_at_start, width,
+      [&](std::size_t s, std::size_t begin, std::size_t end) {
+        auto& out = scratch[s].candidates;
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const Agent a = order_.at(idx);
+          const Vertex v = agents_.position(a);
+          if (vertex_informed.touched(v)) continue;
+          if constexpr (kGeneral) {
+            SlotDraws draws(plane, kShardPhaseAgentInform,
+                            static_cast<std::uint32_t>(idx));
+            if (!model_.can_transmit<Mode>(
+                    arena_->agent_inform_round.get(a), v, round_) ||
+                !model_.attempt_from<Mode>(v, draws)) {
+              continue;
+            }
+          }
+          out.push_back(v);
+        }
+      });
+  for (std::uint32_t s = 0; s < width; ++s) {
+    for (const Vertex v : scratch[s].candidates) {
+      if (!arena_->vertex_inform_round.touched(v)) inform_vertex(v);
+    }
+  }
+
+  // Phase B candidates: order indices of uninformed agents standing on an
+  // informed vertex (post-phase-A state, like the serial loop).
+  for (std::uint32_t s = 0; s < width; ++s) scratch[s].candidates.clear();
+  shard_pool().parallel_for_ranges(
+      count - informed_at_start, width,
+      [&](std::size_t s, std::size_t begin, std::size_t end) {
+        auto& out = scratch[s].candidates;
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t idx = informed_at_start + i;
+          const Agent a = order_.at(idx);
+          const Vertex v = agents_.position(a);
+          if (!arena_->vertex_inform_round.touched(v)) continue;
+          if constexpr (kGeneral) {
+            SlotDraws draws(plane, kShardPhaseAgentCatch,
+                            static_cast<std::uint32_t>(idx));
+            if (!model_.can_transmit<Mode>(
+                    arena_->vertex_inform_round.get(v), v, round_) ||
+                !model_.attempt_from<Mode>(v, draws)) {
+              continue;
+            }
+          }
+          out.push_back(static_cast<std::uint32_t>(idx));
+        }
+      });
+  for (std::uint32_t s = 0; s < width; ++s) {
+    for (const std::uint32_t idx : scratch[s].candidates) {
+      inform_agent_at(idx);
+    }
+  }
+
+  if (all_agents_informed() && agent_complete_round_ == kNoRoundYet) {
+    agent_complete_round_ = round_;
+  }
+  if (options_.trace.informed_curve) {
+    arena_->curve.push_back(informed_vertex_count_);
+  }
+}
+
 bool VisitExchangeProcess::halted() const {
   if (done() || round_ >= cutoff_) return true;
   if (model_.trivial()) return false;
@@ -185,6 +322,26 @@ TrialResult visit_exchange_entry_run(const Graph& g,
           .run());
 }
 
+// Dedicated spec hooks (not the shared walk_entry_* ones): visit-exchange
+// is the only walk simulator with a sharded round, so `shards=` parses and
+// round-trips here and ONLY here — a meet-exchange or hybrid spec carrying
+// the key still fails to parse instead of silently doing nothing.
+void visit_exchange_entry_format(const ProtocolOptions& options,
+                                 const ProtocolOptions& defaults,
+                                 spec_text::KeyValWriter& out) {
+  const auto& opt = std::get<WalkOptions>(options);
+  const auto& def = std::get<WalkOptions>(defaults);
+  format_walk_options(opt, def, out);
+  format_shards_option(opt.shards, def.shards, out);
+}
+
+bool visit_exchange_entry_set(ProtocolOptions& options, std::string_view key,
+                              std::string_view value) {
+  auto& opt = std::get<WalkOptions>(options);
+  if (key == "shards") return set_shards_option(opt.shards, value);
+  return set_walk_option(opt, key, value);
+}
+
 }  // namespace
 
 void register_visit_exchange_simulator(SimulatorRegistry& registry) {
@@ -195,8 +352,8 @@ void register_visit_exchange_simulator(SimulatorRegistry& registry) {
       "VISIT-EXCHANGE: stationary random walkers relay via visited vertices";
   entry.defaults = WalkOptions{};
   entry.run = visit_exchange_entry_run;
-  entry.format_options = walk_entry_format;
-  entry.set_option = walk_entry_set;
+  entry.format_options = visit_exchange_entry_format;
+  entry.set_option = visit_exchange_entry_set;
   entry.trace = walk_entry_trace;
   registry.add(std::move(entry));
 }

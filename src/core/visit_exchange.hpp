@@ -68,6 +68,13 @@ class VisitExchangeProcess {
   void inform_agent_at(std::size_t order_index);
   template <class Mode>
   void step_impl();
+  // Frontier-sharded round (sharded_ == true): the sharded walk kernel
+  // steps all agents, then phases A and B each run as a parallel
+  // candidate pass (per-slot addressable draws, per-shard output
+  // segments) followed by a serial shard-major merge. See docs/perf.md
+  // for the determinism contract.
+  template <class Mode>
+  void step_sharded();
   void activate_blocking();
   [[nodiscard]] bool halted() const;
 
@@ -80,6 +87,9 @@ class VisitExchangeProcess {
   Round cutoff_;
   std::uint32_t target_ = 0;  // blocking containment target (vertices)
   Round last_inform_round_ = 0;
+  bool sharded_ = false;           // frontier-sharded engine this trial
+  std::uint32_t shard_width_ = 1;  // execution-only; never affects draws
+  std::uint64_t seed_ = 0;         // trial seed: keys the shard draw plane
   // Scratch state: the identity-default agent-order permutation and the
   // epoch-stamped inform rounds live here (see TrialArena).
   std::unique_ptr<TrialArena> owned_arena_;

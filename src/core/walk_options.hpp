@@ -39,6 +39,14 @@ struct WalkOptions {
   // step words from an addressable Philox stream instead of the serial
   // xoshiro stream (deterministic per seed, distinct trajectories).
   StepEngine engine = StepEngine::batched;
+  // Frontier-sharded round engine (core/sharding): 0 = serial legacy,
+  // kShardsAuto = on for huge graphs, N >= 1 = on with N partitions.
+  // Honored by visit-exchange ONLY (its dedicated spec hooks parse the
+  // key); the shared walk grammar rejects it, so meet-exchange/hybrid
+  // specs cannot silently carry a dead option. Incompatible with
+  // trace.edge_traffic and with a non-default engine= (the sharded stepper
+  // replaces the engine choice).
+  std::uint32_t shards = 0;
   // Contact rule (success probabilities + interventions); the default is
   // the paper's always-successful homogeneous transmission.
   TransmissionOptions transmission;

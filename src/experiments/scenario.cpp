@@ -372,6 +372,26 @@ bool prepare_scenario(const ScenarioSpec& spec, ScenarioResult& result,
                          " (n=" + std::to_string(result.n) + ")");
     return false;
   }
+  // The sharded round engine's incompatibilities, rejected here with a
+  // typed message; the RUMOR_REQUIREs in the process constructors are
+  // abort-on-bug backstops, not user-input validation.
+  if (spec.protocol.shards() != 0) {
+    if (const TraceOptions* trace = spec.protocol.trace();
+        trace != nullptr && trace->edge_traffic) {
+      set_error(error, "scenario \"" + spec.name() +
+                           "\": shards= is incompatible with "
+                           "edge_traffic=on (the exact-bandwidth trace "
+                           "needs the serial engine)");
+      return false;
+    }
+    if (spec.protocol.protocol == Protocol::visit_exchange &&
+        spec.protocol.walk().engine != StepEngine::batched) {
+      set_error(error, "scenario \"" + spec.name() +
+                           "\": shards= replaces the stepping engine; "
+                           "drop the engine= key");
+      return false;
+    }
+  }
   return true;
 }
 

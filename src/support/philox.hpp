@@ -174,6 +174,97 @@ class PhiloxStream {
   std::uint32_t k1_ = 0;
 };
 
+// ---- Sharded-kernel draw plane -------------------------------------------
+//
+// The frontier-sharded round kernels need every random decision of a round
+// addressable by the LOGICAL slot it belongs to (walker index, compacted
+// frontier position, ...), never by execution order: a shard boundary or a
+// different worker count must not shift a single draw. Each slot therefore
+// owns a private chain of Philox blocks:
+//
+//   key     = philox_key(derive_seed(trial_seed, kShardDrawSalt))
+//   counter = { slot, (seq << 8) | phase, round_lo, round_hi }
+//
+// The dedicated salt keys this plane off every other Philox consumer (the
+// skip calendar, engine=counter walks), so counters may overlap freely with
+// theirs. `phase` separates draw sites within one round (a pusher and a
+// puller can share slot numbers); `seq` advances when a slot consumes more
+// than one block — rejection sampling may draw any number of words, and the
+// chain keeps those continuation words addressable by slot alone. 2^24
+// blocks per (slot, phase) is ~6e7 words: beyond any rejection loop.
+
+inline constexpr std::uint64_t kShardDrawSalt = 0x51AED2A9C0DE5A17ULL;
+
+inline constexpr std::uint32_t kShardPhaseWalk = 0;         // walker steps
+inline constexpr std::uint32_t kShardPhasePush = 1;         // push callers
+inline constexpr std::uint32_t kShardPhasePull = 2;         // pull callers
+inline constexpr std::uint32_t kShardPhaseAgentInform = 3;  // agent -> vertex
+inline constexpr std::uint32_t kShardPhaseAgentCatch = 4;   // vertex -> agent
+
+// One (trial, round)'s worth of the plane: the precomputed key plus the
+// round words every SlotDraws of that round shares. Cheap to copy into
+// per-shard closures.
+struct ShardPlane {
+  std::uint32_t k0 = 0;
+  std::uint32_t k1 = 0;
+  std::uint32_t round_lo = 0;
+  std::uint32_t round_hi = 0;
+
+  ShardPlane() = default;
+  ShardPlane(std::uint64_t trial_seed, std::uint64_t round) {
+    const std::uint64_t key =
+        philox_key(derive_seed(trial_seed, kShardDrawSalt));
+    k0 = static_cast<std::uint32_t>(key);
+    k1 = static_cast<std::uint32_t>(key >> 32);
+    round_lo = static_cast<std::uint32_t>(round);
+    round_hi = static_cast<std::uint32_t>(round >> 32);
+  }
+};
+
+// The per-slot word source: drop-in for the WordSource shape the draw
+// helpers consume (next_u32/next_u64/operator()/unit floats). Constructed
+// fresh per (phase, slot) — a handful of registers, no heap.
+class SlotDraws {
+ public:
+  SlotDraws(const ShardPlane& plane, std::uint32_t phase, std::uint32_t slot)
+      : plane_(plane), slot_(slot), word1_(phase) {}
+
+  [[nodiscard]] std::uint32_t next_u32() {
+    if (pos_ == 4) refill();
+    return buf_[pos_++];
+  }
+
+  [[nodiscard]] std::uint64_t next_u64() {
+    const std::uint64_t lo = next_u32();
+    return lo | (std::uint64_t{next_u32()} << 32);
+  }
+
+  [[nodiscard]] std::uint64_t operator()() { return next_u64(); }
+
+  [[nodiscard]] float next_unit_float() {
+    return static_cast<float>(next_u32() >> 8) * 0x1.0p-24f;
+  }
+
+  // 53-bit grain for loss-probability comparisons (doubles in the specs).
+  [[nodiscard]] double next_unit_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  void refill() {
+    buf_ = philox4x32({slot_, word1_, plane_.round_lo, plane_.round_hi},
+                      plane_.k0, plane_.k1);
+    word1_ += 256;  // seq lives in bits 8..31; phase keeps bits 0..7
+    pos_ = 0;
+  }
+
+  const ShardPlane& plane_;
+  std::array<std::uint32_t, 4> buf_{};
+  std::uint32_t pos_ = 4;  // refill on first draw
+  std::uint32_t slot_;
+  std::uint32_t word1_;
+};
+
 // Batch geometric-gap kernel: draws `count` words from `stream` (whole
 // blocks; count must be a multiple of PhiloxStream::kBufWords) and writes
 // floor(log2(u) * scale) gaps, clamped to `cap`, where u is the centered

@@ -14,8 +14,26 @@ namespace {
 // pool can never hand one worker slot to two live threads.
 thread_local const ThreadPool* tl_pool = nullptr;
 thread_local std::size_t tl_worker_index = 0;
+// Last range-job epoch this worker participated in; a worker only wakes
+// for a range job it has not yet drained (see parallel_for_ranges_impl).
+thread_local std::uint64_t tl_range_epoch = 0;
 
 }  // namespace
+
+// The stack-allocated descriptor an in-flight parallel_for_ranges shares
+// with participating workers. `next` is the shard claim cursor, `done`
+// counts completed shards, and `touching` counts threads still holding a
+// pointer to this frame — the caller must not return (and destroy the
+// frame) until done == shards and touching == 0.
+struct ThreadPool::RangeJob {
+  RangeFn fn;
+  void* ctx;
+  std::size_t count;
+  std::size_t shards;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> touching{0};
+};
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
@@ -41,14 +59,48 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   tl_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
+    RangeJob* range = nullptr;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (stopping_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      cv_.wait(lock, [this] {
+        return stopping_ || !tasks_.empty() ||
+               (range_job_ != nullptr && tl_range_epoch != range_epoch_);
+      });
+      if (range_job_ != nullptr && tl_range_epoch != range_epoch_) {
+        // Pin the frame (under mutex_, while range_job_ is known valid)
+        // before dropping the lock; the caller waits for touching == 0.
+        tl_range_epoch = range_epoch_;
+        range = range_job_;
+        range->touching.fetch_add(1, std::memory_order_relaxed);
+      } else if (stopping_ && tasks_.empty()) {
+        return;
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
     }
-    task();
+    if (range != nullptr) {
+      run_range_job(*range);
+      {
+        std::lock_guard lock(mutex_);
+        range->touching.fetch_sub(1, std::memory_order_relaxed);
+      }
+      range_done_cv_.notify_all();
+    } else {
+      task();
+    }
+  }
+}
+
+// Claims shards off `job` until the cursor is exhausted. Runs on workers
+// and on the submitting caller alike.
+void ThreadPool::run_range_job(RangeJob& job) {
+  for (;;) {
+    const std::size_t s = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (s >= job.shards) return;
+    const auto [begin, end] = shard_range(job.count, job.shards, s);
+    job.fn(job.ctx, s, begin, end);
+    job.done.fetch_add(1, std::memory_order_release);
   }
 }
 
@@ -63,7 +115,11 @@ void ThreadPool::parallel_for_indexed(
     std::size_t chunk) {
   if (count == 0) return;
   const std::size_t workers = threads_.size();
-  if (count == 1 || workers == 1) {  // avoid queueing overhead
+  // Inline path: trivial work, a single worker, or a NESTED call from one
+  // of this pool's own workers. The nested case must flatten: queueing and
+  // blocking from inside the pool deadlocks once every worker is parked in
+  // a nested call with nobody left to drain the queue.
+  if (count == 1 || workers == 1 || tl_pool == this) {
     const std::size_t self =
         tl_pool == this ? tl_worker_index : workers;
     for (std::size_t i = 0; i < count; ++i) fn(self, i);
@@ -113,6 +169,58 @@ void ThreadPool::parallel_for_indexed(
   done_cv.wait(lock, [&] { return remaining == 0; });
 }
 
+bool ThreadPool::on_worker_thread() const { return tl_pool == this; }
+
+void ThreadPool::parallel_for_ranges_impl(std::size_t count,
+                                          std::size_t shards, RangeFn fn,
+                                          void* ctx) {
+  if (count == 0) return;
+  shards = std::min(std::max<std::size_t>(1, shards), count);
+
+  // Inline path — serial, in shard order, with the same range boundaries
+  // the parallel path would use (the merge-order contract): degenerate
+  // widths, nested calls from this pool's own workers (queue-and-block
+  // would deadlock), and a pool whose single range-job slot is already
+  // occupied by a concurrent caller.
+  auto run_inline = [&] {
+    for (std::size_t s = 0; s < shards; ++s) {
+      const auto [begin, end] = shard_range(count, shards, s);
+      fn(ctx, s, begin, end);
+    }
+  };
+  if (shards == 1 || threads_.size() == 1 || tl_pool == this) {
+    run_inline();
+    return;
+  }
+  std::unique_lock slot(range_mutex_, std::try_to_lock);
+  if (!slot.owns_lock()) {
+    run_inline();
+    return;
+  }
+
+  RangeJob job{fn, ctx, count, shards};
+  {
+    std::lock_guard lock(mutex_);
+    RUMOR_CHECK(!stopping_);
+    range_job_ = &job;
+    ++range_epoch_;
+  }
+  cv_.notify_all();
+
+  // The caller participates too, then waits until every shard completed
+  // AND every worker that pinned the frame released it (a worker may hold
+  // the pointer past the last claim while it exits its claim loop).
+  run_range_job(job);
+  {
+    std::unique_lock lock(mutex_);
+    range_done_cv_.wait(lock, [&] {
+      return job.done.load(std::memory_order_acquire) == job.shards &&
+             job.touching.load(std::memory_order_relaxed) == 0;
+    });
+    range_job_ = nullptr;
+  }
+}
+
 namespace {
 
 std::atomic<std::size_t> g_requested_workers{0};
@@ -133,6 +241,22 @@ void set_global_pool_workers(std::size_t workers) {
   // too late would silently run at the wrong width.
   RUMOR_CHECK(!g_pool_constructed.load());
   g_requested_workers.store(workers);
+}
+
+namespace {
+
+thread_local ThreadPool* tl_shard_pool = nullptr;
+
+}  // namespace
+
+ThreadPool& shard_pool() {
+  return tl_shard_pool != nullptr ? *tl_shard_pool : global_pool();
+}
+
+ThreadPool* set_shard_pool(ThreadPool* pool) {
+  ThreadPool* previous = tl_shard_pool;
+  tl_shard_pool = pool;
+  return previous;
 }
 
 }  // namespace rumor

@@ -15,12 +15,17 @@
 // it must use thread-local storage for that slot (see trials.cpp).
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace rumor {
@@ -53,14 +58,68 @@ class ThreadPool {
       const std::function<void(std::size_t, std::size_t)>& fn,
       std::size_t chunk = 0);
 
+  // True when the calling thread is one of THIS pool's workers. A nested
+  // parallel_for* from a worker flattens to a serial inline run instead of
+  // queueing (queue-and-block from inside the pool is a deadlock: with every
+  // worker blocked in a nested call there is nobody left to drain the
+  // queue).
+  [[nodiscard]] bool on_worker_thread() const;
+
+  // Range-partitioned variant for sharded round kernels: splits [0, count)
+  // into exactly min(shards, count) balanced contiguous ranges and runs
+  // fn(shard, begin, end) for each, blocking until all complete. Range
+  // boundaries depend only on (count, shards) — see shard_range — never on
+  // worker count or scheduling, so callers can key deterministic state by
+  // shard index. Unlike parallel_for_indexed this path performs no heap
+  // allocation: the job descriptor lives on the caller's stack and idle
+  // workers claim ranges through it. Runs inline (serially, in shard order)
+  // when shards <= 1, the pool has one worker, the caller IS a worker of
+  // this pool, or another range job is already in flight on this pool.
+  template <typename Fn>
+  void parallel_for_ranges(std::size_t count, std::size_t shards, Fn&& fn) {
+    using Decayed = std::remove_reference_t<Fn>;
+    parallel_for_ranges_impl(
+        count, shards,
+        [](void* ctx, std::size_t shard, std::size_t begin, std::size_t end) {
+          (*static_cast<Decayed*>(ctx))(shard, begin, end);
+        },
+        const_cast<void*>(
+            static_cast<const void*>(std::addressof(fn))));
+  }
+
+  // The [begin, end) range shard s of `shards` covers: q = count/shards
+  // indices each, with the first count%shards shards taking one extra. Pure
+  // in (count, shards, s) — the determinism contract of the sharded
+  // kernels rests on this being independent of everything else.
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> shard_range(
+      std::size_t count, std::size_t shards, std::size_t s) {
+    const std::size_t q = count / shards;
+    const std::size_t r = count % shards;
+    const std::size_t begin = s * q + std::min(s, r);
+    return {begin, begin + q + (s < r ? 1 : 0)};
+  }
+
  private:
+  using RangeFn = void (*)(void*, std::size_t, std::size_t, std::size_t);
+  struct RangeJob;
+
   void worker_loop(std::size_t worker_index);
+  void parallel_for_ranges_impl(std::size_t count, std::size_t shards,
+                                RangeFn fn, void* ctx);
+  void run_range_job(RangeJob& job);
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::queue<std::function<void()>> tasks_;
   bool stopping_ = false;
+  // Active parallel_for_ranges job (stack-allocated by the caller; nulled
+  // by the caller after completion). range_epoch_ increments per job so a
+  // worker that already drained this job's claims does not spin on it.
+  RangeJob* range_job_ = nullptr;
+  std::uint64_t range_epoch_ = 0;
+  std::mutex range_mutex_;  // one range job in flight per pool
+  std::condition_variable range_done_cv_;
 };
 
 // Process-wide pool for experiment runners (constructed on first use).
@@ -70,5 +129,17 @@ ThreadPool& global_pool();
 // --jobs=N). Must be called before the first global_pool() use — the pool
 // is fixed-size — and aborts otherwise; 0 restores the hardware default.
 void set_global_pool_workers(std::size_t workers);
+
+// Ambient pool the sharded round kernels fan per-shard work onto. Defaults
+// to global_pool(); the trial scheduler points it at its own pool for the
+// duration of a wide (multi-worker) trial. Thread-local on purpose: two
+// schedulers running concurrently (the serve daemon) must not see each
+// other's override, and a kernel invoked FROM a pool worker flattens its
+// nested parallel_for_ranges inline, so the hook is always safe to consult.
+[[nodiscard]] ThreadPool& shard_pool();
+
+// Installs `pool` as the calling thread's shard pool (nullptr restores the
+// global_pool() default) and returns the previous override.
+ThreadPool* set_shard_pool(ThreadPool* pool);
 
 }  // namespace rumor

@@ -102,6 +102,18 @@ struct TrialArena {
   std::vector<std::uint32_t> rumor_have_count;
   std::vector<std::uint64_t> rumor_completion;
 
+  // Per-shard output segments for the frontier-sharded round kernels:
+  // shard s filters survivors into shard_scratch[s].survivors and appends
+  // its delivery candidates to shard_scratch[s].candidates; the serial
+  // shard-major merge then drains them in slot order. Sized (resize, then
+  // per-round clear()) by the sharded simulators; capacity persists across
+  // rounds and trials, so steady-state rounds allocate nothing.
+  struct ShardScratch {
+    std::vector<std::uint32_t> survivors;
+    std::vector<std::uint32_t> candidates;
+  };
+  std::vector<ShardScratch> shard_scratch;
+
   // Transmission-model field cache (see core/transmission).
   TransmissionScratch transmission;
 

@@ -2,7 +2,9 @@
 
 #include <bit>
 
+#include "graph/access.hpp"
 #include "support/philox.hpp"
+#include "support/thread_pool.hpp"
 
 namespace rumor {
 
@@ -239,7 +241,47 @@ void dispatch(const Graph& g, std::span<Vertex> positions, Rng& rng,
   }
 }
 
+// One shard's range of the sharded step: every walker owns its addressable
+// draw chain, so execution order across shards is immaterial. Templated on
+// the access policy like the serial kernels (CSR loads vs closed-form
+// arithmetic, resolved once per call).
+template <bool kLazy, class Access>
+void step_range_sharded(const Access& acc, Vertex* pos, std::size_t begin,
+                        std::size_t end, const ShardPlane& plane) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const GraphRow row = acc.row(pos[i]);
+    SlotDraws draws(plane, kShardPhaseWalk, static_cast<std::uint32_t>(i));
+    std::uint32_t slot;
+    if constexpr (kLazy) {
+      if (!fused_lazy_slot(draws, row.deg, slot)) continue;
+    } else {
+      slot = word_below(draws, row.deg);
+    }
+    pos[i] = acc.pick(row, slot);
+  }
+}
+
 }  // namespace
+
+void step_walks_sharded(const Graph& g, std::span<Vertex> positions,
+                        std::uint64_t trial_seed, std::uint64_t round,
+                        Laziness lazy, std::uint32_t shards) {
+  RUMOR_CHECK(g.min_degree() > 0);
+  const ShardPlane plane(trial_seed, round);
+  Vertex* pos = positions.data();
+  const bool lazy_half = lazy == Laziness::half;
+  with_graph_access(g, [&](const auto& acc) {
+    shard_pool().parallel_for_ranges(
+        positions.size(), shards,
+        [&](std::size_t /*shard*/, std::size_t begin, std::size_t end) {
+          if (lazy_half) {
+            step_range_sharded<true>(acc, pos, begin, end, plane);
+          } else {
+            step_range_sharded<false>(acc, pos, begin, end, plane);
+          }
+        });
+  });
+}
 
 void step_walks(const Graph& g, std::span<Vertex> positions, Rng& rng,
                 Laziness lazy, std::uint64_t* edge_traffic,

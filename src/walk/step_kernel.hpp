@@ -101,4 +101,18 @@ void step_walks(const Graph& g, std::span<Vertex> positions, Rng& rng,
                 Laziness lazy, std::uint64_t* edge_traffic = nullptr,
                 StepEngine engine = StepEngine::batched);
 
+// Frontier-sharded stepping: the walker span is split into balanced
+// contiguous ranges executed on the ambient shard_pool(). Walker i draws
+// from its OWN addressable chain — SlotDraws(plane(trial_seed, round),
+// kShardPhaseWalk, i) — so the trajectory is a pure function of
+// (trial_seed, round, positions): bit-identical for every shard count and
+// worker count, by construction. Trajectories differ from the serial
+// engines above (a different draw plane), which is why sharding is an
+// explicit engine choice, not a transparent fast path. Position writes are
+// range-disjoint, so the parallel pass is race-free. Edge-traffic tracing
+// is not offered here: callers reject shards x edge_traffic upstream.
+void step_walks_sharded(const Graph& g, std::span<Vertex> positions,
+                        std::uint64_t trial_seed, std::uint64_t round,
+                        Laziness lazy, std::uint32_t shards);
+
 }  // namespace rumor

@@ -1,0 +1,512 @@
+// Frontier-sharded round engine tests.
+//
+// The contract under test (core/sharding): within the sharded engine the
+// trajectory depends only on the trial seed — never on the shard count,
+// the worker count, or the storage backend — because every random
+// decision draws from an addressable per-(phase, slot) Philox chain and
+// every merge visits candidates in global slot order. shards=1 is the
+// serial reference; 2/4/7-way runs must reproduce it byte for byte.
+// Also covered: the allocation-free parallel_for_ranges primitive, the
+// nested-fan-out flattening rule, zero steady-state allocations per
+// trial, the two-axis trial schedule, and the scenario-level rejection of
+// the incompatible option combinations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "alloc_probe.hpp"
+#include "core/push.hpp"
+#include "core/push_pull.hpp"
+#include "core/sharding.hpp"
+#include "core/visit_exchange.hpp"
+#include "experiments/scenario.hpp"
+#include "experiments/trials.hpp"
+#include "graph/generators.hpp"
+#include "graph/implicit.hpp"
+#include "support/philox.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trial_arena.hpp"
+
+namespace rumor {
+namespace {
+
+// ---- parallel_for_ranges -----------------------------------------------
+
+TEST(ThreadPoolRanges, ShardRangePartitionsExactly) {
+  for (const std::size_t count : {0u, 1u, 5u, 64u, 1000u}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 7u, 16u}) {
+      std::size_t expect_begin = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto [begin, end] = ThreadPool::shard_range(count, shards, s);
+        EXPECT_EQ(begin, expect_begin) << count << "/" << shards << "#" << s;
+        EXPECT_GE(end, begin);
+        // Balanced: range sizes differ by at most one.
+        EXPECT_LE(end - begin, count / shards + 1);
+        expect_begin = end;
+      }
+      EXPECT_EQ(expect_begin, count);
+    }
+  }
+}
+
+TEST(ThreadPoolRanges, CoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_ranges(1000, 4, [&](std::size_t /*shard*/,
+                                        std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolRanges, ClampsShardsAndHandlesEmpty) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for_ranges(0, 4, [&](std::size_t, std::size_t, std::size_t) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+  // More shards than items: clamped to one shard per item.
+  std::vector<std::atomic<int>> hits(3);
+  std::atomic<int> shards_seen{0};
+  pool.parallel_for_ranges(
+      3, 16, [&](std::size_t, std::size_t begin, std::size_t end) {
+        shards_seen.fetch_add(1);
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+  EXPECT_EQ(shards_seen.load(), 3);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolRanges, NestedFanOutFlattensInline) {
+  // A worker of the pool issuing parallel_for_ranges against the SAME pool
+  // must not deadlock or re-enter the queue: the call runs inline.
+  ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(6, [&](std::size_t) {
+    pool.parallel_for_ranges(
+        100, 4, [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) sum.fetch_add(i);
+        });
+  });
+  EXPECT_EQ(sum.load(), 6u * (100u * 99u / 2));
+}
+
+TEST(ThreadPoolRanges, NestedParallelForFlattensInline) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(25, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPoolRanges, ReusableAndConcurrentWithTasks) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for_ranges(
+        257, 4, [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) sum.fetch_add(i);
+        });
+    ASSERT_EQ(sum.load(), 257u * 256u / 2);
+  }
+}
+
+// ---- SlotDraws addressability ------------------------------------------
+
+TEST(ShardDraws, SlotChainsAreAddressableAndDisjoint) {
+  const ShardPlane plane(/*trial_seed=*/42, /*round=*/7);
+  // Re-opening the same (phase, slot) replays the identical chain — the
+  // property that makes the trajectory independent of the partition.
+  SlotDraws a(plane, kShardPhasePush, 3);
+  std::vector<std::uint32_t> first;
+  for (int i = 0; i < 9; ++i) first.push_back(a.next_u32());
+  SlotDraws b(plane, kShardPhasePush, 3);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(b.next_u32(), first[i]);
+  // Different slot or phase: a different chain.
+  SlotDraws c(plane, kShardPhasePush, 4);
+  SlotDraws d(plane, kShardPhasePull, 3);
+  EXPECT_NE(c.next_u32(), first[0]);
+  EXPECT_NE(d.next_u32(), first[0]);
+  // Different round: a different plane entirely.
+  const ShardPlane plane2(42, 8);
+  SlotDraws e(plane2, kShardPhasePush, 3);
+  EXPECT_NE(e.next_u32(), first[0]);
+}
+
+TEST(ShardDraws, UnitDoublesAreInRange) {
+  const ShardPlane plane(1, 1);
+  SlotDraws draws(plane, kShardPhaseWalk, 0);
+  for (int i = 0; i < 100; ++i) {
+    const double u = draws.next_unit_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+// ---- Spec grammar ------------------------------------------------------
+
+TEST(ShardSpec, RoundTripsAndRejects) {
+  for (const char* text :
+       {"push(shards=auto)", "push(shards=4)", "push-pull(shards=2)",
+        "visit-exchange(shards=7)"}) {
+    std::string error;
+    const auto spec = ProtocolSpec::parse(text, &error);
+    ASSERT_TRUE(spec) << text << ": " << error;
+    EXPECT_EQ(spec->name(), text);
+    EXPECT_NE(spec->shards(), 0u);
+  }
+  // 0 is not a spelling (absent is the only legacy form); the walk-shared
+  // protocols that do not implement the engine reject the key outright.
+  EXPECT_FALSE(ProtocolSpec::parse("push(shards=0)"));
+  EXPECT_FALSE(ProtocolSpec::parse("push(shards=-1)"));
+  EXPECT_FALSE(ProtocolSpec::parse("meet-exchange(shards=2)"));
+  EXPECT_FALSE(ProtocolSpec::parse("hybrid(shards=2)"));
+  EXPECT_FALSE(ProtocolSpec::parse("frog(shards=2)"));
+  // Default specs stay bare: no shards= key leaks into canonical text.
+  EXPECT_EQ(ProtocolSpec::parse("push")->name(), "push");
+  EXPECT_EQ(ProtocolSpec::parse("push")->shards(), 0u);
+}
+
+TEST(ShardSpec, EnginePolicyIsPureInItsInputs) {
+  EXPECT_FALSE(sharding_enabled(0, 1));
+  EXPECT_FALSE(sharding_enabled(0, std::uint64_t{1} << 40));
+  EXPECT_TRUE(sharding_enabled(1, 1));
+  EXPECT_TRUE(sharding_enabled(7, 16));
+  EXPECT_FALSE(sharding_enabled(kShardsAuto, kShardAutoThreshold - 1));
+  EXPECT_TRUE(sharding_enabled(kShardsAuto, kShardAutoThreshold));
+}
+
+TEST(ShardSpec, ScenarioValidationRejectsIncompatibleCombos) {
+  const auto reject = [](const char* line, const char* needle) {
+    std::string error;
+    const auto spec = ScenarioSpec::parse(line, &error);
+    ASSERT_TRUE(spec) << line << ": " << error;
+    EXPECT_FALSE(validate_scenarios({*spec}, &error)) << line;
+    EXPECT_NE(error.find(needle), std::string::npos) << line << ": " << error;
+  };
+  reject("cycle(n=64) push(shards=2,edge_traffic=on)", "edge_traffic");
+  reject("cycle(n=64) push-pull(shards=2,edge_traffic=on)", "edge_traffic");
+  reject("cycle(n=64) visit-exchange(shards=2,edge_traffic=on)",
+         "edge_traffic");
+  reject("cycle(n=64) visit-exchange(shards=2,engine=counter)", "engine");
+  // The compatible forms pass the same validator.
+  std::string error;
+  const auto ok = ScenarioSpec::parse(
+      "cycle(n=64) push(shards=2,curve=on,inform_rounds=on)", &error);
+  ASSERT_TRUE(ok) << error;
+  EXPECT_TRUE(validate_scenarios({*ok}, &error)) << error;
+}
+
+// ---- Sharded-vs-serial trajectories ------------------------------------
+
+// Full-trajectory equality: broadcast time, final count, per-round curve,
+// and the per-vertex inform rounds (per-agent too where present) — the
+// strongest observable trajectory the simulators expose.
+void expect_same_result(const RunResult& a, const RunResult& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.rounds, b.rounds) << what;
+  EXPECT_EQ(a.completed, b.completed) << what;
+  EXPECT_EQ(a.agent_rounds, b.agent_rounds) << what;
+  EXPECT_EQ(a.informed, b.informed) << what;
+  EXPECT_EQ(a.informed_curve, b.informed_curve) << what;
+  EXPECT_EQ(a.vertex_inform_round, b.vertex_inform_round) << what;
+  EXPECT_EQ(a.agent_inform_round, b.agent_inform_round) << what;
+}
+
+constexpr std::uint32_t kShardCounts[] = {2, 4, 7};
+
+RunResult run_push_shards(const Graph& g, std::uint64_t seed,
+                          std::uint32_t shards, float tp, double loss) {
+  PushOptions opt;
+  opt.shards = shards;
+  opt.transmission.tp = tp;
+  opt.loss_probability = loss;
+  opt.trace.informed_curve = true;
+  opt.trace.inform_rounds = true;
+  return run_push(g, 0, seed, opt);
+}
+
+TEST(ShardedPush, TrajectoryIndependentOfShardCount) {
+  const Graph graphs[] = {gen::cycle(96), gen::complete(48),
+                          gen::heavy_binary_tree(63)};
+  for (const Graph& g : graphs) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const RunResult ref = run_push_shards(g, seed, 1, 1.0f, 0.0);
+      ASSERT_TRUE(ref.completed);
+      for (const std::uint32_t shards : kShardCounts) {
+        expect_same_result(ref, run_push_shards(g, seed, shards, 1.0f, 0.0),
+                           "push shards=" + std::to_string(shards));
+      }
+    }
+  }
+}
+
+TEST(ShardedPush, HeterogeneousAndLossyTrajectoriesMatch) {
+  const Graph g = gen::circulant(128, 6);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const RunResult ref = run_push_shards(g, seed, 1, 0.7f, 0.2);
+    for (const std::uint32_t shards : kShardCounts) {
+      expect_same_result(ref, run_push_shards(g, seed, shards, 0.7f, 0.2),
+                         "lossy push shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardedPush, ImplicitAndOwnedBackendsAgree) {
+  // Same structure, different storage: the sharded engine must not care.
+  const auto spec_imp = GraphSpec::parse("star(leaves=512)");
+  const auto spec_own = GraphSpec::parse("star(leaves=512,backend=owned)");
+  ASSERT_TRUE(spec_imp && spec_own);
+  Rng rng(1);
+  const Graph imp = spec_imp->make(rng);
+  const Graph own = spec_own->make(rng);
+  ASSERT_TRUE(imp.is_implicit());
+  ASSERT_FALSE(own.is_implicit());
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const RunResult ref = run_push_shards(imp, seed, 1, 1.0f, 0.0);
+    for (const std::uint32_t shards : kShardCounts) {
+      expect_same_result(ref, run_push_shards(own, seed, shards, 1.0f, 0.0),
+                         "backend shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardedPush, HubBumpPathMatchesAtHugeDegree) {
+  // A star hub at deg >= 1<<16 takes the parallel informed-neighbor bump
+  // inside inform(); the counters it feeds must come out identical to the
+  // serial bump. Bounded rounds keep the Theta(n log n) star run cheap.
+  const auto spec = GraphSpec::parse("star(leaves=65536)");
+  ASSERT_TRUE(spec);
+  Rng rng(1);
+  const Graph g = spec->make(rng);
+  PushOptions opt;
+  opt.shards = 1;
+  opt.max_rounds = 6;
+  opt.trace.informed_curve = true;
+  opt.trace.inform_rounds = true;
+  const RunResult ref = run_push(g, 0, 11, opt);
+  EXPECT_FALSE(ref.completed);
+  for (const std::uint32_t shards : kShardCounts) {
+    opt.shards = shards;
+    expect_same_result(ref, run_push(g, 0, 11, opt),
+                       "hub bump shards=" + std::to_string(shards));
+  }
+}
+
+RunResult run_push_pull_shards(const Graph& g, std::uint64_t seed,
+                               std::uint32_t shards, float tp, double loss) {
+  PushPullOptions opt;
+  opt.shards = shards;
+  opt.transmission.tp = tp;
+  opt.loss_probability = loss;
+  opt.trace.informed_curve = true;
+  opt.trace.inform_rounds = true;
+  return run_push_pull(g, 0, seed, opt);
+}
+
+TEST(ShardedPushPull, TrajectoryIndependentOfShardCount) {
+  const Graph graphs[] = {gen::cycle(96), gen::star(64),
+                          gen::heavy_binary_tree(63)};
+  for (const Graph& g : graphs) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const RunResult ref = run_push_pull_shards(g, seed, 1, 1.0f, 0.0);
+      ASSERT_TRUE(ref.completed);
+      for (const std::uint32_t shards : kShardCounts) {
+        expect_same_result(
+            ref, run_push_pull_shards(g, seed, shards, 1.0f, 0.0),
+            "push-pull shards=" + std::to_string(shards));
+      }
+    }
+  }
+}
+
+TEST(ShardedPushPull, HeterogeneousAndLossyTrajectoriesMatch) {
+  const Graph g = gen::circulant(128, 6);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const RunResult ref = run_push_pull_shards(g, seed, 1, 0.6f, 0.15);
+    for (const std::uint32_t shards : kShardCounts) {
+      expect_same_result(
+          ref, run_push_pull_shards(g, seed, shards, 0.6f, 0.15),
+          "lossy push-pull shards=" + std::to_string(shards));
+    }
+  }
+}
+
+RunResult run_visitx_shards(const Graph& g, std::uint64_t seed,
+                            std::uint32_t shards, float tp) {
+  WalkOptions opt;
+  opt.shards = shards;
+  opt.transmission.tp = tp;
+  opt.trace.informed_curve = true;
+  opt.trace.inform_rounds = true;
+  return run_visit_exchange(g, 0, seed, opt);
+}
+
+TEST(ShardedVisitExchange, TrajectoryIndependentOfShardCount) {
+  const Graph graphs[] = {gen::cycle(64), gen::complete(48),
+                          gen::grid2d(8, 8)};
+  for (const Graph& g : graphs) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const RunResult ref = run_visitx_shards(g, seed, 1, 1.0f);
+      ASSERT_TRUE(ref.completed);
+      for (const std::uint32_t shards : kShardCounts) {
+        expect_same_result(ref, run_visitx_shards(g, seed, shards, 1.0f),
+                           "visitx shards=" + std::to_string(shards));
+      }
+    }
+  }
+}
+
+TEST(ShardedVisitExchange, HeterogeneousTrajectoriesMatch) {
+  const Graph g = gen::circulant(96, 4);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const RunResult ref = run_visitx_shards(g, seed, 1, 0.7f);
+    for (const std::uint32_t shards : kShardCounts) {
+      expect_same_result(ref, run_visitx_shards(g, seed, shards, 0.7f),
+                         "het visitx shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardedVisitExchange, ImplicitAndOwnedBackendsAgree) {
+  const auto spec_imp = GraphSpec::parse("torus(rows=8,cols=8)");
+  const auto spec_own = GraphSpec::parse("torus(rows=8,cols=8,backend=owned)");
+  ASSERT_TRUE(spec_imp && spec_own);
+  Rng rng(1);
+  const Graph imp = spec_imp->make(rng);
+  const Graph own = spec_own->make(rng);
+  ASSERT_TRUE(imp.is_implicit());
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const RunResult ref = run_visitx_shards(imp, seed, 1, 1.0f);
+    for (const std::uint32_t shards : kShardCounts) {
+      expect_same_result(ref, run_visitx_shards(own, seed, shards, 1.0f),
+                         "backend visitx shards=" + std::to_string(shards));
+    }
+  }
+}
+
+// ---- Zero steady-state allocations -------------------------------------
+
+TEST(ShardedAlloc, SteadyStateTrialsAllocateNothing) {
+  const Graph g = gen::circulant(256, 8);
+  TrialArena arena;
+  for (const char* text :
+       {"push(shards=2)", "push-pull(shards=2)", "visit-exchange(shards=2)",
+        "push(shards=4,tp=0.8)", "push-pull(shards=4,loss=0.1)"}) {
+    const auto spec = ProtocolSpec::parse(text);
+    ASSERT_TRUE(spec) << text;
+    // Warm-up: scratch segments grow to their high-water mark.
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      (void)run_protocol(g, *spec, 0, derive_seed(4242, seed), &arena);
+    }
+    test_alloc::g_allocations.store(0);
+    test_alloc::g_count.store(true);
+    double acc = 0.0;
+    for (std::uint64_t seed = 8; seed < 24; ++seed) {
+      acc += run_protocol(g, *spec, 0, derive_seed(4242, seed), &arena)
+                 .rounds;
+    }
+    test_alloc::g_count.store(false);
+    EXPECT_EQ(test_alloc::g_allocations.load(), 0u)
+        << text << " (rounds acc " << acc << ")";
+  }
+}
+
+// ---- Two-axis trial schedule -------------------------------------------
+
+TrialSet run_batch_on_pool(const Graph& g, const ProtocolSpec& spec,
+                           std::size_t trials, ThreadPool* pool) {
+  TrialSet set;
+  TrialBatch batch;
+  batch.graph = &g;
+  batch.protocol = &spec;
+  batch.source = 0;
+  batch.trials = trials;
+  batch.master_seed = 99;
+  batch.out = &set;
+  TrialRunOptions options;
+  options.pool = pool;
+  const TrialRunOutcome outcome = run_trial_batches({batch}, options);
+  EXPECT_EQ(outcome.trials_run, trials);
+  return set;
+}
+
+TEST(TwoAxisSchedule, WideAndNarrowProduceIdenticalSamples) {
+  // 2 trials on a 4-worker pool: too few to fill it, so the sharded batch
+  // runs WIDE (caller thread + range fan-out). On a 1-worker pool the same
+  // batch drains narrow. Samples must be bit-identical either way, and
+  // identical to the plain run_trials path on the global pool.
+  const Graph g = gen::circulant(192, 6);
+  const auto spec = ProtocolSpec::parse("push(shards=2)");
+  ASSERT_TRUE(spec);
+  ThreadPool wide_pool(4);
+  ThreadPool narrow_pool(1);
+  const TrialSet wide = run_batch_on_pool(g, *spec, 2, &wide_pool);
+  const TrialSet narrow = run_batch_on_pool(g, *spec, 2, &narrow_pool);
+  EXPECT_EQ(wide.rounds, narrow.rounds);
+  EXPECT_EQ(wide.informed, narrow.informed);
+  EXPECT_EQ(wide.incomplete, narrow.incomplete);
+  const TrialSet global = run_trials(g, *spec, 0, 2, 99);
+  EXPECT_EQ(wide.rounds, global.rounds);
+}
+
+TEST(TwoAxisSchedule, ManyTrialsStillDrainNarrow) {
+  // With enough queued trials to fill the pool, sharded batches drain
+  // through the classic one-trial-one-worker path (nested fan-out
+  // flattens inline on each worker) — and still match the wide samples.
+  const Graph g = gen::cycle(128);
+  const auto spec = ProtocolSpec::parse("push-pull(shards=3)");
+  ASSERT_TRUE(spec);
+  ThreadPool small_pool(2);
+  ThreadPool big_pool(8);
+  const TrialSet narrow = run_batch_on_pool(g, *spec, 6, &small_pool);
+  const TrialSet wide = run_batch_on_pool(g, *spec, 6, &big_pool);
+  EXPECT_EQ(narrow.rounds, wide.rounds);
+  EXPECT_EQ(narrow.informed, wide.informed);
+}
+
+TEST(TwoAxisSchedule, MixedShardedAndSerialBatchesEmitInOrder) {
+  const Graph g = gen::cycle(64);
+  const auto sharded = ProtocolSpec::parse("push(shards=2)");
+  const auto serial = ProtocolSpec::parse("push");
+  ASSERT_TRUE(sharded && serial);
+  TrialSet set_a;
+  TrialSet set_b;
+  TrialBatch a;
+  a.graph = &g;
+  a.protocol = &*sharded;
+  a.trials = 1;
+  a.master_seed = 5;
+  a.out = &set_a;
+  TrialBatch b = a;
+  b.protocol = &*serial;
+  b.out = &set_b;
+  ThreadPool pool(4);
+  std::vector<std::size_t> emitted;
+  std::mutex emitted_mutex;
+  TrialRunOptions options;
+  options.pool = &pool;
+  options.on_batch_done = [&](std::size_t i) {
+    std::lock_guard lock(emitted_mutex);
+    emitted.push_back(i);
+  };
+  const TrialRunOutcome outcome = run_trial_batches({a, b}, options);
+  EXPECT_EQ(outcome.trials_run, 2u);
+  EXPECT_EQ(emitted, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(set_a.rounds.size(), 1u);
+  EXPECT_EQ(set_b.rounds.size(), 1u);
+  // The serial batch's sample is untouched by the sharded engine riding
+  // alongside it in the same queue.
+  const TrialSet alone = run_trials(g, *serial, 0, 1, 5);
+  EXPECT_EQ(set_b.rounds, alone.rounds);
+}
+
+}  // namespace
+}  // namespace rumor
