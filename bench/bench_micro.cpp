@@ -16,9 +16,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common.hpp"
+#include "core/hybrid.hpp"
+#include "core/meet_exchange.hpp"
 #include "core/push.hpp"
 #include "core/visit_exchange.hpp"
 #include "experiments/trials.hpp"
@@ -503,6 +506,131 @@ BENCHMARK(BM_ShardedWalk1)->UseRealTime();
 
 void BM_ShardedWalkK(benchmark::State& state) { sharded_walk_bench(state, 4); }
 BENCHMARK(BM_ShardedWalkK)->UseRealTime();
+
+// BM_ShardedMeet / BM_ShardedHybrid: whole sharded trials of the two
+// simulators this series now covers — 10^7 + 1 agents (one per vertex, so
+// construction is a deterministic fill rather than 10^7 alias-sampler
+// draws) stepping on the huge star for kShardedPushRounds rounds. The
+// process constructor is serial at either width and would dilute the K/1
+// ratio, so it runs under PauseTiming; the timed region is exactly the
+// sharded round loop (walk kernel + mark/meet or push/pull/agent passes +
+// serial merges).
+
+void sharded_meet_bench(benchmark::State& state, std::uint32_t shards) {
+  const Graph& g = huge_star();
+  ThreadPool pool(4);
+  ThreadPool* prev = set_shard_pool(&pool);
+  WalkOptions opt = MeetExchangeProcess::default_options();
+  opt.shards = shards;
+  opt.max_rounds = kShardedPushRounds;
+  opt.placement = Placement::one_per_vertex;
+  opt.agent_count = g.num_vertices();
+  TrialArena arena;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    MeetExchangeProcess p(g, 0, seed++, opt, &arena);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(p.run().informed);
+  }
+  set_shard_pool(prev);
+  state.SetItemsProcessed(state.iterations() * kShardedPushRounds);
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kShardedPushRounds,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ShardedMeet1(benchmark::State& state) { sharded_meet_bench(state, 1); }
+BENCHMARK(BM_ShardedMeet1)->UseRealTime();
+
+void BM_ShardedMeetK(benchmark::State& state) { sharded_meet_bench(state, 4); }
+BENCHMARK(BM_ShardedMeetK)->UseRealTime();
+
+void sharded_hybrid_bench(benchmark::State& state, std::uint32_t shards) {
+  const Graph& g = huge_star();
+  ThreadPool pool(4);
+  ThreadPool* prev = set_shard_pool(&pool);
+  WalkOptions opt;
+  opt.shards = shards;
+  opt.max_rounds = kShardedPushRounds;
+  opt.placement = Placement::one_per_vertex;
+  opt.agent_count = g.num_vertices();
+  TrialArena arena;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    HybridProcess p(g, 0, seed++, opt, &arena);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(p.run().informed);
+  }
+  set_shard_pool(prev);
+  state.SetItemsProcessed(state.iterations() * kShardedPushRounds);
+  state.counters["rounds_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kShardedPushRounds,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ShardedHybrid1(benchmark::State& state) {
+  sharded_hybrid_bench(state, 1);
+}
+BENCHMARK(BM_ShardedHybrid1)->UseRealTime();
+
+void BM_ShardedHybridK(benchmark::State& state) {
+  sharded_hybrid_bench(state, 4);
+}
+BENCHMARK(BM_ShardedHybridK)->UseRealTime();
+
+// BM_ShardedCsrBuild: the owned-CSR construction path at explicit width 1
+// vs. 4 on the same fixed pool. The input is a 10^7-edge degree-4
+// circulant emitted in a strided permutation (stride coprime to m), so
+// the parallel chunk-sort + merge does real reordering work instead of
+// detecting sorted input. Content is byte-identical across widths (the
+// tier-1 ShardedCsrBuild tests pin that), so the K/1 ratio is pure
+// build-parallelism: sort, reverse-index, degree count, and the
+// first-touch row fill.
+
+constexpr Vertex kCsrBuildVertices = 5'000'000;
+
+const std::vector<std::pair<Vertex, Vertex>>& huge_edge_list() {
+  static const std::vector<std::pair<Vertex, Vertex>> edges = [] {
+    const std::size_t m = std::size_t{2} * kCsrBuildVertices;
+    constexpr std::size_t kStride = 7919;  // prime, coprime to m = 2^a 5^b
+    std::vector<std::pair<Vertex, Vertex>> out(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      const auto u = static_cast<Vertex>(e % kCsrBuildVertices);
+      const auto v = static_cast<Vertex>(
+          (u + 1 + e / kCsrBuildVertices) % kCsrBuildVertices);
+      out[(e * kStride) % m] = {u, v};
+    }
+    return out;
+  }();
+  return edges;
+}
+
+void sharded_csr_build_bench(benchmark::State& state, std::uint32_t shards) {
+  const auto& edges = huge_edge_list();
+  ThreadPool pool(4);
+  ThreadPool* prev = set_shard_pool(&pool);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Graph::build_owned(kCsrBuildVertices, edges, shards).num_edges());
+  }
+  set_shard_pool(prev);
+  state.SetItemsProcessed(state.iterations() * edges.size());
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * edges.size(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ShardedCsrBuild1(benchmark::State& state) {
+  sharded_csr_build_bench(state, 1);
+}
+BENCHMARK(BM_ShardedCsrBuild1)->UseRealTime();
+
+void BM_ShardedCsrBuildK(benchmark::State& state) {
+  sharded_csr_build_bench(state, 4);
+}
+BENCHMARK(BM_ShardedCsrBuildK)->UseRealTime();
 
 }  // namespace
 

@@ -110,10 +110,12 @@ def load_rates(path):
 #                             means the closed forms or the backend branch
 #                             picked up per-access work, taxing every
 #                             large-n implicit scenario.
-#   ShardedPushK/ShardedPush1, ShardedWalkK/ShardedWalk1
-#                           — the frontier-sharded round contract: one
-#                             trial on the 10^7 implicit star at width 4
-#                             vs width 1 on a fixed 4-worker pool, SAME
+#   ShardedPushK/ShardedPush1, ShardedWalkK/ShardedWalk1,
+#   ShardedMeetK/ShardedMeet1, ShardedHybridK/ShardedHybrid1
+#                           — the frontier-sharded round contract, one
+#                             pair per sharded simulator path: one trial
+#                             on the 10^7 implicit star at width 4 vs
+#                             width 1 on a fixed 4-worker pool, SAME
 #                             engine and trajectories (docs/perf.md). Like
 #                             Interleaved/Barrier the ratio is ~1.0 on a
 #                             1-core host (fan-out neither costs nor buys)
@@ -121,6 +123,17 @@ def load_rates(path):
 #                             0.35 threshold absorbs core-count variation;
 #                             a regression means the range fan-out itself
 #                             got slower relative to the inline path.
+#   ShardedCsrBuildK/ShardedCsrBuild1
+#                           — the parallel owned-CSR build contract: the
+#                             same 10^7-edge strided-permutation list
+#                             built at width 4 vs width 1, byte-identical
+#                             output (tier-1 pinned). Unlike the round
+#                             pairs the width-K build does real extra
+#                             work at 1 core (log(width) pairwise merge
+#                             passes over the chunk-sorted runs), so the
+#                             1-core ratio reads ~0.7, not ~1.0; the gate
+#                             pins that this serial-merge tax doesn't
+#                             silently grow. Same widened threshold.
 RATIO_SERIES = (
     ("Batched", "Scalar", 0.15),
     ("Registry", "Direct", 0.15),
@@ -131,6 +144,9 @@ RATIO_SERIES = (
     ("GraphBackendImplicit", "GraphBackendOwned", 0.20),
     ("ShardedPushK", "ShardedPush1", 0.35),
     ("ShardedWalkK", "ShardedWalk1", 0.35),
+    ("ShardedMeetK", "ShardedMeet1", 0.35),
+    ("ShardedHybridK", "ShardedHybrid1", 0.35),
+    ("ShardedCsrBuildK", "ShardedCsrBuild1", 0.35),
 )
 
 # Absolute caps on the Uniform/Heterogeneous ratio itself: the

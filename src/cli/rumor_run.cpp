@@ -151,7 +151,8 @@ void list_registry() {
       "once,\n"
       "  cached as <path>.rcsr and memory-mapped on later runs.\n");
   std::printf(
-      "\nfrontier-sharded rounds (push, push-pull, visit-exchange):\n"
+      "\nfrontier-sharded rounds (push, push-pull, visit-exchange, "
+      "meet-exchange,\nhybrid):\n"
       "  shards=auto|N  auto: shard iff n >= %llu; N >= 1: always shard,\n"
       "  N partitions. One trial then fans its round across the pool when\n"
       "  queued trials can't fill it. The sharded engine draws from an\n"
@@ -487,12 +488,15 @@ int main(int argc, char** argv) {
       // The estimate rides in a '#' comment, so the dry-run output remains
       // valid scenario-file input. Sharded scenarios also report the width
       // this machine would run with (execution-only; results are
-      // width-independent).
+      // width-independent) — or "shards=off" when shards=auto resolves
+      // disabled below the threshold, so the engine choice is explicit.
       std::string shard_note;
       if (const std::uint32_t shards_opt = spec.protocol.shards();
-          sharding_enabled(shards_opt, probe->n)) {
+          shards_opt != 0) {
         shard_note =
-            " shards=" + std::to_string(resolve_shard_width(shards_opt));
+            sharding_enabled(shards_opt, probe->n)
+                ? " shards=" + std::to_string(resolve_shard_width(shards_opt))
+                : " shards=off";
       }
       std::printf("%s  # backend=%s n=%llu m%s=%llu mem=%s%s\n",
                   spec.name().c_str(),

@@ -1,7 +1,10 @@
 #include "core/hybrid.hpp"
 
 #include "core/registry.hpp"
-
+#include "core/sharding.hpp"
+#include "graph/access.hpp"
+#include "support/philox.hpp"
+#include "support/thread_pool.hpp"
 #include "walk/step_kernel.hpp"
 
 namespace rumor {
@@ -21,6 +24,16 @@ HybridProcess::HybridProcess(const Graph& g, Vertex source,
               resolve_anchor(options, source), arena_) {
   RUMOR_REQUIRE(source < g.num_vertices());
   model_.bind(g, options_.transmission, *arena_, seed);
+  // Sharded mode replaces the stepping engine wholesale (per-walker
+  // addressable draws); the CLI rejects the incompatible combinations
+  // with a message, these REQUIREs are the API-user backstop.
+  sharded_ = sharding_enabled(options_.shards, g.num_vertices());
+  if (sharded_) {
+    RUMOR_REQUIRE(!options_.trace.edge_traffic);
+    RUMOR_REQUIRE(options_.engine == StepEngine::batched);
+    shard_width_ = resolve_shard_width(options_.shards);
+    seed_ = seed;
+  }
   target_ = g.num_vertices();
   const std::size_t count = agents_.count();
   arena_->vertex_inform_round.reset(g.num_vertices(), kNeverInformed);
@@ -89,7 +102,15 @@ void HybridProcess::activate_blocking() {
 }
 
 void HybridProcess::step() {
-  if (model_.trivial()) {
+  if (sharded_) {
+    with_graph_access(*graph_, [&](const auto& acc) {
+      if (model_.trivial()) {
+        step_sharded<transmission::Uniform>(acc);
+      } else {
+        step_sharded<transmission::General>(acc);
+      }
+    });
+  } else if (model_.trivial()) {
     step_impl<transmission::Uniform>();
   } else {
     step_impl<transmission::General>();
@@ -209,6 +230,251 @@ void HybridProcess::step_impl() {
   }
 }
 
+// One frontier-sharded round — law-equivalent to step_impl<Mode>. The
+// dual phase composes the sharded walk kernel with the visit-exchange
+// agent passes and the push-pull round structure behind pre-cleared
+// fan-outs, preserving the legacy intra-round ordering:
+//
+//   (1) sharded walk step  (per-walker addressable draws)
+//   (2) agent-inform pass  (kShardPhaseAgentInform; slot = order index)
+//       -> serial merge informs vertices
+//   (3) caller/puller filters on the POST-(2) lists, as the serial round
+//       filters after the agent informs; pusher draws (kShardPhasePush;
+//       slot = compacted caller index) skip vertices informed in (2) this
+//       round BEFORE drawing, exactly like the serial
+//       informed_before_this_round guard -> serial push merge; puller
+//       draws (kShardPhasePull; slot = filtered frontier index) read the
+//       post-push-merge state and skip "pushed now" -> serial pull merge
+//   (4) agent-catch pass   (kShardPhaseAgentCatch; slot = order index) on
+//       the post-(3) vertex state -> serial merge informs agents
+//
+// Every parallel slot draws from its own addressable chain, every shard
+// writes only its own scratch segment, and each merge visits candidates
+// in shard-major = global slot order, so the round is a pure function of
+// the round-start state and the draw plane — independent of partition and
+// worker count. As in sharded push, a slot whose target was claimed by an
+// earlier slot still draws its words and is discarded at the merge:
+// independent variates deciding nothing observable.
+template <class Mode, class Access>
+void HybridProcess::step_sharded(const Access& acc) {
+  constexpr bool kGeneral = std::is_same_v<Mode, transmission::General>;
+  ++round_;
+  if constexpr (kGeneral) {
+    if (model_.blocking() && round_ == model_.block_round()) {
+      activate_blocking();
+    }
+  }
+  const std::size_t count = agents_.count();
+
+  // (1) agents move (sharded walk kernel).
+  step_walks_sharded(*graph_, agents_.positions_mut(), seed_, round_,
+                     laziness_, shard_width_);
+
+  auto& scratch = arena_->shard_scratch;
+  const std::uint32_t width = shard_width_;
+  if (scratch.size() < width) scratch.resize(width);
+  // Reserve the analytic per-shard bound (<= ceil(max(n, agents)/width)
+  // items per range) once, so steady-state trials stay allocation-free.
+  const std::size_t cap =
+      std::max<std::size_t>(graph_->num_vertices(), count) / width + 1;
+  for (std::uint32_t s = 0; s < width; ++s) {
+    scratch[s].survivors.reserve(cap);
+    scratch[s].candidates.reserve(cap);
+  }
+  const ShardPlane plane(seed_, round_);
+  const std::size_t informed_agents_at_start = informed_agent_count_;
+
+  // (2) agent-inform candidates: the vertex each previously-informed agent
+  // delivers to (round-start vertex state). The clears run serially before
+  // every fan-out: parallel_for_ranges clamps the shard count to the item
+  // count, so a clear inside the callback would skip tail segments
+  // whenever fewer items than width exist and leave stale entries.
+  {
+    const auto informed = arena_->vertex_inform_round.view();
+    for (std::uint32_t s = 0; s < width; ++s) scratch[s].candidates.clear();
+    shard_pool().parallel_for_ranges(
+        informed_agents_at_start, width,
+        [&](std::size_t s, std::size_t begin, std::size_t end) {
+          auto& out = scratch[s].candidates;
+          for (std::size_t idx = begin; idx < end; ++idx) {
+            const Agent a = order_.at(idx);
+            const Vertex v = agents_.position(a);
+            if (informed.touched(v)) continue;
+            if constexpr (kGeneral) {
+              SlotDraws draws(plane, kShardPhaseAgentInform,
+                              static_cast<std::uint32_t>(idx));
+              if (!model_.can_transmit<Mode>(
+                      arena_->agent_inform_round.get(a), v, round_) ||
+                  !model_.attempt_from<Mode>(v, draws)) {
+                continue;
+              }
+            }
+            out.push_back(v);
+          }
+        });
+    for (std::uint32_t s = 0; s < width; ++s) {
+      for (const Vertex v : scratch[s].candidates) {
+        if (!arena_->vertex_inform_round.touched(v)) inform_vertex(v);
+      }
+    }
+  }
+
+  // (3) push-pull calls, filters on the post-(2) lists exactly as the
+  // serial round orders them.
+  auto& active = arena_->active;
+  auto& frontier = arena_->frontier;
+  {
+    const auto sat = arena_->informed_nbr_count.view();
+    const auto informed = arena_->vertex_inform_round.view();
+
+    for (std::uint32_t s = 0; s < width; ++s) scratch[s].survivors.clear();
+    shard_pool().parallel_for_ranges(
+        active.size(), width,
+        [&](std::size_t s, std::size_t begin, std::size_t end) {
+          auto& out = scratch[s].survivors;
+          for (std::size_t i = begin; i < end; ++i) {
+            const Vertex v = active[i];
+            if (sat.get(v) >= acc.degree(v)) continue;
+            if constexpr (kGeneral) {
+              if (!model_.can_transmit<Mode>(informed.get(v), v, round_)) {
+                continue;
+              }
+            }
+            out.push_back(v);
+          }
+        });
+    active.clear();
+    for (std::uint32_t s = 0; s < width; ++s) {
+      active.insert(active.end(), scratch[s].survivors.begin(),
+                    scratch[s].survivors.end());
+    }
+
+    for (std::uint32_t s = 0; s < width; ++s) scratch[s].survivors.clear();
+    shard_pool().parallel_for_ranges(
+        frontier.size(), width,
+        [&](std::size_t s, std::size_t begin, std::size_t end) {
+          auto& out = scratch[s].survivors;
+          for (std::size_t i = begin; i < end; ++i) {
+            const Vertex w = frontier[i];
+            if (informed.touched(w)) continue;
+            if constexpr (kGeneral) {
+              if (model_.blocked<Mode>(w, round_)) continue;
+            }
+            out.push_back(w);
+          }
+        });
+    frontier.clear();
+    for (std::uint32_t s = 0; s < width; ++s) {
+      frontier.insert(frontier.end(), scratch[s].survivors.begin(),
+                      scratch[s].survivors.end());
+    }
+    // The push merge's informs append NEW frontier vertices; as in the
+    // serial round, those pull starting NEXT round.
+    const std::size_t pullers = frontier.size();
+
+    // Pusher phase: slot = compacted caller index. Vertices informed in
+    // step (2) this round survive the filter but make no call yet — the
+    // serial informed_before_this_round guard, applied before any draw.
+    for (std::uint32_t s = 0; s < width; ++s) scratch[s].candidates.clear();
+    shard_pool().parallel_for_ranges(
+        active.size(), width,
+        [&](std::size_t s, std::size_t begin, std::size_t end) {
+          auto& out = scratch[s].candidates;
+          for (std::size_t i = begin; i < end; ++i) {
+            const Vertex u = active[i];
+            if (!informed_before_this_round(u)) continue;
+            SlotDraws draws(plane, kShardPhasePush,
+                            static_cast<std::uint32_t>(i));
+            const GraphRow row = acc.row(u);
+            const Vertex v = acc.pick(row, word_below(draws, row.deg));
+            if constexpr (kGeneral) {
+              if (model_.blocked<Mode>(v, round_) || informed.touched(v)) {
+                continue;
+              }
+              if (!model_.attempt_from<Mode>(v, draws)) continue;
+            } else {
+              if (informed.touched(v)) continue;
+            }
+            out.push_back(v);
+          }
+        });
+    for (std::uint32_t s = 0; s < width; ++s) {
+      for (const Vertex v : scratch[s].candidates) {
+        if (!arena_->vertex_inform_round.touched(v)) inform_vertex(v);
+      }
+    }
+
+    // Puller phase: slot = filtered frontier index; reads the post-push
+    // state, as the serial pull loop does. Frontier entries are distinct
+    // (ever-in-frontier marks), so candidate pullers never collide.
+    for (std::uint32_t s = 0; s < width; ++s) scratch[s].candidates.clear();
+    shard_pool().parallel_for_ranges(
+        pullers, width,
+        [&](std::size_t s, std::size_t begin, std::size_t end) {
+          auto& out = scratch[s].candidates;
+          for (std::size_t i = begin; i < end; ++i) {
+            const Vertex w = frontier[i];
+            if (arena_->vertex_inform_round.touched(w)) continue;  // pushed
+            SlotDraws draws(plane, kShardPhasePull,
+                            static_cast<std::uint32_t>(i));
+            const GraphRow row = acc.row(w);
+            const Vertex v = acc.pick(row, word_below(draws, row.deg));
+            if (!informed_before_this_round(v)) continue;
+            if constexpr (kGeneral) {
+              if (!model_.can_transmit<Mode>(
+                      arena_->vertex_inform_round.get(v), v, round_) ||
+                  !model_.attempt_from<Mode>(v, draws)) {
+                continue;
+              }
+            }
+            out.push_back(w);
+          }
+        });
+    for (std::uint32_t s = 0; s < width; ++s) {
+      for (const Vertex w : scratch[s].candidates) {
+        RUMOR_CHECK(!arena_->vertex_inform_round.touched(w));
+        inform_vertex(w);
+      }
+    }
+  }
+
+  // (4) agent-catch candidates: order indices of uninformed agents on an
+  // informed vertex (post-(3) state, like the serial loop). Candidates are
+  // ascending distinct order indices, so the merge's inform_agent_at(idx)
+  // calls keep the informed-prefix CHECK.
+  for (std::uint32_t s = 0; s < width; ++s) scratch[s].candidates.clear();
+  shard_pool().parallel_for_ranges(
+      count - informed_agents_at_start, width,
+      [&](std::size_t s, std::size_t begin, std::size_t end) {
+        auto& out = scratch[s].candidates;
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t idx = informed_agents_at_start + i;
+          const Agent a = order_.at(idx);
+          const Vertex v = agents_.position(a);
+          if (!arena_->vertex_inform_round.touched(v)) continue;
+          if constexpr (kGeneral) {
+            SlotDraws draws(plane, kShardPhaseAgentCatch,
+                            static_cast<std::uint32_t>(idx));
+            if (!model_.can_transmit<Mode>(
+                    arena_->vertex_inform_round.get(v), v, round_) ||
+                !model_.attempt_from<Mode>(v, draws)) {
+              continue;
+            }
+          }
+          out.push_back(static_cast<std::uint32_t>(idx));
+        }
+      });
+  for (std::uint32_t s = 0; s < width; ++s) {
+    for (const std::uint32_t idx : scratch[s].candidates) {
+      inform_agent_at(idx);
+    }
+  }
+
+  if (options_.trace.informed_curve) {
+    arena_->curve.push_back(informed_vertex_count_);
+  }
+}
+
 bool HybridProcess::halted() const {
   if (done() || round_ >= cutoff_) return true;
   if (model_.trivial()) return false;
@@ -262,8 +528,9 @@ void register_hybrid_simulator(SimulatorRegistry& registry) {
       "hybrid: push-pull and visit-exchange on shared informed-vertex state";
   entry.defaults = WalkOptions{};
   entry.run = hybrid_entry_run;
-  entry.format_options = walk_entry_format;
-  entry.set_option = walk_entry_set;
+  // Shared sharded-walk hooks: the walk grammar plus the shards= key.
+  entry.format_options = sharded_walk_entry_format;
+  entry.set_option = sharded_walk_entry_set;
   entry.trace = walk_entry_trace;
   registry.add(std::move(entry));
 }

@@ -54,6 +54,8 @@ class HybridProcess {
   void inform_agent_at(std::size_t order_index);
   template <class Mode>
   void step_impl();
+  template <class Mode, class Access>
+  void step_sharded(const Access& acc);
   void activate_blocking();
   [[nodiscard]] bool halted() const;
   [[nodiscard]] bool informed_before_this_round(Vertex v) const {
@@ -78,6 +80,10 @@ class HybridProcess {
   AgentOrderView order_;
   std::uint32_t informed_vertex_count_ = 0;
   std::size_t informed_agent_count_ = 0;
+  // Frontier-sharded round engine (core/sharding): fixed at construction.
+  bool sharded_ = false;
+  std::uint32_t shard_width_ = 1;
+  std::uint64_t seed_ = 0;  // ShardPlane key seed (the trial seed)
 };
 
 [[nodiscard]] RunResult run_hybrid(const Graph& g, Vertex source,

@@ -69,6 +69,8 @@ class MeetExchangeProcess {
   void inform_agent_at(std::size_t order_index);
   template <class Mode>
   void step_impl();
+  template <class Mode>
+  void step_sharded();
   [[nodiscard]] bool halted() const;
 
   const Graph* graph_;
@@ -88,6 +90,10 @@ class MeetExchangeProcess {
   Vertex source_;
   bool source_active_ = false;
   std::size_t informed_agent_count_ = 0;
+  // Frontier-sharded round engine (core/sharding): fixed at construction.
+  bool sharded_ = false;
+  std::uint32_t shard_width_ = 1;
+  std::uint64_t seed_ = 0;  // ShardPlane key seed (the trial seed)
 };
 
 [[nodiscard]] RunResult run_meet_exchange(

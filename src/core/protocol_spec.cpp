@@ -126,7 +126,8 @@ std::uint32_t ProtocolSpec::shards() const {
   if (const auto* pp = std::get_if<PushPullOptions>(&options)) {
     return pp->shards;
   }
-  if (protocol == Protocol::visit_exchange) {
+  if (protocol == Protocol::visit_exchange ||
+      protocol == Protocol::meet_exchange || protocol == Protocol::hybrid) {
     return std::get<WalkOptions>(options).shards;
   }
   return 0;

@@ -91,9 +91,9 @@ struct ProtocolSpec {
   [[nodiscard]] const TraceOptions* trace() const;
 
   // The spec's shards= option for the simulators that honor the
-  // frontier-sharded round engine (push, push-pull, visit-exchange); 0 —
-  // i.e. "serial legacy" — for every other protocol. Feeds the two-axis
-  // trial schedule (experiments/trials).
+  // frontier-sharded round engine (push, push-pull, visit-exchange,
+  // meet-exchange, hybrid); 0 — i.e. "serial legacy" — for every other
+  // protocol. Feeds the two-axis trial schedule (experiments/trials).
   [[nodiscard]] std::uint32_t shards() const;
 
   friend bool operator==(const ProtocolSpec&, const ProtocolSpec&) = default;

@@ -2,6 +2,7 @@
 
 #include "core/hybrid.hpp"
 #include "core/meet_exchange.hpp"
+#include "core/sharding.hpp"
 #include "core/visit_exchange.hpp"
 #include "support/assert.hpp"
 
@@ -70,6 +71,22 @@ bool walk_entry_set(ProtocolOptions& options, std::string_view key,
 
 TraceOptions* walk_entry_trace(ProtocolOptions& options) {
   return &std::get<WalkOptions>(options).trace;
+}
+
+void sharded_walk_entry_format(const ProtocolOptions& options,
+                               const ProtocolOptions& defaults,
+                               spec_text::KeyValWriter& out) {
+  const auto& opt = std::get<WalkOptions>(options);
+  const auto& def = std::get<WalkOptions>(defaults);
+  format_walk_options(opt, def, out);
+  format_shards_option(opt.shards, def.shards, out);
+}
+
+bool sharded_walk_entry_set(ProtocolOptions& options, std::string_view key,
+                            std::string_view value) {
+  auto& opt = std::get<WalkOptions>(options);
+  if (key == "shards") return set_shards_option(opt.shards, value);
+  return set_walk_option(opt, key, value);
 }
 
 }  // namespace rumor

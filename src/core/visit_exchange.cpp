@@ -3,7 +3,6 @@
 #include "core/registry.hpp"
 #include "core/sharding.hpp"
 #include "support/philox.hpp"
-#include "support/spec_text.hpp"
 #include "support/thread_pool.hpp"
 #include "walk/step_kernel.hpp"
 
@@ -322,26 +321,6 @@ TrialResult visit_exchange_entry_run(const Graph& g,
           .run());
 }
 
-// Dedicated spec hooks (not the shared walk_entry_* ones): visit-exchange
-// is the only walk simulator with a sharded round, so `shards=` parses and
-// round-trips here and ONLY here — a meet-exchange or hybrid spec carrying
-// the key still fails to parse instead of silently doing nothing.
-void visit_exchange_entry_format(const ProtocolOptions& options,
-                                 const ProtocolOptions& defaults,
-                                 spec_text::KeyValWriter& out) {
-  const auto& opt = std::get<WalkOptions>(options);
-  const auto& def = std::get<WalkOptions>(defaults);
-  format_walk_options(opt, def, out);
-  format_shards_option(opt.shards, def.shards, out);
-}
-
-bool visit_exchange_entry_set(ProtocolOptions& options, std::string_view key,
-                              std::string_view value) {
-  auto& opt = std::get<WalkOptions>(options);
-  if (key == "shards") return set_shards_option(opt.shards, value);
-  return set_walk_option(opt, key, value);
-}
-
 }  // namespace
 
 void register_visit_exchange_simulator(SimulatorRegistry& registry) {
@@ -352,8 +331,11 @@ void register_visit_exchange_simulator(SimulatorRegistry& registry) {
       "VISIT-EXCHANGE: stationary random walkers relay via visited vertices";
   entry.defaults = WalkOptions{};
   entry.run = visit_exchange_entry_run;
-  entry.format_options = visit_exchange_entry_format;
-  entry.set_option = visit_exchange_entry_set;
+  // Shared sharded-walk hooks: `shards=` parses and round-trips for every
+  // walk simulator with a frontier-sharded round (visit-exchange,
+  // meet-exchange, hybrid).
+  entry.format_options = sharded_walk_entry_format;
+  entry.set_option = sharded_walk_entry_set;
   entry.trace = walk_entry_trace;
   registry.add(std::move(entry));
 }

@@ -41,9 +41,10 @@ struct WalkOptions {
   StepEngine engine = StepEngine::batched;
   // Frontier-sharded round engine (core/sharding): 0 = serial legacy,
   // kShardsAuto = on for huge graphs, N >= 1 = on with N partitions.
-  // Honored by visit-exchange ONLY (its dedicated spec hooks parse the
-  // key); the shared walk grammar rejects it, so meet-exchange/hybrid
-  // specs cannot silently carry a dead option. Incompatible with
+  // Honored by visit-exchange, meet-exchange, and hybrid (their shared
+  // sharded_walk_entry hooks parse the key); the plain walk grammar
+  // rejects it, so the remaining walk specs (frog, dynamic-agent,
+  // multi-rumor) cannot silently carry a dead option. Incompatible with
   // trace.edge_traffic and with a non-default engine= (the sharded stepper
   // replaces the engine choice).
   std::uint32_t shards = 0;

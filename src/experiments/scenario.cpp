@@ -384,8 +384,8 @@ bool prepare_scenario(const ScenarioSpec& spec, ScenarioResult& result,
                            "needs the serial engine)");
       return false;
     }
-    if (spec.protocol.protocol == Protocol::visit_exchange &&
-        spec.protocol.walk().engine != StepEngine::batched) {
+    if (const WalkOptions* walk = spec.protocol.walk_if();
+        walk != nullptr && walk->engine != StepEngine::batched) {
       set_error(error, "scenario \"" + spec.name() +
                            "\": shards= replaces the stepping engine; "
                            "drop the engine= key");

@@ -5,6 +5,8 @@
 #include <limits>
 #include <mutex>
 
+#include "support/thread_pool.hpp"
+
 namespace rumor {
 
 struct Graph::PropertyState {
@@ -23,6 +25,59 @@ struct OwnedCsr {
   std::vector<std::pair<Vertex, Vertex>> edge_list;   // m entries, u < v
 };
 
+// Backing store for the sharded build path. Raw arrays instead of vectors:
+// vector::resize zero-fills every page on the allocating thread, which
+// would defeat NUMA first-touch placement — make_unique_for_overwrite
+// leaves the CSR pages untouched until the per-shard passes write them.
+struct ShardedCsr {
+  std::unique_ptr<std::uint32_t[]> offsets;                // n+1 entries
+  std::unique_ptr<Vertex[]> neighbors;                     // 2m, sorted
+  std::unique_ptr<EdgeId[]> edge_ids;                      // 2m
+  std::unique_ptr<std::pair<Vertex, Vertex>[]> edge_list;  // m, u < v
+};
+
+// Edge lists at or above this size build through the sharded path when the
+// public constructor picks the width (explicit build_owned widths are never
+// overridden). Matches the spirit of kShardAutoThreshold: only graphs big
+// enough that page placement and sort time matter pay the fan-out.
+constexpr std::size_t kShardedBuildEdgeThreshold = std::size_t{1} << 22;
+
+// Deterministic parallel sort: per-shard std::sort over the shard_range
+// chunks, then log2(width) levels of pairwise in-place merges. The result
+// is THE sorted order (comparison keys are unique in both uses), so the
+// output is independent of width and worker count by construction.
+template <class T>
+void sharded_sort(ThreadPool& pool, T* data, std::size_t count,
+                  std::uint32_t width) {
+  std::vector<std::size_t> cur(width + 1);
+  for (std::uint32_t s = 0; s < width; ++s) {
+    cur[s] = ThreadPool::shard_range(count, width, s).first;
+  }
+  cur[width] = count;
+  pool.parallel_for_ranges(
+      width, width, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t j = begin; j < end; ++j) {
+          std::sort(data + cur[j], data + cur[j + 1]);
+        }
+      });
+  while (cur.size() > 2) {
+    const std::size_t runs = cur.size() - 1;
+    const std::size_t pairs = runs / 2;
+    pool.parallel_for_ranges(
+        pairs, pairs, [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t q = begin; q < end; ++q) {
+            std::inplace_merge(data + cur[2 * q], data + cur[2 * q + 1],
+                               data + cur[2 * q + 2]);
+          }
+        });
+    std::vector<std::size_t> next;
+    next.reserve(pairs + 2);
+    for (std::size_t q = 0; q <= pairs; ++q) next.push_back(cur[2 * q]);
+    if (runs % 2 != 0) next.push_back(count);
+    cur = std::move(next);
+  }
+}
+
 }  // namespace
 
 void Graph::assign_uid() {
@@ -40,16 +95,45 @@ void Graph::prefill_properties(const GraphProperties& props) {
 }
 
 Graph::Graph(Vertex num_vertices,
-             std::span<const std::pair<Vertex, Vertex>> edges)
-    : n_(num_vertices),
-      m_(edges.size()),
-      property_state_(std::make_shared<PropertyState>()) {
+             std::span<const std::pair<Vertex, Vertex>> edges) {
+  // Auto width: huge edge lists build sharded over the ambient pool (the
+  // first shard_pool() call constructs the global pool — acceptable at
+  // this size, the build itself dwarfs it); everything else stays serial
+  // and never touches the pool.
+  std::uint32_t width = 1;
+  if (edges.size() >= kShardedBuildEdgeThreshold) {
+    width = static_cast<std::uint32_t>(shard_pool().worker_count());
+  }
+  init_owned(num_vertices, edges, width);
+}
+
+Graph Graph::build_owned(Vertex num_vertices,
+                         std::span<const std::pair<Vertex, Vertex>> edges,
+                         std::uint32_t shards) {
+  Graph g;
+  g.init_owned(num_vertices, edges, std::max<std::uint32_t>(shards, 1));
+  return g;
+}
+
+void Graph::init_owned(Vertex num_vertices,
+                       std::span<const std::pair<Vertex, Vertex>> edges,
+                       std::uint32_t build_width) {
+  n_ = num_vertices;
+  m_ = edges.size();
+  property_state_ = std::make_shared<PropertyState>();
   // The empty graph (no vertices, no edges) is representable so property
   // queries have a well-defined answer; simulators still require a valid
   // source vertex and therefore reject it.
   RUMOR_REQUIRE(num_vertices > 0 || edges.empty());
   RUMOR_REQUIRE(edges.size() < std::numeric_limits<EdgeId>::max() / 2);
+  if (build_width > 1 && !edges.empty()) {
+    build_owned_sharded(edges, build_width);
+  } else {
+    build_owned_serial(edges);
+  }
+}
 
+void Graph::build_owned_serial(std::span<const std::pair<Vertex, Vertex>> edges) {
   auto owned = std::make_shared<OwnedCsr>();
   owned->edge_list.reserve(m_);
   owned->offsets.assign(static_cast<std::size_t>(n_) + 1, 0);
@@ -111,6 +195,144 @@ Graph::Graph(Vertex num_vertices,
     }
   }
 
+  offsets_p_ = offsets.data();
+  neighbors_p_ = neighbors.data();
+  edge_ids_p_ = edge_ids.data();
+  edge_list_p_ = edge_list.data();
+  payload_ = std::move(owned);
+  finish_owned_build(offsets_p_);
+}
+
+// Sharded owned-CSR build: every pass fans the same shard_range partition
+// the round kernels use over shard_pool(), so shard s first-touches exactly
+// the offset/neighbor/edge-id row range it will later step — on a NUMA
+// machine the pages land on the worker's node instead of all on the
+// allocating thread's. The arrays are byte-identical to the serial build
+// for every width: the sorted edge order and the sorted (v, u) reverse
+// order are unique total orders, and the serial fill emits each row as
+// [back-neighbors ascending][forward-neighbors ascending] — exactly the
+// two runs the per-row pass concatenates.
+void Graph::build_owned_sharded(
+    std::span<const std::pair<Vertex, Vertex>> edges, std::uint32_t shards) {
+  ThreadPool& pool = shard_pool();
+  const std::size_t m = edges.size();
+  const std::size_t n = n_;
+  const std::uint32_t width = shards;
+
+  auto owned = std::make_shared<ShardedCsr>();
+  owned->offsets = std::make_unique_for_overwrite<std::uint32_t[]>(n + 1);
+  owned->neighbors = std::make_unique_for_overwrite<Vertex[]>(2 * m);
+  owned->edge_ids = std::make_unique_for_overwrite<EdgeId[]>(2 * m);
+  owned->edge_list =
+      std::make_unique_for_overwrite<std::pair<Vertex, Vertex>[]>(m);
+  auto* el = owned->edge_list.get();
+  auto* off = owned->offsets.get();
+  auto* nbr = owned->neighbors.get();
+  auto* eid = owned->edge_ids.get();
+
+  // Validate + normalize to (min, max), parallel over the input order.
+  pool.parallel_for_ranges(
+      m, width, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto [u, v] = edges[i];
+          RUMOR_REQUIRE(u < n_ && v < n_);
+          RUMOR_REQUIRE(u != v);  // no self loops
+          el[i] = {std::min(u, v), std::max(u, v)};
+        }
+      });
+
+  // Canonical edge order (edge id = lexicographic rank), then the
+  // duplicate check parallelized over adjacent pairs.
+  sharded_sort(pool, el, m, width);
+  pool.parallel_for_ranges(
+      m - 1, width, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          RUMOR_REQUIRE(el[i + 1] != el[i]);  // no multi-edges
+        }
+      });
+
+  // Reverse index sorted by (v, u): row w's back-neighbors (u < w,
+  // ascending, with their edge ids) become one contiguous run per vertex.
+  // Keys pack (v, u) into one uint64; pairs are unique, so the sort never
+  // compares the payload edge id and the order is deterministic.
+  auto rev = std::make_unique_for_overwrite<
+      std::pair<std::uint64_t, std::uint32_t>[]>(m);
+  pool.parallel_for_ranges(
+      m, width, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t e = begin; e < end; ++e) {
+          rev[e] = {(static_cast<std::uint64_t>(el[e].second) << 32) |
+                        el[e].first,
+                    static_cast<std::uint32_t>(e)};
+        }
+      });
+  sharded_sort(pool, rev.get(), m, width);
+
+  // Per-row degrees, written by the owning shard (this is the first touch
+  // of the offsets pages). Each shard binary-searches its vertex range's
+  // run starts once, then walks both sorted arrays linearly.
+  const auto fwd_start = [&](Vertex v) {
+    return static_cast<std::size_t>(
+        std::lower_bound(el, el + m, std::pair<Vertex, Vertex>{v, 0}) - el);
+  };
+  const auto back_start = [&](Vertex v) {
+    return static_cast<std::size_t>(
+        std::lower_bound(rev.get(), rev.get() + m,
+                         std::pair<std::uint64_t, std::uint32_t>{
+                             static_cast<std::uint64_t>(v) << 32, 0}) -
+        rev.get());
+  };
+  off[0] = 0;
+  pool.parallel_for_ranges(
+      n, width, [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::size_t e = fwd_start(static_cast<Vertex>(begin));
+        std::size_t r = back_start(static_cast<Vertex>(begin));
+        for (std::size_t v = begin; v < end; ++v) {
+          std::uint32_t d = 0;
+          while (e < m && el[e].first == v) {
+            ++e;
+            ++d;
+          }
+          while (r < m && (rev[r].first >> 32) == v) {
+            ++r;
+            ++d;
+          }
+          off[v + 1] = d;
+        }
+      });
+  for (std::size_t v = 0; v < n; ++v) off[v + 1] += off[v];
+
+  // Row fill, same partition: shard s writes (first-touches) exactly the
+  // neighbor/edge-id range its round kernels will read.
+  pool.parallel_for_ranges(
+      n, width, [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::size_t e = fwd_start(static_cast<Vertex>(begin));
+        std::size_t r = back_start(static_cast<Vertex>(begin));
+        for (std::size_t v = begin; v < end; ++v) {
+          std::uint32_t c = off[v];
+          while (r < m && (rev[r].first >> 32) == v) {
+            nbr[c] = static_cast<Vertex>(rev[r].first & 0xFFFFFFFFu);
+            eid[c] = rev[r].second;
+            ++c;
+            ++r;
+          }
+          while (e < m && el[e].first == v) {
+            nbr[c] = el[e].second;
+            eid[c] = static_cast<EdgeId>(e);
+            ++c;
+            ++e;
+          }
+        }
+      });
+
+  offsets_p_ = off;
+  neighbors_p_ = nbr;
+  edge_ids_p_ = eid;
+  edge_list_p_ = el;
+  payload_ = std::move(owned);
+  finish_owned_build(offsets_p_);
+}
+
+void Graph::finish_owned_build(const std::uint32_t* offsets) {
   min_degree_ = n_ > 0 ? std::numeric_limits<std::uint32_t>::max() : 0;
   max_degree_ = 0;
   degrees_all_pow2_ = n_ > 0;
@@ -120,12 +342,6 @@ Graph::Graph(Vertex num_vertices,
     max_degree_ = std::max(max_degree_, d);
     degrees_all_pow2_ = degrees_all_pow2_ && d > 0 && (d & (d - 1)) == 0;
   }
-
-  offsets_p_ = offsets.data();
-  neighbors_p_ = neighbors.data();
-  edge_ids_p_ = edge_ids.data();
-  edge_list_p_ = edge_list.data();
-  payload_ = std::move(owned);
   assign_uid();
 }
 

@@ -100,8 +100,19 @@ class Graph {
   // Constructs an owned-CSR graph from an undirected edge list. Requires:
   // no self loops, no duplicate edges (in either orientation), endpoints <
   // num_vertices. Prefer GraphBuilder, which validates and reports good
-  // errors.
+  // errors. Huge edge lists (>= 2^22 edges) build through the sharded
+  // path below automatically when the ambient shard pool has workers.
   Graph(Vertex num_vertices, std::span<const std::pair<Vertex, Vertex>> edges);
+
+  // As the constructor, but builds the CSR arrays with `shards` parallel
+  // range partitions fanned over shard_pool() — the same shard_range
+  // partition the sharded round kernels use, so each worker first-touches
+  // exactly the row range it will later step (NUMA page placement follows
+  // the compute partition). Content is byte-identical to the serial
+  // constructor for every width; shards <= 1 IS the serial path.
+  [[nodiscard]] static Graph build_owned(
+      Vertex num_vertices, std::span<const std::pair<Vertex, Vertex>> edges,
+      std::uint32_t shards);
 
   // Implicit backend: adjacency synthesized from the family closed forms.
   // `desc` must come from make_implicit_desc (kind != none).
@@ -268,6 +279,19 @@ class Graph {
   struct PropertyState;  // once_flag + the computed GraphProperties
 
   Graph() = default;  // backends fill the fields via the static factories
+
+  // Owned-CSR builders: init_owned validates and dispatches on the build
+  // width (the public constructor picks it automatically; build_owned pins
+  // it); the serial and sharded bodies produce byte-identical arrays.
+  // finish_owned_build is the shared tail (degree stats from the finished
+  // offsets array + uid).
+  void init_owned(Vertex num_vertices,
+                  std::span<const std::pair<Vertex, Vertex>> edges,
+                  std::uint32_t build_width);
+  void build_owned_serial(std::span<const std::pair<Vertex, Vertex>> edges);
+  void build_owned_sharded(std::span<const std::pair<Vertex, Vertex>> edges,
+                           std::uint32_t shards);
+  void finish_owned_build(const std::uint32_t* offsets);
 
   void assign_uid();
   void prefill_properties(const GraphProperties& props);

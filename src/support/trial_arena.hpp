@@ -128,7 +128,7 @@ struct TrialArena {
 // View over the arena's agent-order permutation and its inverse, decoding
 // the identity-default sentinel (an untouched slot i reads as "order[i] ==
 // i"). Shared by the simulators that maintain an informed-prefix partition
-// (visit-exchange, meet-exchange).
+// (visit-exchange, meet-exchange, hybrid).
 class AgentOrderView {
  public:
   // Re-targets both arrays to the identity permutation over [0, count).

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "alloc_probe.hpp"
+#include "core/hybrid.hpp"
+#include "core/meet_exchange.hpp"
 #include "core/push.hpp"
 #include "core/push_pull.hpp"
 #include "core/sharding.hpp"
@@ -155,7 +157,8 @@ TEST(ShardDraws, UnitDoublesAreInRange) {
 TEST(ShardSpec, RoundTripsAndRejects) {
   for (const char* text :
        {"push(shards=auto)", "push(shards=4)", "push-pull(shards=2)",
-        "visit-exchange(shards=7)"}) {
+        "visit-exchange(shards=7)", "meet-exchange(shards=2)",
+        "hybrid(shards=auto)"}) {
     std::string error;
     const auto spec = ProtocolSpec::parse(text, &error);
     ASSERT_TRUE(spec) << text << ": " << error;
@@ -166,9 +169,8 @@ TEST(ShardSpec, RoundTripsAndRejects) {
   // protocols that do not implement the engine reject the key outright.
   EXPECT_FALSE(ProtocolSpec::parse("push(shards=0)"));
   EXPECT_FALSE(ProtocolSpec::parse("push(shards=-1)"));
-  EXPECT_FALSE(ProtocolSpec::parse("meet-exchange(shards=2)"));
-  EXPECT_FALSE(ProtocolSpec::parse("hybrid(shards=2)"));
   EXPECT_FALSE(ProtocolSpec::parse("frog(shards=2)"));
+  EXPECT_FALSE(ProtocolSpec::parse("dynamic-agent(shards=2)"));
   // Default specs stay bare: no shards= key leaks into canonical text.
   EXPECT_EQ(ProtocolSpec::parse("push")->name(), "push");
   EXPECT_EQ(ProtocolSpec::parse("push")->shards(), 0u);
@@ -195,7 +197,11 @@ TEST(ShardSpec, ScenarioValidationRejectsIncompatibleCombos) {
   reject("cycle(n=64) push-pull(shards=2,edge_traffic=on)", "edge_traffic");
   reject("cycle(n=64) visit-exchange(shards=2,edge_traffic=on)",
          "edge_traffic");
+  reject("cycle(n=64) meet-exchange(shards=2,edge_traffic=on)",
+         "edge_traffic");
   reject("cycle(n=64) visit-exchange(shards=2,engine=counter)", "engine");
+  reject("cycle(n=64) meet-exchange(shards=2,engine=counter)", "engine");
+  reject("cycle(n=64) hybrid(shards=2,engine=counter)", "engine");
   // The compatible forms pass the same validator.
   std::string error;
   const auto ok = ScenarioSpec::parse(
@@ -392,6 +398,182 @@ TEST(ShardedVisitExchange, ImplicitAndOwnedBackendsAgree) {
   }
 }
 
+RunResult run_meetx_shards(const Graph& g, std::uint64_t seed,
+                           std::uint32_t shards, float tp) {
+  WalkOptions opt = MeetExchangeProcess::default_options();
+  opt.shards = shards;
+  opt.transmission.tp = tp;
+  opt.trace.informed_curve = true;
+  opt.trace.inform_rounds = true;
+  return run_meet_exchange(g, 0, seed, opt);
+}
+
+TEST(ShardedMeetExchange, TrajectoryIndependentOfShardCount) {
+  // cycle is bipartite: the default auto_bipartite laziness must resolve
+  // identically through the sharded walk kernel.
+  const Graph graphs[] = {gen::cycle(48), gen::complete(32),
+                          gen::grid2d(6, 6)};
+  for (const Graph& g : graphs) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const RunResult ref = run_meetx_shards(g, seed, 1, 1.0f);
+      ASSERT_TRUE(ref.completed);
+      for (const std::uint32_t shards : kShardCounts) {
+        expect_same_result(ref, run_meetx_shards(g, seed, shards, 1.0f),
+                           "meetx shards=" + std::to_string(shards));
+      }
+    }
+  }
+}
+
+TEST(ShardedMeetExchange, HeterogeneousTrajectoriesMatch) {
+  const Graph g = gen::circulant(96, 4);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const RunResult ref = run_meetx_shards(g, seed, 1, 0.7f);
+    for (const std::uint32_t shards : kShardCounts) {
+      expect_same_result(ref, run_meetx_shards(g, seed, shards, 0.7f),
+                         "het meetx shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardedMeetExchange, ImplicitAndOwnedBackendsAgree) {
+  const auto spec_imp = GraphSpec::parse("torus(rows=6,cols=6)");
+  const auto spec_own = GraphSpec::parse("torus(rows=6,cols=6,backend=owned)");
+  ASSERT_TRUE(spec_imp && spec_own);
+  Rng rng(1);
+  const Graph imp = spec_imp->make(rng);
+  const Graph own = spec_own->make(rng);
+  ASSERT_TRUE(imp.is_implicit());
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const RunResult ref = run_meetx_shards(imp, seed, 1, 1.0f);
+    for (const std::uint32_t shards : kShardCounts) {
+      expect_same_result(ref, run_meetx_shards(own, seed, shards, 1.0f),
+                         "backend meetx shards=" + std::to_string(shards));
+    }
+  }
+}
+
+RunResult run_hybrid_shards(const Graph& g, std::uint64_t seed,
+                            std::uint32_t shards, float tp) {
+  WalkOptions opt;
+  opt.shards = shards;
+  opt.transmission.tp = tp;
+  opt.trace.informed_curve = true;
+  opt.trace.inform_rounds = true;
+  return run_hybrid(g, 0, seed, opt);
+}
+
+TEST(ShardedHybrid, TrajectoryIndependentOfShardCount) {
+  // The dual phase exercises every draw phase at once: agent informs,
+  // push, pull, and agent catches in one round.
+  const Graph graphs[] = {gen::cycle(96), gen::star(64),
+                          gen::heavy_binary_tree(63)};
+  for (const Graph& g : graphs) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const RunResult ref = run_hybrid_shards(g, seed, 1, 1.0f);
+      ASSERT_TRUE(ref.completed);
+      for (const std::uint32_t shards : kShardCounts) {
+        expect_same_result(ref, run_hybrid_shards(g, seed, shards, 1.0f),
+                           "hybrid shards=" + std::to_string(shards));
+      }
+    }
+  }
+}
+
+TEST(ShardedHybrid, HeterogeneousTrajectoriesMatch) {
+  const Graph g = gen::circulant(96, 4);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const RunResult ref = run_hybrid_shards(g, seed, 1, 0.6f);
+    for (const std::uint32_t shards : kShardCounts) {
+      expect_same_result(ref, run_hybrid_shards(g, seed, shards, 0.6f),
+                         "het hybrid shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardedHybrid, ImplicitAndOwnedBackendsAgree) {
+  const auto spec_imp = GraphSpec::parse("torus(rows=8,cols=8)");
+  const auto spec_own = GraphSpec::parse("torus(rows=8,cols=8,backend=owned)");
+  ASSERT_TRUE(spec_imp && spec_own);
+  Rng rng(1);
+  const Graph imp = spec_imp->make(rng);
+  const Graph own = spec_own->make(rng);
+  ASSERT_TRUE(imp.is_implicit());
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const RunResult ref = run_hybrid_shards(imp, seed, 1, 1.0f);
+    for (const std::uint32_t shards : kShardCounts) {
+      expect_same_result(ref, run_hybrid_shards(own, seed, shards, 1.0f),
+                         "backend hybrid shards=" + std::to_string(shards));
+    }
+  }
+}
+
+// ---- Sharded owned-CSR build -------------------------------------------
+
+TEST(ShardedCsrBuild, ContentIdenticalAcrossWidths) {
+  // A scrambled-order edge list (strided permutation of a two-offset
+  // circulant) so the parallel chunk-sort and merge actually reorder, plus
+  // an irregular star overlay so degrees differ per row.
+  const Vertex n = 700;
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex v = 0; v < n; ++v) {
+    edges.emplace_back(v, (v + 1) % n);
+    edges.emplace_back(v, (v + 5) % n);
+  }
+  for (Vertex v = 10; v < 200; v += 7) edges.emplace_back(3, v);
+  std::vector<std::pair<Vertex, Vertex>> scrambled(edges.size());
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    scrambled[k] = edges[(k * 911) % edges.size()];  // 911 coprime to size
+  }
+
+  ThreadPool pool(3);
+  ThreadPool* prev = set_shard_pool(&pool);
+  const Graph ref = Graph::build_owned(n, scrambled, 1);
+  for (const std::uint32_t shards : {2u, 4u, 7u}) {
+    const Graph g = Graph::build_owned(n, scrambled, shards);
+    ASSERT_EQ(g.num_vertices(), ref.num_vertices());
+    ASSERT_EQ(g.num_edges(), ref.num_edges());
+    const CsrView a = ref.csr();
+    const CsrView b = g.csr();
+    for (Vertex v = 0; v <= n; ++v) EXPECT_EQ(a.offsets[v], b.offsets[v]);
+    for (std::size_t i = 0; i < 2 * ref.num_edges(); ++i) {
+      ASSERT_EQ(a.neighbors[i], b.neighbors[i]) << "slot " << i;
+      ASSERT_EQ(a.edge_ids[i], b.edge_ids[i]) << "slot " << i;
+    }
+    for (EdgeId e = 0; e < ref.num_edges(); ++e) {
+      EXPECT_EQ(g.edge_endpoints(e), ref.edge_endpoints(e));
+    }
+    EXPECT_EQ(g.min_degree(), ref.min_degree());
+    EXPECT_EQ(g.max_degree(), ref.max_degree());
+    EXPECT_EQ(g.degrees_all_pow2(), ref.degrees_all_pow2());
+  }
+  // The sharded-built graph is a drop-in substrate: same trajectory as the
+  // serially built one under the sharded round engine.
+  const Graph wide = Graph::build_owned(n, scrambled, 4);
+  expect_same_result(run_push_shards(ref, 5, 2, 1.0f, 0.0),
+                     run_push_shards(wide, 5, 2, 1.0f, 0.0), "csr substrate");
+  set_shard_pool(prev);
+}
+
+TEST(ShardedCsrBuild, PropertiesAndValidationMatchSerial) {
+  // Degenerate shapes through the parallel path: single edge, path, and a
+  // width far above the edge count (ranges clamp empty).
+  ThreadPool pool(2);
+  ThreadPool* prev = set_shard_pool(&pool);
+  const std::vector<std::pair<Vertex, Vertex>> one = {{1, 0}};
+  const Graph g1 = Graph::build_owned(2, one, 8);
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(g1.degree(0), 1u);
+  EXPECT_TRUE(g1.has_edge(0, 1));
+  std::vector<std::pair<Vertex, Vertex>> path;
+  for (Vertex v = 0; v + 1 < 9; ++v) path.emplace_back(v + 1, v);
+  const Graph gp = Graph::build_owned(9, path, 4);
+  const Graph gs = Graph::build_owned(9, path, 1);
+  EXPECT_EQ(gp.properties().connected, gs.properties().connected);
+  EXPECT_EQ(gp.properties().bipartite, gs.properties().bipartite);
+  set_shard_pool(prev);
+}
+
 // ---- Zero steady-state allocations -------------------------------------
 
 TEST(ShardedAlloc, SteadyStateTrialsAllocateNothing) {
@@ -399,7 +581,9 @@ TEST(ShardedAlloc, SteadyStateTrialsAllocateNothing) {
   TrialArena arena;
   for (const char* text :
        {"push(shards=2)", "push-pull(shards=2)", "visit-exchange(shards=2)",
-        "push(shards=4,tp=0.8)", "push-pull(shards=4,loss=0.1)"}) {
+        "meet-exchange(shards=2)", "hybrid(shards=2)",
+        "push(shards=4,tp=0.8)", "push-pull(shards=4,loss=0.1)",
+        "meet-exchange(shards=4,tp=0.8)", "hybrid(shards=4,tp=0.8)"}) {
     const auto spec = ProtocolSpec::parse(text);
     ASSERT_TRUE(spec) << text;
     // Warm-up: scratch segments grow to their high-water mark.
